@@ -1,0 +1,94 @@
+// Command datagen generates synthetic EA benchmarks to disk in the
+// OpenEA-compatible TSV layout.
+//
+// Usage:
+//
+//	datagen -profile D-Z -scale 0.2 -out ./data/dz          # one profile
+//	datagen -all -scale 0.1 -out ./data                     # every profile
+//	datagen -profile FB-DBP-MUL -scale 0.2 -out ./data/mul  # non 1-to-1
+//	datagen -list                                           # list profiles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/kg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		profile = flag.String("profile", "", "profile name (see -list)")
+		all     = flag.Bool("all", false, "generate every Table 3 profile")
+		scale   = flag.Float64("scale", 0.2, "scale factor relative to the paper's sizes")
+		out     = flag.String("out", "data", "output directory")
+		list    = flag.Bool("list", false, "list profile names and exit")
+	)
+	flag.Parse()
+
+	standard := append(append(datagen.DBP15K(), datagen.SRPRS()...), datagen.DWY100K()...)
+	if *list {
+		for _, p := range standard {
+			fmt.Printf("%-12s %d gold links, avg degree %.1f\n", p.Name, p.GoldLinks, p.AvgDegree)
+		}
+		fmt.Printf("%-12s %.0f gold links (non 1-to-1)\n", datagen.FBDBPMul.Name, datagen.FBDBPMul.ExpectedLinks())
+		return nil
+	}
+
+	writeStd := func(p datagen.Profile, dir string) error {
+		pair, err := datagen.Generate(p.Scaled(*scale))
+		if err != nil {
+			return err
+		}
+		if err := kg.WritePair(dir, pair); err != nil {
+			return err
+		}
+		st := pair.Source.Stats()
+		fmt.Printf("wrote %s: %d+%d entities, %d triples/source, %d links -> %s\n",
+			p.Name, pair.Source.NumEntities(), pair.Target.NumEntities(), st.Triples, pair.Split.TotalLinks(), dir)
+		return nil
+	}
+	writeMul := func(dir string) error {
+		pair, err := datagen.GenerateNonOneToOne(datagen.FBDBPMul.Scaled(*scale))
+		if err != nil {
+			return err
+		}
+		if err := kg.WritePair(dir, pair); err != nil {
+			return err
+		}
+		m := pair.AllLinks().Multiplicity()
+		fmt.Printf("wrote %s: %d links (%d non 1-to-1) -> %s\n",
+			datagen.FBDBPMul.Name, pair.AllLinks().Len(), m.OneToMany+m.ManyToOne+m.ManyToMany, dir)
+		return nil
+	}
+
+	switch {
+	case *all:
+		for _, p := range standard {
+			if err := writeStd(p, filepath.Join(*out, p.Name)); err != nil {
+				return err
+			}
+		}
+		return writeMul(filepath.Join(*out, datagen.FBDBPMul.Name))
+	case *profile == datagen.FBDBPMul.Name:
+		return writeMul(*out)
+	case *profile != "":
+		p, ok := datagen.ByName(*profile)
+		if !ok {
+			return fmt.Errorf("unknown profile %q (use -list)", *profile)
+		}
+		return writeStd(p, *out)
+	default:
+		return fmt.Errorf("specify -profile or -all (use -list to see profiles)")
+	}
+}

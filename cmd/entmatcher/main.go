@@ -1,0 +1,150 @@
+// Command entmatcher runs the embedding-matching pipeline on a dataset
+// directory (as written by cmd/datagen or any OpenEA-style dump with the
+// entmatcher file layout) and reports per-algorithm metrics.
+//
+// Usage:
+//
+//	entmatcher -data ./data/D-Z                       # all 7 algorithms, RREA
+//	entmatcher -data ./data/D-Z -model gcn -m DInf,Hun.
+//	entmatcher -data ./data/D-Z -features name        # N- setting
+//	entmatcher -data ./data/dz+ -setting unmatchable  # § 5.1 evaluation
+//	entmatcher -data ./data/mul -setting non1to1      # § 5.2 evaluation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"entmatcher"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "entmatcher:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		dataDir  = flag.String("data", "", "dataset directory (required)")
+		model    = flag.String("model", "rrea", "structural encoder: rrea or gcn")
+		features = flag.String("features", "structure", "features: structure, name, fused")
+		setting  = flag.String("setting", "1to1", "evaluation setting: 1to1, unmatchable, non1to1")
+		matchers = flag.String("m", "", "comma-separated matcher names (default: all seven)")
+		sinkL    = flag.Int("sinkhorn-l", 100, "Sinkhorn iterations")
+		cslsK    = flag.Int("csls-k", 1, "CSLS neighborhood size")
+		abstainQ = flag.Float64("abstention-q", 0.3, "dummy abstention quantile for Hun./SMat under -setting unmatchable")
+		embSrc   = flag.String("emb-src", "", "optional externally trained source embeddings (word2vec text format)")
+		embTgt   = flag.String("emb-tgt", "", "optional externally trained target embeddings")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	d, err := entmatcher.LoadDataset(*dataDir, *dataDir)
+	if err != nil {
+		return err
+	}
+	cfg := entmatcher.PipelineConfig{WithValidation: true}
+	switch strings.ToLower(*model) {
+	case "rrea":
+		cfg.Model = entmatcher.ModelRREA
+	case "gcn":
+		cfg.Model = entmatcher.ModelGCN
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	switch strings.ToLower(*features) {
+	case "structure":
+		cfg.Features = entmatcher.FeatureStructure
+	case "name":
+		cfg.Features = entmatcher.FeatureName
+	case "fused":
+		cfg.Features = entmatcher.FeatureFused
+	default:
+		return fmt.Errorf("unknown features %q", *features)
+	}
+	switch strings.ToLower(*setting) {
+	case "1to1":
+		cfg.Setting = entmatcher.SettingOneToOne
+	case "unmatchable":
+		cfg.Setting = entmatcher.SettingUnmatchable
+	case "non1to1":
+		cfg.Setting = entmatcher.SettingNonOneToOne
+	default:
+		return fmt.Errorf("unknown setting %q", *setting)
+	}
+
+	available := map[string]entmatcher.Matcher{
+		"DInf":    entmatcher.NewDInf(),
+		"CSLS":    entmatcher.NewCSLS(*cslsK),
+		"RInf":    entmatcher.NewRInf(),
+		"RInf-wr": entmatcher.NewRInfWR(),
+		"RInf-pb": entmatcher.NewRInfPB(50),
+		"Sink.":   entmatcher.NewSinkhorn(*sinkL),
+		"Hun.":    entmatcher.NewHungarian(),
+		"SMat":    entmatcher.NewSMat(),
+		"RL":      entmatcher.NewRL(),
+	}
+	var selected []entmatcher.Matcher
+	if *matchers == "" {
+		selected = []entmatcher.Matcher{
+			available["DInf"], available["CSLS"], available["RInf"],
+			available["Sink."], available["Hun."], available["SMat"], available["RL"],
+		}
+	} else {
+		for _, name := range strings.Split(*matchers, ",") {
+			m, ok := available[strings.TrimSpace(name)]
+			if !ok {
+				return fmt.Errorf("unknown matcher %q (have: DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink., Hun., SMat, RL)", name)
+			}
+			selected = append(selected, m)
+		}
+	}
+
+	fmt.Printf("dataset %s: %d/%d entities, %d test links, setting %v, features %v\n",
+		d.Name, d.Source.NumEntities(), d.Target.NumEntities(), d.Split.Test.Len(), cfg.Setting, cfg.Features)
+	var run *entmatcher.Run
+	if *embSrc != "" || *embTgt != "" {
+		if *embSrc == "" || *embTgt == "" {
+			return fmt.Errorf("-emb-src and -emb-tgt must be given together")
+		}
+		emb, err := entmatcher.LoadEmbeddings(*embSrc, *embTgt, d)
+		if err != nil {
+			return err
+		}
+		run, err = entmatcher.NewPipeline(cfg).PrepareWithEmbeddings(d, emb)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		run, err = entmatcher.NewPipeline(cfg).Prepare(d)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("similarity matrix: %d×%d\n\n", run.S.Rows(), run.S.Cols())
+	fmt.Printf("%-8s  %7s  %7s  %7s  %10s  %9s\n", "matcher", "P", "R", "F1", "time", "extra mem")
+	for _, m := range selected {
+		var res *entmatcher.MatchResult
+		var metrics entmatcher.Metrics
+		if cfg.Setting == entmatcher.SettingUnmatchable && (m.Name() == "Hun." || m.Name() == "SMat") {
+			res, metrics, err = run.MatchWithAbstention(m, *abstainQ)
+		} else {
+			res, metrics, err = run.Match(m)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.Name(), err)
+		}
+		fmt.Printf("%-8s  %7.3f  %7.3f  %7.3f  %10v  %6.3fGiB\n",
+			m.Name(), metrics.Precision, metrics.Recall, metrics.F1,
+			res.Elapsed.Round(time.Millisecond), float64(res.ExtraBytes)/(1<<30))
+	}
+	return nil
+}

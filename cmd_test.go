@@ -1,0 +1,190 @@
+package entmatcher_test
+
+// Integration tests for the command-line tools: each binary is built once
+// into a temp dir and exercised through its primary flag combinations.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"entmatcher"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles the three CLI binaries once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "entmatcher-bins")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildDir = dir
+		for _, tool := range []string{"datagen", "entmatcher", "benchtab"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			cmd.Dir = repoRoot()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				_ = out
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return buildDir
+}
+
+func repoRoot() string {
+	wd, _ := os.Getwd()
+	return wd
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIDatagenAndEntmatcher(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dataDir := filepath.Join(t.TempDir(), "dz")
+
+	out := runTool(t, filepath.Join(bins, "datagen"), "-profile", "D-Z", "-scale", "0.02", "-out", dataDir)
+	if !strings.Contains(out, "wrote D-Z") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	for _, f := range []string{"rel_triples_1", "ent_links_test", "ent_names_1", "ent_ids_1"} {
+		if _, err := os.Stat(filepath.Join(dataDir, f)); err != nil {
+			t.Fatalf("missing dataset file %s", f)
+		}
+	}
+
+	out = runTool(t, filepath.Join(bins, "entmatcher"), "-data", dataDir, "-m", "DInf,Hun.")
+	if !strings.Contains(out, "DInf") || !strings.Contains(out, "Hun.") {
+		t.Fatalf("entmatcher output missing matcher rows:\n%s", out)
+	}
+	if !strings.Contains(out, "similarity matrix") {
+		t.Fatalf("entmatcher output missing header:\n%s", out)
+	}
+
+	// Name features and unmatchable setting paths.
+	out = runTool(t, filepath.Join(bins, "entmatcher"), "-data", dataDir, "-features", "name", "-m", "DInf")
+	if !strings.Contains(out, "features name") {
+		t.Fatalf("name features not reported:\n%s", out)
+	}
+	out = runTool(t, filepath.Join(bins, "entmatcher"), "-data", dataDir, "-setting", "unmatchable", "-m", "Hun.")
+	if !strings.Contains(out, "unmatchable") {
+		t.Fatalf("unmatchable setting not reported:\n%s", out)
+	}
+}
+
+func TestCLIDatagenList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	out := runTool(t, filepath.Join(bins, "datagen"), "-list")
+	for _, name := range []string{"D-Z", "S-Y", "D-W", "FB-DBP-MUL"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("profile %s missing from -list:\n%s", name, out)
+		}
+	}
+}
+
+func TestCLIDatagenRejectsUnknownProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	cmd := exec.Command(filepath.Join(bins, "datagen"), "-profile", "NOPE")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown profile accepted:\n%s", out)
+	}
+}
+
+func TestCLIBenchtabListAndQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	out := runTool(t, filepath.Join(bins, "benchtab"), "-list")
+	for _, id := range []string{"table4", "figure7", "deepem", "extensions", "casestudy"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %s missing from -list:\n%s", id, out)
+		}
+	}
+	out = runTool(t, filepath.Join(bins, "benchtab"), "-quick", "-exp", "table3")
+	if !strings.Contains(out, "table3") || !strings.Contains(out, "D-Z") {
+		t.Fatalf("benchtab table3 output:\n%s", out)
+	}
+}
+
+func TestCLIBenchtabRejectsUnknownExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	cmd := exec.Command(filepath.Join(bins, "benchtab"), "-exp", "nope")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+// TestCLIExternalEmbeddings exercises the train-anywhere / match-here
+// workflow: embeddings produced through the library API are saved in the
+// word2vec text format and fed to the CLI via -emb-src / -emb-tgt.
+func TestCLIExternalEmbeddings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "ds")
+
+	d, err := entmatcher.GenerateBenchmark(entmatcher.ProfileSRPRSDbpYg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := entmatcher.SaveDataset(dataDir, d); err != nil {
+		t.Fatal(err)
+	}
+	emb, err := entmatcher.EncodeStructure(d, entmatcher.ModelRREA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcPath := filepath.Join(dir, "src.emb")
+	tgtPath := filepath.Join(dir, "tgt.emb")
+	if err := entmatcher.SaveEmbeddings(srcPath, tgtPath, d, emb); err != nil {
+		t.Fatal(err)
+	}
+
+	out := runTool(t, filepath.Join(bins, "entmatcher"),
+		"-data", dataDir, "-emb-src", srcPath, "-emb-tgt", tgtPath, "-m", "DInf")
+	if !strings.Contains(out, "DInf") {
+		t.Fatalf("missing matcher row:\n%s", out)
+	}
+	// Mismatched flags must fail.
+	cmd := exec.Command(filepath.Join(bins, "entmatcher"), "-data", dataDir, "-emb-src", srcPath)
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("lone -emb-src accepted:\n%s", out)
+	}
+}

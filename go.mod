@@ -1,0 +1,3 @@
+module entmatcher
+
+go 1.22

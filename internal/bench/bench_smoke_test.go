@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtQuickScale is the harness smoke test: every
+// registered experiment must run to completion at the quick scale and
+// produce non-empty, renderable tables.
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	cfg := QuickConfig()
+	env := NewEnv()
+	for _, exp := range Experiments() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			tables, err := exp.Run(&cfg, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables produced")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tab.ID)
+				}
+				var buf bytes.Buffer
+				if err := tab.Render(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(buf.String(), tab.ID) {
+					t.Fatalf("rendered table missing its ID header:\n%s", buf.String())
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table4"); !ok {
+		t.Fatal("table4 not registered")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID resolved")
+	}
+	if len(IDs()) != len(Experiments()) {
+		t.Fatal("IDs() length mismatch")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	env := NewEnv()
+	cfg := QuickConfig()
+	exp, _ := ByID("table3")
+	if _, err := exp.Run(&cfg, env); err != nil {
+		t.Fatal(err)
+	}
+	before := len(env.datasets)
+	if _, err := exp.Run(&cfg, env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.datasets) != before {
+		t.Fatalf("second run generated new datasets: %d -> %d", before, len(env.datasets))
+	}
+}
+
+func TestTableRenderPadding(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"a", "bb"}}
+	tab.AddRow("row1", "1") // short row: second cell padded blank
+	tab.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "note: note 7") {
+		t.Fatalf("note missing:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f3(0.1234) != "0.123" {
+		t.Fatalf("f3 = %q", f3(0.1234))
+	}
+	if pct(0.25) != "+25.0%" {
+		t.Fatalf("pct = %q", pct(0.25))
+	}
+	if secs(123.4) != "123" || secs(1.26) != "1.3" || secs(0.005) != "0.005" {
+		t.Fatalf("secs formatting wrong: %q %q %q", secs(123.4), secs(1.26), secs(0.005))
+	}
+	if v, err := strconv.ParseFloat(gb(1<<30), 64); err != nil || v != 1 {
+		t.Fatalf("gb(1GiB) = %q", gb(1<<30))
+	}
+}
+
+func TestDefaultAndQuickConfigs(t *testing.T) {
+	d := DefaultConfig()
+	q := QuickConfig()
+	if q.ScaleMedium >= d.ScaleMedium {
+		t.Fatal("quick config not smaller than default")
+	}
+	if d.SinkhornL != 100 || d.CSLSK != 1 {
+		t.Fatalf("paper hyper-parameters wrong: l=%d k=%d", d.SinkhornL, d.CSLSK)
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"entmatcher"
+	"entmatcher/internal/datagen"
+)
+
+func TestEnvEmbeddingCacheScaleCollision(t *testing.T) {
+	env := NewEnv()
+	d1, err := env.Dataset(datagen.DBP15KZhEn, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := entmatcher.PipelineConfig{Model: entmatcher.ModelRREA}
+	r1, err := env.Run(d1, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r1
+	d2, err := env.Dataset(datagen.DBP15KZhEn, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := env.Run(d2, pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, err := r2.Match(entmatcher.NewDInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("scale-0.02 run after 0.05 cached: F1=%v rows=%d", m.F1, r2.S.Rows())
+	if m.F1 < 0.2 {
+		t.Fatalf("embedding cache collision across scales: F1=%v", m.F1)
+	}
+	// The two dataset instances must have distinct cached embeddings: a
+	// shared cache entry would mean r2 was scored on r1's embedding table.
+	if len(env.embeddings) < 2 {
+		t.Fatalf("embedding cache holds %d entries; scale collision suspected", len(env.embeddings))
+	}
+}

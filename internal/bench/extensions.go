@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+
+	"entmatcher"
+	"entmatcher/internal/datagen"
+)
+
+// runExtensions evaluates the two § 6 future-direction implementations this
+// repository adds on top of the surveyed algorithms:
+//
+//   - ProbInf (direction 5, probabilistic alignment) on the non 1-to-1 and
+//     unmatchable settings, where the fixed one-prediction-per-entity rule
+//     of every surveyed algorithm caps recall or precision;
+//   - SinkhornBlocked (direction 4 via ClusterEA, scalability) against full
+//     Sinkhorn on the medium 1-to-1 setting, trading a little accuracy for
+//     a bounded working set.
+func runExtensions(cfg *Config, env *Env) ([]*Table, error) {
+	// ProbInf on non 1-to-1.
+	mul, err := env.MulDataset(datagen.FBDBPMul, cfg.ScaleMul)
+	if err != nil {
+		return nil, err
+	}
+	mulRun, err := env.Run(mul, entmatcher.PipelineConfig{
+		Model: entmatcher.ModelRREA, Setting: entmatcher.SettingNonOneToOne, WithValidation: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t1 := &Table{
+		ID:      "ext-prob-non1to1",
+		Title:   "ProbInf on FB_DBP_MUL (RREA): probabilistic multi-match vs single-prediction algorithms",
+		Columns: []string{"P", "R", "F1", "pairs emitted"},
+	}
+	for _, mc := range []struct {
+		label string
+		m     entmatcher.Matcher
+	}{
+		{"DInf", entmatcher.NewDInf()},
+		{"CSLS", entmatcher.NewCSLS(cfg.CSLSK)},
+		{"ProbInf θ=0.20", entmatcher.NewProbInf(0.20)},
+		{"ProbInf θ=0.35", entmatcher.NewProbInf(0.35)},
+		{"ProbInf θ=0.50", entmatcher.NewProbInf(0.50)},
+	} {
+		res, metrics, err := mulRun.Match(mc.m)
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRow(mc.label, f3(metrics.Precision), f3(metrics.Recall), f3(metrics.F1),
+			fmt.Sprintf("%d", len(res.Pairs)))
+		cfg.logf("  ext %s: %s", mc.label, metrics)
+	}
+	t1.AddNote("%d gold links over %d source entities: single-prediction algorithms cap recall at %d predictions",
+		len(mulRun.Task.Gold), mulRun.S.Rows(), mulRun.S.Rows())
+
+	// ProbInf on unmatchable.
+	dbpPlus, err := env.Dataset(datagen.DBP15KZhEn, cfg.ScaleUnmatchable)
+	if err != nil {
+		return nil, err
+	}
+	unRun, err := env.Run(dbpPlus, entmatcher.PipelineConfig{
+		Model: entmatcher.ModelRREA, Setting: entmatcher.SettingUnmatchable, WithValidation: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t2 := &Table{
+		ID:      "ext-prob-unmatchable",
+		Title:   "ProbInf on DBP15K+ (RREA): abstention by probability vs dummy nodes",
+		Columns: []string{"P", "R", "F1", "abstained"},
+	}
+	addUn := func(label string, res *entmatcher.MatchResult, metrics entmatcher.Metrics) {
+		t2.AddRow(label, f3(metrics.Precision), f3(metrics.Recall), f3(metrics.F1),
+			fmt.Sprintf("%d", len(res.Abstained)))
+	}
+	if res, metrics, err := unRun.Match(entmatcher.NewDInf()); err != nil {
+		return nil, err
+	} else {
+		addUn("DInf", res, metrics)
+	}
+	if res, metrics, err := unRun.MatchWithAbstention(entmatcher.NewHungarian(), cfg.AbstentionQ); err != nil {
+		return nil, err
+	} else {
+		addUn("Hun.+dummies", res, metrics)
+	}
+	for _, th := range []float64{0.25, 0.40} {
+		res, metrics, err := unRun.Match(entmatcher.NewProbInf(th))
+		if err != nil {
+			return nil, err
+		}
+		addUn(fmt.Sprintf("ProbInf θ=%.2f", th), res, metrics)
+	}
+
+	// SinkhornBlocked vs full Sinkhorn.
+	d, err := env.Dataset(datagen.DBP15KZhEn, cfg.ScaleMedium)
+	if err != nil {
+		return nil, err
+	}
+	run, err := env.Run(d, entmatcher.PipelineConfig{Model: entmatcher.ModelGCN, WithValidation: true})
+	if err != nil {
+		return nil, err
+	}
+	t3 := &Table{
+		ID:      "ext-sinkhorn-mb",
+		Title:   "Mini-batch Sinkhorn (ClusterEA direction) vs full Sinkhorn on D-Z (GCN)",
+		Columns: []string{"F1", "T(s)", "Extra GiB"},
+	}
+	for _, mc := range []struct {
+		label string
+		m     entmatcher.Matcher
+	}{
+		{"Sink. (full)", entmatcher.NewSinkhorn(cfg.SinkhornL)},
+		{"Sink.-mb B=512", entmatcher.NewSinkhornBlocked(512, cfg.SinkhornL)},
+		{"Sink.-mb B=128", entmatcher.NewSinkhornBlocked(128, cfg.SinkhornL)},
+		{"Sink.-mb B=32", entmatcher.NewSinkhornBlocked(32, cfg.SinkhornL)},
+	} {
+		res, metrics, err := run.Match(mc.m)
+		if err != nil {
+			return nil, err
+		}
+		t3.AddRow(mc.label, f3(metrics.F1), secs(res.Elapsed.Seconds()), gb(res.ExtraBytes))
+		cfg.logf("  ext %s: F1=%.3f", mc.label, metrics.F1)
+	}
+	t3.AddNote("smaller batches bound memory at the cost of cross-batch correspondence errors")
+	return []*Table{t1, t2, t3}, nil
+}

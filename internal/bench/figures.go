@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"entmatcher"
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/sim"
+)
+
+// figureGroups are the embedding settings whose similarity matrices the
+// figure experiments sweep: the four structural groups of Table 4 plus the
+// name and fused settings of Table 5.
+func figureGroups() []struct {
+	Label    string
+	PC       entmatcher.PipelineConfig
+	Profiles []datagen.Profile
+} {
+	srprsCross := []datagen.Profile{datagen.SRPRSFrEn, datagen.SRPRSDeEn}
+	return []struct {
+		Label    string
+		PC       entmatcher.PipelineConfig
+		Profiles []datagen.Profile
+	}{
+		{"R-DBP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, WithValidation: true}, datagen.DBP15K()},
+		{"R-SRP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, WithValidation: true}, datagen.SRPRS()},
+		{"G-DBP", entmatcher.PipelineConfig{Model: entmatcher.ModelGCN, WithValidation: true}, datagen.DBP15K()},
+		{"G-SRP", entmatcher.PipelineConfig{Model: entmatcher.ModelGCN, WithValidation: true}, datagen.SRPRS()},
+		{"N-DBP", entmatcher.PipelineConfig{Features: entmatcher.FeatureName, WithValidation: true}, datagen.DBP15K()},
+		{"N-SRP", entmatcher.PipelineConfig{Features: entmatcher.FeatureName, WithValidation: true}, srprsCross},
+		{"NR-DBP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, Features: entmatcher.FeatureFused, WithValidation: true}, datagen.DBP15K()},
+		{"NR-SRP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, Features: entmatcher.FeatureFused, WithValidation: true}, srprsCross},
+	}
+}
+
+// runFigure4 reproduces Figure 4: the average standard deviation of the
+// top-5 pairwise similarity scores per evaluation setting. Low values mean
+// the leading candidates are hard to tell apart (Pattern 1's regime where
+// CSLS/RInf shine); the name-based settings must come out clearly higher
+// than the structural ones.
+func runFigure4(cfg *Config, env *Env) ([]*Table, error) {
+	t := &Table{
+		ID:      "figure4",
+		Title:   "Average STD of each source entity's top-5 pairwise scores",
+		Columns: []string{"avg top-5 STD"},
+	}
+	for _, grp := range figureGroups() {
+		var total float64
+		var n int
+		for _, prof := range grp.Profiles {
+			d, err := env.Dataset(prof, cfg.ScaleMedium)
+			if err != nil {
+				return nil, err
+			}
+			run, err := env.Run(d, grp.PC)
+			if err != nil {
+				return nil, err
+			}
+			total += sim.TopScoreSTD(run.S, 5)
+			n++
+		}
+		t.AddRow(grp.Label, fmt.Sprintf("%.4f", total/float64(n)))
+		cfg.logf("  figure4 %s: %.4f", grp.Label, total/float64(n))
+	}
+	t.AddNote("paper trend: structural settings (R-, G-) have low STD — top scores are hard to distinguish; name-based settings (N-, NR-) have clearly higher STD")
+	return []*Table{t}, nil
+}
+
+// runFigure5 reproduces Figure 5: wall-clock time (a) and working memory
+// (b) of every algorithm across the Table 4/5 settings.
+func runFigure5(cfg *Config, env *Env) ([]*Table, error) {
+	groups := figureGroups()
+	timeTable := &Table{ID: "figure5a", Title: "Time cost in seconds (measured)"}
+	memTable := &Table{ID: "figure5b", Title: "Working memory beyond the similarity matrix, GiB (measured)"}
+	for _, grp := range groups {
+		timeTable.Columns = append(timeTable.Columns, grp.Label)
+		memTable.Columns = append(memTable.Columns, grp.Label)
+	}
+	elapsed := make(map[string][]float64)
+	mem := make(map[string][]float64)
+	for _, grp := range groups {
+		cfg.logf("figure5 group %s", grp.Label)
+		g, err := runGroup(cfg, env, grp.Label, grp.Profiles, cfg.ScaleMedium, grp.PC)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range matcherOrder {
+			elapsed[name] = append(elapsed[name], g.Elapsed[name].Seconds()/float64(len(grp.Profiles)))
+			mem[name] = append(mem[name], float64(g.ExtraBytes[name])/(1<<30))
+		}
+	}
+	for _, name := range matcherOrder {
+		tCells := make([]string, len(elapsed[name]))
+		mCells := make([]string, len(mem[name]))
+		for i, v := range elapsed[name] {
+			tCells[i] = secs(v)
+		}
+		for i, v := range mem[name] {
+			mCells[i] = fmt.Sprintf("%.3f", v)
+		}
+		timeTable.AddRow(name, tCells...)
+		memTable.AddRow(name, mCells...)
+	}
+	timeTable.AddNote("paper trend: DInf fastest; CSLS close behind; RInf and Hun. comparable; Sink. slower (l=%d); RL slowest", cfg.SinkhornL)
+	memTable.AddNote("paper trend: DInf leanest; methods with global constraints and rank matrices cost the most")
+	return []*Table{timeTable, memTable}, nil
+}
+
+// runFigure6 reproduces Figure 6: CSLS F1 as a function of the neighborhood
+// size k, per structural setting. The paper's finding: larger k is worse
+// under the 1-to-1 setting.
+func runFigure6(cfg *Config, env *Env) ([]*Table, error) {
+	ks := []int{1, 2, 5, 10, 20}
+	t := &Table{ID: "figure6", Title: "CSLS F1 vs k (measured)"}
+	for _, k := range ks {
+		t.Columns = append(t.Columns, fmt.Sprintf("k=%d", k))
+	}
+	for _, grp := range figureGroups()[:4] { // the structural settings
+		row := make([]string, 0, len(ks))
+		for _, k := range ks {
+			var total float64
+			var n int
+			for _, prof := range grp.Profiles {
+				d, err := env.Dataset(prof, cfg.ScaleMedium)
+				if err != nil {
+					return nil, err
+				}
+				run, err := env.Run(d, grp.PC)
+				if err != nil {
+					return nil, err
+				}
+				_, metrics, err := run.Match(entmatcher.NewCSLS(k))
+				if err != nil {
+					return nil, err
+				}
+				total += metrics.F1
+				n++
+			}
+			row = append(row, f3(total/float64(n)))
+			cfg.logf("  figure6 %s k=%d: F1=%.3f", grp.Label, k, total/float64(n))
+		}
+		t.AddRow(grp.Label, row...)
+	}
+	t.AddNote("paper trend: F1 decreases monotonically as k grows (a larger k makes φ smaller and the rescaled scores less distinctive)")
+	return []*Table{t}, nil
+}
+
+// runFigure7 reproduces Figure 7: Sinkhorn F1 as a function of the
+// iteration count l. The paper's finding: more iterations fit the 1-to-1
+// constraint better; l=100 balances effectiveness and time.
+func runFigure7(cfg *Config, env *Env) ([]*Table, error) {
+	ls := []int{1, 5, 10, 50, 100, 300}
+	t := &Table{ID: "figure7", Title: "Sinkhorn F1 vs l (measured; time of the largest l in note)"}
+	for _, l := range ls {
+		t.Columns = append(t.Columns, fmt.Sprintf("l=%d", l))
+	}
+	var worstTime time.Duration
+	for _, grp := range figureGroups()[:4] {
+		row := make([]string, 0, len(ls))
+		for _, l := range ls {
+			var total float64
+			var n int
+			for _, prof := range grp.Profiles {
+				d, err := env.Dataset(prof, cfg.ScaleMedium)
+				if err != nil {
+					return nil, err
+				}
+				run, err := env.Run(d, grp.PC)
+				if err != nil {
+					return nil, err
+				}
+				res, metrics, err := run.Match(entmatcher.NewSinkhorn(l))
+				if err != nil {
+					return nil, err
+				}
+				if l == ls[len(ls)-1] && res.Elapsed > worstTime {
+					worstTime = res.Elapsed
+				}
+				total += metrics.F1
+				n++
+			}
+			row = append(row, f3(total/float64(n)))
+			cfg.logf("  figure7 %s l=%d: F1=%.3f", grp.Label, l, total/float64(n))
+		}
+		t.AddRow(grp.Label, row...)
+	}
+	t.AddNote("paper trend: F1 rises with l and saturates around l=100; larger l costs proportionally more time (l=%d took %v on the largest pair)", ls[len(ls)-1], worstTime.Round(time.Millisecond))
+	return []*Table{t}, nil
+}

@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"entmatcher"
+	"entmatcher/internal/datagen"
+)
+
+// groupData holds the measurements of one table group: a set of matchers
+// run over a set of dataset profiles under one pipeline configuration.
+type groupData struct {
+	// Label is the paper's group label ("R-DBP", "N-SRP", …).
+	Label string
+	// Profiles are the column datasets.
+	Profiles []string
+	// F1 is indexed [matcher][profile column].
+	F1 map[string][]float64
+	// Elapsed and ExtraBytes are summed / maxed per matcher across columns.
+	Elapsed    map[string]time.Duration
+	ExtraBytes map[string]int64
+	// MatrixBytes is the largest similarity matrix of the group (the
+	// memory floor every algorithm shares).
+	MatrixBytes int64
+}
+
+// runGroup executes the matcher set over the profiles under the pipeline
+// configuration and collects per-profile F1 plus efficiency aggregates.
+func runGroup(cfg *Config, env *Env, label string, profiles []datagen.Profile,
+	scale float64, pc entmatcher.PipelineConfig) (*groupData, error) {
+	g := &groupData{
+		Label:      label,
+		F1:         make(map[string][]float64),
+		Elapsed:    make(map[string]time.Duration),
+		ExtraBytes: make(map[string]int64),
+	}
+	matchers := matcherSet(cfg)
+	for _, prof := range profiles {
+		g.Profiles = append(g.Profiles, prof.Name)
+		d, err := env.Dataset(prof, scale)
+		if err != nil {
+			return nil, err
+		}
+		run, err := env.Run(d, pc)
+		if err != nil {
+			return nil, err
+		}
+		if b := run.S.SizeBytes(); b > g.MatrixBytes {
+			g.MatrixBytes = b
+		}
+		for _, m := range matchers {
+			res, metrics, err := run.Match(m)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", m.Name(), prof.Name, err)
+			}
+			g.F1[m.Name()] = append(g.F1[m.Name()], metrics.F1)
+			g.Elapsed[m.Name()] += res.Elapsed
+			if res.ExtraBytes > g.ExtraBytes[m.Name()] {
+				g.ExtraBytes[m.Name()] = res.ExtraBytes
+			}
+			cfg.logf("  %s %s %s: F1=%.3f (%v)", label, prof.Name, m.Name(), metrics.F1, res.Elapsed.Round(time.Millisecond))
+		}
+	}
+	return g, nil
+}
+
+// improvement returns the mean relative F1 improvement of a matcher over
+// the group's DInf baseline.
+func (g *groupData) improvement(matcher string) float64 {
+	base := g.F1["DInf"]
+	vals := g.F1[matcher]
+	if len(base) == 0 || len(vals) != len(base) {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := range vals {
+		if base[i] > 0 {
+			sum += vals[i]/base[i] - 1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// table renders a group as a paper-style sub-table (one row per matcher,
+// one column per profile, plus the Imp. column).
+func (g *groupData) table(id, title string) *Table {
+	t := &Table{ID: id, Title: title, Columns: append(append([]string{}, g.Profiles...), "Imp.")}
+	for _, name := range matcherOrder {
+		vals, ok := g.F1[name]
+		if !ok {
+			continue
+		}
+		cells := make([]string, 0, len(vals)+1)
+		for _, v := range vals {
+			cells = append(cells, f3(v))
+		}
+		if name == "DInf" {
+			cells = append(cells, "")
+		} else {
+			cells = append(cells, pct(g.improvement(name)))
+		}
+		t.AddRow(name, cells...)
+	}
+	return t
+}
+
+// paperGroupTable renders the transcribed paper values in the same layout.
+func paperGroupTable(id, label string, ref map[string][]float64, profiles []string) *Table {
+	t := &Table{ID: id, Title: label + " (paper reference)", Columns: append(append([]string{}, profiles...), "Imp.")}
+	base := ref["DInf"]
+	for _, name := range matcherOrder {
+		vals, ok := ref[name]
+		if !ok {
+			continue
+		}
+		cells := make([]string, 0, len(vals)+1)
+		for _, v := range vals {
+			cells = append(cells, f3(v))
+		}
+		if name == "DInf" {
+			cells = append(cells, "")
+		} else {
+			var sum float64
+			for i := range vals {
+				sum += vals[i]/base[i] - 1
+			}
+			cells = append(cells, pct(sum/float64(len(vals))))
+		}
+		t.AddRow(name, cells...)
+	}
+	return t
+}
+
+// runTable3 reproduces Table 3: the statistics of every generated dataset
+// at the configured scales, next to the paper's full-size numbers.
+func runTable3(cfg *Config, env *Env) ([]*Table, error) {
+	t := &Table{
+		ID:    "table3",
+		Title: "Dataset statistics (generated at configured scale | paper full size)",
+		Columns: []string{
+			"#Entities", "#Relations", "#Triples", "#Gold links", "Avg. degree",
+			"paper #Ent", "paper #Rel", "paper #Tri", "paper #Links", "paper deg",
+		},
+	}
+	addRow := func(name string, d *entmatcher.Dataset) {
+		src, tgt := datasetStats(d)
+		ref := paperTable3[name]
+		t.AddRow(name,
+			fmt.Sprintf("%d", src.Entities+tgt.Entities),
+			fmt.Sprintf("%d", src.Relations),
+			fmt.Sprintf("%d", src.Triples+tgt.Triples),
+			fmt.Sprintf("%d", d.Split.TotalLinks()),
+			fmt.Sprintf("%.1f", (src.AvgDegree+tgt.AvgDegree)/2),
+			fmt.Sprintf("%d", ref.Entities),
+			fmt.Sprintf("%d", ref.Relations),
+			fmt.Sprintf("%d", ref.Triples),
+			fmt.Sprintf("%d", ref.Links),
+			fmt.Sprintf("%.1f", ref.AvgDegree),
+		)
+	}
+	for _, prof := range append(datagen.DBP15K(), datagen.SRPRS()...) {
+		d, err := env.Dataset(prof, cfg.ScaleMedium)
+		if err != nil {
+			return nil, err
+		}
+		addRow(prof.Name, d)
+	}
+	for _, prof := range datagen.DWY100K() {
+		d, err := env.Dataset(prof, cfg.ScaleLarge)
+		if err != nil {
+			return nil, err
+		}
+		addRow(prof.Name, d)
+	}
+	mul, err := env.MulDataset(datagen.FBDBPMul, cfg.ScaleMul)
+	if err != nil {
+		return nil, err
+	}
+	addRow(datagen.FBDBPMul.Name, mul)
+	m := mul.AllLinks().Multiplicity()
+	t.AddNote("FB-DBP-MUL link multiplicity: %d 1-to-1, %d non 1-to-1 (paper: 1,764 vs 20,353)",
+		m.OneToOne, m.OneToMany+m.ManyToOne+m.ManyToMany)
+	t.AddNote("scales: medium ×%g, large ×%g, non-1-to-1 ×%g", cfg.ScaleMedium, cfg.ScaleLarge, cfg.ScaleMul)
+	return []*Table{t}, nil
+}
+
+// runTable4 reproduces Table 4: F1 of the seven algorithms with structural
+// information only, for the RREA and GCN encoders on DBP15K and SRPRS.
+func runTable4(cfg *Config, env *Env) ([]*Table, error) {
+	groups := []struct {
+		label    string
+		model    entmatcher.PipelineConfig
+		profiles []datagen.Profile
+	}{
+		{"R-DBP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, WithValidation: true}, datagen.DBP15K()},
+		{"R-SRP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, WithValidation: true}, datagen.SRPRS()},
+		{"G-DBP", entmatcher.PipelineConfig{Model: entmatcher.ModelGCN, WithValidation: true}, datagen.DBP15K()},
+		{"G-SRP", entmatcher.PipelineConfig{Model: entmatcher.ModelGCN, WithValidation: true}, datagen.SRPRS()},
+	}
+	var out []*Table
+	for i, grp := range groups {
+		cfg.logf("table4 group %s", grp.label)
+		g, err := runGroup(cfg, env, grp.label, grp.profiles, cfg.ScaleMedium, grp.model)
+		if err != nil {
+			return nil, err
+		}
+		id := fmt.Sprintf("table4%c", 'a'+i)
+		measured := g.table(id, grp.label+" (measured)")
+		out = append(out, measured, paperGroupTable(id, grp.label, paperTable4[grp.label], g.Profiles))
+	}
+	return out, nil
+}
+
+// runTable5 reproduces Table 5: F1 with name embeddings alone (N-) and
+// fused with RREA structural embeddings (NR-), on DBP15K and the
+// cross-lingual SRPRS pairs.
+func runTable5(cfg *Config, env *Env) ([]*Table, error) {
+	srprsCross := []datagen.Profile{datagen.SRPRSFrEn, datagen.SRPRSDeEn}
+	groups := []struct {
+		label    string
+		pc       entmatcher.PipelineConfig
+		profiles []datagen.Profile
+	}{
+		{"N-DBP", entmatcher.PipelineConfig{Features: entmatcher.FeatureName, WithValidation: true}, datagen.DBP15K()},
+		{"N-SRP", entmatcher.PipelineConfig{Features: entmatcher.FeatureName, WithValidation: true}, srprsCross},
+		{"NR-DBP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, Features: entmatcher.FeatureFused, WithValidation: true}, datagen.DBP15K()},
+		{"NR-SRP", entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, Features: entmatcher.FeatureFused, WithValidation: true}, srprsCross},
+	}
+	var out []*Table
+	for i, grp := range groups {
+		cfg.logf("table5 group %s", grp.label)
+		g, err := runGroup(cfg, env, grp.label, grp.profiles, cfg.ScaleMedium, grp.pc)
+		if err != nil {
+			return nil, err
+		}
+		id := fmt.Sprintf("table5%c", 'a'+i)
+		out = append(out, g.table(id, grp.label+" (measured)"),
+			paperGroupTable(id, grp.label, paperTable5[grp.label], g.Profiles))
+	}
+	return out, nil
+}

@@ -1,0 +1,178 @@
+package bench
+
+// Paper reference values, transcribed from the evaluation tables of
+// "Matching Knowledge Graphs in Entity Embedding Spaces: An Experimental
+// Study". They are rendered next to measured values so paper-vs-measured
+// comparisons (EXPERIMENTS.md) come from one source of truth. Keys follow
+// the paper's row/column labels.
+
+// matcherOrder is the paper's Table 2 row order.
+var matcherOrder = []string{"DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL"}
+
+// paperTable4 holds the F1 scores of Table 4 (structure only), keyed by
+// group, then matcher, in column order of the group's profiles.
+var paperTable4 = map[string]map[string][]float64{
+	"R-DBP": {
+		"DInf":  {0.605, 0.603, 0.627},
+		"CSLS":  {0.688, 0.677, 0.712},
+		"RInf":  {0.712, 0.706, 0.742},
+		"Sink.": {0.749, 0.740, 0.778},
+		"Hun.":  {0.749, 0.744, 0.777},
+		"SMat":  {0.686, 0.677, 0.718},
+		"RL":    {0.675, 0.670, 0.716},
+	},
+	"R-SRP": {
+		"DInf":  {0.367, 0.521, 0.416, 0.448},
+		"CSLS":  {0.406, 0.550, 0.465, 0.481},
+		"RInf":  {0.412, 0.560, 0.477, 0.486},
+		"Sink.": {0.423, 0.568, 0.480, 0.497},
+		"Hun.":  {0.418, 0.563, 0.475, 0.495},
+		"SMat":  {0.398, 0.551, 0.453, 0.471},
+		"RL":    {0.380, 0.541, 0.444, 0.462},
+	},
+	"G-DBP": {
+		"DInf":  {0.291, 0.295, 0.286},
+		"CSLS":  {0.375, 0.390, 0.377},
+		"RInf":  {0.400, 0.423, 0.423},
+		"Sink.": {0.447, 0.471, 0.484},
+		"Hun.":  {0.450, 0.480, 0.484},
+		"SMat":  {0.382, 0.413, 0.388},
+		"RL":    {0.378, 0.409, 0.371},
+	},
+	"G-SRP": {
+		"DInf":  {0.170, 0.322, 0.202, 0.253},
+		"CSLS":  {0.224, 0.368, 0.258, 0.306},
+		"RInf":  {0.241, 0.381, 0.276, 0.324},
+		"Sink.": {0.248, 0.387, 0.289, 0.331},
+		"Hun.":  {0.246, 0.385, 0.284, 0.331},
+		"SMat":  {0.231, 0.371, 0.260, 0.312},
+		"RL":    {0.213, 0.361, 0.245, 0.288},
+	},
+}
+
+// paperTable5 holds the F1 scores of Table 5 (name / fused information).
+var paperTable5 = map[string]map[string][]float64{
+	"N-DBP": {
+		"DInf":  {0.735, 0.780, 0.744},
+		"CSLS":  {0.754, 0.802, 0.761},
+		"RInf":  {0.751, 0.802, 0.761},
+		"Sink.": {0.770, 0.823, 0.788},
+		"Hun.":  {0.773, 0.830, 0.797},
+		"SMat":  {0.768, 0.818, 0.778},
+		"RL":    {0.770, 0.824, 0.783},
+	},
+	"N-SRP": {
+		"DInf":  {0.815, 0.831},
+		"CSLS":  {0.837, 0.855},
+		"RInf":  {0.840, 0.861},
+		"Sink.": {0.853, 0.878},
+		"Hun.":  {0.864, 0.877},
+		"SMat":  {0.856, 0.873},
+		"RL":    {0.851, 0.866},
+	},
+	"NR-DBP": {
+		"DInf":  {0.819, 0.862, 0.846},
+		"CSLS":  {0.858, 0.896, 0.880},
+		"RInf":  {0.861, 0.899, 0.887},
+		"Sink.": {0.902, 0.929, 0.933},
+		"Hun.":  {0.908, 0.937, 0.944},
+		"SMat":  {0.879, 0.912, 0.906},
+		"RL":    {0.880, 0.909, 0.904},
+	},
+	"NR-SRP": {
+		"DInf":  {0.865, 0.893},
+		"CSLS":  {0.911, 0.932},
+		"RInf":  {0.922, 0.937},
+		"Sink.": {0.940, 0.954},
+		"Hun.":  {0.949, 0.956},
+		"SMat":  {0.921, 0.939},
+		"RL":    {0.917, 0.936},
+	},
+}
+
+// paperTable6 holds Table 6: F1 on D-W / D-Y (GCN), average time (s) and
+// memory feasibility.
+var paperTable6 = map[string]struct {
+	F1   [2]float64
+	Time float64
+	Mem  string
+}{
+	"DInf":    {F1: [2]float64{0.409, 0.552}, Time: 4, Mem: "Yes"},
+	"CSLS":    {F1: [2]float64{0.510, 0.650}, Time: 83, Mem: "Yes"},
+	"RInf":    {F1: [2]float64{0.559, 0.692}, Time: 1102, Mem: "No"},
+	"RInf-wr": {F1: [2]float64{0.510, 0.650}, Time: 28, Mem: "Yes"},
+	"RInf-pb": {F1: [2]float64{0.524, 0.663}, Time: 289, Mem: "Yes"},
+	"Sink.":   {F1: [2]float64{0.618, 0.739}, Time: 9405, Mem: "No"},
+	"Hun.":    {F1: [2]float64{0.618, 0.734}, Time: 3607, Mem: "No"},
+	"SMat":    {F1: [2]float64{0, 0}, Time: 0, Mem: "/"},
+	"RL":      {F1: [2]float64{0.520, 0.660}, Time: 995, Mem: "Yes"},
+}
+
+// paperTable7 holds Table 7 (DBP15K+): F1 per pair and average time, per
+// encoder.
+var paperTable7 = map[string]map[string]struct {
+	F1   [3]float64
+	Time float64
+}{
+	"GCN": {
+		"DInf":  {F1: [3]float64{0.241, 0.240, 0.234}, Time: 1},
+		"CSLS":  {F1: [3]float64{0.310, 0.318, 0.309}, Time: 2},
+		"RInf":  {F1: [3]float64{0.333, 0.344, 0.344}, Time: 28},
+		"Sink.": {F1: [3]float64{0.329, 0.337, 0.343}, Time: 336},
+		"Hun.":  {F1: [3]float64{0.397, 0.407, 0.408}, Time: 115},
+		"SMat":  {F1: [3]float64{0.366, 0.386, 0.367}, Time: 140},
+		"RL":    {F1: [3]float64{0.307, 0.311, 0.297}, Time: 1738},
+	},
+	"RREA": {
+		"DInf":  {F1: [3]float64{0.501, 0.491, 0.513}, Time: 1},
+		"CSLS":  {F1: [3]float64{0.569, 0.551, 0.582}, Time: 2},
+		"RInf":  {F1: [3]float64{0.582, 0.568, 0.599}, Time: 28},
+		"Sink.": {F1: [3]float64{0.571, 0.553, 0.584}, Time: 331},
+		"Hun.":  {F1: [3]float64{0.712, 0.706, 0.750}, Time: 46},
+		"SMat":  {F1: [3]float64{0.673, 0.665, 0.707}, Time: 144},
+		"RL":    {F1: [3]float64{0.553, 0.531, 0.579}, Time: 1264},
+	},
+}
+
+// paperTable8 holds Table 8 (FB_DBP_MUL): precision, recall, F1 and time.
+var paperTable8 = map[string]map[string]struct {
+	P, R, F1 float64
+	Time     float64
+}{
+	"GCN": {
+		"DInf":  {P: 0.074, R: 0.051, F1: 0.061, Time: 11},
+		"CSLS":  {P: 0.091, R: 0.062, F1: 0.074, Time: 13},
+		"RInf":  {P: 0.093, R: 0.064, F1: 0.076, Time: 35},
+		"Sink.": {P: 0.083, R: 0.057, F1: 0.068, Time: 286},
+		"Hun.":  {P: 0.079, R: 0.054, F1: 0.064, Time: 44},
+		"SMat":  {P: 0.071, R: 0.048, F1: 0.057, Time: 43},
+		"RL":    {P: 0.066, R: 0.045, F1: 0.054, Time: 1710},
+	},
+	"RREA": {
+		"DInf":  {P: 0.167, R: 0.114, F1: 0.136, Time: 12},
+		"CSLS":  {P: 0.189, R: 0.130, F1: 0.154, Time: 15},
+		"RInf":  {P: 0.190, R: 0.130, F1: 0.155, Time: 35},
+		"Sink.": {P: 0.180, R: 0.124, F1: 0.147, Time: 278},
+		"Hun.":  {P: 0.176, R: 0.121, F1: 0.143, Time: 44},
+		"SMat":  {P: 0.162, R: 0.111, F1: 0.132, Time: 41},
+		"RL":    {P: 0.150, R: 0.103, F1: 0.122, Time: 1440},
+	},
+}
+
+// paperTable3 holds the Table 3 dataset statistics: total entities,
+// relations (per KG), total triples, gold links, average degree.
+var paperTable3 = map[string]struct {
+	Entities, Relations, Triples, Links int
+	AvgDegree                           float64
+}{
+	"D-Z":        {38960, 3024, 165556, 15000, 4.2},
+	"D-J":        {39594, 2452, 170698, 15000, 4.3},
+	"D-F":        {39654, 2111, 221720, 15000, 5.6},
+	"S-F":        {30000, 398, 70040, 15000, 2.3},
+	"S-D":        {30000, 342, 75740, 15000, 2.5},
+	"S-W":        {30000, 397, 78580, 15000, 2.6},
+	"S-Y":        {30000, 253, 70317, 15000, 2.3},
+	"D-W":        {200000, 550, 912068, 100000, 4.6},
+	"D-Y":        {200000, 333, 931515, 100000, 4.7},
+	"FB-DBP-MUL": {44716, 2070, 164882, 22117, 3.7},
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one rendered experiment artifact: a titled grid with a label
+// column, value columns and free-form notes.
+type Table struct {
+	// ID ties the table to its experiment (e.g. "table4a").
+	ID string
+	// Title is the human-readable caption.
+	Title string
+	// Columns are the value-column headers (the label column is implicit).
+	Columns []string
+	// Rows hold one labelled cell list each; short rows are padded blank.
+	Rows []Row
+	// Notes are printed below the grid.
+	Notes []string
+}
+
+// Row is one labelled table row.
+type Row struct {
+	Label string
+	Cells []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.Rows = append(t.Rows, Row{Label: label, Cells: cells})
+}
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("")
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	for c, h := range t.Columns {
+		widths[c+1] = len(h)
+	}
+	for _, r := range t.Rows {
+		for c, cell := range r.Cells {
+			if c+1 < len(widths) && len(cell) > widths[c+1] {
+				widths[c+1] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	// Header.
+	b.WriteString(pad("", widths[0]))
+	for c, h := range t.Columns {
+		b.WriteString("  ")
+		b.WriteString(pad(h, widths[c+1]))
+	}
+	b.WriteByte('\n')
+	total := widths[0]
+	for _, wd := range widths[1:] {
+		total += 2 + wd
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(pad(r.Label, widths[0]))
+		for c := range t.Columns {
+			b.WriteString("  ")
+			cell := ""
+			if c < len(r.Cells) {
+				cell = r.Cells[c]
+			}
+			b.WriteString(pad(cell, widths[c+1]))
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// pad right-pads s to width.
+func pad(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	return s + strings.Repeat(" ", width-len(s))
+}
+
+// f3 formats a metric value the way the paper prints F1 scores.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats an improvement percentage as the paper's "Imp." column.
+func pct(v float64) string { return fmt.Sprintf("%+.1f%%", 100*v) }
+
+// secs formats a duration in seconds with adaptive precision.
+func secs(seconds float64) string {
+	switch {
+	case seconds >= 100:
+		return fmt.Sprintf("%.0f", seconds)
+	case seconds >= 1:
+		return fmt.Sprintf("%.1f", seconds)
+	default:
+		return fmt.Sprintf("%.3f", seconds)
+	}
+}
+
+// gb formats a byte count in binary gigabytes.
+func gb(bytes int64) string { return fmt.Sprintf("%.3f", float64(bytes)/(1<<30)) }

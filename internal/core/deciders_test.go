@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entmatcher/internal/matrix"
+)
+
+// bruteForceBestAssignment maximizes total score over all permutations
+// (square matrices, n ≤ 8).
+func bruteForceBestAssignment(s *matrix.Dense) float64 {
+	n := s.Rows()
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := math.Inf(-1)
+	var rec func(i int, acc float64)
+	rec = func(i int, acc float64) {
+		if i == n {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				perm[i] = j
+				rec(i+1, acc+s.At(i, j))
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func totalScore(s *matrix.Dense, r *Result) float64 {
+	var sum float64
+	for _, p := range r.Pairs {
+		sum += s.At(p.Source, p.Target)
+	}
+	return sum
+}
+
+// TestHungarianOptimal is the core correctness property: the assignment's
+// total score must equal the brute-force optimum.
+func TestHungarianOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		s := randScores(rng, n, n)
+		res, err := NewHungarian().Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		if len(res.Pairs) != n {
+			return false
+		}
+		// 1-to-1: no column reused.
+		seen := make(map[int]bool)
+		for _, p := range res.Pairs {
+			if seen[p.Target] {
+				return false
+			}
+			seen[p.Target] = true
+		}
+		return math.Abs(totalScore(s, res)-bruteForceBestAssignment(s)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHungarianRectangularWide: rows < cols leaves some columns unused but
+// must still assign every row optimally.
+func TestHungarianRectangularWide(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(4)
+		cols := rows + 1 + rng.Intn(4)
+		s := randScores(rng, rows, cols)
+		res, err := NewHungarian().Match(&Context{S: s})
+		if err != nil || len(res.Pairs) != rows {
+			return false
+		}
+		// Verify against brute force on the padded square problem.
+		padded := AddDummyColumns(s, 0, 0) // same matrix
+		square := matrix.New(cols, cols)
+		for i := 0; i < rows; i++ {
+			copy(square.Row(i), padded.Row(i))
+		}
+		return math.Abs(totalScore(s, res)-bruteForceBestAssignment(square)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHungarianRectangularTall: rows > cols must leave rows unmatched
+// (abstained) and assign each column at most once.
+func TestHungarianRectangularTall(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := randScores(rng, 8, 5)
+	res, err := NewHungarian().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 5 || len(res.Abstained) != 3 {
+		t.Fatalf("pairs=%d abstained=%d", len(res.Pairs), len(res.Abstained))
+	}
+	seen := make(map[int]bool)
+	for _, p := range res.Pairs {
+		if seen[p.Target] {
+			t.Fatal("column assigned twice")
+		}
+		seen[p.Target] = true
+	}
+}
+
+// TestHungarianResolvesGreedyConflict mirrors the paper's case (c): two
+// sources fight over one target; the optimal assignment splits them.
+func TestHungarianResolvesGreedyConflict(t *testing.T) {
+	s := mat(t,
+		[]float64{0.90, 0.30},
+		[]float64{0.80, 0.60},
+	)
+	res, err := NewHungarian().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsBySource(res)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Hungarian pairs = %v", got)
+	}
+}
+
+// TestHungarianDummyAbstention: with dummy columns, sources whose claims
+// lose the competition abstain rather than take a bad target.
+func TestHungarianDummyAbstention(t *testing.T) {
+	// Two sources, one plausible target (col 0); col 1 is a dummy at 0.
+	s := mat(t,
+		[]float64{0.9, 0.05},
+		[]float64{0.8, 0.02},
+	)
+	padded := AddDummyColumns(s, 2, 0)
+	res, err := NewHungarian().Match(&Context{S: padded, NumDummies: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("expected both real columns used, pairs=%+v abstained=%v", res.Pairs, res.Abstained)
+	}
+	// Raise the stakes: only col 0 is real.
+	s2 := mat(t,
+		[]float64{0.9},
+		[]float64{0.8},
+	)
+	padded2 := AddDummyColumns(s2, 1, 0)
+	res2, err := NewHungarian().Match(&Context{S: padded2, NumDummies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Pairs) != 1 || res2.Pairs[0].Source != 0 || len(res2.Abstained) != 1 || res2.Abstained[0] != 1 {
+		t.Fatalf("pairs=%+v abstained=%v", res2.Pairs, res2.Abstained)
+	}
+}
+
+// isStable verifies the Gale-Shapley output: no (row, column) pair prefers
+// each other over their assigned partners.
+func isStable(s *matrix.Dense, r *Result) bool {
+	rowMatch := make(map[int]int)
+	colMatch := make(map[int]int)
+	for _, p := range r.Pairs {
+		rowMatch[p.Source] = p.Target
+		colMatch[p.Target] = p.Source
+	}
+	for i := 0; i < s.Rows(); i++ {
+		for j := 0; j < s.Cols(); j++ {
+			mj, iMatched := rowMatch[i]
+			mi, jMatched := colMatch[j]
+			if iMatched && mj == j {
+				continue
+			}
+			// i prefers j over its current match (or has none)?
+			iPrefers := !iMatched || s.At(i, j) > s.At(i, mj)
+			jPrefers := !jMatched || s.At(i, j) > s.At(mi, j)
+			if iPrefers && jPrefers {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGaleShapleyStability is the defining property of SMat.
+func TestGaleShapleyStability(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 2 + rng.Intn(10)
+		cols := 2 + rng.Intn(10)
+		s := randScores(rng, rows, cols)
+		res, err := NewSMat().Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		wantPairs := rows
+		if cols < rows {
+			wantPairs = cols
+		}
+		if len(res.Pairs) != wantPairs {
+			return false
+		}
+		return isStable(s, res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGaleShapleyOneToOne: no column may be matched twice.
+func TestGaleShapleyOneToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randScores(rng, 30, 30)
+	res, err := NewSMat().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, p := range res.Pairs {
+		if seen[p.Target] {
+			t.Fatal("column matched twice")
+		}
+		seen[p.Target] = true
+	}
+}
+
+// TestGaleShapleySuboptimalButStable: the paper notes SMat "merely aims to
+// attain a stable matching, where the resultant entity pairing could be
+// sub-optimal". This instance has a stable matching that is not
+// score-optimal; SMat must return the stable one.
+func TestGaleShapleySuboptimalExists(t *testing.T) {
+	// Row-proposing GS: row 0 proposes to col 0 (0.9) and wins it even
+	// though total score would be higher with the swap.
+	s := mat(t,
+		[]float64{0.90, 0.85},
+		[]float64{0.89, 0.10},
+	)
+	res, err := NewSMat().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isStable(s, res) {
+		t.Fatal("SMat produced an unstable matching")
+	}
+	got := pairsBySource(res)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("SMat pairs = %v", got)
+	}
+	// Hungarian prefers the other assignment (total 0.85+0.89 > 0.90+0.10).
+	h, err := NewHungarian().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hGot := pairsBySource(h)
+	if hGot[0] != 1 || hGot[1] != 0 {
+		t.Fatalf("Hungarian pairs = %v", hGot)
+	}
+}
+
+func TestDecidersEmptyMatrix(t *testing.T) {
+	for _, d := range []Decider{GreedyDecider{}, HungarianDecider{}, GaleShapleyDecider{}} {
+		if _, _, err := d.Decide(&Context{}, matrix.New(0, 0)); err == nil {
+			t.Fatalf("%s accepted empty matrix", d.Name())
+		}
+	}
+}
+
+// TestHungarianOptimalWithTies: quantized scores create many equal entries;
+// the solver must still reach the brute-force optimum.
+func TestHungarianOptimalWithTies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		s := matrix.New(n, n)
+		data := s.Data()
+		for i := range data {
+			data[i] = float64(rng.Intn(4)) * 0.25 // values in {0, .25, .5, .75}
+		}
+		res, err := NewHungarian().Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		return math.Abs(totalScore(s, res)-bruteForceBestAssignment(s)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGaleShapleyStabilityWithTies: stability must hold under ties too
+// (with the deterministic index tie-break defining the preference order).
+func TestGaleShapleyStabilityWithTies(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		s := matrix.New(n, n)
+		data := s.Data()
+		for i := range data {
+			data[i] = float64(rng.Intn(3)) * 0.5
+		}
+		res, err := NewSMat().Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		return isStable(s, res)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

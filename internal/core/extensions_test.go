@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+func TestProbInfRejectsBadConfig(t *testing.T) {
+	s := matrix.New(2, 2)
+	if _, err := (&ProbInf{Threshold: 0, Tau: 0.05}).Match(&Context{S: s}); err == nil {
+		t.Fatal("threshold 0 accepted")
+	}
+	if _, err := (&ProbInf{Threshold: 1.5, Tau: 0.05}).Match(&Context{S: s}); err == nil {
+		t.Fatal("threshold above 1 accepted")
+	}
+	if _, err := (&ProbInf{Threshold: 0.5, Tau: 0}).Match(&Context{S: s}); err == nil {
+		t.Fatal("temperature 0 accepted")
+	}
+	if _, err := NewProbInf(0.3).Match(nil); err == nil {
+		t.Fatal("nil context accepted")
+	}
+}
+
+func TestProbInfCleanDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	s := diagonalish(rng, 25, 1.0, 0.1)
+	res, err := NewProbInf(0.3).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := diagonalHits(res); got != 25 {
+		t.Fatalf("recovered %d/25", got)
+	}
+}
+
+// TestProbInfEmitsMultipleMatches: with two near-identical gold targets, the
+// probabilistic matcher must emit both — the capability no surveyed
+// algorithm has (§ 5.2).
+func TestProbInfEmitsMultipleMatches(t *testing.T) {
+	s := mat(t,
+		[]float64{0.90, 0.89, 0.10},
+		[]float64{0.05, 0.06, 0.95},
+	)
+	m := &ProbInf{Threshold: 0.25, Tau: 0.05, MaxPerSource: 4}
+	res, err := m.Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, p := range res.Pairs {
+		if p.Source == 0 {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("source 0 got %d matches, want 2 (duplicate targets): %+v", count, res.Pairs)
+	}
+}
+
+// TestProbInfAbstainsOnFlatRows: a source with no clearly probable target
+// must yield no pairs.
+func TestProbInfAbstainsOnFlatRows(t *testing.T) {
+	s := matrix.New(1, 50)
+	s.Fill(0.5) // uniform: every probability is 1/50
+	res, err := NewProbInf(0.3).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 || len(res.Abstained) != 1 {
+		t.Fatalf("pairs=%+v abstained=%v", res.Pairs, res.Abstained)
+	}
+}
+
+func TestProbInfMaxPerSourceCap(t *testing.T) {
+	s := mat(t, []float64{0.9, 0.9, 0.9, 0.9})
+	m := &ProbInf{Threshold: 0.1, Tau: 1, MaxPerSource: 2}
+	res, err := m.Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) > 2 {
+		t.Fatalf("cap ignored: %d pairs", len(res.Pairs))
+	}
+}
+
+func TestProbInfBidirectionalFiltersHub(t *testing.T) {
+	// Row 1's best target (col 0) clearly prefers row 0; bidirectional
+	// acceptance must drop the (1, 0) pair.
+	s := mat(t,
+		[]float64{0.95, 0.10},
+		[]float64{0.60, 0.55},
+	)
+	uni := &ProbInf{Threshold: 0.4, Tau: 0.05, Bidirectional: false, MaxPerSource: 1}
+	bi := &ProbInf{Threshold: 0.4, Tau: 0.05, Bidirectional: true, MaxPerSource: 1}
+	ru, err := uni.Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := bi.Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairsBySource(ru)[1] != 0 {
+		t.Fatalf("unidirectional should emit (1,0): %+v", ru.Pairs)
+	}
+	if _, ok := pairsBySource(rb)[1]; ok {
+		t.Fatalf("bidirectional should drop row 1's hub claim: %+v", rb.Pairs)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := randScores(rng, 10, 20)
+	p := softmaxRows(s, 0.1)
+	for i, sum := range p.RowSums() {
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestTopIndicesDesc(t *testing.T) {
+	row := []float64{0.3, 0.9, 0.1, 0.5}
+	got := topIndicesDesc(row, 2, len(row))
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("top-2 = %v", got)
+	}
+	all := topIndicesDesc(row, 0, 3) // restricted to first 3 columns
+	if len(all) != 3 || all[0] != 1 || all[1] != 0 || all[2] != 2 {
+		t.Fatalf("restricted = %v", all)
+	}
+}
+
+func TestSinkhornBlockedRejectsBadConfig(t *testing.T) {
+	s := matrix.New(4, 4)
+	if _, err := NewSinkhornBlocked(1, 10).Match(&Context{S: s}); err == nil {
+		t.Fatal("batch size 1 accepted")
+	}
+	if _, err := (&SinkhornBlocked{BatchSize: 4, L: -1, Tau: 0.05}).Match(&Context{S: s}); err == nil {
+		t.Fatal("negative L accepted")
+	}
+	if _, err := NewSinkhornBlocked(4, 10).Match(nil); err == nil {
+		t.Fatal("nil context accepted")
+	}
+}
+
+func TestSinkhornBlockedCleanDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	s := diagonalish(rng, 60, 1.0, 0.1)
+	res, err := NewSinkhornBlocked(16, 50).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := diagonalHits(res); got < 58 {
+		t.Fatalf("recovered only %d/60 on a clean instance", got)
+	}
+	if len(res.Pairs)+len(res.Abstained) != 60 {
+		t.Fatal("rows unaccounted")
+	}
+}
+
+// TestSinkhornBlockedMemoryBelowFull: the working-set estimate must be well
+// below full Sinkhorn's.
+func TestSinkhornBlockedMemoryBelowFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	s := diagonalish(rng, 120, 0.8, 0.3)
+	ctx := &Context{S: s}
+	full, err := NewSinkhorn(50).Match(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := NewSinkhornBlocked(20, 50).Match(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blocked.ExtraBytes*2 >= full.ExtraBytes {
+		t.Fatalf("blocked memory %d not well below full %d", blocked.ExtraBytes, full.ExtraBytes)
+	}
+}
+
+// TestSinkhornBlockedAccuracyNearFull: on a moderately noisy instance the
+// mini-batch variant should stay within a modest margin of full Sinkhorn.
+func TestSinkhornBlockedAccuracyNearFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	s := diagonalish(rng, 150, 0.35, 0.4)
+	ctx := &Context{S: s}
+	full, err := NewSinkhorn(100).Match(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := NewSinkhornBlocked(50, 100).Match(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diagonalHits(blocked) < diagonalHits(full)*7/10 {
+		t.Fatalf("blocked hits %d below 70%% of full %d", diagonalHits(blocked), diagonalHits(full))
+	}
+}
+
+func TestSinkhornBlockedDummyAbstention(t *testing.T) {
+	s := mat(t,
+		[]float64{0.2, 0.9},
+		[]float64{0.8, 0.1},
+	)
+	// Column 1 is a dummy; row 0's pivot is the dummy → abstain.
+	res, err := NewSinkhornBlocked(2, 20).Match(&Context{S: s, NumDummies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Abstained {
+		if a == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("row 0 not abstained: pairs=%+v abstained=%v", res.Pairs, res.Abstained)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"entmatcher/internal/matrix"
+)
+
+// NoneTransform passes the similarity matrix through unchanged — the
+// pairwise-score stage of DInf, Hun., SMat and RL in the paper's Table 2.
+type NoneTransform struct{}
+
+// Name returns "none".
+func (NoneTransform) Name() string { return "none" }
+
+// Transform returns s unchanged.
+func (NoneTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) { return s, nil }
+
+// ExtraBytes is zero: nothing is allocated.
+func (NoneTransform) ExtraBytes(rows, cols int) int64 { return 0 }
+
+// GreedyDecider matches every source row to its highest-scoring column —
+// Algorithm 2 (Greedy) of the paper. It is unidirectional and ignores the
+// 1-to-1 constraint: several rows may claim the same column.
+type GreedyDecider struct{}
+
+// Name returns "greedy".
+func (GreedyDecider) Name() string { return "greedy" }
+
+// Decide computes the row-wise argmax. Rows whose argmax is a dummy column
+// (the trailing ctx.NumDummies columns) are reported as abstained.
+func (GreedyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, error) {
+	if s.Cols() == 0 {
+		return nil, nil, fmt.Errorf("greedy: matrix has no columns")
+	}
+	vals, idx := s.RowMax()
+	pairs := make([]Pair, 0, s.Rows())
+	var abstained []int
+	realCols := s.Cols() - ctx.NumDummies
+	for i, j := range idx {
+		if j >= realCols {
+			abstained = append(abstained, i)
+			continue
+		}
+		pairs = append(pairs, Pair{Source: i, Target: j, Score: vals[i]})
+	}
+	return pairs, abstained, nil
+}
+
+// ExtraBytes is zero beyond per-row scratch.
+func (GreedyDecider) ExtraBytes(rows, cols int) int64 { return 0 }
+
+// NewDInf returns the DInf baseline (the paper's § 3.2): raw similarity
+// scores plus greedy matching. Time and space O(n²), both dominated by the
+// similarity matrix itself.
+func NewDInf() *Composite {
+	return NewComposite(NoneTransform{}, GreedyDecider{}, "DInf")
+}

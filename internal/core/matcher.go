@@ -1,0 +1,232 @@
+// Package core implements the paper's contribution: algorithms for matching
+// knowledge graphs in entity embedding spaces (its § 3). Given a pairwise
+// similarity matrix S between source entities (rows) and target entities
+// (columns), a Matcher decides which pairs are aligned.
+//
+// Following the EntMatcher library architecture (the paper's Figure 3), the
+// package is split into two composable stages:
+//
+//   - ScoreTransform: improves the pairwise scores. None (DInf), CSLS,
+//     Reciprocal (RInf and variants), Sinkhorn.
+//   - Decider: turns scores into matched pairs. Greedy, Hungarian
+//     (Jonker-Volgenant), GaleShapley (SMat), RL.
+//
+// The seven named algorithms of the paper's Table 2 are preassembled by the
+// constructors NewDInf, NewCSLS, NewRInf, NewRInfWR, NewRInfPB, NewSinkhorn,
+// NewHungarian, NewSMat and NewRL; custom combinations can be built with
+// NewComposite, mirroring the library's loosely-coupled design.
+//
+// Every matcher reports wall-clock time and an analytic estimate of the
+// working memory it allocated beyond the input matrix, which feeds the
+// paper's efficiency comparisons (Figure 5, Tables 6-8).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"entmatcher/internal/matrix"
+)
+
+// Pair is one matched (source row, target column) pair with the score the
+// decider saw when it committed the match.
+type Pair struct {
+	Source int
+	Target int
+	Score  float64
+}
+
+// Context carries the inputs of one matching run. S is mandatory; the
+// remaining fields are optional and consumed only by matchers that need
+// them (RL uses adjacency, validation data and randomness).
+type Context struct {
+	// S is the pairwise score matrix: rows are source entities, columns are
+	// target entities, larger is more similar.
+	S *matrix.Dense
+
+	// SourceAdj and TargetAdj are neighbor lists among the row entities
+	// (respectively column entities) in row/column index space: SourceAdj[i]
+	// lists the rows whose entities are KG-neighbors of row i's entity.
+	// Used by the RL matcher's coherence constraint.
+	SourceAdj [][]int
+	TargetAdj [][]int
+
+	// Valid optionally carries a held-out alignment task (usually the
+	// validation split) used by learning matchers to tune themselves.
+	// Valid.Valid is ignored: no recursion.
+	Valid *ValidationTask
+
+	// Rand seeds stochastic matchers. Nil means a fixed default seed.
+	Rand *rand.Rand
+
+	// NumDummies is the count of trailing columns of S that are dummy
+	// (abstention) targets, appended by AddDummyColumns for the unmatchable
+	// setting. Deciders that assign a row to a dummy column report the row
+	// as abstained instead of emitting a pair.
+	NumDummies int
+}
+
+// ValidationTask is a self-contained alignment task with known gold pairs,
+// used for hyper-parameter tuning inside learning matchers.
+type ValidationTask struct {
+	S         *matrix.Dense
+	SourceAdj [][]int
+	TargetAdj [][]int
+	Gold      []Pair
+}
+
+// Result is the outcome of one matching run.
+type Result struct {
+	// Matcher is the algorithm's display name (the paper's row labels).
+	Matcher string
+	// Pairs are the matched pairs, at most one per source row.
+	Pairs []Pair
+	// Abstained lists rows the matcher declined to align (dummy
+	// assignments under the unmatchable setting).
+	Abstained []int
+	// Elapsed is the wall-clock matching time.
+	Elapsed time.Duration
+	// ExtraBytes is the analytic estimate of working memory allocated
+	// beyond the input matrix (the paper's memory-cost axis).
+	ExtraBytes int64
+}
+
+// Matcher is an algorithm for matching KGs in entity embedding spaces.
+type Matcher interface {
+	// Name returns the paper's name for the algorithm.
+	Name() string
+	// Match aligns the rows of ctx.S to its columns.
+	Match(ctx *Context) (*Result, error)
+}
+
+// ErrNoMatrix is returned when the context has no similarity matrix.
+var ErrNoMatrix = errors.New("core: context has no similarity matrix")
+
+// ScoreTransform is stage one of embedding matching: it rewrites the
+// pairwise score matrix. Implementations must not mutate the input.
+type ScoreTransform interface {
+	Name() string
+	Transform(s *matrix.Dense) (*matrix.Dense, error)
+	// ExtraBytes estimates the transform's peak working memory for an
+	// input of the given shape.
+	ExtraBytes(rows, cols int) int64
+}
+
+// Decider is stage two: it converts a score matrix into matched pairs.
+// The returned abstained list contains rows assigned to dummy columns.
+type Decider interface {
+	Name() string
+	Decide(ctx *Context, s *matrix.Dense) (pairs []Pair, abstained []int, err error)
+	ExtraBytes(rows, cols int) int64
+}
+
+// Composite is a {ScoreTransform, Decider} pair — the general shape of all
+// algorithms surveyed by the paper.
+type Composite struct {
+	Transform ScoreTransform
+	Decider   Decider
+	// DisplayName overrides the derived "transform+decider" name; the named
+	// constructors set it to the paper's algorithm name.
+	DisplayName string
+}
+
+// NewComposite assembles a custom matcher from a transform and a decider.
+func NewComposite(t ScoreTransform, d Decider, name string) *Composite {
+	return &Composite{Transform: t, Decider: d, DisplayName: name}
+}
+
+// Name returns the matcher's display name.
+func (c *Composite) Name() string {
+	if c.DisplayName != "" {
+		return c.DisplayName
+	}
+	return fmt.Sprintf("%s+%s", c.Transform.Name(), c.Decider.Name())
+}
+
+// Match runs the two stages, timing them and accumulating the memory
+// estimate.
+func (c *Composite) Match(ctx *Context) (*Result, error) {
+	if ctx == nil || ctx.S == nil {
+		return nil, ErrNoMatrix
+	}
+	start := time.Now()
+	s, err := c.Transform.Transform(ctx.S)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name(), err)
+	}
+	pairs, abstained, err := c.Decider.Decide(ctx, s)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name(), err)
+	}
+	rows, cols := ctx.S.Rows(), ctx.S.Cols()
+	return &Result{
+		Matcher:    c.Name(),
+		Pairs:      pairs,
+		Abstained:  abstained,
+		Elapsed:    time.Since(start),
+		ExtraBytes: c.Transform.ExtraBytes(rows, cols) + c.Decider.ExtraBytes(rows, cols),
+	}, nil
+}
+
+// AddDummyColumns returns a copy of s with n extra columns filled with
+// score, and the new column count. Deciders treat trailing NumDummies
+// columns as abstention targets. This implements the paper's § 5.1 recipe:
+// "add the dummy nodes on the side with fewer entities" so Hungarian and
+// Gale-Shapley can decline to match a source entity.
+func AddDummyColumns(s *matrix.Dense, n int, score float64) *matrix.Dense {
+	if n <= 0 {
+		return s
+	}
+	out := matrix.New(s.Rows(), s.Cols()+n)
+	for i := 0; i < s.Rows(); i++ {
+		dst := out.Row(i)
+		copy(dst, s.Row(i))
+		for j := s.Cols(); j < s.Cols()+n; j++ {
+			dst[j] = score
+		}
+	}
+	return out
+}
+
+// WithDummies wraps a context so that its matrix has the target side padded
+// to at least the row count with dummy columns at the given score. If the
+// matrix already has at least as many columns as rows, the context is
+// returned unchanged.
+func WithDummies(ctx *Context, score float64) *Context {
+	deficit := ctx.S.Rows() - ctx.S.Cols()
+	if deficit <= 0 {
+		return ctx
+	}
+	out := *ctx
+	out.S = AddDummyColumns(ctx.S, deficit, score)
+	out.NumDummies = ctx.NumDummies + deficit
+	return &out
+}
+
+// matBytes is the payload size of a rows×cols float64 matrix.
+func matBytes(rows, cols int) int64 { return int64(rows) * int64(cols) * 8 }
+
+// DummyScoreFromValidation derives an abstention score for dummy columns
+// from a validation similarity matrix whose rows are all matchable: it
+// returns the q-quantile (0 ≤ q ≤ 1) of the validation rows' maximum
+// scores. With q = 0.1, roughly 90% of matchable entities score above the
+// dummy, so abstention mostly hits rows that look nothing like any target.
+// No test labels are involved.
+func DummyScoreFromValidation(validS *matrix.Dense, q float64) float64 {
+	if validS == nil || validS.Rows() == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	maxes, _ := validS.RowMax()
+	sort.Float64s(maxes)
+	idx := int(q * float64(len(maxes)-1))
+	return maxes[idx]
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"entmatcher/internal/matrix"
+)
+
+// ProbInf is the probabilistic matcher sketched by the paper's future
+// direction (5): "introduce the notion of probability ... to produce the
+// alignment results", lifting the one-prediction-per-entity restriction that
+// caps every surveyed algorithm on non 1-to-1 data (§ 5.2) and giving a
+// principled abstention rule for unmatchable entities (§ 5.1).
+//
+// The pairwise scores are converted to per-row match probabilities with a
+// temperature softmax; every pair whose probability exceeds Threshold is
+// emitted — possibly several per source entity (1-to-many recall becomes
+// reachable), possibly none (abstention on unmatchable entities). With
+// Bidirectional set, a pair must also exceed the threshold under the
+// column-wise softmax, sharpening precision the way reciprocal methods do.
+type ProbInf struct {
+	// Threshold is the acceptance probability; pairs with
+	// P(v | u) ≥ Threshold are emitted.
+	Threshold float64
+	// Tau is the softmax temperature over similarity scores.
+	Tau float64
+	// Bidirectional additionally requires P(u | v) ≥ Threshold.
+	Bidirectional bool
+	// MaxPerSource caps the number of pairs emitted per source entity
+	// (0 = unlimited).
+	MaxPerSource int
+}
+
+// NewProbInf returns the probabilistic matcher with calibrated defaults:
+// τ = 0.05 (matching the Sinkhorn temperature), bidirectional acceptance at
+// probability 0.3, at most 4 matches per source.
+func NewProbInf(threshold float64) *ProbInf {
+	return &ProbInf{Threshold: threshold, Tau: 0.05, Bidirectional: true, MaxPerSource: 4}
+}
+
+// Name returns "ProbInf".
+func (*ProbInf) Name() string { return "ProbInf" }
+
+// Match computes row-wise (and optionally column-wise) match probabilities
+// and emits all pairs above the threshold.
+func (m *ProbInf) Match(ctx *Context) (*Result, error) {
+	if ctx == nil || ctx.S == nil {
+		return nil, ErrNoMatrix
+	}
+	if m.Threshold <= 0 || m.Threshold > 1 {
+		return nil, fmt.Errorf("ProbInf: threshold must be in (0, 1], got %v", m.Threshold)
+	}
+	if m.Tau <= 0 {
+		return nil, fmt.Errorf("ProbInf: temperature must be positive, got %v", m.Tau)
+	}
+	start := time.Now()
+	s := ctx.S
+	rows, cols := s.Rows(), s.Cols()
+	if rows == 0 || cols == 0 {
+		return nil, fmt.Errorf("ProbInf: empty matrix %d×%d", rows, cols)
+	}
+	realCols := cols - ctx.NumDummies
+
+	// Row-wise softmax probabilities.
+	rowProb := softmaxRows(s, m.Tau)
+	// Column-wise probabilities when bidirectional: softmax over each
+	// column, computed on the transpose.
+	var colProb *matrix.Dense
+	if m.Bidirectional {
+		colProb = softmaxRows(s.Transpose(), m.Tau)
+	}
+
+	pairs := make([]Pair, 0, rows)
+	var abstained []int
+	for i := 0; i < rows; i++ {
+		row := rowProb.Row(i)
+		emitted := 0
+		// Emit in descending probability order up to the cap.
+		order := topIndicesDesc(row, m.MaxPerSource, realCols)
+		for _, j := range order {
+			p := row[j]
+			if p < m.Threshold {
+				break
+			}
+			if m.Bidirectional && colProb.At(j, i) < m.Threshold {
+				continue
+			}
+			pairs = append(pairs, Pair{Source: i, Target: j, Score: p})
+			emitted++
+		}
+		if emitted == 0 {
+			abstained = append(abstained, i)
+		}
+	}
+	return &Result{
+		Matcher:    m.Name(),
+		Pairs:      pairs,
+		Abstained:  abstained,
+		Elapsed:    time.Since(start),
+		ExtraBytes: matBytes(rows, cols) * 2,
+	}, nil
+}
+
+// softmaxRows returns the row-wise softmax of s at temperature tau, with
+// per-row max subtraction for stability.
+func softmaxRows(s *matrix.Dense, tau float64) *matrix.Dense {
+	out := s.Clone()
+	inv := 1 / tau
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for j, v := range row {
+			e := expFast((v - maxV) * inv)
+			row[j] = e
+			sum += e
+		}
+		if sum > 0 {
+			invSum := 1 / sum
+			for j := range row {
+				row[j] *= invSum
+			}
+		}
+	}
+	return out
+}
+
+// expFast is math.Exp behind a name shared with the package tests.
+func expFast(x float64) float64 { return math.Exp(x) }
+
+// topIndicesDesc returns up to limit column indices of row with the largest
+// values, restricted to columns < realCols, in descending value order.
+// limit ≤ 0 means all columns.
+func topIndicesDesc(row []float64, limit, realCols int) []int {
+	if limit <= 0 || limit > realCols {
+		limit = realCols
+	}
+	idx := make([]int, 0, limit)
+	used := make([]bool, realCols)
+	for k := 0; k < limit; k++ {
+		best := -1
+		for j := 0; j < realCols; j++ {
+			if used[j] {
+				continue
+			}
+			if best < 0 || row[j] > row[best] {
+				best = j
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRLRejectsBadConfig(t *testing.T) {
+	m := NewRL(RLConfig{Candidates: 0})
+	if _, err := m.Match(&Context{S: mat(t, []float64{1})}); err == nil {
+		t.Fatal("zero candidates accepted")
+	}
+}
+
+// TestRLExclusivenessSpreadsConflicts: on the conflict instance where
+// greedy stacks both sources on one target, the exclusiveness penalty must
+// push the second source away.
+func TestRLExclusivenessSpreadsConflicts(t *testing.T) {
+	s := mat(t,
+		[]float64{0.90, 0.30},
+		[]float64{0.80, 0.60},
+	)
+	res, err := NewRL(DefaultRLConfig()).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsBySource(res)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("RL pairs = %v", got)
+	}
+}
+
+// TestRLPartiallyOneToOne: unlike Hungarian, RL may still emit duplicate
+// targets when the evidence overwhelms the penalty — the "Partially" cell
+// of Table 2.
+func TestRLPartiallyOneToOne(t *testing.T) {
+	// Both rows score target 0 at 1.0 and target 1 at -1; the exclusiveness
+	// penalty (0.4·occupancy) cannot bridge a 2.0 gap.
+	s := mat(t,
+		[]float64{1.0, -1.0},
+		[]float64{1.0, -1.0},
+	)
+	cfg := DefaultRLConfig()
+	cfg.TuneIterations = 0
+	res, err := NewRL(cfg).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("pairs = %+v", res.Pairs)
+	}
+	for _, p := range res.Pairs {
+		if p.Target != 0 {
+			t.Fatalf("RL forced 1-to-1 where evidence said otherwise: %+v", res.Pairs)
+		}
+	}
+}
+
+// TestRLCoherenceBreaksTies: with adjacency information, a target whose
+// neighborhood aligns with already-matched neighbors must win a near-tie.
+func TestRLCoherenceBreaksTies(t *testing.T) {
+	// Rows 0,1: confident diagonal matches (pre-filtered).
+	// Row 2: near-tie between columns 2 and 3; column 2 is adjacent to the
+	// matches of row 2's neighbors (rows 0 and 1), column 3 is not.
+	s := mat(t,
+		[]float64{0.99, 0.0, 0.0, 0.0},
+		[]float64{0.0, 0.99, 0.0, 0.0},
+		[]float64{0.0, 0.0, 0.50, 0.505},
+	)
+	srcAdj := [][]int{{2}, {2}, {0, 1}}
+	tgtAdj := [][]int{{2}, {2}, {0, 1}, {}}
+	cfg := DefaultRLConfig()
+	cfg.TuneIterations = 0
+	res, err := NewRL(cfg).Match(&Context{S: s, SourceAdj: srcAdj, TargetAdj: tgtAdj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairsBySource(res)[2] != 2 {
+		t.Fatalf("coherence did not rescue the tie: %+v", res.Pairs)
+	}
+	// Without adjacency the raw score wins and row 2 goes to column 3.
+	res2, err := NewRL(cfg).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairsBySource(res2)[2] != 3 {
+		t.Fatalf("without adjacency expected raw-score choice: %+v", res2.Pairs)
+	}
+}
+
+// TestRLTuningUsesValidation: weight tuning on a validation task must not
+// crash and must keep or improve the default weights' validation score.
+func TestRLTuningUsesValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	valid := diagonalish(rng, 25, 0.3, 0.4)
+	gold := make([]Pair, 25)
+	for i := range gold {
+		gold[i] = Pair{Source: i, Target: i}
+	}
+	test := diagonalish(rng, 40, 0.3, 0.4)
+	cfg := DefaultRLConfig()
+	cfg.TuneIterations = 15
+	m := NewRL(cfg)
+	res, err := m.Match(&Context{
+		S:     test,
+		Valid: &ValidationTask{S: valid, Gold: gold},
+		Rand:  rand.New(rand.NewSource(5)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs)+len(res.Abstained) != 40 {
+		t.Fatalf("rows unaccounted: %d pairs + %d abstained", len(res.Pairs), len(res.Abstained))
+	}
+}
+
+// TestRLConfidentPrefilterCommits: mutual nearest neighbors with a clear
+// margin must be matched regardless of the sequential pass.
+func TestRLConfidentPrefilterCommits(t *testing.T) {
+	s := mat(t,
+		[]float64{0.95, 0.05},
+		[]float64{0.10, 0.90},
+	)
+	cfg := DefaultRLConfig()
+	cfg.TuneIterations = 0
+	res, err := NewRL(cfg).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsBySource(res)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("prefilter missed the confident diagonal: %v", got)
+	}
+}
+
+// TestRLDeterministicWithFixedSeed: the same context and seed must produce
+// the same pairs.
+func TestRLDeterministicWithFixedSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	s := diagonalish(rng, 30, 0.2, 0.4)
+	run := func() map[int]int {
+		res, err := NewRL(DefaultRLConfig()).Match(&Context{S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pairsBySource(res)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic pair count")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatal("nondeterministic matching")
+		}
+	}
+}
+
+func TestRLDummyAbstention(t *testing.T) {
+	s := mat(t,
+		[]float64{0.2, 0.5},
+		[]float64{0.3, 0.1},
+	)
+	// Column 1 is a dummy: row 0's best is the dummy → abstain.
+	cfg := DefaultRLConfig()
+	cfg.TuneIterations = 0
+	res, err := NewRL(cfg).Match(&Context{S: s, NumDummies: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Abstained) != 1 || res.Abstained[0] != 0 {
+		t.Fatalf("abstained = %v", res.Abstained)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].Source != 1 || res.Pairs[0].Target != 0 {
+		t.Fatalf("pairs = %+v", res.Pairs)
+	}
+}

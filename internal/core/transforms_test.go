@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entmatcher/internal/matrix"
+)
+
+func TestCSLSKnownValues(t *testing.T) {
+	s := mat(t,
+		[]float64{0.9, 0.1},
+		[]float64{0.4, 0.3},
+	)
+	out, err := CSLSTransform{K: 1}.Transform(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// φ_s = [0.9, 0.4]; φ_t = [0.9, 0.3].
+	// S_CSLS(0,0) = 2·0.9 − 0.9 − 0.9 = 0.
+	// S_CSLS(1,0) = 2·0.4 − 0.4 − 0.9 = −0.5.
+	// S_CSLS(1,1) = 2·0.3 − 0.4 − 0.3 = −0.1.
+	if math.Abs(out.At(0, 0)) > 1e-12 {
+		t.Fatalf("S_CSLS(0,0) = %v", out.At(0, 0))
+	}
+	if math.Abs(out.At(1, 0)+0.5) > 1e-12 || math.Abs(out.At(1, 1)+0.1) > 1e-12 {
+		t.Fatalf("row 1 = %v", out.Row(1))
+	}
+}
+
+func TestCSLSRejectsBadK(t *testing.T) {
+	if _, err := (CSLSTransform{K: 0}).Transform(matrix.New(2, 2)); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+// TestCSLSPenalizesHubs: a hub column (high similarity to everyone) must
+// lose score relative to a non-hub, which is the stated purpose of CSLS.
+func TestCSLSPenalizesHubs(t *testing.T) {
+	// Column 0 is a hub: every row scores it 0.8. Column 1 is scored 0.75
+	// by row 0 only.
+	s := mat(t,
+		[]float64{0.8, 0.75},
+		[]float64{0.8, 0.1},
+		[]float64{0.8, 0.2},
+	)
+	res, err := NewCSLS(2).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairsBySource(res)[0] != 1 {
+		t.Fatalf("CSLS kept row 0 on the hub: %+v", res.Pairs)
+	}
+	// Raw greedy keeps the hub, for contrast.
+	g, err := NewDInf().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairsBySource(g)[0] != 0 {
+		t.Fatalf("greedy unexpectedly avoided the hub: %+v", g.Pairs)
+	}
+}
+
+// TestRInfWRMatchesCSLSK1 is the paper's § 4.5 observation: with k=1 the
+// difference between RInf and CSLS reduces to the ranking process, so the
+// no-ranking variant RInf-wr must produce the same matching as CSLS(k=1).
+func TestRInfWRMatchesCSLSK1(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := randScores(rng, 2+rng.Intn(30), 2+rng.Intn(30))
+		a, err := NewRInfWR().Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		b, err := NewCSLS(1).Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		pa, pb := pairsBySource(a), pairsBySource(b)
+		if len(pa) != len(pb) {
+			return false
+		}
+		for src, tgt := range pa {
+			if pb[src] != tgt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReciprocalPreferenceFormula(t *testing.T) {
+	s := mat(t,
+		[]float64{0.9, 0.2},
+		[]float64{0.6, 0.5},
+	)
+	out, err := ReciprocalTransform{WithRanking: false}.Transform(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p_st(0,0) = 0.9 − max(0.9, 0.6) + 1 = 1.0
+	// p_ts(0,0) = 0.9 − max(0.9, 0.2) + 1 = 1.0 → combined 1.0.
+	if math.Abs(out.At(0, 0)-1.0) > 1e-12 {
+		t.Fatalf("combined(0,0) = %v", out.At(0, 0))
+	}
+	// p_st(1,1) = 0.5 − 0.5 + 1 = 1.0; p_ts(1,1) = 0.5 − 0.6 + 1 = 0.9
+	// → combined 0.95.
+	if math.Abs(out.At(1, 1)-0.95) > 1e-12 {
+		t.Fatalf("combined(1,1) = %v", out.At(1, 1))
+	}
+}
+
+// TestRInfRanksAreNegatedAverages: with ranking, the output at (i,j) is
+// −(rank_st + rank_ts)/2, so the best reciprocal pair has value −1.
+func TestRInfPerfectPairGetsBestValue(t *testing.T) {
+	s := mat(t,
+		[]float64{0.95, 0.1, 0.2},
+		[]float64{0.1, 0.9, 0.15},
+		[]float64{0.2, 0.1, 0.85},
+	)
+	out, err := ReciprocalTransform{WithRanking: true}.Transform(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if out.At(i, i) != -1 {
+			t.Fatalf("diagonal rank value (%d,%d) = %v, want -1", i, i, out.At(i, i))
+		}
+	}
+}
+
+// TestRInfResolvesHubConflict: reciprocal modeling must stop a weaker row
+// from claiming a target whose preference lies elsewhere.
+func TestRInfResolvesHubConflict(t *testing.T) {
+	// Both rows' best raw column is 0, but column 0 clearly prefers row 0
+	// and column 1 prefers row 1.
+	s := mat(t,
+		[]float64{0.90, 0.30},
+		[]float64{0.80, 0.60},
+	)
+	g, err := NewDInf().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pairsBySource(g)[1] != 0 {
+		t.Fatalf("greedy should send row 1 to column 0: %+v", g.Pairs)
+	}
+	r, err := NewRInf().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsBySource(r)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("RInf pairs = %v, want {0:0, 1:1}", got)
+	}
+}
+
+// TestRInfPBApproachesRInf: with a block size covering all columns, the
+// progressive-blocking variant must agree with full RInf.
+func TestRInfPBApproachesRInf(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		s := randScores(rng, n, n)
+		full, err := NewRInf().Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		blocked, err := NewRInfPB(n).Match(&Context{S: s})
+		if err != nil {
+			return false
+		}
+		pf, pb := pairsBySource(full), pairsBySource(blocked)
+		for src, tgt := range pf {
+			if pb[src] != tgt {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRInfPBRejectsBadBlock(t *testing.T) {
+	if _, err := NewRInfPB(0).Match(&Context{S: matrix.New(2, 2)}); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+}
+
+func TestSinkhornDoublyStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randScores(rng, 15, 15)
+	out, err := SinkhornTransform{L: 200, Tau: 0.1}.Transform(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sum := range out.RowSums() {
+		if math.Abs(sum-1) > 1e-3 {
+			t.Fatalf("row %d sums to %v after Sinkhorn", i, sum)
+		}
+	}
+	for j, sum := range out.ColSums() {
+		if math.Abs(sum-1) > 1e-3 {
+			t.Fatalf("col %d sums to %v after Sinkhorn", j, sum)
+		}
+	}
+}
+
+func TestSinkhornRejectsBadConfig(t *testing.T) {
+	if _, err := (SinkhornTransform{L: -1, Tau: 0.1}).Transform(matrix.New(2, 2)); err == nil {
+		t.Fatal("negative L accepted")
+	}
+	if _, err := (SinkhornTransform{L: 1, Tau: 0}).Transform(matrix.New(2, 2)); err == nil {
+		t.Fatal("zero temperature accepted")
+	}
+}
+
+// TestSinkhornImplicit1To1: on a conflict matrix where greedy collapses,
+// enough Sinkhorn iterations must spread the assignment — the implicit
+// 1-to-1 constraint of the paper's § 4.5.
+func TestSinkhornImplicit1To1(t *testing.T) {
+	s := mat(t,
+		[]float64{0.90, 0.30},
+		[]float64{0.80, 0.60},
+	)
+	res, err := NewSinkhorn(DefaultSinkhornIterations).Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pairsBySource(res)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Sinkhorn pairs = %v", got)
+	}
+}
+
+// TestSinkhornMoreIterationsNoWorse mirrors Figure 7's trend on a noisy
+// instance: l = 100 must recover at least as many diagonal pairs as l = 1.
+func TestSinkhornMoreIterationsHelp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := diagonalish(rng, 60, 0.12, 0.5)
+	at := func(l int) int {
+		res, err := NewSinkhorn(l).Match(&Context{S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diagonalHits(res)
+	}
+	if at(100) < at(1) {
+		t.Fatalf("l=100 hits %d < l=1 hits %d", at(100), at(1))
+	}
+}

@@ -1,0 +1,247 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"entmatcher/internal/kg"
+)
+
+// skewSampler draws integers in [0, n) with probability proportional to
+// 1/(rank+1)^skew under a fixed random permutation, producing the
+// heavy-tailed degree distributions of real KGs (hubs plus a long tail).
+type skewSampler struct {
+	cum  []float64 // cumulative weights over ranks
+	perm []int     // rank -> entity ID
+}
+
+func newSkewSampler(n int, skew float64, rng *rand.Rand) *skewSampler {
+	s := &skewSampler{cum: make([]float64, n), perm: rng.Perm(n)}
+	total := 0.0
+	for r := 0; r < n; r++ {
+		total += 1 / math.Pow(float64(r+1), skew)
+		s.cum[r] = total
+	}
+	return s
+}
+
+func (s *skewSampler) sample(rng *rand.Rand) int {
+	if len(s.cum) == 0 {
+		return 0
+	}
+	x := rng.Float64() * s.cum[len(s.cum)-1]
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return s.perm[lo]
+}
+
+// wordVocabulary builds a deterministic synthetic lexicon used for entity
+// surface forms. Words are pronounceable consonant-vowel strings, so
+// character n-grams overlap between related names but not random ones.
+func wordVocabulary(size int, rng *rand.Rand) []string {
+	consonants := "bcdfghklmnprstvz"
+	vowels := "aeiou"
+	words := make([]string, size)
+	seen := make(map[string]bool, size)
+	for i := 0; i < size; {
+		var b strings.Builder
+		syllables := 2 + rng.Intn(3)
+		for s := 0; s < syllables; s++ {
+			b.WriteByte(consonants[rng.Intn(len(consonants))])
+			b.WriteByte(vowels[rng.Intn(len(vowels))])
+			if rng.Float64() < 0.3 {
+				b.WriteByte(consonants[rng.Intn(len(consonants))])
+			}
+		}
+		w := b.String()
+		if !seen[w] {
+			seen[w] = true
+			words[i] = w
+			i++
+		}
+	}
+	return words
+}
+
+// perturbName applies character-level noise at the given rate: substitution,
+// deletion or insertion per character position. It models the surface-form
+// divergence between cross-lingual KG pairs; rate 0 returns the name
+// unchanged (mono-lingual pairs share near-identical labels).
+func perturbName(name string, rate float64, rng *rand.Rand) string {
+	if rate <= 0 {
+		return name
+	}
+	letters := "abcdefghiklmnoprstuvz"
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == ' ' || rng.Float64() >= rate {
+			b.WriteByte(c)
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // substitute
+			b.WriteByte(letters[rng.Intn(len(letters))])
+		case 1: // delete
+		default: // insert before
+			b.WriteByte(letters[rng.Intn(len(letters))])
+			b.WriteByte(c)
+		}
+	}
+	if b.Len() == 0 {
+		return name
+	}
+	return b.String()
+}
+
+// Generate builds the benchmark KG pair described by p, with a
+// 20% / 10% / 70% train/valid/test split of the gold links (the paper's
+// main-experiment split).
+func Generate(p Profile) (*kg.Pair, error) {
+	return GenerateSplit(p, 0.2, 0.1)
+}
+
+// GenerateSplit is Generate with explicit split fractions.
+func GenerateSplit(p Profile, fracTrain, fracValid float64) (*kg.Pair, error) {
+	if p.GoldLinks <= 0 {
+		return nil, fmt.Errorf("datagen: profile %q has no gold links", p.Name)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+
+	nLinked := p.GoldLinks
+	nSrc := nLinked + p.ExtraSource
+	nTgt := nLinked + p.ExtraTarget
+
+	src := kg.NewGraph(p.Name + "-source")
+	tgt := kg.NewGraph(p.Name + "-target")
+	for i := 0; i < nSrc; i++ {
+		src.AddEntity(fmt.Sprintf("src:e%d", i))
+	}
+	for i := 0; i < nTgt; i++ {
+		tgt.AddEntity(fmt.Sprintf("tgt:e%d", i))
+	}
+	nRel := p.Relations
+	if nRel < 1 {
+		nRel = 1
+	}
+	for r := 0; r < nRel; r++ {
+		src.AddRelation(fmt.Sprintf("srcRel%d", r))
+		tgt.AddRelation(fmt.Sprintf("tgtRel%d", r))
+	}
+
+	// Prototype triples over the linked core. Entity IDs < nLinked are the
+	// linked entities; link i connects source i to target i (the split
+	// shuffles, so ID correlation never leaks into any algorithm, which
+	// only ever sees embeddings).
+	nTriples := int(p.AvgDegree * float64(nLinked) / 2)
+	ps := newProtoSampler(nLinked, nRel, p, rng)
+	proto := ps.triples(nTriples, rng)
+
+	// Source KG: the prototype as-is.
+	for _, t := range proto {
+		if err := src.AddTriple(t.s, t.r, t.o); err != nil {
+			return nil, err
+		}
+	}
+	// Target KG: perturbed copy. With probability Heterogeneity a triple is
+	// rewired (one endpoint resampled) or dropped-and-replaced, so the
+	// neighborhood of an equivalent entity is similar but not identical.
+	for _, t := range proto {
+		u, keep := ps.perturb(t, p.Heterogeneity, rng)
+		if !keep {
+			continue
+		}
+		if err := tgt.AddTriple(u.s, u.r, u.o); err != nil {
+			return nil, err
+		}
+	}
+
+	// Extra (unlinked) entities connect into the graph with the same mean
+	// degree so they are structurally indistinguishable from linked ones —
+	// what makes the unmatchable setting (§ 5.1) hard.
+	attachExtras := func(g *kg.Graph, first, count int) error {
+		// Extras sit on the KG periphery (the DBP15K+ construction draws
+		// them from outside the reference alignment), hence the lower
+		// degree.
+		per := int(math.Max(1, p.AvgDegree/3))
+		for e := first; e < first+count; e++ {
+			comm := rng.Intn(ps.numCommunities())
+			for k := 0; k < per; k++ {
+				other := ps.sampleIn(comm, rng)
+				r := ps.rel.sample(rng)
+				var err error
+				if rng.Intn(2) == 0 {
+					err = g.AddTriple(e, r, other)
+				} else {
+					err = g.AddTriple(other, r, e)
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := attachExtras(src, nLinked, p.ExtraSource); err != nil {
+		return nil, err
+	}
+	if err := attachExtras(tgt, nLinked, p.ExtraTarget); err != nil {
+		return nil, err
+	}
+
+	// Surface forms: source entity i gets a multi-word name; target entity
+	// i gets the same name perturbed at the profile's cross-lingual rate.
+	// Extra entities get independent names.
+	vocabSize := nSrc/3 + 64
+	vocab := wordVocabulary(vocabSize, rng)
+	makeName := func() string {
+		n := 1 + rng.Intn(3)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(parts, " ")
+	}
+	srcNames := make([]string, nSrc)
+	tgtNames := make([]string, nTgt)
+	for i := 0; i < nLinked; i++ {
+		srcNames[i] = makeName()
+		tgtNames[i] = perturbName(srcNames[i], p.NameNoise, rng)
+	}
+	for i := nLinked; i < nSrc; i++ {
+		srcNames[i] = makeName()
+	}
+	for i := nLinked; i < nTgt; i++ {
+		tgtNames[i] = makeName()
+	}
+
+	var links kg.LinkSet
+	for i := 0; i < nLinked; i++ {
+		links.Add(i, i)
+	}
+	split, err := kg.SplitLinks(links, fracTrain, fracValid, rng)
+	if err != nil {
+		return nil, err
+	}
+	pair := &kg.Pair{
+		Name:        p.Name,
+		Source:      src,
+		Target:      tgt,
+		Split:       split,
+		SourceNames: srcNames,
+		TargetNames: tgtNames,
+	}
+	if err := pair.Validate(); err != nil {
+		return nil, err
+	}
+	return pair, nil
+}

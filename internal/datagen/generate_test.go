@@ -1,0 +1,240 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSkewSamplerRangeAndBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := newSkewSampler(100, 1.2, rng)
+	counts := make([]int, 100)
+	for i := 0; i < 20000; i++ {
+		v := s.sample(rng)
+		if v < 0 || v >= 100 {
+			t.Fatalf("sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	// The most frequent entity should dominate the median one by a large
+	// factor under a skew of 1.2.
+	max, nonzero := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("heaviest entity drawn only %d times; distribution not skewed", max)
+	}
+	if nonzero < 50 {
+		t.Fatalf("only %d entities ever drawn; tail too thin", nonzero)
+	}
+}
+
+func TestSkewSamplerEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := newSkewSampler(0, 1, rng)
+	if got := s.sample(rng); got != 0 {
+		t.Fatalf("empty sampler returned %d", got)
+	}
+}
+
+func TestWordVocabularyUnique(t *testing.T) {
+	words := wordVocabulary(500, rand.New(rand.NewSource(5)))
+	seen := make(map[string]bool)
+	for _, w := range words {
+		if w == "" {
+			t.Fatal("empty word generated")
+		}
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+	}
+}
+
+func TestPerturbNameZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := perturbName("hello world", 0, rng); got != "hello world" {
+		t.Fatalf("rate 0 changed name to %q", got)
+	}
+}
+
+func TestPerturbNamePreservesSpaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	got := perturbName("alpha beta gamma", 0.5, rng)
+	if strings.Count(got, " ") != 2 {
+		t.Fatalf("word boundaries changed: %q", got)
+	}
+}
+
+func TestPerturbNameNeverEmpty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		return perturbName("ab", 1.0, rng) != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateSmallProfileShape(t *testing.T) {
+	p := DBP15KZhEn.Scaled(0.02) // 300 links
+	pair, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Split.TotalLinks() != p.GoldLinks {
+		t.Fatalf("links = %d, want %d", pair.Split.TotalLinks(), p.GoldLinks)
+	}
+	wantSrc := p.GoldLinks + p.ExtraSource
+	if pair.Source.NumEntities() != wantSrc {
+		t.Fatalf("source entities = %d, want %d", pair.Source.NumEntities(), wantSrc)
+	}
+	// Split fractions 20/10/70.
+	if got := pair.Split.Train.Len(); got != p.GoldLinks/5 {
+		t.Fatalf("train size = %d, want %d", got, p.GoldLinks/5)
+	}
+	// Average degree within 25% of the profile target (extras and dedup
+	// shift it slightly).
+	if d := pair.Source.AvgDegree(); math.Abs(d-p.AvgDegree) > 0.25*p.AvgDegree+0.5 {
+		t.Fatalf("source avg degree %v, want ≈%v", d, p.AvgDegree)
+	}
+	if err := pair.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !pair.AllLinks().IsOneToOne() {
+		t.Fatal("standard profile produced non 1-to-1 links")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := SRPRSFrEn.Scaled(0.02)
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source.NumTriples() != b.Source.NumTriples() {
+		t.Fatal("triple count differs across runs with the same seed")
+	}
+	if len(a.Split.Test.Links) != len(b.Split.Test.Links) {
+		t.Fatal("split differs across runs")
+	}
+	for i := range a.Split.Test.Links {
+		if a.Split.Test.Links[i] != b.Split.Test.Links[i] {
+			t.Fatal("test links differ across runs")
+		}
+	}
+	if a.SourceNames[0] != b.SourceNames[0] {
+		t.Fatal("names differ across runs")
+	}
+}
+
+func TestGenerateProfilesDiffer(t *testing.T) {
+	a, err := Generate(DBP15KZhEn.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(DBP15KJaEn.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source.NumTriples() == b.Source.NumTriples() && a.SourceNames[0] == b.SourceNames[0] {
+		t.Fatal("distinct profiles generated identical datasets")
+	}
+}
+
+func TestGenerateNameNoiseOrdering(t *testing.T) {
+	// Mono-lingual profile names must be closer to their counterparts than
+	// cross-lingual ones. Compare average exact-match rates.
+	exactRate := func(p Profile) float64 {
+		pair, err := Generate(p.Scaled(0.02))
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := 0
+		n := pair.Split.TotalLinks()
+		for i := 0; i < n; i++ {
+			if pair.SourceNames[i] == pair.TargetNames[i] {
+				match++
+			}
+		}
+		return float64(match) / float64(n)
+	}
+	mono := exactRate(SRPRSDbpWd)  // NameNoise 0.05
+	cross := exactRate(DBP15KZhEn) // NameNoise 0.45
+	if mono <= cross {
+		t.Fatalf("mono-lingual exact-name rate %v not above cross-lingual %v", mono, cross)
+	}
+}
+
+func TestGenerateRejectsEmptyProfile(t *testing.T) {
+	if _, err := Generate(Profile{Name: "empty"}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := DBP15KZhEn.Scaled(0.1)
+	if p.GoldLinks != 1500 {
+		t.Fatalf("GoldLinks = %d", p.GoldLinks)
+	}
+	if p.AvgDegree != DBP15KZhEn.AvgDegree {
+		t.Fatal("intensive parameter scaled")
+	}
+	if p.Relations >= DBP15KZhEn.Relations {
+		t.Fatal("relations not reduced")
+	}
+	up := DBP15KZhEn.Scaled(2)
+	if up.GoldLinks != 30000 {
+		t.Fatalf("upscale GoldLinks = %d", up.GoldLinks)
+	}
+	if up.Relations != DBP15KZhEn.Relations {
+		t.Fatal("upscale changed relation vocabulary")
+	}
+}
+
+func TestScaledPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(0) did not panic")
+		}
+	}()
+	DBP15KZhEn.Scaled(0)
+}
+
+func TestByName(t *testing.T) {
+	p, ok := ByName("S-W")
+	if !ok || p.Name != "S-W" {
+		t.Fatalf("ByName(S-W) = %+v, %v", p, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}
+
+func TestSRPRSSparserThanDBP15K(t *testing.T) {
+	d, err := Generate(DBP15KZhEn.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate(SRPRSFrEn.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Source.AvgDegree() >= d.Source.AvgDegree() {
+		t.Fatalf("SRPRS degree %v not below DBP15K degree %v",
+			s.Source.AvgDegree(), d.Source.AvgDegree())
+	}
+}

@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"entmatcher/internal/kg"
+)
+
+func TestGenerateNonOneToOneShape(t *testing.T) {
+	p := FBDBPMul.Scaled(0.05) // 460 concepts
+	pair, err := GenerateNonOneToOne(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	links := pair.AllLinks()
+	// Expected link count within 15% of Concepts·(1+ps)·(1+pt).
+	want := p.ExpectedLinks()
+	if math.Abs(float64(links.Len())-want) > 0.15*want {
+		t.Fatalf("links = %d, expected ≈%v", links.Len(), want)
+	}
+	if links.IsOneToOne() {
+		t.Fatal("non 1-to-1 dataset is 1-to-1")
+	}
+	// The paper's FB_DBP_MUL has ~92% non 1-to-1 links; require > 80%.
+	m := links.Multiplicity()
+	non11 := m.OneToMany + m.ManyToOne + m.ManyToMany
+	frac := float64(non11) / float64(links.Len())
+	if frac < 0.80 {
+		t.Fatalf("non 1-to-1 fraction %v below 0.80 (stats %+v)", frac, m)
+	}
+	// All four multiplicity classes must be present.
+	if m.OneToOne == 0 || m.OneToMany == 0 || m.ManyToOne == 0 || m.ManyToMany == 0 {
+		t.Fatalf("missing multiplicity class: %+v", m)
+	}
+}
+
+func TestGenerateNonOneToOneSplitIntegrity(t *testing.T) {
+	pair, err := GenerateNonOneToOne(FBDBPMul.Scaled(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := make(map[[2]int]string)
+	check := func(name string, links []kg.Link) {
+		for _, l := range links {
+			for _, key := range [][2]int{{0, l.Source}, {1, l.Target}} {
+				if prev, ok := where[key]; ok && prev != name {
+					t.Fatalf("entity %v appears in partitions %s and %s", key, prev, name)
+				}
+				where[key] = name
+			}
+		}
+	}
+	check("train", pair.Split.Train.Links)
+	check("valid", pair.Split.Valid.Links)
+	check("test", pair.Split.Test.Links)
+	// Ratio approximately 7:1:2.
+	total := float64(pair.Split.TotalLinks())
+	trainFrac := float64(pair.Split.Train.Len()) / total
+	if trainFrac < 0.55 || trainFrac > 0.85 {
+		t.Fatalf("train fraction %v too far from 0.7", trainFrac)
+	}
+}
+
+func TestGenerateNonOneToOneDeterministic(t *testing.T) {
+	p := FBDBPMul.Scaled(0.03)
+	a, err := GenerateNonOneToOne(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateNonOneToOne(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AllLinks().Len() != b.AllLinks().Len() || a.Source.NumTriples() != b.Source.NumTriples() {
+		t.Fatal("generation not deterministic")
+	}
+}
+
+func TestGenerateNonOneToOneRejectsEmpty(t *testing.T) {
+	if _, err := GenerateNonOneToOne(MulProfile{Name: "x"}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestMulScaledPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(-1) did not panic")
+		}
+	}()
+	FBDBPMul.Scaled(-1)
+}

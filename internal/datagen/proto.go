@@ -1,0 +1,110 @@
+package datagen
+
+import "math/rand"
+
+// trip is a prototype triple over linked-core entity IDs.
+type trip struct{ s, r, o int }
+
+// protoSampler draws prototype triples with latent community structure:
+// entities are partitioned into communities of roughly CommunitySize
+// members; a triple's subject picks a community (weighted by size), and its
+// object stays inside that community with probability IntraCommunity.
+// Within a community, endpoints follow the profile's skewed degree
+// distribution. Community locality is what gives multi-hop neighborhoods
+// their identity — without it the graph is an i.i.d. random graph whose
+// 2-hop profiles are uninformative.
+type protoSampler struct {
+	community   []int          // entity -> community
+	members     [][]int        // community -> entity IDs
+	inComm      []*skewSampler // per-community skewed sampler over members
+	global      *skewSampler   // global skewed sampler over all entities
+	rel         *skewSampler
+	intra       float64
+	nRel        int
+	degreeSkews float64
+}
+
+func newProtoSampler(n, nRel int, p Profile, rng *rand.Rand) *protoSampler {
+	cs := p.CommunitySize
+	if cs <= 0 || cs > n {
+		cs = n // one community: degenerate to the i.i.d. case
+	}
+	nComm := (n + cs - 1) / cs
+	ps := &protoSampler{
+		community:   make([]int, n),
+		members:     make([][]int, nComm),
+		inComm:      make([]*skewSampler, nComm),
+		global:      newSkewSampler(n, p.DegreeSkew, rng),
+		rel:         newSkewSampler(nRel, 1.1, rng),
+		intra:       p.IntraCommunity,
+		nRel:        nRel,
+		degreeSkews: p.DegreeSkew,
+	}
+	perm := rng.Perm(n)
+	for i, e := range perm {
+		c := i % nComm
+		ps.community[e] = c
+		ps.members[c] = append(ps.members[c], e)
+	}
+	for c := range ps.inComm {
+		ps.inComm[c] = newSkewSampler(len(ps.members[c]), p.DegreeSkew, rng)
+	}
+	return ps
+}
+
+func (ps *protoSampler) numCommunities() int { return len(ps.members) }
+
+// sampleIn draws an entity from community c under the skewed distribution.
+func (ps *protoSampler) sampleIn(c int, rng *rand.Rand) int {
+	return ps.members[c][ps.inComm[c].sample(rng)]
+}
+
+// sampleTriple draws one prototype triple.
+func (ps *protoSampler) sampleTriple(rng *rand.Rand) trip {
+	s := ps.global.sample(rng)
+	var o int
+	if rng.Float64() < ps.intra {
+		o = ps.sampleIn(ps.community[s], rng)
+	} else {
+		o = ps.global.sample(rng)
+	}
+	return trip{s, ps.rel.sample(rng), o}
+}
+
+// triples draws n distinct prototype triples (no self-loops).
+func (ps *protoSampler) triples(n int, rng *rand.Rand) []trip {
+	out := make([]trip, 0, n)
+	seen := make(map[trip]bool, n)
+	for len(out) < n {
+		t := ps.sampleTriple(rng)
+		if t.s == t.o || seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, t)
+	}
+	return out
+}
+
+// perturb applies heterogeneity noise to a prototype triple: with
+// probability het the triple is rewired (an endpoint resampled, respecting
+// community locality) or replaced outright. The second return value is
+// false when the triple degenerates to a self-loop and should be dropped.
+func (ps *protoSampler) perturb(t trip, het float64, rng *rand.Rand) (trip, bool) {
+	if rng.Float64() >= het {
+		return t, true
+	}
+	u := t
+	switch rng.Intn(3) {
+	case 0: // rewire subject within the object's community (locality-preserving)
+		u.s = ps.sampleIn(ps.community[u.o], rng)
+	case 1: // rewire object within the subject's community
+		u.o = ps.sampleIn(ps.community[u.s], rng)
+	default: // replace the triple entirely
+		u = ps.sampleTriple(rng)
+	}
+	if u.s == u.o {
+		return u, false
+	}
+	return u, true
+}

@@ -1,0 +1,103 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func protoProfile() Profile {
+	return Profile{DegreeSkew: 1.1, CommunitySize: 10, IntraCommunity: 0.9}
+}
+
+func TestProtoSamplerCommunityPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := newProtoSampler(95, 5, protoProfile(), rng)
+	if ps.numCommunities() != 10 {
+		t.Fatalf("communities = %d, want 10", ps.numCommunities())
+	}
+	seen := make(map[int]bool)
+	for c, members := range ps.members {
+		for _, e := range members {
+			if seen[e] {
+				t.Fatalf("entity %d in two communities", e)
+			}
+			seen[e] = true
+			if ps.community[e] != c {
+				t.Fatalf("community index inconsistent for %d", e)
+			}
+		}
+	}
+	if len(seen) != 95 {
+		t.Fatalf("%d entities assigned, want 95", len(seen))
+	}
+}
+
+func TestProtoSamplerLocality(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := protoProfile()
+	ps := newProtoSampler(200, 5, p, rng)
+	triples := ps.triples(2000, rng)
+	intra := 0
+	for _, tr := range triples {
+		if ps.community[tr.s] == ps.community[tr.o] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(len(triples))
+	if frac < 0.75 {
+		t.Fatalf("intra-community fraction %v below expectation for IntraCommunity=0.9", frac)
+	}
+}
+
+func TestProtoSamplerDegenerateCommunity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := protoProfile()
+	p.CommunitySize = 0 // disabled: one community
+	ps := newProtoSampler(50, 3, p, rng)
+	if ps.numCommunities() != 1 {
+		t.Fatalf("disabled communities yielded %d groups", ps.numCommunities())
+	}
+}
+
+func TestProtoSamplerTriplesDistinctNoSelfLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ps := newProtoSampler(60, 4, protoProfile(), rng)
+	triples := ps.triples(300, rng)
+	if len(triples) != 300 {
+		t.Fatalf("got %d triples", len(triples))
+	}
+	seen := make(map[trip]bool)
+	for _, tr := range triples {
+		if tr.s == tr.o {
+			t.Fatalf("self-loop %+v", tr)
+		}
+		if seen[tr] {
+			t.Fatalf("duplicate triple %+v", tr)
+		}
+		seen[tr] = true
+	}
+}
+
+func TestPerturbRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ps := newProtoSampler(100, 4, protoProfile(), rng)
+	base := ps.triples(500, rng)
+	// het = 0: everything survives unchanged.
+	for _, tr := range base {
+		got, keep := ps.perturb(tr, 0, rng)
+		if !keep || got != tr {
+			t.Fatal("het=0 changed a triple")
+		}
+	}
+	// het = 1: a large fraction must change.
+	changed := 0
+	for _, tr := range base {
+		got, keep := ps.perturb(tr, 1, rng)
+		if !keep || got != tr {
+			changed++
+		}
+	}
+	if changed < len(base)/2 {
+		t.Fatalf("het=1 changed only %d of %d", changed, len(base))
+	}
+}

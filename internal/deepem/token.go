@@ -1,0 +1,261 @@
+package deepem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+// TokenConfig controls the deepmatcher-faithful token-interface classifier.
+type TokenConfig struct {
+	// Buckets is the quantization resolution per embedding dimension.
+	Buckets int
+	// TokenDim is the learned token-embedding width.
+	TokenDim int
+	// Hidden is the comparison MLP's hidden width.
+	Hidden               int
+	Epochs               int
+	LearningRate         float64
+	NegativesPerPositive int
+	Seed                 int64
+}
+
+// DefaultTokenConfig returns the configuration of the § 4.3 reproduction.
+func DefaultTokenConfig() TokenConfig {
+	return TokenConfig{
+		Buckets:              8,
+		TokenDim:             16,
+		Hidden:               32,
+		Epochs:               20,
+		LearningRate:         0.05,
+		NegativesPerPositive: 10,
+		Seed:                 5,
+	}
+}
+
+// TokenClassifier reproduces the interface mismatch of applying a
+// text-attribute EM system (deepmatcher) to EA: each entity embedding is
+// serialized into discrete tokens (dimension × quantization bucket), token
+// embeddings are looked up in a learned table, mean-pooled per entity, and
+// a comparison MLP classifies the pooled pair. This is the architecture
+// shape of deepmatcher's attribute-summarization models; it is what the
+// paper evaluates when it "uses the structural and name embeddings to
+// replace the attributive text inputs in deepmatcher".
+//
+// The paradigm fails on EA — reproducing the paper's negative result —
+// because the informative token combinations of test entities never occur
+// in the few hundred training positives, so their learned embeddings stay
+// near initialization and the pooled representation carries almost no
+// alignment signal.
+type TokenClassifier struct {
+	cfg    TokenConfig
+	dim    int // input embedding dimension
+	tokens *matrix.Dense
+	w1     [][]float64
+	b1     []float64
+	w2     []float64
+	b2     float64
+}
+
+// TrainTokens fits the token-interface classifier.
+func TrainTokens(srcEmb, tgtEmb *matrix.Dense, pos []core.Pair, cfg TokenConfig) (*TokenClassifier, error) {
+	if cfg.Buckets < 2 || cfg.TokenDim <= 0 || cfg.Hidden <= 0 || cfg.Epochs <= 0 || cfg.NegativesPerPositive < 1 {
+		return nil, fmt.Errorf("deepem: invalid token config %+v", cfg)
+	}
+	if len(pos) == 0 {
+		return nil, fmt.Errorf("deepem: no training pairs")
+	}
+	if srcEmb.Cols() != tgtEmb.Cols() {
+		return nil, fmt.Errorf("deepem: embedding dims differ: %d vs %d", srcEmb.Cols(), tgtEmb.Cols())
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	dim := srcEmb.Cols()
+	c := &TokenClassifier{cfg: cfg, dim: dim}
+	vocab := dim * cfg.Buckets
+	c.tokens = matrix.New(vocab, cfg.TokenDim)
+	tdata := c.tokens.Data()
+	for i := range tdata {
+		tdata[i] = rng.NormFloat64() * 0.1
+	}
+	in := 2 * cfg.TokenDim
+	c.w1 = make([][]float64, cfg.Hidden)
+	scale := 1 / math.Sqrt(float64(in))
+	for h := range c.w1 {
+		row := make([]float64, in)
+		for j := range row {
+			row[j] = rng.NormFloat64() * scale
+		}
+		c.w1[h] = row
+	}
+	c.b1 = make([]float64, cfg.Hidden)
+	c.w2 = make([]float64, cfg.Hidden)
+	for h := range c.w2 {
+		c.w2[h] = rng.NormFloat64() / math.Sqrt(float64(cfg.Hidden))
+	}
+
+	posSet := make(map[[2]int]bool, len(pos))
+	for _, p := range pos {
+		posSet[[2]int{p.Source, p.Target}] = true
+	}
+	order := make([]int, len(pos))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, pi := range order {
+			p := pos[pi]
+			c.stepPair(srcEmb, tgtEmb, p.Source, p.Target, 1)
+			for k := 0; k < cfg.NegativesPerPositive; k++ {
+				nt := rng.Intn(tgtEmb.Rows())
+				if posSet[[2]int{p.Source, nt}] {
+					continue
+				}
+				c.stepPair(srcEmb, tgtEmb, p.Source, nt, 0)
+			}
+		}
+	}
+	return c, nil
+}
+
+// tokenIDs quantizes an embedding row into its token IDs. Values are
+// normalized rows in [-1, 1]; the bucket grid covers that range.
+func (c *TokenClassifier) tokenIDs(row []float64) []int {
+	ids := make([]int, len(row))
+	b := float64(c.cfg.Buckets)
+	for d, v := range row {
+		bucket := int((v + 1) / 2 * b)
+		if bucket < 0 {
+			bucket = 0
+		}
+		if bucket >= c.cfg.Buckets {
+			bucket = c.cfg.Buckets - 1
+		}
+		ids[d] = d*c.cfg.Buckets + bucket
+	}
+	return ids
+}
+
+// pool mean-pools the token embeddings of ids into dst.
+func (c *TokenClassifier) pool(ids []int, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for _, id := range ids {
+		for j, v := range c.tokens.Row(id) {
+			dst[j] += v
+		}
+	}
+	inv := 1 / float64(len(ids))
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// forwardPooled runs the comparison MLP on the pooled pair features.
+func (c *TokenClassifier) forwardPooled(x []float64, h []float64) float64 {
+	for k, wrow := range c.w1 {
+		z := c.b1[k]
+		for j, v := range x {
+			z += wrow[j] * v
+		}
+		if z < 0 {
+			z = 0
+		}
+		h[k] = z
+	}
+	z := c.b2
+	for k, v := range h {
+		z += c.w2[k] * v
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+// stepPair performs one SGD update on the (i, j) pair with label y,
+// backpropagating into the MLP and the token table.
+func (c *TokenClassifier) stepPair(srcEmb, tgtEmb *matrix.Dense, i, j int, y float64) {
+	td := c.cfg.TokenDim
+	x := make([]float64, 2*td)
+	srcIDs := c.tokenIDs(srcEmb.Row(i))
+	tgtIDs := c.tokenIDs(tgtEmb.Row(j))
+	c.pool(srcIDs, x[:td])
+	c.pool(tgtIDs, x[td:])
+	h := make([]float64, c.cfg.Hidden)
+	p := c.forwardPooled(x, h)
+	dz := p - y
+	lr := c.cfg.LearningRate
+
+	dx := make([]float64, len(x))
+	for k, hv := range h {
+		if hv > 0 {
+			dh := dz * c.w2[k]
+			wrow := c.w1[k]
+			for jj := range x {
+				dx[jj] += dh * wrow[jj]
+				wrow[jj] -= lr * dh * x[jj]
+			}
+			c.b1[k] -= lr * dh
+		}
+		c.w2[k] -= lr * dz * hv
+	}
+	c.b2 -= lr * dz
+	// Token-table gradients through the mean pooling.
+	invSrc := lr / float64(len(srcIDs))
+	for _, id := range srcIDs {
+		row := c.tokens.Row(id)
+		for jj := 0; jj < td; jj++ {
+			row[jj] -= invSrc * dx[jj]
+		}
+	}
+	invTgt := lr / float64(len(tgtIDs))
+	for _, id := range tgtIDs {
+		row := c.tokens.Row(id)
+		for jj := 0; jj < td; jj++ {
+			row[jj] -= invTgt * dx[td+jj]
+		}
+	}
+}
+
+// Score returns the classifier's match probability for source row i and
+// target row j.
+func (c *TokenClassifier) Score(srcEmb, tgtEmb *matrix.Dense, i, j int) float64 {
+	td := c.cfg.TokenDim
+	x := make([]float64, 2*td)
+	c.pool(c.tokenIDs(srcEmb.Row(i)), x[:td])
+	c.pool(c.tokenIDs(tgtEmb.Row(j)), x[td:])
+	h := make([]float64, c.cfg.Hidden)
+	return c.forwardPooled(x, h)
+}
+
+// MatchAll applies the trained classifier with the paper's argmax protocol.
+func (c *TokenClassifier) MatchAll(srcEmb, tgtEmb *matrix.Dense, sources, targets []int) []core.Pair {
+	td := c.cfg.TokenDim
+	// Pre-pool targets once.
+	pooledTgt := matrix.New(len(targets), td)
+	for tj, j := range targets {
+		c.pool(c.tokenIDs(tgtEmb.Row(j)), pooledTgt.Row(tj))
+	}
+	x := make([]float64, 2*td)
+	h := make([]float64, c.cfg.Hidden)
+	pairs := make([]core.Pair, 0, len(sources))
+	for si, i := range sources {
+		c.pool(c.tokenIDs(srcEmb.Row(i)), x[:td])
+		best := math.Inf(-1)
+		bestJ := -1
+		for tj := range targets {
+			copy(x[td:], pooledTgt.Row(tj))
+			p := c.forwardPooled(x, h)
+			if p > best {
+				best = p
+				bestJ = tj
+			}
+		}
+		if bestJ >= 0 {
+			pairs = append(pairs, core.Pair{Source: si, Target: bestJ, Score: best})
+		}
+	}
+	return pairs
+}

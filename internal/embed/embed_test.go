@@ -1,0 +1,189 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/kg"
+	"entmatcher/internal/matrix"
+)
+
+func testPair(t *testing.T) *kg.Pair {
+	t.Helper()
+	pair, err := datagen.Generate(datagen.DBP15KZhEn.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pair
+}
+
+func rowsUnitNorm(t *testing.T, m *matrix.Dense) {
+	t.Helper()
+	for i := 0; i < m.Rows(); i++ {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v * v
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("row %d has squared norm %v", i, s)
+		}
+	}
+}
+
+func TestEncodeShapes(t *testing.T) {
+	pair := testPair(t)
+	emb, err := Encode(pair, DefaultConfig(ModelRREA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Source.Rows() != pair.Source.NumEntities() {
+		t.Fatalf("source rows %d, want %d", emb.Source.Rows(), pair.Source.NumEntities())
+	}
+	if emb.Target.Rows() != pair.Target.NumEntities() {
+		t.Fatalf("target rows %d, want %d", emb.Target.Rows(), pair.Target.NumEntities())
+	}
+	wantDim := DefaultConfig(ModelRREA).Dim
+	if DefaultConfig(ModelRREA).RawMix > 0 {
+		wantDim *= 2 // two geometries concatenated
+	}
+	if emb.Source.Cols() != wantDim {
+		t.Fatalf("dim %d, want %d", emb.Source.Cols(), wantDim)
+	}
+	rowsUnitNorm(t, emb.Source)
+	rowsUnitNorm(t, emb.Target)
+}
+
+func TestEncodeRejectsBadConfig(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelGCN)
+	cfg.Dim = 0
+	if _, err := Encode(pair, cfg); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestEncodeRequiresSeeds(t *testing.T) {
+	pair := testPair(t)
+	noSeeds := &kg.Pair{
+		Name:   pair.Name,
+		Source: pair.Source,
+		Target: pair.Target,
+		Split:  &kg.Split{Test: pair.Split.Test},
+	}
+	if _, err := Encode(noSeeds, DefaultConfig(ModelGCN)); err == nil {
+		t.Fatal("dataset without seeds accepted")
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelGCN)
+	a, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a.Source, b.Source) || !matrix.Equal(a.Target, b.Target) {
+		t.Fatal("encoding not deterministic")
+	}
+}
+
+// greedyAccuracy computes the fraction of test links whose source entity's
+// nearest target (cosine) is its gold counterpart — DInf recall, the basic
+// fitness signal for the encoder.
+func greedyAccuracy(t *testing.T, pair *kg.Pair, emb *Embeddings) float64 {
+	t.Helper()
+	test := pair.Split.Test.Links
+	srcIDs := make([]int, len(test))
+	tgtIDs := make([]int, len(test))
+	for i, l := range test {
+		srcIDs[i] = l.Source
+		tgtIDs[i] = l.Target
+	}
+	s, err := matrix.MulTransposed(emb.Source.SelectRows(srcIDs), emb.Target.SelectRows(tgtIDs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, argmax := s.RowMax()
+	hits := 0
+	for i, j := range argmax {
+		if j == i { // row i's gold counterpart is column i by construction
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(test))
+}
+
+// TestEncoderAlignsEquivalentEntities is the core sanity check of the
+// substrate: embeddings must be far better than chance, and RREA must beat
+// GCN (the paper's consistent R- > G- ordering).
+func TestEncoderAlignsEquivalentEntities(t *testing.T) {
+	pair := testPair(t)
+	rrea, err := Encode(pair, DefaultConfig(ModelRREA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcn, err := Encode(pair, DefaultConfig(ModelGCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accR := greedyAccuracy(t, pair, rrea)
+	accG := greedyAccuracy(t, pair, gcn)
+	nTest := float64(pair.Split.Test.Len())
+	chance := 1 / nTest
+	if accR < 100*chance {
+		t.Fatalf("RREA accuracy %v barely above chance %v", accR, chance)
+	}
+	if accR <= accG {
+		t.Fatalf("RREA accuracy %v not above GCN accuracy %v", accR, accG)
+	}
+}
+
+// TestSparsityDegradesEmbeddings reproduces the paper's Pattern 2 premise:
+// the sparser SRPRS profile must yield lower greedy accuracy than DBP15K
+// under the same encoder.
+func TestSparsityDegradesEmbeddings(t *testing.T) {
+	dense := testPair(t)
+	sparse, err := datagen.Generate(datagen.SRPRSFrEn.Scaled(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(ModelRREA)
+	dEmb, err := Encode(dense, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sEmb, err := Encode(sparse, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accDense := greedyAccuracy(t, dense, dEmb)
+	accSparse := greedyAccuracy(t, sparse, sEmb)
+	if accSparse >= accDense {
+		t.Fatalf("sparse accuracy %v not below dense accuracy %v", accSparse, accDense)
+	}
+}
+
+func TestPropagateZeroLayers(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelGCN)
+	cfg.Layers = 0
+	emb, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsUnitNorm(t, emb.Source)
+}
+
+func TestModelString(t *testing.T) {
+	if ModelGCN.String() != "GCN" || ModelRREA.String() != "RREA" {
+		t.Fatal("model names wrong")
+	}
+	if Model(9).String() == "" {
+		t.Fatal("unknown model has empty name")
+	}
+}

@@ -1,0 +1,140 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"entmatcher/internal/kg"
+	"entmatcher/internal/matrix"
+)
+
+// Embedding files use the word2vec-style text format most EA toolchains
+// emit: one line per entity, the entity URI followed by the vector
+// components, space-separated. This is the interchange point with external
+// representation-learning systems (OpenEA, EAkit, or the paper's own
+// pipelines): train anywhere, match here.
+
+// WriteTable serializes an embedding table: row i is written with the URI
+// of entity i in g.
+func WriteTable(w io.Writer, g *kg.Graph, table *matrix.Dense) error {
+	if table.Rows() != g.NumEntities() {
+		return fmt.Errorf("embed: %d rows for %d entities", table.Rows(), g.NumEntities())
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < table.Rows(); i++ {
+		if _, err := bw.WriteString(g.EntityName(i)); err != nil {
+			return err
+		}
+		for _, v := range table.Row(i) {
+			bw.WriteByte(' ')
+			bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTable parses an embedding table, resolving URIs against g. Every
+// entity of g must appear exactly once and all vectors must share one
+// dimension.
+func ReadTable(r io.Reader, g *kg.Graph) (*matrix.Dense, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var table *matrix.Dense
+	seen := make([]bool, g.NumEntities())
+	filled := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("embed: line %d: no vector components", lineNo)
+		}
+		id, ok := g.EntityID(fields[0])
+		if !ok {
+			return nil, fmt.Errorf("embed: line %d: unknown entity %q", lineNo, fields[0])
+		}
+		dim := len(fields) - 1
+		if table == nil {
+			table = matrix.New(g.NumEntities(), dim)
+		} else if dim != table.Cols() {
+			return nil, fmt.Errorf("embed: line %d: dimension %d, want %d", lineNo, dim, table.Cols())
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("embed: line %d: duplicate entity %q", lineNo, fields[0])
+		}
+		seen[id] = true
+		filled++
+		row := table.Row(id)
+		for j, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("embed: line %d: bad component %q: %v", lineNo, f, err)
+			}
+			row[j] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if table == nil {
+		return nil, fmt.Errorf("embed: empty embedding file")
+	}
+	if filled != g.NumEntities() {
+		return nil, fmt.Errorf("embed: %d of %d entities embedded", filled, g.NumEntities())
+	}
+	return table, nil
+}
+
+// Save writes the pair's embedding tables to srcPath and tgtPath.
+func Save(srcPath, tgtPath string, pair *kg.Pair, e *Embeddings) error {
+	write := func(path string, g *kg.Graph, table *matrix.Dense) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := WriteTable(f, g, table); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(srcPath, pair.Source, e.Source); err != nil {
+		return err
+	}
+	return write(tgtPath, pair.Target, e.Target)
+}
+
+// Load reads embedding tables for the pair from srcPath and tgtPath.
+func Load(srcPath, tgtPath string, pair *kg.Pair) (*Embeddings, error) {
+	read := func(path string, g *kg.Graph) (*matrix.Dense, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadTable(f, g)
+	}
+	src, err := read(srcPath, pair.Source)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := read(tgtPath, pair.Target)
+	if err != nil {
+		return nil, err
+	}
+	if src.Cols() != tgt.Cols() {
+		return nil, fmt.Errorf("embed: source dim %d != target dim %d", src.Cols(), tgt.Cols())
+	}
+	return &Embeddings{Source: src, Target: tgt}, nil
+}

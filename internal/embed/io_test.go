@@ -1,0 +1,83 @@
+package embed
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+func TestEmbeddingTableRoundTrip(t *testing.T) {
+	pair := testPair(t)
+	emb, err := Encode(pair, DefaultConfig(ModelGCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, pair.Source, emb.Source); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTable(&buf, pair.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back, emb.Source, 1e-12) {
+		t.Fatal("round trip changed embeddings")
+	}
+}
+
+func TestWriteTableRowMismatch(t *testing.T) {
+	pair := testPair(t)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, pair.Source, matrix.New(3, 4)); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}
+
+func TestReadTableErrors(t *testing.T) {
+	pair := testPair(t)
+	g := pair.Source
+	e0 := g.EntityName(0)
+	e1 := g.EntityName(1)
+	cases := map[string]string{
+		"unknown entity":  "nope 1 2\n",
+		"no components":   e0 + "\n",
+		"dim mismatch":    e0 + " 1 2\n" + e1 + " 1 2 3\n",
+		"duplicate":       e0 + " 1 2\n" + e0 + " 3 4\n",
+		"bad float":       e0 + " abc\n",
+		"empty file":      "",
+		"missing entries": e0 + " 1 2\n", // covers only one entity
+	}
+	for name, input := range cases {
+		if _, err := ReadTable(strings.NewReader(input), g); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestSaveLoadFiles(t *testing.T) {
+	pair := testPair(t)
+	emb, err := Encode(pair, DefaultConfig(ModelRREA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	srcPath := filepath.Join(dir, "src.emb")
+	tgtPath := filepath.Join(dir, "tgt.emb")
+	if err := Save(srcPath, tgtPath, pair, emb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(srcPath, tgtPath, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualApprox(back.Source, emb.Source, 1e-12) ||
+		!matrix.EqualApprox(back.Target, emb.Target, 1e-12) {
+		t.Fatal("file round trip changed embeddings")
+	}
+	if _, err := Load(filepath.Join(dir, "missing"), tgtPath, pair); err == nil {
+		t.Fatal("missing source file accepted")
+	}
+}

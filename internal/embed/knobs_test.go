@@ -1,0 +1,150 @@
+package embed
+
+import (
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+// TestRawMixWidensEmbedding: RawMix > 0 concatenates two geometries.
+func TestRawMixWidensEmbedding(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelRREA)
+	cfg.RawMix = 0
+	plain, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.RawMix = 0.5
+	mixed, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Source.Cols() != 2*plain.Source.Cols() {
+		t.Fatalf("mixed dim %d, plain dim %d", mixed.Source.Cols(), plain.Source.Cols())
+	}
+	rowsUnitNorm(t, mixed.Source)
+}
+
+// TestCompressionModesDiffer: the three compression modes must produce
+// distinct geometries.
+func TestCompressionModesDiffer(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelRREA)
+	cfg.RawMix = 0
+	enc := func(c Compression) *matrix.Dense {
+		cfg.Compression = c
+		e, err := Encode(pair, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Source
+	}
+	none := enc(CompressNone)
+	sqrt := enc(CompressSqrt)
+	logm := enc(CompressLog)
+	if matrix.Equal(none, sqrt) || matrix.Equal(sqrt, logm) || matrix.Equal(none, logm) {
+		t.Fatal("compression modes produced identical embeddings")
+	}
+}
+
+// TestCompressionQualityOrdering: on the structural task, compressed
+// geometries must beat the raw hub-dominated one (the reason strong
+// encoders effectively learn the correction).
+func TestCompressionQualityOrdering(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelRREA)
+	cfg.RawMix = 0
+	acc := func(c Compression) float64 {
+		cfg.Compression = c
+		e, err := Encode(pair, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return greedyAccuracy(t, pair, e)
+	}
+	if raw, logged := acc(CompressNone), acc(CompressLog); logged <= raw {
+		t.Fatalf("log-compressed accuracy %v not above raw %v", logged, raw)
+	}
+}
+
+// TestPopularityBiasPullsHubsTogether: with a strong bias, high-degree
+// entities must be more similar to the centroid than without.
+func TestPopularityBiasKeepsRowsNormalized(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelGCN)
+	cfg.PopularityBias = 1.5
+	e, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsUnitNorm(t, e.Source)
+	// Bias must actually change the embedding.
+	cfg.PopularityBias = 0
+	plain, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Equal(e.Source, plain.Source) {
+		t.Fatal("popularity bias had no effect")
+	}
+}
+
+// TestHubnessCorrectionChangesGeometry: disabling the IDF step must change
+// the embedding.
+func TestHubnessCorrectionChangesGeometry(t *testing.T) {
+	pair := testPair(t)
+	cfg := DefaultConfig(ModelRREA)
+	cfg.RawMix = 0
+	with, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.HubnessCorrection = false
+	without, err := Encode(pair, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.Equal(with.Source, without.Source) {
+		t.Fatal("hubness correction had no effect")
+	}
+}
+
+// TestGCNPresetHasMoreHubness: the weak preset must produce more argmax
+// collisions (hub targets claimed by several sources) than the strong one.
+func TestGCNPresetHasMoreHubness(t *testing.T) {
+	pair := testPair(t)
+	collisionRate := func(m Model) float64 {
+		e, err := Encode(pair, DefaultConfig(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		test := pair.Split.Test.Links
+		srcIDs := make([]int, len(test))
+		tgtIDs := make([]int, len(test))
+		for i, l := range test {
+			srcIDs[i] = l.Source
+			tgtIDs[i] = l.Target
+		}
+		s, err := matrix.MulTransposed(e.Source.SelectRows(srcIDs), e.Target.SelectRows(tgtIDs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, am := s.RowMax()
+		counts := make(map[int]int)
+		for _, j := range am {
+			counts[j]++
+		}
+		collide := 0
+		for _, j := range am {
+			if counts[j] > 1 {
+				collide++
+			}
+		}
+		return float64(collide) / float64(len(am))
+	}
+	gcn, rrea := collisionRate(ModelGCN), collisionRate(ModelRREA)
+	if gcn <= rrea {
+		t.Fatalf("GCN collision rate %v not above RREA %v", gcn, rrea)
+	}
+}

@@ -1,0 +1,135 @@
+package embed
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+
+	"entmatcher/internal/kg"
+	"entmatcher/internal/matrix"
+)
+
+// NameConfig controls the character n-gram name encoder, the stand-in for
+// the word-embedding name features of the paper's N- settings.
+type NameConfig struct {
+	// Dim is the output dimension (the hashing bucket count).
+	Dim int
+	// MinN and MaxN bound the character n-gram lengths hashed.
+	MinN, MaxN int
+}
+
+// DefaultNameConfig returns the calibrated name encoder configuration.
+func DefaultNameConfig() NameConfig {
+	return NameConfig{Dim: 128, MinN: 2, MaxN: 3}
+}
+
+// EncodeNames produces unified name embeddings from the surface forms of the
+// pair. Both sides hash into the same buckets, so no seed supervision is
+// needed — exactly like the paper, where pre-trained word vectors alone
+// "already provide very accurate signal for alignment".
+func EncodeNames(pair *kg.Pair, cfg NameConfig) (*Embeddings, error) {
+	if pair.SourceNames == nil || pair.TargetNames == nil {
+		return nil, fmt.Errorf("embed: dataset %q carries no surface forms", pair.Name)
+	}
+	if cfg.Dim <= 0 || cfg.MinN <= 0 || cfg.MaxN < cfg.MinN {
+		return nil, fmt.Errorf("embed: invalid name config %+v", cfg)
+	}
+	return &Embeddings{
+		Source: encodeNameTable(pair.SourceNames, cfg),
+		Target: encodeNameTable(pair.TargetNames, cfg),
+	}, nil
+}
+
+func encodeNameTable(names []string, cfg NameConfig) *matrix.Dense {
+	out := matrix.New(len(names), cfg.Dim)
+	for i, name := range names {
+		encodeName(name, cfg, out.Row(i))
+	}
+	return out
+}
+
+// encodeName hashes the character n-grams of name into dst with sign
+// hashing (feature-hashing trick), then L2-normalizes. Word boundaries are
+// padded so that word-initial and word-final n-grams are distinguished.
+func encodeName(name string, cfg NameConfig, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for _, word := range strings.Fields(strings.ToLower(name)) {
+		padded := "^" + word + "$"
+		for n := cfg.MinN; n <= cfg.MaxN; n++ {
+			for i := 0; i+n <= len(padded); i++ {
+				h := fnv.New64a()
+				h.Write([]byte(padded[i : i+n]))
+				v := h.Sum64()
+				bucket := int(v % uint64(len(dst)))
+				if v&(1<<63) != 0 {
+					dst[bucket]--
+				} else {
+					dst[bucket]++
+				}
+			}
+		}
+	}
+	var s float64
+	for _, v := range dst {
+		s += v * v
+	}
+	if s == 0 {
+		// Empty name: leave the zero vector; it is dissimilar to everything.
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for j := range dst {
+		dst[j] *= inv
+	}
+}
+
+// Fuse concatenates two unified embedding spaces with the given weights
+// (the paper's NR- setting: name fused with structural representations).
+// Inputs must be row-normalized; the output is row-normalized, so its cosine
+// similarity is the weighted mean of the two input cosines when both rows
+// are present.
+func Fuse(a, b *Embeddings, weightA, weightB float64) (*Embeddings, error) {
+	if weightA < 0 || weightB < 0 || weightA+weightB == 0 {
+		return nil, fmt.Errorf("embed: invalid fusion weights %v, %v", weightA, weightB)
+	}
+	fuse := func(x, y *matrix.Dense) (*matrix.Dense, error) {
+		if x.Rows() != y.Rows() {
+			return nil, fmt.Errorf("embed: fusing %d rows with %d rows", x.Rows(), y.Rows())
+		}
+		out := matrix.New(x.Rows(), x.Cols()+y.Cols())
+		sa, sb := math.Sqrt(weightA), math.Sqrt(weightB)
+		for i := 0; i < x.Rows(); i++ {
+			row := out.Row(i)
+			for j, v := range x.Row(i) {
+				row[j] = sa * v
+			}
+			off := x.Cols()
+			for j, v := range y.Row(i) {
+				row[off+j] = sb * v
+			}
+			var s float64
+			for _, v := range row {
+				s += v * v
+			}
+			if s > 0 {
+				inv := 1 / math.Sqrt(s)
+				for j := range row {
+					row[j] *= inv
+				}
+			}
+		}
+		return out, nil
+	}
+	src, err := fuse(a.Source, b.Source)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := fuse(a.Target, b.Target)
+	if err != nil {
+		return nil, err
+	}
+	return &Embeddings{Source: src, Target: tgt}, nil
+}

@@ -1,0 +1,170 @@
+package embed
+
+import (
+	"testing"
+
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/matrix"
+)
+
+func TestEncodeNamesShapesAndNorm(t *testing.T) {
+	pair := testPair(t)
+	emb, err := EncodeNames(pair, DefaultNameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Source.Rows() != pair.Source.NumEntities() || emb.Source.Cols() != DefaultNameConfig().Dim {
+		t.Fatalf("shape %d×%d", emb.Source.Rows(), emb.Source.Cols())
+	}
+	rowsUnitNorm(t, emb.Source)
+}
+
+func TestEncodeNamesRequiresNames(t *testing.T) {
+	pair := testPair(t)
+	pair.SourceNames = nil
+	if _, err := EncodeNames(pair, DefaultNameConfig()); err == nil {
+		t.Fatal("dataset without names accepted")
+	}
+}
+
+func TestEncodeNamesRejectsBadConfig(t *testing.T) {
+	pair := testPair(t)
+	if _, err := EncodeNames(pair, NameConfig{Dim: 0, MinN: 2, MaxN: 3}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := EncodeNames(pair, NameConfig{Dim: 64, MinN: 3, MaxN: 2}); err == nil {
+		t.Fatal("MaxN < MinN accepted")
+	}
+}
+
+func TestIdenticalNamesIdenticalVectors(t *testing.T) {
+	cfg := DefaultNameConfig()
+	a := make([]float64, cfg.Dim)
+	b := make([]float64, cfg.Dim)
+	encodeName("Alan Turing", cfg, a)
+	encodeName("Alan Turing", cfg, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same name encoded differently")
+		}
+	}
+}
+
+func TestNameEncoderCaseInsensitive(t *testing.T) {
+	cfg := DefaultNameConfig()
+	a := make([]float64, cfg.Dim)
+	b := make([]float64, cfg.Dim)
+	encodeName("Alan Turing", cfg, a)
+	encodeName("ALAN TURING", cfg, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("case changed the encoding")
+		}
+	}
+}
+
+func TestSimilarNamesMoreSimilarThanRandom(t *testing.T) {
+	cfg := DefaultNameConfig()
+	base := make([]float64, cfg.Dim)
+	near := make([]float64, cfg.Dim)
+	far := make([]float64, cfg.Dim)
+	encodeName("konrabe mulata", cfg, base)
+	encodeName("konrabe mulat", cfg, near) // one deletion
+	encodeName("zuzki pevorta", cfg, far)
+	simNear := matrix.Dot(base, near)
+	simFar := matrix.Dot(base, far)
+	if simNear <= simFar {
+		t.Fatalf("near-name similarity %v not above far-name %v", simNear, simFar)
+	}
+	if simNear < 0.5 {
+		t.Fatalf("one-edit name similarity %v unexpectedly low", simNear)
+	}
+}
+
+func TestEmptyNameZeroVector(t *testing.T) {
+	cfg := DefaultNameConfig()
+	v := make([]float64, cfg.Dim)
+	encodeName("", cfg, v)
+	for _, x := range v {
+		if x != 0 {
+			t.Fatal("empty name produced nonzero vector")
+		}
+	}
+}
+
+// TestNameEmbeddingsAlignWell verifies the paper's observation that name
+// information alone is a strong alignment signal on mono-lingual profiles.
+func TestNameEmbeddingsAlignWell(t *testing.T) {
+	pair, err := datagen.Generate(datagen.SRPRSDbpWd.Scaled(0.02)) // NameNoise 0.05
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, err := EncodeNames(pair, DefaultNameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := greedyAccuracy(t, pair, emb); acc < 0.6 {
+		t.Fatalf("mono-lingual name accuracy %v below 0.6", acc)
+	}
+}
+
+func TestFuseShapesAndNorm(t *testing.T) {
+	pair := testPair(t)
+	structural, err := Encode(pair, DefaultConfig(ModelRREA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := EncodeNames(pair, DefaultNameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Fuse(structural, names, 0.4, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCols := structural.Source.Cols() + names.Source.Cols()
+	if fused.Source.Cols() != wantCols {
+		t.Fatalf("fused dim %d, want %d", fused.Source.Cols(), wantCols)
+	}
+	rowsUnitNorm(t, fused.Source)
+	rowsUnitNorm(t, fused.Target)
+}
+
+func TestFuseRejectsBadInput(t *testing.T) {
+	pair := testPair(t)
+	structural, err := Encode(pair, DefaultConfig(ModelGCN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Fuse(structural, structural, 0, 0); err == nil {
+		t.Fatal("zero weights accepted")
+	}
+	other := &Embeddings{Source: matrix.New(1, 4), Target: matrix.New(1, 4)}
+	if _, err := Fuse(structural, other, 1, 1); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}
+
+// TestFusionImprovesAlignment mirrors the paper's NR- > N-, R- ordering on
+// a cross-lingual profile where neither signal is perfect alone.
+func TestFusionImprovesAlignment(t *testing.T) {
+	pair := testPair(t) // D-Z profile: hard names, decent structure
+	structural, err := Encode(pair, DefaultConfig(ModelRREA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := EncodeNames(pair, DefaultNameConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := Fuse(structural, names, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accS := greedyAccuracy(t, pair, structural)
+	accN := greedyAccuracy(t, pair, names)
+	accF := greedyAccuracy(t, pair, fused)
+	if accF <= accS || accF <= accN {
+		t.Fatalf("fusion accuracy %v not above components (struct %v, name %v)", accF, accS, accN)
+	}
+}

@@ -1,0 +1,152 @@
+package embed
+
+import (
+	"math"
+
+	"entmatcher/internal/kg"
+	"entmatcher/internal/matrix"
+)
+
+// blockSpan delimits one feature block [Lo, Hi) with its target share of
+// the final row norm.
+type blockSpan struct {
+	Lo, Hi int
+	Weight float64
+}
+
+// anchorFeatures computes the structural feature profile of a graph: one
+// block of width m per propagation layer, where block l holds the (log-
+// compressed) anchor mass that reaches each entity after l rounds of
+// degree-normalized, optionally relation-weighted propagation with anchor
+// clamping. Early blocks carry sharp near-anchor structure, later blocks
+// carry coarser community-level signal; the spans' decaying weights encode
+// that ordering for normalizeBlocks.
+func anchorFeatures(g *kg.Graph, anchors []int, cfg Config) (*matrix.Dense, []blockSpan) {
+	layers := cfg.Layers
+	relationAware := cfg.RelationWeighting
+	n := g.NumEntities()
+	m := len(anchors)
+	if layers < 1 {
+		layers = 1
+	}
+	out := matrix.New(n, layers*m)
+	spans := make([]blockSpan, layers)
+	for l := 0; l < layers; l++ {
+		spans[l] = blockSpan{Lo: l * m, Hi: (l + 1) * m, Weight: math.Pow(0.7, float64(l))}
+	}
+
+	relW := relationWeights(g, relationAware)
+	cur := matrix.New(n, m)
+	for a, e := range anchors {
+		cur.Set(e, a, 1)
+	}
+	next := matrix.New(n, m)
+	for l := 1; l <= layers; l++ {
+		propagateOnce(g, cur, next, relW, 0.3)
+		cur, next = next, cur
+		// Clamp anchors back to their indicator so they stay fixed points.
+		for a, e := range anchors {
+			row := cur.Row(e)
+			for j := range row {
+				row[j] = 0
+			}
+			row[a] = 1
+		}
+		off := (l - 1) * m
+		for i := 0; i < n; i++ {
+			dst := out.Row(i)[off : off+m]
+			for j, v := range cur.Row(i) {
+				if v > 0 {
+					switch cfg.Compression {
+					case CompressLog:
+						dst[j] = math.Log1p(v * 1e4)
+					case CompressSqrt:
+						dst[j] = math.Sqrt(v)
+					default:
+						dst[j] = v
+					}
+				}
+			}
+		}
+	}
+	return out, spans
+}
+
+// normalizeBlocks rescales each feature block, jointly across the two
+// profiles, so its mean row norm equals the block's weight. Without this
+// the high-magnitude deep blocks would dominate the cosine similarity.
+func normalizeBlocks(a, b *matrix.Dense, spans []blockSpan) {
+	for _, sp := range spans {
+		var total float64
+		var rows int
+		for _, p := range []*matrix.Dense{a, b} {
+			for i := 0; i < p.Rows(); i++ {
+				seg := p.Row(i)[sp.Lo:sp.Hi]
+				var s float64
+				for _, v := range seg {
+					s += v * v
+				}
+				total += math.Sqrt(s)
+			}
+			rows += p.Rows()
+		}
+		mean := total / float64(rows)
+		if mean < 1e-12 {
+			continue
+		}
+		scale := sp.Weight / mean
+		for _, p := range []*matrix.Dense{a, b} {
+			for i := 0; i < p.Rows(); i++ {
+				seg := p.Row(i)[sp.Lo:sp.Hi]
+				for j := range seg {
+					seg[j] *= scale
+				}
+			}
+		}
+	}
+}
+
+// propagateOnce performs one round of degree-normalized, relation-weighted
+// aggregation with residual mixing: next = resid·cur + (1−resid)·agg.
+func propagateOnce(g *kg.Graph, cur, next *matrix.Dense, relW []float64, resid float64) {
+	n := g.NumEntities()
+	nextData := next.Data()
+	for i := range nextData {
+		nextData[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		edges := g.Neighbors(i)
+		nrow := next.Row(i)
+		crow := cur.Row(i)
+		if len(edges) == 0 {
+			copy(nrow, crow)
+			continue
+		}
+		var totalW float64
+		for _, e := range edges {
+			totalW += relW[e.Relation]
+		}
+		if totalW <= 0 {
+			copy(nrow, crow)
+			continue
+		}
+		inv := (1 - resid) / totalW
+		for _, e := range edges {
+			w := relW[e.Relation] * inv
+			if w == 0 {
+				continue
+			}
+			neigh := cur.Row(e.Neighbor)
+			for a, v := range neigh {
+				if v != 0 {
+					nrow[a] += w * v
+				}
+			}
+		}
+		for a, v := range crow {
+			if v != 0 {
+				nrow[a] += resid * v
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package kg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph("g")
+	g.AddTripleNames("a", "r", "b")
+	g.AddTripleNames("b", "r", "c")
+	g.AddTripleNames("x", "r", "y")
+	g.AddEntity("lonely")
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 || len(comps[2]) != 1 {
+		t.Fatalf("component sizes %d/%d/%d", len(comps[0]), len(comps[1]), len(comps[2]))
+	}
+}
+
+// TestConnectedComponentsPartition: components must partition the vertex set.
+func TestConnectedComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph("g")
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			g.AddEntity(string(rune('A'+i%26)) + string(rune('a'+i/26)))
+		}
+		g.AddRelation("r")
+		for e := 0; e < n; e++ {
+			if rng.Float64() < 0.6 {
+				if err := g.AddTriple(rng.Intn(n), 0, rng.Intn(n)); err != nil {
+					return false
+				}
+			}
+		}
+		seen := make(map[int]bool)
+		for _, comp := range g.ConnectedComponents() {
+			for _, id := range comp {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return len(seen) == g.NumEntities()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := NewGraph("g")
+	g.AddTripleNames("a", "r", "b")
+	g.AddTripleNames("b", "r", "c")
+	g.AddEntity("far")
+	a, _ := g.EntityID("a")
+	c, _ := g.EntityID("c")
+	far, _ := g.EntityID("far")
+	dist := g.BFSDistances(a)
+	if dist[a] != 0 || dist[c] != 2 || dist[far] != -1 {
+		t.Fatalf("distances = %v", dist)
+	}
+	if out := g.BFSDistances(-1); out[a] != -1 {
+		t.Fatal("invalid start did not yield all -1")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := NewGraph("g")
+	g.AddTripleNames("a", "r1", "b")
+	g.AddTripleNames("b", "r2", "c")
+	g.AddTripleNames("c", "r1", "a")
+	a, _ := g.EntityID("a")
+	b, _ := g.EntityID("b")
+	sub, mapping := g.Subgraph([]int{a, b})
+	if sub.NumEntities() != 2 {
+		t.Fatalf("subgraph entities = %d", sub.NumEntities())
+	}
+	if sub.NumTriples() != 1 {
+		t.Fatalf("subgraph triples = %d (want only a-r1-b)", sub.NumTriples())
+	}
+	if _, ok := mapping[a]; !ok {
+		t.Fatal("mapping missing a")
+	}
+	// Out-of-range IDs are ignored.
+	sub2, _ := g.Subgraph([]int{a, 99})
+	if sub2.NumEntities() != 1 {
+		t.Fatalf("out-of-range leak: %d entities", sub2.NumEntities())
+	}
+}
+
+func TestRelationFrequencies(t *testing.T) {
+	g := NewGraph("g")
+	g.AddTripleNames("a", "r1", "b")
+	g.AddTripleNames("b", "r1", "c")
+	g.AddTripleNames("a", "r2", "c")
+	freq := g.RelationFrequencies()
+	r1, _ := 0, 0
+	if g.RelationName(0) != "r1" {
+		t.Fatal("relation interning order changed")
+	}
+	_ = r1
+	if freq[0] != 2 || freq[1] != 1 {
+		t.Fatalf("frequencies = %v", freq)
+	}
+}
+
+func TestClusteringSample(t *testing.T) {
+	// Triangle: clustering coefficient 1 for each vertex.
+	tri := NewGraph("tri")
+	tri.AddTripleNames("a", "r", "b")
+	tri.AddTripleNames("b", "r", "c")
+	tri.AddTripleNames("c", "r", "a")
+	if cc := tri.ClusteringSample(10); cc < 0.99 {
+		t.Fatalf("triangle clustering = %v, want 1", cc)
+	}
+	// Star: center's neighbors unconnected → 0.
+	star := NewGraph("star")
+	star.AddTripleNames("hub", "r", "l1")
+	star.AddTripleNames("hub", "r", "l2")
+	star.AddTripleNames("hub", "r", "l3")
+	if cc := star.ClusteringSample(1); cc != 0 {
+		t.Fatalf("star clustering = %v, want 0", cc)
+	}
+	// Empty graph.
+	if cc := NewGraph("e").ClusteringSample(5); cc != 0 {
+		t.Fatalf("empty graph clustering = %v", cc)
+	}
+}

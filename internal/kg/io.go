@@ -1,0 +1,310 @@
+package kg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// On-disk layout (OpenEA-compatible):
+//
+//	<dir>/ent_ids_1       entity URIs in dense-ID order (source KG)
+//	<dir>/ent_ids_2       same for the target KG
+//	<dir>/rel_triples_1   TAB-separated subject predicate object (source KG)
+//	<dir>/rel_triples_2   same for the target KG
+//	<dir>/ent_links_train TAB-separated source target URIs
+//	<dir>/ent_links_valid
+//	<dir>/ent_links_test
+//	<dir>/ent_names_1     optional TAB-separated URI surface-form
+//	<dir>/ent_names_2
+const (
+	fileEntities1  = "ent_ids_1"
+	fileEntities2  = "ent_ids_2"
+	fileTriples1   = "rel_triples_1"
+	fileTriples2   = "rel_triples_2"
+	fileLinksTrain = "ent_links_train"
+	fileLinksValid = "ent_links_valid"
+	fileLinksTest  = "ent_links_test"
+	fileNames1     = "ent_names_1"
+	fileNames2     = "ent_names_2"
+)
+
+// writeEntities serializes the entity vocabulary in dense-ID order, so
+// entities that participate in no triple survive a round trip.
+func writeEntities(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for id := 0; id < g.NumEntities(); id++ {
+		if _, err := fmt.Fprintln(bw, g.EntityName(id)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readEntities interns one entity per line into g.
+func readEntities(r io.Reader, g *Graph) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line != "" {
+			g.AddEntity(line)
+		}
+	}
+	return sc.Err()
+}
+
+// WriteGraph serializes the triples of g in TSV form.
+func WriteGraph(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.SortedTriples() {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\t%s\n",
+			g.EntityName(t.Subject), g.RelationName(t.Relation), g.EntityName(t.Object)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraph parses TSV triples into a new graph named name.
+func ReadGraph(r io.Reader, name string) (*Graph, error) {
+	g := NewGraph(name)
+	if err := readTriplesInto(r, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// readTriplesInto parses TSV triples into an existing graph.
+func readTriplesInto(r io.Reader, g *Graph) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			return fmt.Errorf("kg: %s line %d: want 3 tab-separated fields, got %d", g.Name, lineNo, len(parts))
+		}
+		g.AddTripleNames(parts[0], parts[1], parts[2])
+	}
+	return sc.Err()
+}
+
+// writeLinks serializes links as "sourceURI\ttargetURI" lines.
+func writeLinks(w io.Writer, set LinkSet, src, tgt *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range set.Links {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", src.EntityName(l.Source), tgt.EntityName(l.Target)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readLinks parses link lines, resolving URIs against the two graphs.
+func readLinks(r io.Reader, src, tgt *Graph) (LinkSet, error) {
+	var set LinkSet
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 2 {
+			return set, fmt.Errorf("kg: links line %d: want 2 fields, got %d", lineNo, len(parts))
+		}
+		s, ok := src.EntityID(parts[0])
+		if !ok {
+			return set, fmt.Errorf("kg: links line %d: unknown source entity %q", lineNo, parts[0])
+		}
+		t, ok := tgt.EntityID(parts[1])
+		if !ok {
+			return set, fmt.Errorf("kg: links line %d: unknown target entity %q", lineNo, parts[1])
+		}
+		set.Add(s, t)
+	}
+	return set, sc.Err()
+}
+
+// writeNames serializes surface forms as "URI\tname" lines in ID order.
+func writeNames(w io.Writer, g *Graph, names []string) error {
+	bw := bufio.NewWriter(w)
+	for id, form := range names {
+		if _, err := fmt.Fprintf(bw, "%s\t%s\n", g.EntityName(id), form); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readNames parses surface forms, resolving URIs against g. Entities missing
+// from the file keep an empty surface form.
+func readNames(r io.Reader, g *Graph) ([]string, error) {
+	names := make([]string, g.NumEntities())
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("kg: names line %d: want 2 fields", lineNo)
+		}
+		id, ok := g.EntityID(parts[0])
+		if !ok {
+			return nil, fmt.Errorf("kg: names line %d: unknown entity %q", lineNo, parts[0])
+		}
+		names[id] = parts[1]
+	}
+	return names, sc.Err()
+}
+
+// WritePair serializes a dataset to dir, creating it if necessary.
+func WritePair(dir string, p *Pair) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writeFile := func(name string, fn func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := writeFile(fileEntities1, func(w io.Writer) error { return writeEntities(w, p.Source) }); err != nil {
+		return err
+	}
+	if err := writeFile(fileEntities2, func(w io.Writer) error { return writeEntities(w, p.Target) }); err != nil {
+		return err
+	}
+	if err := writeFile(fileTriples1, func(w io.Writer) error { return WriteGraph(w, p.Source) }); err != nil {
+		return err
+	}
+	if err := writeFile(fileTriples2, func(w io.Writer) error { return WriteGraph(w, p.Target) }); err != nil {
+		return err
+	}
+	links := []struct {
+		name string
+		set  LinkSet
+	}{
+		{fileLinksTrain, p.Split.Train},
+		{fileLinksValid, p.Split.Valid},
+		{fileLinksTest, p.Split.Test},
+	}
+	for _, l := range links {
+		l := l
+		if err := writeFile(l.name, func(w io.Writer) error { return writeLinks(w, l.set, p.Source, p.Target) }); err != nil {
+			return err
+		}
+	}
+	if p.SourceNames != nil {
+		if err := writeFile(fileNames1, func(w io.Writer) error { return writeNames(w, p.Source, p.SourceNames) }); err != nil {
+			return err
+		}
+	}
+	if p.TargetNames != nil {
+		if err := writeFile(fileNames2, func(w io.Writer) error { return writeNames(w, p.Target, p.TargetNames) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPair deserializes a dataset previously written by WritePair.
+func ReadPair(dir, name string) (*Pair, error) {
+	readInto := func(fname string, fn func(io.Reader) error) error {
+		f, err := os.Open(filepath.Join(dir, fname))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return fn(f)
+	}
+	p := &Pair{Name: name, Split: &Split{}}
+	p.Source = NewGraph(name + "-source")
+	p.Target = NewGraph(name + "-target")
+	// Entity vocabulary files are optional for compatibility with plain
+	// OpenEA dumps; when present they fix the dense-ID order and preserve
+	// isolated entities.
+	for _, v := range []struct {
+		fname string
+		g     *Graph
+	}{{fileEntities1, p.Source}, {fileEntities2, p.Target}} {
+		v := v
+		if _, err := os.Stat(filepath.Join(dir, v.fname)); err == nil {
+			if err := readInto(v.fname, func(r io.Reader) error { return readEntities(r, v.g) }); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := readInto(fileTriples1, func(r io.Reader) error { return readTriplesInto(r, p.Source) }); err != nil {
+		return nil, err
+	}
+	if err := readInto(fileTriples2, func(r io.Reader) error { return readTriplesInto(r, p.Target) }); err != nil {
+		return nil, err
+	}
+	links := []struct {
+		fname string
+		dst   *LinkSet
+	}{
+		{fileLinksTrain, &p.Split.Train},
+		{fileLinksValid, &p.Split.Valid},
+		{fileLinksTest, &p.Split.Test},
+	}
+	for _, l := range links {
+		l := l
+		if err := readInto(l.fname, func(r io.Reader) error {
+			set, err := readLinks(r, p.Source, p.Target)
+			*l.dst = set
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Name files are optional.
+	if _, err := os.Stat(filepath.Join(dir, fileNames1)); err == nil {
+		if err := readInto(fileNames1, func(r io.Reader) error {
+			names, err := readNames(r, p.Source)
+			p.SourceNames = names
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, fileNames2)); err == nil {
+		if err := readInto(fileNames2, func(r io.Reader) error {
+			names, err := readNames(r, p.Target)
+			p.TargetNames = names
+			return err
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,143 @@
+package kg
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGraphRoundTrip(t *testing.T) {
+	g := smallGraph()
+	var buf bytes.Buffer
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(&buf, "back")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEntities() != g.NumEntities() || back.NumTriples() != g.NumTriples() || back.NumRelations() != g.NumRelations() {
+		t.Fatalf("round trip changed stats: %+v vs %+v", back.Stats(), g.Stats())
+	}
+}
+
+func TestReadGraphRejectsMalformed(t *testing.T) {
+	if _, err := ReadGraph(strings.NewReader("a\tb\n"), "bad"); err == nil {
+		t.Fatal("2-field line accepted")
+	}
+}
+
+func TestReadGraphSkipsBlankLines(t *testing.T) {
+	g, err := ReadGraph(strings.NewReader("a\tr\tb\n\n\nc\tr\td\n"), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumTriples() != 2 {
+		t.Fatalf("NumTriples = %d", g.NumTriples())
+	}
+}
+
+func randomPair(t *testing.T, withNames bool) *Pair {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	src := NewGraph("src")
+	tgt := NewGraph("tgt")
+	var links LinkSet
+	for i := 0; i < 50; i++ {
+		s := src.AddEntity("s" + string(rune('A'+i%26)) + string(rune('a'+i/26)))
+		tt := tgt.AddEntity("t" + string(rune('A'+i%26)) + string(rune('a'+i/26)))
+		links.Add(s, tt)
+	}
+	for i := 0; i < 120; i++ {
+		a, b := rng.Intn(50), rng.Intn(50)
+		if err := src.AddTriple(a, src.AddRelation("r"+string(rune('0'+i%5))), b); err != nil {
+			t.Fatal(err)
+		}
+		if err := tgt.AddTriple(b, tgt.AddRelation("r"+string(rune('0'+i%5))), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, err := SplitLinks(links, 0.2, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Pair{Name: "rt", Source: src, Target: tgt, Split: sp}
+	if withNames {
+		p.SourceNames = make([]string, src.NumEntities())
+		p.TargetNames = make([]string, tgt.NumEntities())
+		for i := range p.SourceNames {
+			p.SourceNames[i] = "Name Of " + src.EntityName(i)
+		}
+		for i := range p.TargetNames {
+			p.TargetNames[i] = "Name Of " + tgt.EntityName(i)
+		}
+	}
+	return p
+}
+
+func TestPairRoundTrip(t *testing.T) {
+	for _, withNames := range []bool{false, true} {
+		p := randomPair(t, withNames)
+		dir := filepath.Join(t.TempDir(), "ds")
+		if err := WritePair(dir, p); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadPair(dir, "rt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Source.NumTriples() != p.Source.NumTriples() {
+			t.Fatalf("source triples %d vs %d", back.Source.NumTriples(), p.Source.NumTriples())
+		}
+		if back.Split.Train.Len() != p.Split.Train.Len() ||
+			back.Split.Valid.Len() != p.Split.Valid.Len() ||
+			back.Split.Test.Len() != p.Split.Test.Len() {
+			t.Fatal("split sizes changed in round trip")
+		}
+		// Links must survive semantically: compare URI pairs.
+		toURIs := func(pp *Pair, set LinkSet) map[string]bool {
+			out := make(map[string]bool)
+			for _, l := range set.Links {
+				out[pp.Source.EntityName(l.Source)+"|"+pp.Target.EntityName(l.Target)] = true
+			}
+			return out
+		}
+		want := toURIs(p, p.Split.Test)
+		got := toURIs(back, back.Split.Test)
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("test link %q lost in round trip", k)
+			}
+		}
+		if withNames {
+			if back.SourceNames == nil || back.TargetNames == nil {
+				t.Fatal("names lost in round trip")
+			}
+			sid, _ := back.Source.EntityID(p.Source.EntityName(0))
+			if back.SourceNames[sid] != p.SourceNames[0] {
+				t.Fatalf("surface form changed: %q vs %q", back.SourceNames[sid], p.SourceNames[0])
+			}
+		} else if back.SourceNames != nil {
+			t.Fatal("names materialized from nothing")
+		}
+	}
+}
+
+func TestReadPairMissingDir(t *testing.T) {
+	if _, err := ReadPair(filepath.Join(t.TempDir(), "nope"), "x"); err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}
+
+func TestReadLinksUnknownEntity(t *testing.T) {
+	src := smallGraph()
+	tgt := smallGraph()
+	if _, err := readLinks(strings.NewReader("zzz\ta\n"), src, tgt); err == nil {
+		t.Fatal("unknown source entity accepted")
+	}
+	if _, err := readLinks(strings.NewReader("a\tzzz\n"), src, tgt); err == nil {
+		t.Fatal("unknown target entity accepted")
+	}
+}

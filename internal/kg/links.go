@@ -1,0 +1,266 @@
+package kg
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Link is one gold alignment link between a source and a target entity,
+// by dense ID in the respective graphs.
+type Link struct {
+	Source int
+	Target int
+}
+
+// LinkSet is a set of gold alignment links.
+type LinkSet struct {
+	Links []Link
+}
+
+// Add appends a link.
+func (s *LinkSet) Add(source, target int) {
+	s.Links = append(s.Links, Link{Source: source, Target: target})
+}
+
+// Len returns the number of links.
+func (s LinkSet) Len() int { return len(s.Links) }
+
+// SourceSet returns the set of distinct source IDs.
+func (s LinkSet) SourceSet() map[int]bool {
+	out := make(map[int]bool, len(s.Links))
+	for _, l := range s.Links {
+		out[l.Source] = true
+	}
+	return out
+}
+
+// TargetSet returns the set of distinct target IDs.
+func (s LinkSet) TargetSet() map[int]bool {
+	out := make(map[int]bool, len(s.Links))
+	for _, l := range s.Links {
+		out[l.Target] = true
+	}
+	return out
+}
+
+// IsOneToOne reports whether no source and no target participates in more
+// than one link.
+func (s LinkSet) IsOneToOne() bool {
+	src := make(map[int]int)
+	tgt := make(map[int]int)
+	for _, l := range s.Links {
+		src[l.Source]++
+		tgt[l.Target]++
+		if src[l.Source] > 1 || tgt[l.Target] > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// MultiplicityStats describes how far a link set departs from the 1-to-1
+// assumption: counts of links participating in 1-to-1, 1-to-many, many-to-1
+// and many-to-many relationships (the FB_DBP_MUL construction of § 5.2).
+type MultiplicityStats struct {
+	OneToOne   int
+	OneToMany  int
+	ManyToOne  int
+	ManyToMany int
+}
+
+// Multiplicity classifies every link by the fan-out of its endpoints.
+func (s LinkSet) Multiplicity() MultiplicityStats {
+	srcDeg := make(map[int]int)
+	tgtDeg := make(map[int]int)
+	for _, l := range s.Links {
+		srcDeg[l.Source]++
+		tgtDeg[l.Target]++
+	}
+	var st MultiplicityStats
+	for _, l := range s.Links {
+		sMulti := srcDeg[l.Source] > 1
+		tMulti := tgtDeg[l.Target] > 1
+		switch {
+		case !sMulti && !tMulti:
+			st.OneToOne++
+		case sMulti && !tMulti:
+			st.OneToMany++ // one source entity linked to many targets
+		case !sMulti && tMulti:
+			st.ManyToOne++
+		default:
+			st.ManyToMany++
+		}
+	}
+	return st
+}
+
+// Split holds the train / validation / test partition of the gold links.
+type Split struct {
+	Train, Valid, Test LinkSet
+}
+
+// TotalLinks returns the number of links across all three partitions.
+func (sp *Split) TotalLinks() int {
+	return sp.Train.Len() + sp.Valid.Len() + sp.Test.Len()
+}
+
+// SplitLinks partitions links into train/valid/test with the given
+// fractions (the paper's main setting is 20% / 10% / 70%). The split is a
+// simple shuffle-and-cut, valid for 1-to-1 link sets. fracTrain+fracValid
+// must be < 1; the remainder becomes the test set.
+func SplitLinks(links LinkSet, fracTrain, fracValid float64, rng *rand.Rand) (*Split, error) {
+	if fracTrain < 0 || fracValid < 0 || fracTrain+fracValid >= 1 {
+		return nil, fmt.Errorf("kg: invalid split fractions train=%v valid=%v", fracTrain, fracValid)
+	}
+	shuffled := append([]Link(nil), links.Links...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	n := len(shuffled)
+	nTrain := int(fracTrain * float64(n))
+	nValid := int(fracValid * float64(n))
+	sp := &Split{}
+	sp.Train.Links = append(sp.Train.Links, shuffled[:nTrain]...)
+	sp.Valid.Links = append(sp.Valid.Links, shuffled[nTrain:nTrain+nValid]...)
+	sp.Test.Links = append(sp.Test.Links, shuffled[nTrain+nValid:]...)
+	return sp, nil
+}
+
+// SplitLinksGrouped partitions links under the § 5.2 integrity rule: all
+// links that share an entity (on either side) must land in the same
+// partition. Links are first grouped into connected components of the
+// bipartite link graph; whole components are then dealt to partitions,
+// greedily targeting the requested fractions. This is the sampling principle
+// used to build FB_DBP_MUL's approximately 7:1:2 split.
+func SplitLinksGrouped(links LinkSet, fracTrain, fracValid float64, rng *rand.Rand) (*Split, error) {
+	if fracTrain < 0 || fracValid < 0 || fracTrain+fracValid >= 1 {
+		return nil, fmt.Errorf("kg: invalid split fractions train=%v valid=%v", fracTrain, fracValid)
+	}
+	comps := linkComponents(links)
+	rng.Shuffle(len(comps), func(i, j int) { comps[i], comps[j] = comps[j], comps[i] })
+	// Largest components first (after shuffle for tie randomness) gives a
+	// better packing toward the target fractions.
+	sort.SliceStable(comps, func(a, b int) bool { return len(comps[a]) > len(comps[b]) })
+
+	n := float64(links.Len())
+	wantTrain := fracTrain * n
+	wantValid := fracValid * n
+	sp := &Split{}
+	for _, comp := range comps {
+		switch {
+		case float64(sp.Train.Len()) < wantTrain:
+			sp.Train.Links = append(sp.Train.Links, comp...)
+		case float64(sp.Valid.Len()) < wantValid:
+			sp.Valid.Links = append(sp.Valid.Links, comp...)
+		default:
+			sp.Test.Links = append(sp.Test.Links, comp...)
+		}
+	}
+	return sp, nil
+}
+
+// linkComponents groups links into connected components of the bipartite
+// graph whose vertices are (side, entity) pairs and whose edges are links.
+func linkComponents(links LinkSet) [][]Link {
+	parent := make(map[[2]int][2]int)
+	var find func(x [2]int) [2]int
+	find = func(x [2]int) [2]int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b [2]int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, l := range links.Links {
+		union([2]int{0, l.Source}, [2]int{1, l.Target})
+	}
+	groups := make(map[[2]int][]Link)
+	for _, l := range links.Links {
+		root := find([2]int{0, l.Source})
+		groups[root] = append(groups[root], l)
+	}
+	out := make([][]Link, 0, len(groups))
+	// Deterministic iteration order: sort group keys.
+	keys := make([][2]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	for _, k := range keys {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// Pair bundles a source KG, a target KG and their gold-link split: one
+// benchmark dataset in the sense of the paper's Table 3.
+type Pair struct {
+	Name   string
+	Source *Graph
+	Target *Graph
+	Split  *Split
+
+	// SurfaceForms hold human-readable entity names used by the name
+	// encoder (N- and NR- settings). Index i of SourceNames is the surface
+	// form of source entity i; likewise for TargetNames. May be nil for
+	// structure-only datasets.
+	SourceNames []string
+	TargetNames []string
+}
+
+// Validate checks the internal consistency of the dataset: all link
+// endpoints must be valid entity IDs and the name tables, when present,
+// must cover the vocabularies.
+func (p *Pair) Validate() error {
+	check := func(set LinkSet, what string) error {
+		for _, l := range set.Links {
+			if l.Source < 0 || l.Source >= p.Source.NumEntities() {
+				return fmt.Errorf("kg: %s link source ID %d out of range", what, l.Source)
+			}
+			if l.Target < 0 || l.Target >= p.Target.NumEntities() {
+				return fmt.Errorf("kg: %s link target ID %d out of range", what, l.Target)
+			}
+		}
+		return nil
+	}
+	if p.Split == nil {
+		return fmt.Errorf("kg: dataset %q has no split", p.Name)
+	}
+	for _, c := range []struct {
+		set  LinkSet
+		what string
+	}{{p.Split.Train, "train"}, {p.Split.Valid, "valid"}, {p.Split.Test, "test"}} {
+		if err := check(c.set, c.what); err != nil {
+			return err
+		}
+	}
+	if p.SourceNames != nil && len(p.SourceNames) != p.Source.NumEntities() {
+		return fmt.Errorf("kg: %d source names for %d entities", len(p.SourceNames), p.Source.NumEntities())
+	}
+	if p.TargetNames != nil && len(p.TargetNames) != p.Target.NumEntities() {
+		return fmt.Errorf("kg: %d target names for %d entities", len(p.TargetNames), p.Target.NumEntities())
+	}
+	return nil
+}
+
+// AllLinks returns the union of train, valid and test links.
+func (p *Pair) AllLinks() LinkSet {
+	var out LinkSet
+	out.Links = append(out.Links, p.Split.Train.Links...)
+	out.Links = append(out.Links, p.Split.Valid.Links...)
+	out.Links = append(out.Links, p.Split.Test.Links...)
+	return out
+}

@@ -1,0 +1,66 @@
+package matrix
+
+import "fmt"
+
+// Mul returns the matrix product a×b.
+// a must be (m×k) and b (k×n); the result is (m×n).
+func Mul(a, b *Dense) (*Dense, error) {
+	if a.cols != b.rows {
+		return nil, fmt.Errorf("%w: %d×%d · %d×%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.cols)
+	n := b.cols
+	parallelRows(a.rows, func(i int) {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		// ikj loop order: stream through b rows, accumulate into the output
+		// row. This is the cache-friendly ordering for row-major storage.
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	})
+	return out, nil
+}
+
+// MulTransposed returns a×bᵀ without materializing the transpose.
+// a must be (m×d) and b (n×d); the result is (m×n). This is the shape of a
+// pairwise similarity computation between two embedding tables.
+func MulTransposed(a, b *Dense) (*Dense, error) {
+	if a.cols != b.cols {
+		return nil, fmt.Errorf("%w: %d×%d · (%d×%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
+	}
+	out := New(a.rows, b.rows)
+	d := a.cols
+	parallelRows(a.rows, func(i int) {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.rows; j++ {
+			brow := b.data[j*d : (j+1)*d]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	})
+	return out, nil
+}
+
+// Dot returns the inner product of two equal-length vectors.
+// It panics if the lengths differ.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}

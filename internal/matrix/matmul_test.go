@@ -1,0 +1,122 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naiveMul(a, b *Dense) *Dense {
+	out := New(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < b.Cols(); j++ {
+			var s float64
+			for k := 0; k < a.Cols(); k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMulSmall(t *testing.T) {
+	a, _ := NewFromData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b, _ := NewFromData(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := NewFromData(2, 2, []float64{58, 64, 139, 154})
+	if !Equal(got, want) {
+		t.Fatalf("Mul = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := Mul(a, b); err == nil {
+		t.Fatal("incompatible shapes accepted")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(15), 1+rng.Intn(15), 1+rng.Intn(15)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, n)
+		got, err := Mul(a, b)
+		if err != nil {
+			return false
+		}
+		return EqualApprox(got, naiveMul(a, b), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulTransposedMatchesMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, d, n := 1+rng.Intn(15), 1+rng.Intn(15), 1+rng.Intn(15)
+		a := randMatrix(rng, m, d)
+		b := randMatrix(rng, n, d)
+		got, err := MulTransposed(a, b)
+		if err != nil {
+			return false
+		}
+		want, err := Mul(a, b.Transpose())
+		if err != nil {
+			return false
+		}
+		return EqualApprox(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulTransposedShapeError(t *testing.T) {
+	if _, err := MulTransposed(New(2, 3), New(2, 4)); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Dot did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func BenchmarkMulTransposed256(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x := randMatrix(rng, 256, 64)
+	y := randMatrix(rng, 256, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MulTransposed(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := randMatrix(rng, 512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.RowTopK(10)
+	}
+}

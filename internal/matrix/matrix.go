@@ -1,0 +1,376 @@
+// Package matrix provides the dense row-major float64 matrix kernel used by
+// every embedding-matching algorithm in this repository.
+//
+// The matchers in internal/core operate exclusively on similarity matrices of
+// shape (|source entities| × |target entities|). This package supplies the
+// small set of primitives they need — argmax scans, top-k selection, row and
+// column normalization, rank transforms — implemented with goroutine-chunked
+// parallelism so that medium-scale matrices (tens of millions of cells)
+// remain tractable on commodity machines.
+//
+// All operations that read a matrix treat it as immutable; operations that
+// mutate are named with an explicit In-Place suffix or documented as such.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Dense is a row-major dense matrix of float64 values.
+//
+// The zero value is an empty 0×0 matrix. Use New or NewFromData to construct
+// non-empty matrices.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// ErrShape is returned when matrix dimensions are incompatible with the
+// requested operation.
+var ErrShape = errors.New("matrix: incompatible shape")
+
+// New returns a zero-initialized rows×cols matrix.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %d×%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromData wraps an existing slice as a rows×cols matrix without copying.
+// The slice length must be exactly rows*cols.
+func NewFromData(rows, cols int, data []float64) (*Dense, error) {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return nil, fmt.Errorf("%w: data length %d for %d×%d", ErrShape, len(data), rows, cols)
+	}
+	return &Dense{rows: rows, cols: cols, data: data}, nil
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns the element at (i, j). Indices are not bounds-checked beyond
+// the slice access itself.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set stores v at (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns the i-th row as a sub-slice of the backing array.
+// Mutating the returned slice mutates the matrix.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the backing slice (row-major). Mutations are visible.
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// SizeBytes returns the approximate heap footprint of the matrix payload.
+func (m *Dense) SizeBytes() int64 { return int64(len(m.data)) * 8 }
+
+// Fill sets every element to v.
+func (m *Dense) Fill(v float64) {
+	for i := range m.data {
+		m.data[i] = v
+	}
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Dense) Transpose() *Dense {
+	out := New(m.cols, m.rows)
+	// Blocked transpose for cache friendliness on large matrices.
+	const bs = 64
+	for ib := 0; ib < m.rows; ib += bs {
+		imax := min(ib+bs, m.rows)
+		for jb := 0; jb < m.cols; jb += bs {
+			jmax := min(jb+bs, m.cols)
+			for i := ib; i < imax; i++ {
+				row := m.data[i*m.cols:]
+				for j := jb; j < jmax; j++ {
+					out.data[j*m.rows+i] = row[j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports whether a and b have the same shape and identical elements.
+func Equal(a, b *Dense) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if v != b.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether a and b have the same shape and element-wise
+// differences no larger than tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelRows invokes fn(i) for every row index, splitting work across
+// GOMAXPROCS goroutines when the matrix is large enough to amortize the
+// scheduling cost.
+func parallelRows(rows int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || rows < 2*workers {
+		for i := 0; i < rows; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Apply replaces every element x with fn(x), in place, and returns m.
+func (m *Dense) Apply(fn func(float64) float64) *Dense {
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		for j, v := range row {
+			row[j] = fn(v)
+		}
+	})
+	return m
+}
+
+// Scale multiplies every element by s, in place, and returns m.
+func (m *Dense) Scale(s float64) *Dense {
+	return m.Apply(func(v float64) float64 { return v * s })
+}
+
+// AddInPlace adds b to m element-wise, in place.
+func (m *Dense) AddInPlace(b *Dense) error {
+	if m.rows != b.rows || m.cols != b.cols {
+		return fmt.Errorf("%w: %d×%d + %d×%d", ErrShape, m.rows, m.cols, b.rows, b.cols)
+	}
+	parallelRows(m.rows, func(i int) {
+		mr, br := m.Row(i), b.Row(i)
+		for j := range mr {
+			mr[j] += br[j]
+		}
+	})
+	return nil
+}
+
+// SubRowVector subtracts v[j] from every element of column j, in place.
+// len(v) must equal Cols().
+func (m *Dense) SubRowVector(v []float64) error {
+	if len(v) != m.cols {
+		return fmt.Errorf("%w: row vector length %d for %d cols", ErrShape, len(v), m.cols)
+	}
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		for j := range row {
+			row[j] -= v[j]
+		}
+	})
+	return nil
+}
+
+// SubColVector subtracts v[i] from every element of row i, in place.
+// len(v) must equal Rows().
+func (m *Dense) SubColVector(v []float64) error {
+	if len(v) != m.rows {
+		return fmt.Errorf("%w: col vector length %d for %d rows", ErrShape, len(v), m.rows)
+	}
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		vi := v[i]
+		for j := range row {
+			row[j] -= vi
+		}
+	})
+	return nil
+}
+
+// RowMax returns, for every row, the maximum value and the column index of
+// the first occurrence of that maximum. Rows of width zero yield (-Inf, -1).
+func (m *Dense) RowMax() (vals []float64, idx []int) {
+	vals = make([]float64, m.rows)
+	idx = make([]int, m.rows)
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		best, bi := math.Inf(-1), -1
+		for j, v := range row {
+			if v > best {
+				best, bi = v, j
+			}
+		}
+		vals[i], idx[i] = best, bi
+	})
+	return vals, idx
+}
+
+// ColMax returns, for every column, the maximum value and the row index of
+// the first occurrence of that maximum. Columns of height zero yield
+// (-Inf, -1).
+func (m *Dense) ColMax() (vals []float64, idx []int) {
+	vals = make([]float64, m.cols)
+	idx = make([]int, m.cols)
+	for j := range vals {
+		vals[j] = math.Inf(-1)
+		idx[j] = -1
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v > vals[j] {
+				vals[j], idx[j] = v, i
+			}
+		}
+	}
+	return vals, idx
+}
+
+// Argmax returns the flat (row, col) location of the global maximum.
+// For an empty matrix it returns (-1, -1).
+func (m *Dense) Argmax() (int, int) {
+	best := math.Inf(-1)
+	bi, bj := -1, -1
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			if v > best {
+				best, bi, bj = v, i, j
+			}
+		}
+	}
+	return bi, bj
+}
+
+// Sum returns the sum of all elements.
+func (m *Dense) Sum() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v
+	}
+	return s
+}
+
+// RowSums returns the per-row sums.
+func (m *Dense) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	parallelRows(m.rows, func(i int) {
+		var s float64
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out[i] = s
+	})
+	return out
+}
+
+// ColSums returns the per-column sums.
+func (m *Dense) ColSums() []float64 {
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// NormalizeRowsInPlace divides every row by its sum so rows sum to 1.
+// Rows whose sum has absolute value below eps are left untouched to avoid
+// division blow-up.
+func (m *Dense) NormalizeRowsInPlace(eps float64) {
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		if math.Abs(s) < eps {
+			return
+		}
+		inv := 1 / s
+		for j := range row {
+			row[j] *= inv
+		}
+	})
+}
+
+// NormalizeColsInPlace divides every column by its sum so columns sum to 1.
+// Columns whose sum has absolute value below eps are left untouched.
+func (m *Dense) NormalizeColsInPlace(eps float64) {
+	sums := m.ColSums()
+	inv := make([]float64, m.cols)
+	for j, s := range sums {
+		if math.Abs(s) < eps {
+			inv[j] = 1
+		} else {
+			inv[j] = 1 / s
+		}
+	}
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		for j := range row {
+			row[j] *= inv[j]
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SelectRows returns a new matrix whose i-th row is m's row ids[i].
+// It panics if any index is out of range.
+func (m *Dense) SelectRows(ids []int) *Dense {
+	out := New(len(ids), m.cols)
+	for i, id := range ids {
+		if id < 0 || id >= m.rows {
+			panic(fmt.Sprintf("matrix: SelectRows index %d out of %d rows", id, m.rows))
+		}
+		copy(out.Row(i), m.Row(id))
+	}
+	return out
+}

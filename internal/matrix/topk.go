@@ -1,0 +1,180 @@
+package matrix
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// TopK holds the k largest values of a row together with their column
+// indices, in descending value order.
+type TopK struct {
+	Values  []float64
+	Indices []int
+}
+
+// minHeap is a value-indexed min-heap used for streaming top-k selection.
+type minHeap struct {
+	vals []float64
+	idx  []int
+}
+
+func (h *minHeap) Len() int           { return len(h.vals) }
+func (h *minHeap) Less(i, j int) bool { return h.vals[i] < h.vals[j] }
+func (h *minHeap) Swap(i, j int) {
+	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+func (h *minHeap) Push(x interface{}) { panic("matrix: minHeap.Push unused") }
+func (h *minHeap) Pop() interface{}   { panic("matrix: minHeap.Pop unused") }
+
+// topKOfSlice returns the k largest entries of row in descending order.
+// If k >= len(row) it returns the fully sorted row.
+func topKOfSlice(row []float64, k int) TopK {
+	n := len(row)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return TopK{}
+	}
+	h := minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}
+	for j, v := range row {
+		if len(h.vals) < k {
+			h.vals = append(h.vals, v)
+			h.idx = append(h.idx, j)
+			if len(h.vals) == k {
+				heap.Init(&h)
+			}
+			continue
+		}
+		if v > h.vals[0] {
+			h.vals[0], h.idx[0] = v, j
+			heap.Fix(&h, 0)
+		}
+	}
+	if len(h.vals) < k {
+		// Fewer than k entries pushed; heap was never initialized.
+		heap.Init(&h)
+	}
+	out := TopK{Values: h.vals, Indices: h.idx}
+	sort.Sort(descByValue(out))
+	return out
+}
+
+type descByValue TopK
+
+func (s descByValue) Len() int { return len(s.Values) }
+func (s descByValue) Swap(i, j int) {
+	s.Values[i], s.Values[j] = s.Values[j], s.Values[i]
+	s.Indices[i], s.Indices[j] = s.Indices[j], s.Indices[i]
+}
+func (s descByValue) Less(i, j int) bool {
+	if s.Values[i] != s.Values[j] {
+		return s.Values[i] > s.Values[j]
+	}
+	return s.Indices[i] < s.Indices[j]
+}
+
+// RowTopK returns the k largest entries of every row, each in descending
+// value order (ties broken by ascending column index).
+func (m *Dense) RowTopK(k int) []TopK {
+	out := make([]TopK, m.rows)
+	parallelRows(m.rows, func(i int) {
+		out[i] = topKOfSlice(m.Row(i), k)
+	})
+	return out
+}
+
+// RowTopKMeans returns, for every row, the mean of its k largest values.
+// This is the φ statistic of the CSLS score (Lample et al. 2018).
+func (m *Dense) RowTopKMeans(k int) []float64 {
+	out := make([]float64, m.rows)
+	parallelRows(m.rows, func(i int) {
+		tk := topKOfSlice(m.Row(i), k)
+		if len(tk.Values) == 0 {
+			return
+		}
+		var s float64
+		for _, v := range tk.Values {
+			s += v
+		}
+		out[i] = s / float64(len(tk.Values))
+	})
+	return out
+}
+
+// ColTopKMeans returns, for every column, the mean of its k largest values.
+// It is equivalent to m.Transpose().RowTopKMeans(k) but avoids materializing
+// the transpose.
+func (m *Dense) ColTopKMeans(k int) []float64 {
+	if k <= 0 || m.cols == 0 {
+		return make([]float64, m.cols)
+	}
+	if k > m.rows {
+		k = m.rows
+	}
+	// Maintain one k-sized min-heap per column; single pass over rows keeps
+	// memory at O(cols·k).
+	heaps := make([]minHeap, m.cols)
+	for j := range heaps {
+		heaps[j] = minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			h := &heaps[j]
+			if len(h.vals) < k {
+				h.vals = append(h.vals, v)
+				h.idx = append(h.idx, i)
+				if len(h.vals) == k {
+					heap.Init(h)
+				}
+				continue
+			}
+			if v > h.vals[0] {
+				h.vals[0], h.idx[0] = v, i
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	out := make([]float64, m.cols)
+	for j := range heaps {
+		vals := heaps[j].vals
+		if len(vals) == 0 {
+			continue
+		}
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		out[j] = s / float64(len(vals))
+	}
+	return out
+}
+
+// RowRanksInPlace replaces every row with the descending rank of each
+// element within its row: the largest element becomes 1, the second largest
+// 2, and so on. Ties are broken by column order. The transform is performed
+// in place; the original values are lost.
+//
+// This is the rank conversion step of the RInf reciprocal matcher
+// (Zeng et al., VLDB J 2021): converting preference scores to ranks
+// amplifies score differences before bidirectional aggregation.
+func (m *Dense) RowRanksInPlace() {
+	parallelRows(m.rows, func(i int) {
+		row := m.Row(i)
+		order := make([]int, len(row))
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if row[order[a]] != row[order[b]] {
+				return row[order[a]] > row[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		for r, j := range order {
+			row[j] = float64(r + 1)
+		}
+	})
+}

@@ -1,0 +1,151 @@
+// Package sim computes pairwise similarity matrices between source and
+// target entity embeddings — the first half of the embedding-matching stage
+// (Algorithm 3, line 1 of the paper).
+//
+// Three metrics are provided, matching the choices surveyed in § 4.2:
+// cosine similarity (the paper's main setting), negative Euclidean distance
+// and negative Manhattan distance. All three are oriented so that larger
+// scores mean more similar, the convention the matching algorithms assume.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"entmatcher/internal/matrix"
+)
+
+// Metric identifies a pairwise similarity metric.
+type Metric int
+
+const (
+	// Cosine is the cosine similarity (the mainstream EA choice).
+	Cosine Metric = iota
+	// Euclidean is the negated Euclidean distance.
+	Euclidean
+	// Manhattan is the negated Manhattan (L1) distance.
+	Manhattan
+)
+
+// String returns the metric name.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case Euclidean:
+		return "euclidean"
+	case Manhattan:
+		return "manhattan"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Matrix computes the |src|×|tgt| pairwise score matrix S between the rows
+// of src and tgt under the metric. Both inputs must share the embedding
+// dimension.
+func Matrix(src, tgt *matrix.Dense, metric Metric) (*matrix.Dense, error) {
+	if src.Cols() != tgt.Cols() {
+		return nil, fmt.Errorf("sim: embedding dims differ: %d vs %d", src.Cols(), tgt.Cols())
+	}
+	switch metric {
+	case Cosine:
+		return cosineMatrix(src, tgt)
+	case Euclidean:
+		return distanceMatrix(src, tgt, false), nil
+	case Manhattan:
+		return distanceMatrix(src, tgt, true), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown metric %v", metric)
+	}
+}
+
+// cosineMatrix normalizes copies of the rows and multiplies. If the rows are
+// already unit length (as internal/embed guarantees) the normalization is a
+// near no-op but keeps the function correct for arbitrary inputs.
+func cosineMatrix(src, tgt *matrix.Dense) (*matrix.Dense, error) {
+	return matrix.MulTransposed(normalizedRows(src), normalizedRows(tgt))
+}
+
+// normalizedRows returns a row-L2-normalized copy of m; zero rows stay zero.
+func normalizedRows(m *matrix.Dense) *matrix.Dense {
+	out := m.Clone()
+	for i := 0; i < out.Rows(); i++ {
+		row := out.Row(i)
+		var s float64
+		for _, v := range row {
+			s += v * v
+		}
+		if s == 0 {
+			continue
+		}
+		inv := 1 / math.Sqrt(s)
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+	return out
+}
+
+// distanceMatrix computes negated L2 or L1 distances.
+func distanceMatrix(src, tgt *matrix.Dense, manhattan bool) *matrix.Dense {
+	out := matrix.New(src.Rows(), tgt.Rows())
+	d := src.Cols()
+	for i := 0; i < src.Rows(); i++ {
+		srow := src.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < tgt.Rows(); j++ {
+			trow := tgt.Data()[j*d : (j+1)*d]
+			var acc float64
+			if manhattan {
+				for k, v := range srow {
+					acc += math.Abs(v - trow[k])
+				}
+			} else {
+				for k, v := range srow {
+					diff := v - trow[k]
+					acc += diff * diff
+				}
+				acc = math.Sqrt(acc)
+			}
+			orow[j] = -acc
+		}
+	}
+	return out
+}
+
+// TopScoreSTD returns the average, over all rows of S, of the standard
+// deviation of each row's top-k scores. This is the statistic of the
+// paper's Figure 4: low values mean the top candidates are hard to
+// distinguish (where CSLS/RInf help most — Pattern 1), high values mean
+// the scores are already discriminative (where SMat/RL catch up).
+func TopScoreSTD(s *matrix.Dense, k int) float64 {
+	if s.Rows() == 0 || s.Cols() == 0 || k < 2 {
+		return 0
+	}
+	tks := s.RowTopK(k)
+	var total float64
+	var counted int
+	for _, tk := range tks {
+		n := len(tk.Values)
+		if n < 2 {
+			continue
+		}
+		var mean float64
+		for _, v := range tk.Values {
+			mean += v
+		}
+		mean /= float64(n)
+		var ss float64
+		for _, v := range tk.Values {
+			diff := v - mean
+			ss += diff * diff
+		}
+		total += math.Sqrt(ss / float64(n))
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

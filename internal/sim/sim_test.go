@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"entmatcher/internal/matrix"
+)
+
+func randEmb(rng *rand.Rand, rows, dim int) *matrix.Dense {
+	m := matrix.New(rows, dim)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestMetricString(t *testing.T) {
+	if Cosine.String() != "cosine" || Euclidean.String() != "euclidean" || Manhattan.String() != "manhattan" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(9).String() == "" {
+		t.Fatal("unknown metric has empty name")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := randEmb(rng, 5, 8)
+	tgt := randEmb(rng, 7, 8)
+	s, err := Matrix(src, tgt, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 5 || s.Cols() != 7 {
+		t.Fatalf("shape %d×%d", s.Rows(), s.Cols())
+	}
+}
+
+func TestMatrixDimMismatch(t *testing.T) {
+	if _, err := Matrix(matrix.New(2, 3), matrix.New(2, 4), Cosine); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestMatrixUnknownMetric(t *testing.T) {
+	if _, err := Matrix(matrix.New(1, 1), matrix.New(1, 1), Metric(42)); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+}
+
+func TestCosineIdenticalVectorIsOne(t *testing.T) {
+	e, _ := matrix.NewFromData(1, 3, []float64{1, 2, 3})
+	s, err := Matrix(e, e.Clone(), Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.At(0, 0)-1) > 1e-12 {
+		t.Fatalf("cos(x,x) = %v", s.At(0, 0))
+	}
+}
+
+func TestCosineOrthogonalIsZero(t *testing.T) {
+	a, _ := matrix.NewFromData(1, 2, []float64{1, 0})
+	b, _ := matrix.NewFromData(1, 2, []float64{0, 5})
+	s, err := Matrix(a, b, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.At(0, 0)) > 1e-12 {
+		t.Fatalf("cos = %v", s.At(0, 0))
+	}
+}
+
+func TestCosineScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randEmb(rng, 3, 6)
+		b := randEmb(rng, 4, 6)
+		s1, err := Matrix(a, b, Cosine)
+		if err != nil {
+			return false
+		}
+		a.Scale(3.7)
+		b.Scale(0.2)
+		s2, err := Matrix(a, b, Cosine)
+		if err != nil {
+			return false
+		}
+		return matrix.EqualApprox(s1, s2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, err := Matrix(randEmb(rng, 10, 4), randEmb(rng, 10, 4), Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range s.Data() {
+		if v < -1-1e-9 || v > 1+1e-9 {
+			t.Fatalf("cosine value %v out of [-1,1]", v)
+		}
+	}
+}
+
+func TestEuclideanSelfDistanceZero(t *testing.T) {
+	e, _ := matrix.NewFromData(1, 3, []float64{1, 2, 3})
+	s, err := Matrix(e, e.Clone(), Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.At(0, 0) != 0 {
+		t.Fatalf("-d(x,x) = %v", s.At(0, 0))
+	}
+}
+
+func TestEuclideanKnownValue(t *testing.T) {
+	a, _ := matrix.NewFromData(1, 2, []float64{0, 0})
+	b, _ := matrix.NewFromData(1, 2, []float64{3, 4})
+	s, err := Matrix(a, b, Euclidean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.At(0, 0)+5) > 1e-12 {
+		t.Fatalf("-d = %v, want -5", s.At(0, 0))
+	}
+}
+
+func TestManhattanKnownValue(t *testing.T) {
+	a, _ := matrix.NewFromData(1, 2, []float64{0, 0})
+	b, _ := matrix.NewFromData(1, 2, []float64{3, -4})
+	s, err := Matrix(a, b, Manhattan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.At(0, 0)+7) > 1e-12 {
+		t.Fatalf("-d = %v, want -7", s.At(0, 0))
+	}
+}
+
+// TestDistanceMetricsOrientation: larger score must mean closer.
+func TestDistanceMetricsOrientation(t *testing.T) {
+	src, _ := matrix.NewFromData(1, 1, []float64{0})
+	tgt, _ := matrix.NewFromData(2, 1, []float64{1, 10})
+	for _, metric := range []Metric{Euclidean, Manhattan} {
+		s, err := Matrix(src, tgt, metric)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.At(0, 0) <= s.At(0, 1) {
+			t.Fatalf("%v: nearer target does not score higher", metric)
+		}
+	}
+}
+
+func TestTopScoreSTD(t *testing.T) {
+	// Row with distinct top scores has higher STD than a row with equal ones.
+	flat, _ := matrix.NewFromData(1, 5, []float64{0.9, 0.9, 0.9, 0.9, 0.9})
+	sharp, _ := matrix.NewFromData(1, 5, []float64{0.9, 0.5, 0.1, 0.0, -0.5})
+	if got := TopScoreSTD(flat, 5); got != 0 {
+		t.Fatalf("flat STD = %v", got)
+	}
+	if got := TopScoreSTD(sharp, 5); got <= 0 {
+		t.Fatalf("sharp STD = %v", got)
+	}
+}
+
+func TestTopScoreSTDEdgeCases(t *testing.T) {
+	if TopScoreSTD(matrix.New(0, 0), 5) != 0 {
+		t.Fatal("empty matrix STD nonzero")
+	}
+	if TopScoreSTD(matrix.New(3, 3), 1) != 0 {
+		t.Fatal("k=1 STD nonzero")
+	}
+	// Single-column rows: top-5 degenerates to one value, STD undefined → 0.
+	if TopScoreSTD(matrix.New(3, 1), 5) != 0 {
+		t.Fatal("single-column STD nonzero")
+	}
+}

@@ -1,0 +1,255 @@
+package entmatcher
+
+import (
+	"fmt"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/embed"
+	"entmatcher/internal/eval"
+	"entmatcher/internal/sim"
+)
+
+// FeatureMode selects which entity features feed the similarity matrix,
+// matching the paper's input-feature axis (Tables 4 and 5).
+type FeatureMode int
+
+const (
+	// FeatureStructure uses structural embeddings only (Table 4's R-/G-).
+	FeatureStructure FeatureMode = iota
+	// FeatureName uses name embeddings only (Table 5's N-).
+	FeatureName
+	// FeatureFused fuses name and structural embeddings (Table 5's NR-).
+	FeatureFused
+)
+
+// String names the mode with the paper's prefixes.
+func (f FeatureMode) String() string {
+	switch f {
+	case FeatureStructure:
+		return "structure"
+	case FeatureName:
+		return "name"
+	case FeatureFused:
+		return "name+structure"
+	default:
+		return fmt.Sprintf("FeatureMode(%d)", int(f))
+	}
+}
+
+// Setting selects the evaluation scenario.
+type Setting int
+
+const (
+	// SettingOneToOne is the paper's main 1-to-1 constrained evaluation.
+	SettingOneToOne Setting = iota
+	// SettingUnmatchable adds entities without counterparts (§ 5.1).
+	SettingUnmatchable
+	// SettingNonOneToOne evaluates against multi-link gold sets (§ 5.2).
+	SettingNonOneToOne
+)
+
+// String names the setting.
+func (s Setting) String() string {
+	switch s {
+	case SettingOneToOne:
+		return "1-to-1"
+	case SettingUnmatchable:
+		return "unmatchable"
+	case SettingNonOneToOne:
+		return "non-1-to-1"
+	default:
+		return fmt.Sprintf("Setting(%d)", int(s))
+	}
+}
+
+// PipelineConfig assembles a full experiment configuration. The zero value
+// is a valid default: GCN structural embeddings, cosine similarity, 1-to-1
+// evaluation; set Model: ModelRREA for the paper's stronger encoder.
+type PipelineConfig struct {
+	// Model is the structural encoder preset (ModelGCN by default).
+	Model embed.Model
+	// Encoder optionally overrides the model's calibrated defaults.
+	Encoder *EncoderConfig
+	// Features selects the input features.
+	Features FeatureMode
+	// FusionWeightName and FusionWeightStructure weight the FeatureFused
+	// concatenation; both zero means (0.5, 0.5).
+	FusionWeightName      float64
+	FusionWeightStructure float64
+	// Metric is the similarity metric (cosine by default).
+	Metric sim.Metric
+	// Setting is the evaluation scenario.
+	Setting Setting
+	// WithValidation attaches a validation task to the match context so
+	// learning matchers (RL) can tune themselves, as in the paper.
+	WithValidation bool
+}
+
+// Pipeline turns datasets into prepared matching runs.
+type Pipeline struct {
+	cfg PipelineConfig
+}
+
+// NewPipeline returns a pipeline with the given configuration.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	return &Pipeline{cfg: cfg}
+}
+
+// Run is a prepared matching run: the evaluation task, its similarity
+// matrix, and the ready-to-use match context.
+type Run struct {
+	Task *Task
+	// S is the similarity matrix (rows = Task.SourceIDs, columns =
+	// Task.TargetIDs).
+	S *Dense
+	// Ctx is the context handed to matchers. Use MatchWithDummies for
+	// matchers that require equal side sizes under the unmatchable setting.
+	Ctx *MatchContext
+}
+
+// Prepare encodes the dataset, builds the evaluation task for the
+// configured setting and assembles the match context.
+func (p *Pipeline) Prepare(d *Dataset) (*Run, error) {
+	emb, err := p.embeddings(d)
+	if err != nil {
+		return nil, err
+	}
+	return p.PrepareWithEmbeddings(d, emb)
+}
+
+// PrepareWithEmbeddings is Prepare with externally produced embeddings —
+// the entry point for users bringing their own representation-learning
+// model, exactly the seam the original EntMatcher library exposes.
+func (p *Pipeline) PrepareWithEmbeddings(d *Dataset, emb *Embeddings) (*Run, error) {
+	task, err := p.task(d)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.Matrix(
+		emb.Source.SelectRows(task.SourceIDs),
+		emb.Target.SelectRows(task.TargetIDs),
+		p.cfg.Metric,
+	)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &core.Context{
+		S:         s,
+		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
+		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
+	}
+	if p.cfg.WithValidation {
+		vt, err := eval.ValidationTaskFor(d)
+		if err != nil {
+			return nil, err
+		}
+		vs, err := sim.Matrix(
+			emb.Source.SelectRows(vt.SourceIDs),
+			emb.Target.SelectRows(vt.TargetIDs),
+			p.cfg.Metric,
+		)
+		if err != nil {
+			return nil, err
+		}
+		ctx.Valid = &core.ValidationTask{
+			S:         vs,
+			SourceAdj: eval.LocalAdjacency(d.Source, vt.SourceIDs),
+			TargetAdj: eval.LocalAdjacency(d.Target, vt.TargetIDs),
+			Gold:      vt.Gold,
+		}
+	}
+	return &Run{Task: task, S: s, Ctx: ctx}, nil
+}
+
+// embeddings produces the configured feature embeddings.
+func (p *Pipeline) embeddings(d *Dataset) (*Embeddings, error) {
+	encCfg := embed.DefaultConfig(p.cfg.Model)
+	if p.cfg.Encoder != nil {
+		encCfg = *p.cfg.Encoder
+	}
+	switch p.cfg.Features {
+	case FeatureStructure:
+		return embed.Encode(d, encCfg)
+	case FeatureName:
+		return embed.EncodeNames(d, embed.DefaultNameConfig())
+	case FeatureFused:
+		structural, err := embed.Encode(d, encCfg)
+		if err != nil {
+			return nil, err
+		}
+		names, err := embed.EncodeNames(d, embed.DefaultNameConfig())
+		if err != nil {
+			return nil, err
+		}
+		wn, ws := p.cfg.FusionWeightName, p.cfg.FusionWeightStructure
+		if wn == 0 && ws == 0 {
+			wn, ws = 0.5, 0.5
+		}
+		return embed.Fuse(names, structural, wn, ws)
+	default:
+		return nil, fmt.Errorf("entmatcher: unknown feature mode %v", p.cfg.Features)
+	}
+}
+
+// task builds the evaluation task for the configured setting.
+func (p *Pipeline) task(d *Dataset) (*Task, error) {
+	switch p.cfg.Setting {
+	case SettingOneToOne:
+		return eval.OneToOneTask(d)
+	case SettingUnmatchable:
+		return eval.UnmatchableTask(d)
+	case SettingNonOneToOne:
+		return eval.NonOneToOneTask(d)
+	default:
+		return nil, fmt.Errorf("entmatcher: unknown setting %v", p.cfg.Setting)
+	}
+}
+
+// Match runs a matcher on the prepared run and scores it against the gold
+// pairs.
+func (r *Run) Match(m Matcher) (*MatchResult, Metrics, error) {
+	res, err := m.Match(r.Ctx)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return res, r.Task.Evaluate(res), nil
+}
+
+// MatchWithAbstention is the § 5.1 recipe with a self-calibrating
+// abstention score: dummy columns with capacity for every potentially
+// unmatchable row are appended at the q-quantile of the validation rows'
+// maximum similarities (all validation rows are matchable, so the quantile
+// estimates the low end of genuine-match scores; no test labels are used).
+// Requires a pipeline prepared WithValidation. q = 0.3 is the calibrated
+// default used by the benchmark harness.
+func (r *Run) MatchWithAbstention(m Matcher, q float64) (*MatchResult, Metrics, error) {
+	if r.Ctx.Valid == nil {
+		return nil, Metrics{}, fmt.Errorf("entmatcher: MatchWithAbstention requires WithValidation")
+	}
+	score := core.DummyScoreFromValidation(r.Ctx.Valid.S, q)
+	capacity := r.S.Rows() / 3
+	if deficit := r.S.Rows() - r.S.Cols(); deficit > 0 {
+		capacity += deficit
+	}
+	ctx := *r.Ctx
+	ctx.S = core.AddDummyColumns(r.Ctx.S, capacity, score)
+	ctx.NumDummies = r.Ctx.NumDummies + capacity
+	res, err := m.Match(&ctx)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return res, r.Task.Evaluate(res), nil
+}
+
+// MatchWithDummies pads the target side with dummy columns up to the row
+// count (the paper's § 5.1 recipe for Hungarian and SMat under unmatchable
+// entities), runs the matcher, and scores it. DummyScore is the similarity
+// granted to abstention; 0 is the calibrated default for cosine inputs.
+func (r *Run) MatchWithDummies(m Matcher, dummyScore float64) (*MatchResult, Metrics, error) {
+	ctx := core.WithDummies(r.Ctx, dummyScore)
+	res, err := m.Match(ctx)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return res, r.Task.Evaluate(res), nil
+}

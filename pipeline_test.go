@@ -1,0 +1,199 @@
+package entmatcher
+
+import (
+	"testing"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := GenerateBenchmark(ProfileDBP15KZhEn, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPipelineOneToOneEndToEnd(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Split.Test.Len()
+	if run.S.Rows() != n || run.S.Cols() != n {
+		t.Fatalf("similarity matrix %d×%d, want %d×%d", run.S.Rows(), run.S.Cols(), n, n)
+	}
+	res, m, err := run.Match(NewDInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != n {
+		t.Fatalf("DInf emitted %d pairs for %d rows", len(res.Pairs), n)
+	}
+	// Under 1-to-1, precision = recall = F1.
+	if m.Precision != m.Recall || m.Recall != m.F1 {
+		t.Fatalf("P/R/F1 diverge under 1-to-1: %v", m)
+	}
+	if m.F1 < 0.2 {
+		t.Fatalf("RREA DInf F1 = %v, implausibly low", m.F1)
+	}
+}
+
+// TestPipelineMatcherOrdering reproduces the paper's headline finding on a
+// small instance: collective/assignment matchers beat the greedy baseline.
+func TestPipelineMatcherOrdering(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA, WithValidation: true}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := make(map[string]float64)
+	for _, m := range AllMatchers() {
+		_, metrics, err := run.Match(m)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		f1[m.Name()] = metrics.F1
+	}
+	if f1["Hun."] <= f1["DInf"] {
+		t.Fatalf("Hungarian %v not above DInf %v", f1["Hun."], f1["DInf"])
+	}
+	if f1["Sink."] <= f1["DInf"] {
+		t.Fatalf("Sinkhorn %v not above DInf %v", f1["Sink."], f1["DInf"])
+	}
+	if f1["CSLS"] < f1["DInf"] {
+		t.Fatalf("CSLS %v below DInf %v", f1["CSLS"], f1["DInf"])
+	}
+}
+
+func TestPipelineNameAndFusedFeatures(t *testing.T) {
+	d := smallDataset(t)
+	for _, mode := range []FeatureMode{FeatureName, FeatureFused} {
+		run, err := NewPipeline(PipelineConfig{Model: ModelRREA, Features: mode}).Prepare(d)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if _, m, err := run.Match(NewDInf()); err != nil || m.F1 <= 0 {
+			t.Fatalf("%v: F1=%v err=%v", mode, m.F1, err)
+		}
+	}
+}
+
+func TestPipelineUnmatchableSetting(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA, Setting: SettingUnmatchable, WithValidation: true}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.S.Rows() <= d.Split.Test.Len() {
+		t.Fatal("unmatchable rows not added")
+	}
+	_, greedy, err := run.Match(NewDInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy matches every row including unmatchables → precision < recall.
+	if greedy.Precision >= greedy.Recall {
+		t.Fatalf("greedy P=%v not below R=%v under unmatchable", greedy.Precision, greedy.Recall)
+	}
+	_, hun, err := run.MatchWithAbstention(NewHungarian(), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hun.F1 <= greedy.F1 {
+		t.Fatalf("Hungarian+abstention F1 %v not above DInf %v", hun.F1, greedy.F1)
+	}
+	// The plain-dummies path must also run (it is a no-op for square S).
+	if _, _, err := run.MatchWithDummies(NewSMat(), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Abstention without validation must fail loudly.
+	bare, err := NewPipeline(PipelineConfig{Model: ModelRREA, Setting: SettingUnmatchable}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bare.MatchWithAbstention(NewHungarian(), 0.3); err == nil {
+		t.Fatal("abstention without validation accepted")
+	}
+}
+
+func TestPipelineNonOneToOneSetting(t *testing.T) {
+	d, err := GenerateNonOneToOneBenchmark(ProfileFBDBPMul, 0.04)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA, Setting: SettingNonOneToOne}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, err := run.Match(NewDInf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-prediction methods cannot reach full recall on multi-link gold.
+	if m.Recall >= 0.9 {
+		t.Fatalf("recall %v implausibly high for single predictions on multi-links", m.Recall)
+	}
+}
+
+func TestPipelineRejectsUnknownConfig(t *testing.T) {
+	d := smallDataset(t)
+	if _, err := NewPipeline(PipelineConfig{Features: FeatureMode(9)}).Prepare(d); err == nil {
+		t.Fatal("unknown feature mode accepted")
+	}
+	if _, err := NewPipeline(PipelineConfig{Setting: Setting(9)}).Prepare(d); err == nil {
+		t.Fatal("unknown setting accepted")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FeatureStructure.String() != "structure" || FeatureName.String() != "name" || FeatureFused.String() != "name+structure" {
+		t.Fatal("feature mode names wrong")
+	}
+	if SettingOneToOne.String() != "1-to-1" || SettingUnmatchable.String() != "unmatchable" || SettingNonOneToOne.String() != "non-1-to-1" {
+		t.Fatal("setting names wrong")
+	}
+	if FeatureMode(9).String() == "" || Setting(9).String() == "" {
+		t.Fatal("unknown enums have empty names")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	d := smallDataset(t)
+	emb, err := EncodeStructure(d, ModelGCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := EncodeNames(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := FuseEmbeddings(emb, names, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SimilarityMatrix(fused.Source, fused.Target, MetricCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != d.Source.NumEntities() {
+		t.Fatalf("similarity rows %d", s.Rows())
+	}
+	dir := t.TempDir()
+	if err := SaveDataset(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(dir, d.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Split.Test.Len() != d.Split.Test.Len() {
+		t.Fatal("dataset round trip changed the test set")
+	}
+}
+
+func TestAllMatchersCount(t *testing.T) {
+	if got := len(AllMatchers()); got != 7 {
+		t.Fatalf("AllMatchers returned %d algorithms, want the paper's 7", got)
+	}
+}
