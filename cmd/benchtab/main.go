@@ -47,6 +47,7 @@ func run() error {
 	flag.IntVar(&cfg.SinkhornL, "sinkhorn-l", cfg.SinkhornL, "Sinkhorn iterations")
 	flag.IntVar(&cfg.CSLSK, "csls-k", cfg.CSLSK, "CSLS neighborhood size")
 	flag.Float64Var(&cfg.AbstentionQ, "abstention-q", cfg.AbstentionQ, "validation quantile for dummy abstention")
+	flag.DurationVar(&cfg.RunTimeout, "timeout", cfg.RunTimeout, "per-matcher wall-clock budget; over-budget matchers degrade to RInf-pb then DInf (0 = unbounded)")
 	flag.Parse()
 
 	if *list {
@@ -105,6 +106,13 @@ func run() error {
 			}
 		}
 		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Second))
+	}
+	if notes := env.DegradationNotes(); len(notes) > 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: %d matcher run(s) degraded under the -timeout budget:\n", len(notes))
+		for _, n := range notes {
+			fmt.Fprintf(os.Stderr, "  - %s\n", n)
+		}
+		return fmt.Errorf("%d run(s) degraded; the affected table cells report fallback-tier results", len(notes))
 	}
 	return nil
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,18 @@ import (
 	"entmatcher"
 )
 
+// errDegraded marks a run that completed but only after at least one matcher
+// degraded to a cheaper fallback tier; main maps it to exit code 3 so
+// scripted callers can distinguish "answered, but not by the matcher you
+// asked for" from success (0) and failure (1).
+var errDegraded = errors.New("one or more matchers degraded under the time budget")
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "entmatcher:", err)
+		if errors.Is(err, errDegraded) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -40,6 +50,7 @@ func run() error {
 		abstainQ = flag.Float64("abstention-q", 0.3, "dummy abstention quantile for Hun./SMat under -setting unmatchable")
 		embSrc   = flag.String("emb-src", "", "optional externally trained source embeddings (word2vec text format)")
 		embTgt   = flag.String("emb-tgt", "", "optional externally trained target embeddings")
+		timeout  = flag.Duration("timeout", 0, "per-matcher wall-clock budget; on timeout the run degrades to cheaper matchers (RInf-pb, then DInf) instead of hanging (0 = unbounded)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -131,13 +142,17 @@ func run() error {
 	}
 	fmt.Printf("similarity matrix: %d×%d\n\n", run.S.Rows(), run.S.Cols())
 	fmt.Printf("%-8s  %7s  %7s  %7s  %10s  %9s\n", "matcher", "P", "R", "F1", "time", "extra mem")
+	anyDegraded := false
 	for _, m := range selected {
 		var res *entmatcher.MatchResult
 		var metrics entmatcher.Metrics
+		// The degradation decision keys off the requested matcher's name,
+		// not the fallback wrapper's.
+		exec := withBudget(m, *timeout)
 		if cfg.Setting == entmatcher.SettingUnmatchable && (m.Name() == "Hun." || m.Name() == "SMat") {
-			res, metrics, err = run.MatchWithAbstention(m, *abstainQ)
+			res, metrics, err = run.MatchWithAbstention(exec, *abstainQ)
 		} else {
-			res, metrics, err = run.Match(m)
+			res, metrics, err = run.Match(exec)
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", m.Name(), err)
@@ -145,6 +160,39 @@ func run() error {
 		fmt.Printf("%-8s  %7.3f  %7.3f  %7.3f  %10v  %6.3fGiB\n",
 			m.Name(), metrics.Precision, metrics.Recall, metrics.F1,
 			res.Elapsed.Round(time.Millisecond), float64(res.ExtraBytes)/(1<<30))
+		if len(res.DegradedFrom) > 0 {
+			anyDegraded = true
+			fmt.Printf("          ^ degraded to %s (budget %v exhausted by %s)\n",
+				res.Matcher, *timeout, strings.Join(res.DegradedFrom, ", "))
+		}
+	}
+	if anyDegraded {
+		return errDegraded
 	}
 	return nil
+}
+
+// withBudget wraps m in a degradation chain under the budget: m itself,
+// then progressive-blocking RInf, then DInf as the always-answers floor.
+// Tiers whose name duplicates an earlier tier are dropped, so asking for
+// DInf with a budget doesn't build DInf→...→DInf. A zero budget returns m
+// unchanged.
+func withBudget(m entmatcher.Matcher, budget time.Duration) entmatcher.Matcher {
+	if budget <= 0 {
+		return m
+	}
+	tiers := []entmatcher.Matcher{m}
+	for _, fb := range []entmatcher.Matcher{entmatcher.NewRInfPB(50), entmatcher.NewDInf()} {
+		dup := false
+		for _, t := range tiers {
+			if t.Name() == fb.Name() {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tiers = append(tiers, fb)
+		}
+	}
+	return entmatcher.NewFallback(budget, tiers...)
 }

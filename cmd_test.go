@@ -4,6 +4,7 @@ package entmatcher_test
 // into a temp dir and exercised through its primary flag combinations.
 
 import (
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -186,5 +187,30 @@ func TestCLIExternalEmbeddings(t *testing.T) {
 	cmd := exec.Command(filepath.Join(bins, "entmatcher"), "-data", dataDir, "-emb-src", srcPath)
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Fatalf("lone -emb-src accepted:\n%s", out)
+	}
+}
+
+// TestCLITimeoutDegrades: with a 1ms budget, the Hungarian run must degrade
+// to a cheaper tier, print the degradation note, and exit with code 3
+// (success-with-degradation) rather than hang or fail.
+func TestCLITimeoutDegrades(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dataDir := filepath.Join(t.TempDir(), "dz-timeout")
+	runTool(t, filepath.Join(bins, "datagen"), "-profile", "D-Z", "-scale", "0.05", "-out", dataDir)
+
+	cmd := exec.Command(filepath.Join(bins, "entmatcher"), "-data", dataDir, "-m", "Hun.", "-timeout", "1ms")
+	out, err := cmd.CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want exit code 3, got err=%v\n%s", err, out)
+	}
+	if ee.ExitCode() != 3 {
+		t.Fatalf("exit code = %d, want 3\n%s", ee.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "degraded to") {
+		t.Fatalf("missing degradation note:\n%s", out)
 	}
 }

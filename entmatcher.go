@@ -31,6 +31,8 @@
 package entmatcher
 
 import (
+	"time"
+
 	"entmatcher/internal/core"
 	"entmatcher/internal/datagen"
 	"entmatcher/internal/embed"
@@ -56,6 +58,9 @@ type (
 	Decider = core.Decider
 	// RLConfig parameterizes the RL matcher.
 	RLConfig = core.RLConfig
+	// PanicError is the error produced when a matcher panics: the driver
+	// recovers the panic and reports it with the matcher's name and stack.
+	PanicError = core.PanicError
 
 	// Concrete score transforms, for composing custom matchers.
 	NoneTransform       = core.NoneTransform
@@ -194,6 +199,31 @@ func NewSinkhornBlocked(batchSize, l int) Matcher { return core.NewSinkhornBlock
 func NewCustomMatcher(t ScoreTransform, d Decider, name string) Matcher {
 	return core.NewComposite(t, d, name)
 }
+
+// NewFallback chains matchers into a graceful-degradation ladder under a
+// shared wall-clock budget: each tier gets an even share of the remaining
+// budget and the chain moves on when a tier times out, errors or panics.
+// The final tier runs without the budget deadline, so a chain ending in a
+// cheap matcher (e.g. NewDInf) always answers. The answering Result records
+// the failed tiers in DegradedFrom.
+//
+//	entmatcher.NewFallback(time.Second, entmatcher.NewHungarian(),
+//	    entmatcher.NewRInfPB(50), entmatcher.NewDInf())
+func NewFallback(budget time.Duration, tiers ...Matcher) Matcher {
+	return core.NewFallback(budget, tiers...)
+}
+
+// Typed robustness errors of the matching stack, for errors.Is checks.
+var (
+	// ErrEmptyMatrix reports a 0×N or N×0 similarity matrix.
+	ErrEmptyMatrix = core.ErrEmptyMatrix
+	// ErrNonFiniteScores reports NaN or ±Inf in the similarity matrix.
+	ErrNonFiniteScores = core.ErrNonFinite
+	// ErrNonFiniteEmbeddings reports NaN or ±Inf in an embedding table.
+	ErrNonFiniteEmbeddings = sim.ErrNonFinite
+	// ErrEmptyEmbeddings reports an embedding table with no rows.
+	ErrEmptyEmbeddings = sim.ErrEmptyEmbeddings
+)
 
 // AllMatchers returns one instance of each of the paper's seven algorithms
 // in Table 2 row order, with the paper's default hyper-parameters.

@@ -13,6 +13,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"strings"
+	"sync"
+	"time"
 
 	"entmatcher"
 	"entmatcher/internal/core"
@@ -45,6 +48,13 @@ type Config struct {
 	// Table 6's "Mem." feasibility column, prorated from the paper's
 	// environment to the configured scale.
 	MemoryBudgetBytes int64
+	// RunTimeout is the per-matcher wall-clock budget. When positive, each
+	// matcher run happens inside a degradation chain (matcher → RInf-pb →
+	// DInf) so an over-budget algorithm yields a cheaper tier's answer
+	// instead of stalling the whole suite; degradations are recorded on the
+	// Env. Zero means unbounded (the default — published tables must come
+	// from the requested algorithms).
+	RunTimeout time.Duration
 	// Log receives progress lines; nil discards them.
 	Log io.Writer
 }
@@ -87,11 +97,16 @@ func (c *Config) logf(format string, args ...interface{}) {
 	}
 }
 
-// Env caches datasets, embeddings and prepared runs across experiments.
+// Env caches datasets, embeddings and prepared runs across experiments, and
+// collects degradation notes when Config.RunTimeout forces matchers onto
+// cheaper fallback tiers.
 type Env struct {
 	datasets   map[string]*entmatcher.Dataset
 	embeddings map[string]*entmatcher.Embeddings
 	runs       map[string]*entmatcher.Run
+
+	mu           sync.Mutex
+	degradations []string
 }
 
 // NewEnv returns an empty cache environment.
@@ -245,6 +260,63 @@ func IDs() []string {
 		out[i] = e.ID
 	}
 	return out
+}
+
+// noteDegradation records that a matcher run degraded to a fallback tier.
+func (e *Env) noteDegradation(note string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.degradations = append(e.degradations, note)
+}
+
+// DegradationNotes returns every degradation recorded so far, in order. A
+// non-empty result means at least one table cell was produced by a cheaper
+// tier than its row label says.
+func (e *Env) DegradationNotes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.degradations...)
+}
+
+// fallbackChain wraps m for a budgeted run: m → RInf-pb → DInf under
+// cfg.RunTimeout, skipping fallback tiers that duplicate m itself. With no
+// budget configured, m is returned unchanged.
+func fallbackChain(cfg *Config, m entmatcher.Matcher) entmatcher.Matcher {
+	if cfg.RunTimeout <= 0 {
+		return m
+	}
+	tiers := []entmatcher.Matcher{m}
+	for _, fb := range []entmatcher.Matcher{entmatcher.NewRInfPB(cfg.RInfPBBlock), entmatcher.NewDInf()} {
+		if fb.Name() != m.Name() {
+			tiers = append(tiers, fb)
+		}
+	}
+	return entmatcher.NewFallback(cfg.RunTimeout, tiers...)
+}
+
+// matchBudgeted runs m on run under cfg.RunTimeout (if any), recording a
+// degradation note on env when a cheaper tier answered.
+func matchBudgeted(cfg *Config, env *Env, run *entmatcher.Run, m entmatcher.Matcher) (*entmatcher.MatchResult, entmatcher.Metrics, error) {
+	res, metrics, err := run.Match(fallbackChain(cfg, m))
+	noteIfDegraded(cfg, env, m, res)
+	return res, metrics, err
+}
+
+// abstainBudgeted is matchBudgeted for the dummy-column abstention path.
+func abstainBudgeted(cfg *Config, env *Env, run *entmatcher.Run, m entmatcher.Matcher, q float64) (*entmatcher.MatchResult, entmatcher.Metrics, error) {
+	res, metrics, err := run.MatchWithAbstention(fallbackChain(cfg, m), q)
+	noteIfDegraded(cfg, env, m, res)
+	return res, metrics, err
+}
+
+func noteIfDegraded(cfg *Config, env *Env, requested entmatcher.Matcher, res *entmatcher.MatchResult) {
+	if res == nil || len(res.DegradedFrom) == 0 {
+		return
+	}
+	note := fmt.Sprintf("%s degraded to %s under budget %v (tried: %s)",
+		requested.Name(), res.Matcher, cfg.RunTimeout, strings.Join(res.DegradedFrom, ", "))
+	cfg.logf("bench: %s", note)
+	env.noteDegradation(note)
 }
 
 // matcherSet returns the paper's seven algorithms configured per cfg, in

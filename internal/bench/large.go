@@ -45,7 +45,7 @@ func runTable6(cfg *Config, env *Env) ([]*Table, error) {
 		}
 		for _, m := range matchers {
 			runtime.GC() // stabilize per-matcher timings at this scale
-			res, metrics, err := run.Match(m)
+			res, metrics, err := matchBudgeted(cfg, env, run, m)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", m.Name(), prof.Name, err)
 			}

@@ -50,7 +50,7 @@ func runGroup(cfg *Config, env *Env, label string, profiles []datagen.Profile,
 			g.MatrixBytes = b
 		}
 		for _, m := range matchers {
-			res, metrics, err := run.Match(m)
+			res, metrics, err := matchBudgeted(cfg, env, run, m)
 			if err != nil {
 				return nil, fmt.Errorf("%s on %s: %w", m.Name(), prof.Name, err)
 			}

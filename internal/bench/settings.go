@@ -40,9 +40,9 @@ func runTable7(cfg *Config, env *Env) ([]*Table, error) {
 				var metrics entmatcher.Metrics
 				name := m.Name()
 				if name == "Hun." || name == "SMat" {
-					res, metrics, err = run.MatchWithAbstention(m, cfg.AbstentionQ)
+					res, metrics, err = abstainBudgeted(cfg, env, run, m, cfg.AbstentionQ)
 				} else {
-					res, metrics, err = run.Match(m)
+					res, metrics, err = matchBudgeted(cfg, env, run, m)
 				}
 				if err != nil {
 					return nil, fmt.Errorf("%s on %s+: %w", name, prof.Name, err)
@@ -111,7 +111,7 @@ func runTable8(cfg *Config, env *Env) ([]*Table, error) {
 			Columns: []string{"P", "R", "F1", "T(s)"},
 		}
 		for _, m := range matcherSet(cfg) {
-			res, metrics, err := run.Match(m)
+			res, metrics, err := matchBudgeted(cfg, env, run, m)
 			if err != nil {
 				return nil, fmt.Errorf("%s on FB_DBP_MUL: %w", m.Name(), err)
 			}

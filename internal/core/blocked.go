@@ -46,6 +46,7 @@ func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
 		return nil, fmt.Errorf("Sink.-mb: invalid L=%d tau=%v", m.L, m.Tau)
 	}
 	start := time.Now()
+	cc := ctx.Cancellation()
 	s := ctx.S
 	rows, cols := s.Rows(), s.Cols()
 	if rows == 0 || cols == 0 {
@@ -97,6 +98,11 @@ func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
 	var maxBatchBytes int64
 	tr := SinkhornTransform{L: m.L, Tau: m.Tau}
 	for b := 0; b < numBatches; b++ {
+		// Mini-batches are natural cancellation checkpoints: each batch is a
+		// bounded O(B²·L) unit of work.
+		if err := ctxErr(cc); err != nil {
+			return nil, err
+		}
 		rIDs, cIDs := batchRows[b], batchCols[b]
 		if len(rIDs) == 0 {
 			continue
@@ -117,7 +123,7 @@ func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
 		if bts := sub.SizeBytes() * 2; bts > maxBatchBytes {
 			maxBatchBytes = bts
 		}
-		norm, err := tr.Transform(sub)
+		norm, err := tr.TransformContext(cc, sub)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+// canceledCtx returns a Context over s whose cancellation context is already
+// done, so every cooperative checkpoint must fire on its first check.
+func canceledCtx(s *matrix.Dense) *Context {
+	cc, cancel := context.WithCancel(context.Background())
+	cancel()
+	return &Context{S: s, Ctx: cc}
+}
+
+// TestMatchersHonorCancellation: every matcher must return context.Canceled
+// (not a result, not a hang) when its context is canceled before Match.
+func TestMatchersHonorCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := randScores(rng, 80, 80)
+	matchers := []Matcher{
+		NewDInf(),
+		NewCSLS(1),
+		NewRInf(),
+		NewRInfWR(),
+		NewRInfPB(16),
+		NewSinkhorn(50),
+		NewHungarian(),
+		NewSMat(),
+		NewRL(DefaultRLConfig()),
+		NewProbInf(0.3),
+		NewSinkhornBlocked(32, 50),
+	}
+	for _, m := range matchers {
+		t.Run(m.Name(), func(t *testing.T) {
+			res, err := m.Match(canceledCtx(s))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: want context.Canceled, got res=%v err=%v", m.Name(), res, err)
+			}
+		})
+	}
+}
+
+// TestMatchersRunWithNilCancellation: the zero Context (no Ctx set) must
+// keep working exactly as before the context plumbing existed.
+func TestMatchersRunWithNilCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := randScores(rng, 12, 12)
+	for _, m := range []Matcher{NewDInf(), NewRInf(), NewHungarian(), NewSMat()} {
+		res, err := m.Match(&Context{S: s})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if len(res.Pairs) == 0 {
+			t.Fatalf("%s: no pairs", m.Name())
+		}
+	}
+}
+
+func TestContextCancellationDefaults(t *testing.T) {
+	var c *Context
+	if c.Cancellation() != context.Background() {
+		t.Fatal("nil Context must yield Background")
+	}
+	c = &Context{}
+	if c.Cancellation() != context.Background() {
+		t.Fatal("Context without Ctx must yield Background")
+	}
+}
+
+func TestValidateContext(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	good := randScores(rng, 4, 5)
+
+	if err := ValidateContext(&Context{S: good}); err != nil {
+		t.Fatalf("valid context rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		ctx  *Context
+		want error
+	}{
+		{"nil context", nil, ErrNoMatrix},
+		{"nil matrix", &Context{}, ErrNoMatrix},
+		{"zero rows", &Context{S: matrix.New(0, 5)}, ErrEmptyMatrix},
+		{"zero cols", &Context{S: matrix.New(4, 0)}, ErrEmptyMatrix},
+		{"dummies eat all columns", &Context{S: good, NumDummies: 5}, ErrBadInput},
+		{"negative dummies", &Context{S: good, NumDummies: -1}, ErrBadInput},
+		{"source adjacency length", &Context{S: good, SourceAdj: make([][]int, 3)}, ErrBadInput},
+		{"target adjacency length", &Context{S: good, TargetAdj: make([][]int, 9)}, ErrBadInput},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateContext(tc.ctx)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("want %v, got %v", tc.want, err)
+			}
+		})
+	}
+
+	bad := randScores(rng, 4, 5)
+	bad.Set(2, 3, math.NaN())
+	err := ValidateContext(&Context{S: bad})
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN matrix: want ErrNonFinite, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "[2,3]") {
+		t.Fatalf("error should locate the poisoned cell: %v", err)
+	}
+	bad.Set(2, 3, math.Inf(-1))
+	if err := ValidateContext(&Context{S: bad}); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("-Inf matrix: want ErrNonFinite, got %v", err)
+	}
+}
+
+type panicMatcher struct{ v any }
+
+func (p panicMatcher) Name() string                    { return "boom" }
+func (p panicMatcher) Match(*Context) (*Result, error) { panic(p.v) }
+
+func TestSafeMatchRecoversPanic(t *testing.T) {
+	s := mat(t, []float64{1, 0}, []float64{0, 1})
+	res, err := SafeMatch(panicMatcher{v: "index out of range"}, &Context{S: s})
+	if res != nil {
+		t.Fatal("panicking matcher must not return a result")
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("want *PanicError, got %T: %v", err, err)
+	}
+	if perr.Matcher != "boom" {
+		t.Fatalf("PanicError.Matcher = %q", perr.Matcher)
+	}
+	if !strings.Contains(perr.Error(), "index out of range") {
+		t.Fatalf("panic value missing from message: %v", perr)
+	}
+	if len(perr.Stack) == 0 {
+		t.Fatal("stack trace not captured")
+	}
+}
+
+func TestSafeMatchPassesThrough(t *testing.T) {
+	s := mat(t, []float64{1, 0}, []float64{0, 1})
+	res, err := SafeMatch(NewDInf(), &Context{S: s})
+	if err != nil || len(res.Pairs) != 2 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"entmatcher/internal/matrix"
@@ -28,11 +29,23 @@ func (CSLSTransform) Name() string { return "csls" }
 
 // Transform returns the CSLS-rescaled matrix; s is not modified.
 func (t CSLSTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
+	return t.TransformContext(context.Background(), s)
+}
+
+// TransformContext is Transform with cooperative cancellation, checked
+// between the φ statistic passes and the rescaling sweeps.
+func (t CSLSTransform) TransformContext(ctx context.Context, s *matrix.Dense) (*matrix.Dense, error) {
 	if t.K < 1 {
 		return nil, fmt.Errorf("csls: K must be positive, got %d", t.K)
 	}
 	phiS := s.RowTopKMeans(t.K)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	phiT := s.ColTopKMeans(t.K)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	out := s.Clone()
 	out.Scale(2)
 	if err := out.SubColVector(phiS); err != nil {

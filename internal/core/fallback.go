@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Fallback chains matchers into a graceful-degradation ladder under a shared
+// wall-clock budget. The paper's efficiency study (Figure 5, Tables 6-8)
+// shows that optimization-based matchers like Hungarian and RL can cost
+// orders of magnitude more time than greedy inference, and its own answer at
+// DWY100K scale is to degrade to the cheaper RInf-wr/RInf-pb variants.
+// Fallback operationalizes that: it tries each tier in order under its share
+// of the remaining budget and moves to the next tier on timeout, error or
+// panic, so a bounded caller always gets the best answer the budget allows.
+//
+// Tier scheduling: with a positive Budget, tier k of n receives
+// remaining/(n−k) of the remaining budget — an even split that rolls unused
+// time forward. The final tier is the safety net: it runs under the caller's
+// own context only, never under the budget deadline, because the chain's
+// contract is to answer (callers put a trivially cheap matcher such as DInf
+// last). A cancellation of the caller's own context is never degraded past:
+// it aborts the chain with the context's error.
+type Fallback struct {
+	// Budget is the total wall-clock budget for the whole chain. Zero or
+	// negative means unbudgeted: tiers then degrade only on error or panic.
+	Budget time.Duration
+	// Tiers are the matchers to try, strongest first, cheapest last.
+	Tiers []Matcher
+}
+
+// NewFallback returns a degradation chain over the given tiers, e.g.
+//
+//	NewFallback(budget, NewHungarian(), NewRInfPB(50), NewDInf())
+func NewFallback(budget time.Duration, tiers ...Matcher) *Fallback {
+	return &Fallback{Budget: budget, Tiers: tiers}
+}
+
+// Name lists the chain, e.g. "Fallback[Hun.→RInf-pb→DInf]".
+func (f *Fallback) Name() string {
+	names := make([]string, len(f.Tiers))
+	for i, m := range f.Tiers {
+		names[i] = m.Name()
+	}
+	return "Fallback[" + strings.Join(names, "→") + "]"
+}
+
+// Match runs the chain. The returned Result carries the answering tier's
+// name in Matcher and the failed tiers, in attempt order, in DegradedFrom;
+// Elapsed covers the whole chain including failed attempts. Panics inside a
+// tier are recovered (becoming a *PanicError for that tier) and degrade to
+// the next tier like any other failure.
+func (f *Fallback) Match(ctx *Context) (*Result, error) {
+	if len(f.Tiers) == 0 {
+		return nil, errors.New("core: fallback chain has no tiers")
+	}
+	if err := ValidateContext(ctx); err != nil {
+		return nil, err
+	}
+	parent := ctx.Cancellation()
+	start := time.Now()
+	var deadline time.Time
+	if f.Budget > 0 {
+		deadline = start.Add(f.Budget)
+	}
+	var degraded []string
+	var tierErrs []error
+	for k, m := range f.Tiers {
+		last := k == len(f.Tiers)-1
+		tctx := parent
+		cancel := context.CancelFunc(func() {})
+		if !deadline.IsZero() && !last {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				// Budget exhausted: fall through to the safety net.
+				degraded = append(degraded, m.Name())
+				tierErrs = append(tierErrs, fmt.Errorf("%s: skipped: %w", m.Name(), context.DeadlineExceeded))
+				continue
+			}
+			share := remaining / time.Duration(len(f.Tiers)-k)
+			tctx, cancel = context.WithTimeout(parent, share)
+		}
+		sub := *ctx
+		sub.Ctx = tctx
+		res, err := SafeMatch(m, &sub)
+		cancel()
+		if err == nil {
+			res.DegradedFrom = degraded
+			res.Elapsed = time.Since(start)
+			return res, nil
+		}
+		if perr := ctxErr(parent); perr != nil {
+			// The caller's own context ended; honor it instead of degrading.
+			return nil, perr
+		}
+		degraded = append(degraded, m.Name())
+		tierErrs = append(tierErrs, fmt.Errorf("%s: %w", m.Name(), err))
+	}
+	return nil, fmt.Errorf("core: all %d fallback tiers failed: %w", len(f.Tiers), errors.Join(tierErrs...))
+}

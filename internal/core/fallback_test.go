@@ -1,0 +1,161 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// stubMatcher is a scriptable tier for fallback tests.
+type stubMatcher struct {
+	name  string
+	err   error
+	panic any
+	// block makes Match wait for the run's context before failing with its
+	// error — a deterministic over-budget matcher.
+	block bool
+	calls int
+}
+
+func (m *stubMatcher) Name() string { return m.name }
+
+func (m *stubMatcher) Match(ctx *Context) (*Result, error) {
+	m.calls++
+	if m.block {
+		<-ctx.Cancellation().Done()
+		return nil, ctx.Cancellation().Err()
+	}
+	if m.panic != nil {
+		panic(m.panic)
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return &Result{Matcher: m.name, Pairs: []Pair{{Source: 0, Target: 0, Score: 1}}}, nil
+}
+
+func fallbackCtx(t *testing.T) *Context {
+	return &Context{S: mat(t, []float64{1, 0}, []float64{0, 1})}
+}
+
+func TestFallbackFirstTierAnswers(t *testing.T) {
+	first := &stubMatcher{name: "A"}
+	second := &stubMatcher{name: "B"}
+	res, err := NewFallback(time.Second, first, second).Match(fallbackCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != "A" || len(res.DegradedFrom) != 0 {
+		t.Fatalf("Matcher=%q DegradedFrom=%v", res.Matcher, res.DegradedFrom)
+	}
+	if second.calls != 0 {
+		t.Fatal("second tier must not run when the first answers")
+	}
+}
+
+// TestFallbackDegradesOnTimeout: a tier that blocks past its budget share
+// must be cut off and the next tier must answer, recording the degradation.
+func TestFallbackDegradesOnTimeout(t *testing.T) {
+	slow := &stubMatcher{name: "slow", block: true}
+	cheap := &stubMatcher{name: "cheap"}
+	start := time.Now()
+	res, err := NewFallback(50*time.Millisecond, slow, cheap).Match(fallbackCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != "cheap" {
+		t.Fatalf("answered by %q, want cheap", res.Matcher)
+	}
+	if len(res.DegradedFrom) != 1 || res.DegradedFrom[0] != "slow" {
+		t.Fatalf("DegradedFrom = %v", res.DegradedFrom)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("chain took %v; the blocked tier was not cut off", elapsed)
+	}
+}
+
+func TestFallbackDegradesOnError(t *testing.T) {
+	boom := errors.New("numerical breakdown")
+	res, err := NewFallback(0, &stubMatcher{name: "bad", err: boom}, &stubMatcher{name: "ok"}).Match(fallbackCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != "ok" || len(res.DegradedFrom) != 1 {
+		t.Fatalf("Matcher=%q DegradedFrom=%v", res.Matcher, res.DegradedFrom)
+	}
+}
+
+func TestFallbackDegradesOnPanic(t *testing.T) {
+	res, err := NewFallback(0, &stubMatcher{name: "crashy", panic: "oob"}, &stubMatcher{name: "ok"}).Match(fallbackCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != "ok" || len(res.DegradedFrom) != 1 || res.DegradedFrom[0] != "crashy" {
+		t.Fatalf("Matcher=%q DegradedFrom=%v", res.Matcher, res.DegradedFrom)
+	}
+}
+
+func TestFallbackAllTiersFail(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	_, err := NewFallback(0, &stubMatcher{name: "a", err: e1}, &stubMatcher{name: "b", err: e2}).Match(fallbackCtx(t))
+	if err == nil {
+		t.Fatal("want error when every tier fails")
+	}
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("joined error should carry both tier errors: %v", err)
+	}
+}
+
+// TestFallbackHonorsParentCancellation: the caller's own cancellation must
+// abort the chain, not degrade past it — a canceled caller does not want a
+// cheaper answer, it wants out.
+func TestFallbackHonorsParentCancellation(t *testing.T) {
+	cc, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx := fallbackCtx(t)
+	ctx.Ctx = cc
+	cheap := &stubMatcher{name: "cheap"}
+	_, err := NewFallback(time.Second, &stubMatcher{name: "slow", block: true}, cheap).Match(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if cheap.calls != 0 {
+		t.Fatal("chain must not degrade past the caller's cancellation")
+	}
+}
+
+// TestFallbackFinalTierIgnoresBudget: even with the budget fully exhausted,
+// the last tier runs (unbudgeted) so the chain always answers.
+func TestFallbackFinalTierIgnoresBudget(t *testing.T) {
+	res, err := NewFallback(time.Nanosecond,
+		&stubMatcher{name: "slow", block: true},
+		&stubMatcher{name: "mid", block: true},
+		&stubMatcher{name: "floor"},
+	).Match(fallbackCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != "floor" {
+		t.Fatalf("answered by %q, want floor", res.Matcher)
+	}
+	if len(res.DegradedFrom) != 2 {
+		t.Fatalf("DegradedFrom = %v", res.DegradedFrom)
+	}
+}
+
+func TestFallbackValidatesInput(t *testing.T) {
+	if _, err := NewFallback(0, &stubMatcher{name: "a"}).Match(&Context{}); !errors.Is(err, ErrNoMatrix) {
+		t.Fatalf("want ErrNoMatrix, got %v", err)
+	}
+	if _, err := NewFallback(0).Match(fallbackCtx(t)); err == nil {
+		t.Fatal("empty chain must error")
+	}
+}
+
+func TestFallbackName(t *testing.T) {
+	name := NewFallback(0, &stubMatcher{name: "Hun."}, &stubMatcher{name: "DInf"}).Name()
+	if name != "Fallback[Hun.→DInf]" {
+		t.Fatalf("Name() = %q", name)
+	}
+}

@@ -33,6 +33,9 @@ func (GreedyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, error
 	if s.Cols() == 0 {
 		return nil, nil, fmt.Errorf("greedy: matrix has no columns")
 	}
+	if err := ctxErr(ctx.Cancellation()); err != nil {
+		return nil, nil, err
+	}
 	vals, idx := s.RowMax()
 	pairs := make([]Pair, 0, s.Rows())
 	var abstained []int

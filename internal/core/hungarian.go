@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -16,6 +17,12 @@ import (
 // The matrix may be rectangular with rows ≤ cols; when rows > cols the
 // decider solves the transposed problem. Rows assigned to dummy columns
 // (ctx.NumDummies trailing columns) are reported as abstained.
+//
+// The augmenting-path search checks ctx.Ctx cooperatively once per
+// augmentation step (each step scans one row of the matrix), so a deadline
+// or cancel aborts a long run within O(cols) work — this matters because a
+// single Hungarian run dominates the whole pipeline at DWY100K scale
+// (the paper's Figure 5).
 type HungarianDecider struct{}
 
 // Name returns "hungarian".
@@ -27,15 +34,23 @@ func (HungarianDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, er
 	if rows == 0 || cols == 0 {
 		return nil, nil, fmt.Errorf("hungarian: empty matrix %d×%d", rows, cols)
 	}
+	cc := ctx.Cancellation()
 	var rowOf []int // column -> assigned row, or -1
 	if rows <= cols {
-		rowOf = solveLAP(s)
+		var err error
+		rowOf, err = solveLAP(cc, s)
+		if err != nil {
+			return nil, nil, err
+		}
 	} else {
 		// More rows than columns: solve on the transpose (whose rows are
 		// the original columns), leaving some original rows unmatched.
 		// solveLAP on the transpose yields, per transpose-column (original
 		// row), the assigned transpose-row (original column).
-		rowAssign := solveLAP(s.Transpose())
+		rowAssign, err := solveLAP(cc, s.Transpose())
+		if err != nil {
+			return nil, nil, err
+		}
 		rowOf = make([]int, cols)
 		for j := range rowOf {
 			rowOf[j] = -1
@@ -76,8 +91,10 @@ func (HungarianDecider) ExtraBytes(rows, cols int) int64 {
 
 // solveLAP returns, for each column, the row assigned to it (-1 if none),
 // maximizing the total score of a complete assignment of all rows.
-// Requires rows ≤ cols.
-func solveLAP(s *matrix.Dense) []int {
+// Requires rows ≤ cols. It returns ctx.Err() as soon as the context is done;
+// cancellation is checked once per augmentation step, whose cost is one
+// O(cols) scan, so the abort latency is bounded by a single matrix row.
+func solveLAP(ctx context.Context, s *matrix.Dense) ([]int, error) {
 	n, m := s.Rows(), s.Cols()
 	// Minimization duals over cost = -score. 1-based arrays with a virtual
 	// row 0 / column 0, following the classic shortest-augmenting-path
@@ -97,6 +114,9 @@ func solveLAP(s *matrix.Dense) []int {
 			used[j] = false
 		}
 		for {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
 			used[j0] = true
 			i0 := p[j0]
 			delta := math.Inf(1)
@@ -139,7 +159,7 @@ func solveLAP(s *matrix.Dense) []int {
 	for j := 1; j <= m; j++ {
 		out[j-1] = p[j] - 1 // back to 0-based; -1 = unassigned
 	}
-	return out
+	return out, nil
 }
 
 // NewHungarian returns the Hun. algorithm: raw scores plus optimal

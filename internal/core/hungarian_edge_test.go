@@ -1,0 +1,101 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestHungarianSingleRow: a 1×N matrix must match the single source to the
+// best column.
+func TestHungarianSingleRow(t *testing.T) {
+	s := mat(t, []float64{0.2, 0.9, 0.1, 0.5})
+	res, err := NewHungarian().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].Source != 0 || res.Pairs[0].Target != 1 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	if len(res.Abstained) != 0 {
+		t.Fatalf("abstained = %v", res.Abstained)
+	}
+}
+
+// TestHungarianSingleColumn: an N×1 matrix exercises the transpose path at
+// its degenerate extreme — exactly one source wins the column, the rest
+// abstain.
+func TestHungarianSingleColumn(t *testing.T) {
+	s := mat(t,
+		[]float64{0.3},
+		[]float64{0.8},
+		[]float64{0.1},
+	)
+	res, err := NewHungarian().Match(&Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 || res.Pairs[0].Source != 1 || res.Pairs[0].Target != 0 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	if len(res.Abstained) != 2 {
+		t.Fatalf("abstained = %v", res.Abstained)
+	}
+}
+
+// TestHungarianTransposeOptimal: the rows>cols path must produce the same
+// total score as solving the transposed problem directly.
+func TestHungarianTransposeOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		cols := 2 + rng.Intn(4)
+		rows := cols + 1 + rng.Intn(4)
+		s := randScores(rng, rows, cols)
+		res, err := NewHungarian().Match(&Context{S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Pairs) != cols || len(res.Abstained) != rows-cols {
+			t.Fatalf("trial %d: pairs=%d abstained=%d for %d×%d", trial, len(res.Pairs), len(res.Abstained), rows, cols)
+		}
+		tr := s.Transpose()
+		trRes, err := NewHungarian().Match(&Context{S: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, transposed := totalScore(s, res), totalScore(tr, trRes)
+		if diff := direct - transposed; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("trial %d: transpose path score %v != direct %v", trial, direct, transposed)
+		}
+	}
+}
+
+// TestHungarianTransposeCancellation: the transpose path must propagate
+// cancellation just like the direct one.
+func TestHungarianTransposeCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := randScores(rng, 50, 30) // rows > cols: transpose path
+	cc, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewHungarian().Match(&Context{S: s, Ctx: cc}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestHungarianDummyAbstentionAllDummies: every source prefers a dummy when
+// real scores are terrible, and all of them must abstain.
+func TestHungarianDummyAbstentionAllDummies(t *testing.T) {
+	s := mat(t,
+		[]float64{-5, -9},
+		[]float64{-7, -6},
+	)
+	padded := AddDummyColumns(s, 2, 0)
+	res, err := NewHungarian().Match(&Context{S: padded, NumDummies: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 0 || len(res.Abstained) != 2 {
+		t.Fatalf("pairs=%v abstained=%v", res.Pairs, res.Abstained)
+	}
+}

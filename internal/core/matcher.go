@@ -22,9 +22,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"time"
 
@@ -67,6 +69,22 @@ type Context struct {
 	// setting. Deciders that assign a row to a dummy column report the row
 	// as abstained instead of emitting a pair.
 	NumDummies int
+
+	// Ctx optionally carries a cancellation context for the run. Every
+	// long-running matcher loop checks it cooperatively (see DESIGN.md,
+	// "Checkpoint granularity") and returns context.Canceled or
+	// context.DeadlineExceeded promptly instead of running to completion.
+	// Nil means the run is unbounded.
+	Ctx context.Context
+}
+
+// Cancellation returns the run's cancellation context, substituting
+// context.Background for a nil (unbounded) one.
+func (c *Context) Cancellation() context.Context {
+	if c == nil || c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // ValidationTask is a self-contained alignment task with known gold pairs,
@@ -92,6 +110,11 @@ type Result struct {
 	// ExtraBytes is the analytic estimate of working memory allocated
 	// beyond the input matrix (the paper's memory-cost axis).
 	ExtraBytes int64
+	// DegradedFrom lists the matchers that failed, panicked or ran out of
+	// budget before the tier that produced this result, in attempt order.
+	// It is empty for a direct (non-Fallback) run; Matcher always names the
+	// tier that actually answered.
+	DegradedFrom []string
 }
 
 // Matcher is an algorithm for matching KGs in entity embedding spaces.
@@ -105,6 +128,78 @@ type Matcher interface {
 // ErrNoMatrix is returned when the context has no similarity matrix.
 var ErrNoMatrix = errors.New("core: context has no similarity matrix")
 
+// ErrEmptyMatrix is returned by the validation gate when the similarity
+// matrix has zero rows or columns.
+var ErrEmptyMatrix = errors.New("core: empty similarity matrix")
+
+// ErrNonFinite is returned by the validation gate when the similarity matrix
+// contains NaN or ±Inf scores, which would silently corrupt every downstream
+// argmax, ranking and normalization.
+var ErrNonFinite = errors.New("core: similarity matrix contains a non-finite score")
+
+// ErrBadInput is returned by the validation gate for structurally
+// inconsistent inputs: out-of-range dummy counts or adjacency lists whose
+// shape does not match the similarity matrix.
+var ErrBadInput = errors.New("core: invalid match input")
+
+// ValidateContext is the input gate run at the pipeline boundary before any
+// matcher sees the context: it rejects missing/empty/NaN-poisoned similarity
+// matrices and shape-inconsistent side inputs with typed, wrapped errors.
+// Matchers may assume a validated context and keep only their cheap local
+// checks.
+func ValidateContext(c *Context) error {
+	if c == nil || c.S == nil {
+		return ErrNoMatrix
+	}
+	rows, cols := c.S.Rows(), c.S.Cols()
+	if rows == 0 || cols == 0 {
+		return fmt.Errorf("%w: %d×%d", ErrEmptyMatrix, rows, cols)
+	}
+	if i, j, ok := c.S.FindNonFinite(); ok {
+		return fmt.Errorf("%w: S[%d,%d] = %v", ErrNonFinite, i, j, c.S.At(i, j))
+	}
+	if c.NumDummies < 0 || c.NumDummies >= cols {
+		return fmt.Errorf("%w: NumDummies %d outside [0, %d)", ErrBadInput, c.NumDummies, cols)
+	}
+	if c.SourceAdj != nil && len(c.SourceAdj) != rows {
+		return fmt.Errorf("%w: SourceAdj has %d entries for %d rows", ErrBadInput, len(c.SourceAdj), rows)
+	}
+	if c.TargetAdj != nil && len(c.TargetAdj) > cols {
+		return fmt.Errorf("%w: TargetAdj has %d entries for %d columns", ErrBadInput, len(c.TargetAdj), cols)
+	}
+	return nil
+}
+
+// PanicError wraps a panic recovered from inside a matcher, carrying the
+// matcher's name and the captured stack so internal bugs surface as ordinary
+// errors at the driver instead of crashing a whole serving process.
+type PanicError struct {
+	// Matcher is the display name of the matcher that panicked.
+	Matcher string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error describes the panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: matcher %s panicked: %v", e.Matcher, e.Value)
+}
+
+// SafeMatch runs m.Match(ctx) with panic recovery: a panic inside the
+// matcher is converted into a *PanicError naming the matcher. This is the
+// driver entry point used by the pipeline and the Fallback chain.
+func SafeMatch(m Matcher, ctx *Context) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PanicError{Matcher: m.Name(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return m.Match(ctx)
+}
+
 // ScoreTransform is stage one of embedding matching: it rewrites the
 // pairwise score matrix. Implementations must not mutate the input.
 type ScoreTransform interface {
@@ -113,6 +208,26 @@ type ScoreTransform interface {
 	// ExtraBytes estimates the transform's peak working memory for an
 	// input of the given shape.
 	ExtraBytes(rows, cols int) int64
+}
+
+// ContextTransform is optionally implemented by score transforms that
+// support cooperative cancellation. Composite.Match prefers it over
+// Transform when the run carries a context; plain Transform remains the
+// uncancellable fallback so third-party transforms keep working unchanged.
+// (Deciders need no such interface: Decide already receives the *Context
+// and reads its cancellation directly.)
+type ContextTransform interface {
+	ScoreTransform
+	TransformContext(ctx context.Context, s *matrix.Dense) (*matrix.Dense, error)
+}
+
+// runTransform dispatches to the transform's context-aware entry point when
+// it has one.
+func runTransform(cc context.Context, t ScoreTransform, s *matrix.Dense) (*matrix.Dense, error) {
+	if ct, ok := t.(ContextTransform); ok {
+		return ct.TransformContext(cc, s)
+	}
+	return t.Transform(s)
 }
 
 // Decider is stage two: it converts a score matrix into matched pairs.
@@ -152,9 +267,16 @@ func (c *Composite) Match(ctx *Context) (*Result, error) {
 	if ctx == nil || ctx.S == nil {
 		return nil, ErrNoMatrix
 	}
+	cc := ctx.Cancellation()
+	if err := ctxErr(cc); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	s, err := c.Transform.Transform(ctx.S)
+	s, err := runTransform(cc, c.Transform, ctx.S)
 	if err != nil {
+		return nil, fmt.Errorf("%s: %w", c.Name(), err)
+	}
+	if err := ctxErr(cc); err != nil {
 		return nil, fmt.Errorf("%s: %w", c.Name(), err)
 	}
 	pairs, abstained, err := c.Decider.Decide(ctx, s)
@@ -208,6 +330,28 @@ func WithDummies(ctx *Context, score float64) *Context {
 
 // matBytes is the payload size of a rows×cols float64 matrix.
 func matBytes(rows, cols int) int64 { return int64(rows) * int64(cols) * 8 }
+
+// ctxErr is the checkpoint predicate behind every cooperative cancellation
+// check: ctx.Err() plus a direct clock-vs-deadline comparison. The latter
+// matters on single-CPU systems, where a CPU-bound matcher loop can keep the
+// runtime from firing context.WithTimeout's timer for many milliseconds —
+// Err() then stays nil long past the deadline, and the explicit comparison
+// is what actually stops the run.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// checkRowStride is how many per-row (or per-column) iterations a matcher
+// loop runs between cooperative cancellation checks. One iteration of these
+// loops is at least O(block) work, so the stride bounds cancellation latency
+// without measurable overhead; see DESIGN.md, "Checkpoint granularity".
+const checkRowStride = 64
 
 // DummyScoreFromValidation derives an abstention score for dummy columns
 // from a validation similarity matrix whose rows are all matchable: it

@@ -56,6 +56,7 @@ func (m *ProbInf) Match(ctx *Context) (*Result, error) {
 		return nil, fmt.Errorf("ProbInf: temperature must be positive, got %v", m.Tau)
 	}
 	start := time.Now()
+	cc := ctx.Cancellation()
 	s := ctx.S
 	rows, cols := s.Rows(), s.Cols()
 	if rows == 0 || cols == 0 {
@@ -65,16 +66,27 @@ func (m *ProbInf) Match(ctx *Context) (*Result, error) {
 
 	// Row-wise softmax probabilities.
 	rowProb := softmaxRows(s, m.Tau)
+	if err := ctxErr(cc); err != nil {
+		return nil, err
+	}
 	// Column-wise probabilities when bidirectional: softmax over each
 	// column, computed on the transpose.
 	var colProb *matrix.Dense
 	if m.Bidirectional {
 		colProb = softmaxRows(s.Transpose(), m.Tau)
+		if err := ctxErr(cc); err != nil {
+			return nil, err
+		}
 	}
 
 	pairs := make([]Pair, 0, rows)
 	var abstained []int
 	for i := 0; i < rows; i++ {
+		if i%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, err
+			}
+		}
 		row := rowProb.Row(i)
 		emitted := 0
 		// Emit in descending probability order up to the cap.

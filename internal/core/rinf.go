@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -38,12 +39,22 @@ func (t ReciprocalTransform) Name() string {
 
 // Transform computes the reciprocal preference matrix; s is not modified.
 func (t ReciprocalTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
+	return t.TransformContext(context.Background(), s)
+}
+
+// TransformContext is Transform with cooperative cancellation, checked
+// between the major matrix passes (preference construction, rank transforms
+// and bidirectional aggregation — each a full O(rows×cols) sweep).
+func (t ReciprocalTransform) TransformContext(ctx context.Context, s *matrix.Dense) (*matrix.Dense, error) {
 	rows, cols := s.Rows(), s.Cols()
 	if rows == 0 || cols == 0 {
 		return nil, fmt.Errorf("reciprocal: empty matrix %d×%d", rows, cols)
 	}
 	rowMaxes, _ := s.RowMax() // max over targets for each source
 	colMaxes, _ := s.ColMax() // max over sources for each target
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	if !t.WithRanking {
 		// RInf-wr averages the raw preferences. Expanding the definition,
@@ -74,6 +85,9 @@ func (t ReciprocalTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
 		return nil, err
 	}
 	pst.Apply(func(v float64) float64 { return v + 1 })
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	// P_ts(v, u) = S(u, v) − rowMax(u) + 1, stored transposed (cols×rows).
 	pts := s.Transpose()
@@ -81,9 +95,18 @@ func (t ReciprocalTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
 		return nil, err
 	}
 	pts.Apply(func(v float64) float64 { return v + 1 })
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 
 	pst.RowRanksInPlace()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	pts.RowRanksInPlace()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	// Reciprocal rank matrix: −(R_st + R_tsᵀ)/2.
 	ptsT := pts.Transpose()
 	for i := 0; i < rows; i++ {
@@ -142,6 +165,7 @@ func (m *RInfPB) Match(ctx *Context) (*Result, error) {
 		return nil, fmt.Errorf("RInf-pb: block size must be positive, got %d", m.C)
 	}
 	start := time.Now()
+	cc := ctx.Cancellation()
 	s := ctx.S
 	rows, cols := s.Rows(), s.Cols()
 	if rows == 0 || cols == 0 {
@@ -162,9 +186,17 @@ func (m *RInfPB) Match(ctx *Context) (*Result, error) {
 	// Forward blocks: for each row, the top-c columns ranked by the
 	// source-side preference p_st.
 	fwd := s.RowTopK(c)
+	if err := ctxErr(cc); err != nil {
+		return nil, err
+	}
 	// rankST[i] maps candidate column -> rank (1-based) for row i.
 	rankST := make([]map[int]int, rows)
 	for i := 0; i < rows; i++ {
+		if i%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, err
+			}
+		}
 		tk := fwd[i]
 		prefs := make([]float64, len(tk.Indices))
 		for x, j := range tk.Indices {
@@ -182,8 +214,16 @@ func (m *RInfPB) Match(ctx *Context) (*Result, error) {
 	// target-side preference p_ts.
 	sT := s.Transpose()
 	rev := sT.RowTopK(cRev)
+	if err := ctxErr(cc); err != nil {
+		return nil, err
+	}
 	rankTS := make([]map[int]int, cols)
 	for j := 0; j < cols; j++ {
+		if j%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, err
+			}
+		}
 		tk := rev[j]
 		prefs := make([]float64, len(tk.Indices))
 		for x, i := range tk.Indices {
@@ -203,6 +243,11 @@ func (m *RInfPB) Match(ctx *Context) (*Result, error) {
 	pairs := make([]Pair, 0, rows)
 	var abstained []int
 	for i := 0; i < rows; i++ {
+		if i%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, err
+			}
+		}
 		best := math.Inf(1)
 		bestJ := -1
 		// Iterate candidates in deterministic (top-k) order, not map order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -89,6 +90,7 @@ func (m *RL) Match(ctx *Context) (*Result, error) {
 		return nil, fmt.Errorf("RL: candidate count must be positive, got %d", m.Config.Candidates)
 	}
 	start := time.Now()
+	cc := ctx.Cancellation()
 	rng := ctx.Rand
 	if rng == nil {
 		rng = rand.New(rand.NewSource(m.Config.Seed))
@@ -96,10 +98,17 @@ func (m *RL) Match(ctx *Context) (*Result, error) {
 
 	weights := defaultRLWeights
 	if ctx.Valid != nil && m.Config.TuneIterations > 0 {
-		weights = m.tuneWeights(ctx.Valid, rng)
+		var err error
+		weights, err = m.tuneWeights(cc, ctx.Valid, rng)
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	pairs, abstained := m.decide(ctx.S, ctx.SourceAdj, ctx.TargetAdj, ctx.NumDummies, weights, rng)
+	pairs, abstained, err := m.decide(cc, ctx.S, ctx.SourceAdj, ctx.TargetAdj, ctx.NumDummies, weights, rng)
+	if err != nil {
+		return nil, err
+	}
 	rows, cols := ctx.S.Rows(), ctx.S.Cols()
 	return &Result{
 		Matcher:   m.Name(),
@@ -112,39 +121,54 @@ func (m *RL) Match(ctx *Context) (*Result, error) {
 }
 
 // tuneWeights hill-climbs the policy weights on the validation task,
-// maximizing the fraction of gold pairs recovered.
-func (m *RL) tuneWeights(valid *ValidationTask, rng *rand.Rand) rlWeights {
+// maximizing the fraction of gold pairs recovered. Cancellation is checked
+// once per tuning epoch (each epoch is one full decision pass on the
+// validation matrix).
+func (m *RL) tuneWeights(cc context.Context, valid *ValidationTask, rng *rand.Rand) (rlWeights, error) {
 	gold := make(map[int]int, len(valid.Gold))
 	for _, p := range valid.Gold {
 		gold[p.Source] = p.Target
 	}
-	score := func(w rlWeights) float64 {
-		pairs, _ := m.decide(valid.S, valid.SourceAdj, valid.TargetAdj, 0, w, rng)
+	score := func(w rlWeights) (float64, error) {
+		pairs, _, err := m.decide(cc, valid.S, valid.SourceAdj, valid.TargetAdj, 0, w, rng)
+		if err != nil {
+			return 0, err
+		}
 		hits := 0
 		for _, p := range pairs {
 			if gold[p.Source] == p.Target {
 				hits++
 			}
 		}
-		return float64(hits)
+		return float64(hits), nil
 	}
 	best := defaultRLWeights
-	bestScore := score(best)
+	bestScore, err := score(best)
+	if err != nil {
+		return best, err
+	}
 	cur := best
 	for it := 0; it < m.Config.TuneIterations; it++ {
+		if err := ctxErr(cc); err != nil {
+			return best, err
+		}
 		cand := rlWeights{
 			Sim:       clampPos(cur.Sim + rng.NormFloat64()*0.2),
 			Coherence: clampPos(cur.Coherence + rng.NormFloat64()*0.15),
 			Exclusive: clampPos(cur.Exclusive + rng.NormFloat64()*0.15),
 		}
-		if s := score(cand); s > bestScore {
+		s, err := score(cand)
+		if err != nil {
+			return best, err
+		}
+		if s > bestScore {
 			best, bestScore = cand, s
 			cur = cand
 		} else if rng.Float64() < 0.3 {
 			cur = cand // occasional exploration
 		}
 	}
-	return best
+	return best, nil
 }
 
 func clampPos(v float64) float64 {
@@ -154,14 +178,18 @@ func clampPos(v float64) float64 {
 	return v
 }
 
-// decide runs the sequential decision pass.
-func (m *RL) decide(s *matrix.Dense, srcAdj, tgtAdj [][]int, numDummies int, w rlWeights, rng *rand.Rand) ([]Pair, []int) {
+// decide runs the sequential decision pass, checking cc every
+// checkRowStride row decisions.
+func (m *RL) decide(cc context.Context, s *matrix.Dense, srcAdj, tgtAdj [][]int, numDummies int, w rlWeights, rng *rand.Rand) ([]Pair, []int, error) {
 	rows, cols := s.Rows(), s.Cols()
 	k := m.Config.Candidates
 	if k > cols {
 		k = cols
 	}
 	topk := s.RowTopK(k)
+	if err := ctxErr(cc); err != nil {
+		return nil, nil, err
+	}
 	realCols := cols - numDummies
 
 	matchOf := make([]int, rows) // row -> chosen column, -1 pending
@@ -187,6 +215,11 @@ func (m *RL) decide(s *matrix.Dense, srcAdj, tgtAdj [][]int, numDummies int, w r
 	_, colBestRow := s.ColMax()
 	remaining := make([]int, 0, rows)
 	for i := 0; i < rows; i++ {
+		if i%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, nil, err
+			}
+		}
 		tk := topk[i]
 		if len(tk.Indices) == 0 {
 			abstained = append(abstained, i)
@@ -216,7 +249,12 @@ func (m *RL) decide(s *matrix.Dense, srcAdj, tgtAdj [][]int, numDummies int, w r
 		return remaining[a] < remaining[b]
 	})
 	scores := make([]float64, m.Config.Candidates)
-	for _, i := range remaining {
+	for seq, i := range remaining {
+		if seq%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, nil, err
+			}
+		}
 		tk := topk[i]
 		bestScore := 0.0
 		bestJ := -1
@@ -241,7 +279,7 @@ func (m *RL) decide(s *matrix.Dense, srcAdj, tgtAdj [][]int, numDummies int, w r
 		}
 		commit(i, bestJ, bestScore)
 	}
-	return pairs, abstained
+	return pairs, abstained, nil
 }
 
 // sampleSoftmax draws an index proportionally to exp((score−max)/temp).

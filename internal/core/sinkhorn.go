@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,6 +30,13 @@ func (SinkhornTransform) Name() string { return "sinkhorn" }
 
 // Transform returns the Sinkhorn-normalized matrix; s is not modified.
 func (t SinkhornTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
+	return t.TransformContext(context.Background(), s)
+}
+
+// TransformContext is Transform with cooperative cancellation, checked once
+// per normalization iteration (each iteration is two full passes over the
+// matrix) and inside the exponentiation kernel.
+func (t SinkhornTransform) TransformContext(ctx context.Context, s *matrix.Dense) (*matrix.Dense, error) {
 	if t.L < 0 {
 		return nil, fmt.Errorf("sinkhorn: negative iteration count %d", t.L)
 	}
@@ -44,9 +52,14 @@ func (t SinkhornTransform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
 		gmax = s.At(gi, gj)
 	}
 	inv := 1 / t.Tau
-	out.Apply(func(v float64) float64 { return math.Exp((v - gmax) * inv) })
+	if err := out.ApplyContext(ctx, func(v float64) float64 { return math.Exp((v - gmax) * inv) }); err != nil {
+		return nil, err
+	}
 	const eps = 1e-300
 	for l := 0; l < t.L; l++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		out.NormalizeRowsInPlace(eps)
 		out.NormalizeColsInPlace(eps)
 	}

@@ -30,10 +30,16 @@ func (GaleShapleyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, 
 	if rows == 0 || cols == 0 {
 		return nil, nil, fmt.Errorf("gale-shapley: empty matrix %d×%d", rows, cols)
 	}
+	cc := ctx.Cancellation()
 
 	// Row preference lists: columns in descending score order.
 	rowPref := make([][]int32, rows)
 	for i := 0; i < rows; i++ {
+		if i%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, nil, err
+			}
+		}
 		row := s.Row(i)
 		order := make([]int32, cols)
 		for j := range order {
@@ -55,6 +61,11 @@ func (GaleShapleyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, 
 	{
 		order := make([]int, rows)
 		for j := 0; j < cols; j++ {
+			if j%checkRowStride == 0 {
+				if err := ctxErr(cc); err != nil {
+					return nil, nil, err
+				}
+			}
 			for i := range order {
 				order[i] = i
 			}
@@ -83,7 +94,17 @@ func (GaleShapleyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, 
 	for i := range free {
 		free[i] = i
 	}
+	proposals := 0
 	for len(free) > 0 {
+		// One proposal round scans at most cols columns; check the context
+		// once per freed row so a worst-case displacement cascade still
+		// observes cancellation within O(cols) work.
+		proposals++
+		if proposals%checkRowStride == 0 {
+			if err := ctxErr(cc); err != nil {
+				return nil, nil, err
+			}
+		}
 		i := free[len(free)-1]
 		free = free[:len(free)-1]
 		for next[i] < cols {

@@ -1,0 +1,148 @@
+// Package fault provides deterministic fault injection for testing the
+// matching stack's robustness machinery — the Fallback degradation chain,
+// panic recovery in the matcher driver, and cooperative cancellation —
+// without relying on real algorithm runtimes or flaky sleeps.
+//
+// The wrappers implement the same interfaces as the real components
+// (core.Matcher, core.ScoreTransform) and inject a configured fault before
+// delegating to the wrapped implementation. Delays are context-aware, so a
+// test that pairs a long injected delay with a short deadline observes the
+// cancellation path deterministically: the delay always loses the race.
+package fault
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+// Injection describes one fault. The zero value injects nothing.
+// When several fields are set, they apply in order: Delay (or
+// BlockUntilCancel), then Panic, then Err.
+type Injection struct {
+	// Delay sleeps before the fault or delegation. The sleep is
+	// context-aware: a done context cuts it short and the call returns
+	// ctx.Err() immediately.
+	Delay time.Duration
+	// BlockUntilCancel blocks until the run's context is done and returns
+	// its error — a deterministic stand-in for an arbitrarily slow matcher
+	// that needs no wall-clock tuning in tests.
+	BlockUntilCancel bool
+	// Panic, when non-nil, is raised with panic(Panic).
+	Panic any
+	// Err, when non-nil, is returned.
+	Err error
+	// Times limits the number of calls that inject the fault; once the
+	// first Times calls have misbehaved, later calls delegate cleanly.
+	// Zero means every call injects.
+	Times int
+}
+
+// sleep waits for d or for ctx, whichever ends first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// apply runs the injection under ctx. It returns (true, err) when the call
+// must end with err; (false, nil) when execution should delegate to the
+// wrapped implementation.
+func (inj *Injection) apply(ctx context.Context, call int64) (bool, error) {
+	if inj.Times > 0 && call > int64(inj.Times) {
+		return false, nil
+	}
+	if inj.BlockUntilCancel {
+		<-ctx.Done()
+		return true, ctx.Err()
+	}
+	if inj.Delay > 0 {
+		if err := sleep(ctx, inj.Delay); err != nil {
+			return true, err
+		}
+	}
+	if inj.Panic != nil {
+		panic(inj.Panic)
+	}
+	if inj.Err != nil {
+		return true, inj.Err
+	}
+	return false, nil
+}
+
+// Matcher wraps a core.Matcher with an injected fault. It reports the
+// wrapped matcher's name, so degradation records stay readable in tests.
+type Matcher struct {
+	Inner  core.Matcher
+	Inject Injection
+	calls  atomic.Int64
+}
+
+// Wrap returns inner with the fault injected on Match.
+func Wrap(inner core.Matcher, inj Injection) *Matcher {
+	return &Matcher{Inner: inner, Inject: inj}
+}
+
+// Name returns the wrapped matcher's name.
+func (m *Matcher) Name() string { return m.Inner.Name() }
+
+// Calls returns how many times Match has been invoked.
+func (m *Matcher) Calls() int { return int(m.calls.Load()) }
+
+// Match injects the configured fault, then delegates.
+func (m *Matcher) Match(ctx *core.Context) (*core.Result, error) {
+	n := m.calls.Add(1)
+	if done, err := m.Inject.apply(ctx.Cancellation(), n); done {
+		return nil, err
+	}
+	return m.Inner.Match(ctx)
+}
+
+// Transform wraps a core.ScoreTransform with an injected fault, exercising
+// the transform stage of Composite matchers (including the context-aware
+// dispatch path).
+type Transform struct {
+	Inner  core.ScoreTransform
+	Inject Injection
+	calls  atomic.Int64
+}
+
+// WrapTransform returns inner with the fault injected on Transform.
+func WrapTransform(inner core.ScoreTransform, inj Injection) *Transform {
+	return &Transform{Inner: inner, Inject: inj}
+}
+
+// Name returns the wrapped transform's name.
+func (t *Transform) Name() string { return t.Inner.Name() }
+
+// ExtraBytes delegates to the wrapped transform.
+func (t *Transform) ExtraBytes(rows, cols int) int64 { return t.Inner.ExtraBytes(rows, cols) }
+
+// Calls returns how many times the transform has been invoked.
+func (t *Transform) Calls() int { return int(t.calls.Load()) }
+
+// Transform injects the fault, then delegates.
+func (t *Transform) Transform(s *matrix.Dense) (*matrix.Dense, error) {
+	return t.TransformContext(context.Background(), s)
+}
+
+// TransformContext injects the fault under ctx, then delegates (through the
+// wrapped transform's own context entry point when it has one).
+func (t *Transform) TransformContext(ctx context.Context, s *matrix.Dense) (*matrix.Dense, error) {
+	n := t.calls.Add(1)
+	if done, err := t.Inject.apply(ctx, n); done {
+		return nil, err
+	}
+	if ct, ok := t.Inner.(core.ContextTransform); ok {
+		return ct.TransformContext(ctx, s)
+	}
+	return t.Inner.Transform(s)
+}

@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+func scores(rows, cols int) *matrix.Dense {
+	rng := rand.New(rand.NewSource(11))
+	m := matrix.New(rows, cols)
+	data := m.Data()
+	for i := range data {
+		data[i] = rng.Float64()
+	}
+	return m
+}
+
+// TestInjectedFaultsAcrossMatchers drives panic, error and delay injections
+// through several real matchers, checking that the robustness driver
+// (SafeMatch) turns each fault into the expected error without crashing.
+func TestInjectedFaultsAcrossMatchers(t *testing.T) {
+	s := scores(20, 20)
+	injected := errors.New("injected failure")
+	matchers := []core.Matcher{
+		core.NewHungarian(),
+		core.NewSinkhorn(20),
+		core.NewRInf(),
+		core.NewSMat(),
+	}
+	for _, inner := range matchers {
+		t.Run(inner.Name(), func(t *testing.T) {
+			t.Run("panic", func(t *testing.T) {
+				m := Wrap(inner, Injection{Panic: "injected panic"})
+				_, err := core.SafeMatch(m, &core.Context{S: s})
+				var perr *core.PanicError
+				if !errors.As(err, &perr) {
+					t.Fatalf("want *PanicError, got %v", err)
+				}
+				if perr.Matcher != inner.Name() {
+					t.Fatalf("panic attributed to %q, want %q", perr.Matcher, inner.Name())
+				}
+			})
+			t.Run("error", func(t *testing.T) {
+				m := Wrap(inner, Injection{Err: injected})
+				_, err := core.SafeMatch(m, &core.Context{S: s})
+				if !errors.Is(err, injected) {
+					t.Fatalf("want injected error, got %v", err)
+				}
+			})
+			t.Run("delay", func(t *testing.T) {
+				// A delay far beyond the deadline must lose to cancellation,
+				// deterministically and promptly.
+				cc, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+				defer cancel()
+				m := Wrap(inner, Injection{Delay: time.Hour})
+				start := time.Now()
+				_, err := core.SafeMatch(m, &core.Context{S: s, Ctx: cc})
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("want DeadlineExceeded, got %v", err)
+				}
+				if time.Since(start) > 2*time.Second {
+					t.Fatal("delayed matcher was not cut off by the deadline")
+				}
+			})
+		})
+	}
+}
+
+// TestFallbackChainWithInjectedFaults is the end-to-end degradation story:
+// a chain whose strong tiers are faulty still answers from the floor tier.
+func TestFallbackChainWithInjectedFaults(t *testing.T) {
+	s := scores(10, 10)
+	chain := core.NewFallback(40*time.Millisecond,
+		Wrap(core.NewHungarian(), Injection{BlockUntilCancel: true}),
+		Wrap(core.NewRInfPB(4), Injection{Panic: "corrupt block"}),
+		core.NewDInf(),
+	)
+	res, err := chain.Match(&core.Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matcher != "DInf" {
+		t.Fatalf("answered by %q, want DInf", res.Matcher)
+	}
+	if len(res.DegradedFrom) != 2 || res.DegradedFrom[0] != "Hun." || res.DegradedFrom[1] != "RInf-pb" {
+		t.Fatalf("DegradedFrom = %v", res.DegradedFrom)
+	}
+	if len(res.Pairs) == 0 {
+		t.Fatal("floor tier produced no pairs")
+	}
+}
+
+// TestInjectionTimes: the first Times calls misbehave, later calls recover —
+// the shape of a transient fault.
+func TestInjectionTimes(t *testing.T) {
+	s := scores(6, 6)
+	injected := errors.New("transient")
+	m := Wrap(core.NewDInf(), Injection{Err: injected, Times: 2})
+	for i := 0; i < 2; i++ {
+		if _, err := m.Match(&core.Context{S: s}); !errors.Is(err, injected) {
+			t.Fatalf("call %d: want injected error, got %v", i, err)
+		}
+	}
+	res, err := m.Match(&core.Context{S: s})
+	if err != nil || len(res.Pairs) == 0 {
+		t.Fatalf("third call should succeed: res=%v err=%v", res, err)
+	}
+	if m.Calls() != 3 {
+		t.Fatalf("Calls() = %d", m.Calls())
+	}
+}
+
+// TestTransformInjection exercises the fault wrapper at the transform stage
+// inside a Composite matcher, including the context-aware dispatch path.
+func TestTransformInjection(t *testing.T) {
+	s := scores(8, 8)
+	injected := errors.New("transform blew up")
+	tr := WrapTransform(core.SinkhornTransform{L: 10, Tau: core.DefaultSinkhornTau}, Injection{Err: injected})
+	m := core.NewComposite(tr, core.GreedyDecider{}, "faulty-sinkhorn")
+	if _, err := m.Match(&core.Context{S: s}); !errors.Is(err, injected) {
+		t.Fatalf("want injected transform error, got %v", err)
+	}
+	if tr.Calls() != 1 {
+		t.Fatalf("Calls() = %d", tr.Calls())
+	}
+
+	// Context-aware path: a blocked transform must honor the run's context.
+	cc, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	blocked := WrapTransform(core.SinkhornTransform{L: 10, Tau: core.DefaultSinkhornTau}, Injection{BlockUntilCancel: true})
+	m2 := core.NewComposite(blocked, core.GreedyDecider{}, "stuck-sinkhorn")
+	if _, err := m2.Match(&core.Context{S: s, Ctx: cc}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}

@@ -1,16 +1,26 @@
 package matrix
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Mul returns the matrix product a×b.
 // a must be (m×k) and b (k×n); the result is (m×n).
 func Mul(a, b *Dense) (*Dense, error) {
+	return MulContext(context.Background(), a, b)
+}
+
+// MulContext is Mul with cooperative cancellation: the row-parallel kernel
+// re-checks ctx between row chunks and returns ctx.Err() instead of a matrix
+// once the context is done.
+func MulContext(ctx context.Context, a, b *Dense) (*Dense, error) {
 	if a.cols != b.rows {
 		return nil, fmt.Errorf("%w: %d×%d · %d×%d", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.cols)
 	n := b.cols
-	parallelRows(a.rows, func(i int) {
+	err := parallelRowsCtx(ctx, a.rows, func(i int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		// ikj loop order: stream through b rows, accumulate into the output
@@ -25,6 +35,9 @@ func Mul(a, b *Dense) (*Dense, error) {
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -32,12 +45,18 @@ func Mul(a, b *Dense) (*Dense, error) {
 // a must be (m×d) and b (n×d); the result is (m×n). This is the shape of a
 // pairwise similarity computation between two embedding tables.
 func MulTransposed(a, b *Dense) (*Dense, error) {
+	return MulTransposedContext(context.Background(), a, b)
+}
+
+// MulTransposedContext is MulTransposed with cooperative cancellation,
+// checked between row chunks of the output.
+func MulTransposedContext(ctx context.Context, a, b *Dense) (*Dense, error) {
 	if a.cols != b.cols {
 		return nil, fmt.Errorf("%w: %d×%d · (%d×%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.rows)
 	d := a.cols
-	parallelRows(a.rows, func(i int) {
+	err := parallelRowsCtx(ctx, a.rows, func(i int) {
 		arow := a.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < b.rows; j++ {
@@ -49,6 +68,9 @@ func MulTransposed(a, b *Dense) (*Dense, error) {
 			orow[j] = s
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

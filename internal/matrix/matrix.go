@@ -13,12 +13,28 @@
 package matrix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"time"
 )
+
+// ctxErr is the cooperative-cancellation predicate: ctx.Err() plus a direct
+// clock-vs-deadline comparison. On single-CPU systems a CPU-bound kernel can
+// keep the runtime from firing context.WithTimeout's timer, leaving Err()
+// nil past the deadline; the explicit comparison bounds that lag.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 // Dense is a row-major dense matrix of float64 values.
 //
@@ -165,6 +181,56 @@ func parallelRows(rows int, fn func(i int)) {
 	wg.Wait()
 }
 
+// cancelCheckStride is how many rows a worker processes between cooperative
+// cancellation checks. A row of a similarity matrix is O(cols) work, so at
+// typical widths (hundreds to tens of thousands of columns) the stride keeps
+// the per-row overhead of ctx.Err() negligible while still bounding the
+// response latency to a cancel at a few million floating-point operations.
+const cancelCheckStride = 64
+
+// parallelRowsCtx is parallelRows with cooperative cancellation: every worker
+// re-checks ctx each cancelCheckStride rows and stops early once the context
+// is done. When it returns a non-nil error (ctx.Err()), only a prefix of the
+// rows may have been processed and any output must be discarded.
+func parallelRowsCtx(ctx context.Context, rows int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || rows < 2*workers {
+		for i := 0; i < rows; i++ {
+			if i%cancelCheckStride == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return err
+				}
+			}
+			fn(i)
+		}
+		return ctxErr(ctx)
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, rows)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if (i-lo)%cancelCheckStride == 0 && ctxErr(ctx) != nil {
+					return
+				}
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctxErr(ctx)
+}
+
 // Apply replaces every element x with fn(x), in place, and returns m.
 func (m *Dense) Apply(fn func(float64) float64) *Dense {
 	parallelRows(m.rows, func(i int) {
@@ -174,6 +240,18 @@ func (m *Dense) Apply(fn func(float64) float64) *Dense {
 		}
 	})
 	return m
+}
+
+// ApplyContext is Apply with cooperative cancellation. On a canceled or
+// expired context it stops early and returns ctx.Err(); the matrix is then
+// partially transformed and must be discarded by the caller.
+func (m *Dense) ApplyContext(ctx context.Context, fn func(float64) float64) error {
+	return parallelRowsCtx(ctx, m.rows, func(i int) {
+		row := m.Row(i)
+		for j, v := range row {
+			row[j] = fn(v)
+		}
+	})
 }
 
 // Scale multiplies every element by s, in place, and returns m.
@@ -353,6 +431,20 @@ func (m *Dense) NormalizeColsInPlace(eps float64) {
 			row[j] *= inv[j]
 		}
 	})
+}
+
+// FindNonFinite returns the location of the first NaN or ±Inf element in
+// row-major order, or ok=false when every element is finite. It is the
+// validation primitive behind the pipeline's input gate: a single poisoned
+// score silently corrupts every downstream argmax and normalization, so
+// callers reject such matrices before matching.
+func (m *Dense) FindNonFinite() (i, j int, ok bool) {
+	for p, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return p / m.cols, p % m.cols, true
+		}
+	}
+	return 0, 0, false
 }
 
 func min(a, b int) int {

@@ -9,11 +9,38 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"entmatcher/internal/matrix"
 )
+
+// ctxErr is the cooperative-cancellation predicate: ctx.Err() plus a direct
+// clock-vs-deadline comparison, so an expired deadline is honored even when
+// a busy single-CPU runtime has not yet fired the context timer.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// ErrNonFinite is returned when an embedding table contains NaN or ±Inf
+// components. A single poisoned embedding would otherwise propagate into an
+// entire row/column of the similarity matrix and silently corrupt every
+// downstream matcher, so the gate rejects it here with the exact location.
+var ErrNonFinite = errors.New("sim: embeddings contain a non-finite value")
+
+// ErrEmptyEmbeddings is returned when either embedding table has no rows —
+// there is nothing to match, and downstream algorithms would fail in less
+// obvious ways.
+var ErrEmptyEmbeddings = errors.New("sim: empty embedding table")
 
 // Metric identifies a pairwise similarity metric.
 type Metric int
@@ -43,18 +70,38 @@ func (m Metric) String() string {
 
 // Matrix computes the |src|×|tgt| pairwise score matrix S between the rows
 // of src and tgt under the metric. Both inputs must share the embedding
-// dimension.
+// dimension, be non-empty, and contain only finite values; violations are
+// rejected with typed, wrapped errors before any score is computed.
 func Matrix(src, tgt *matrix.Dense, metric Metric) (*matrix.Dense, error) {
+	return MatrixContext(context.Background(), src, tgt, metric)
+}
+
+// MatrixContext is Matrix with cooperative cancellation: the pairwise kernel
+// checks ctx between row chunks and returns ctx.Err() once the context is
+// done.
+func MatrixContext(ctx context.Context, src, tgt *matrix.Dense, metric Metric) (*matrix.Dense, error) {
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("sim: nil embedding matrix")
+	}
 	if src.Cols() != tgt.Cols() {
 		return nil, fmt.Errorf("sim: embedding dims differ: %d vs %d", src.Cols(), tgt.Cols())
 	}
+	if src.Rows() == 0 || tgt.Rows() == 0 {
+		return nil, fmt.Errorf("%w: %d source rows, %d target rows", ErrEmptyEmbeddings, src.Rows(), tgt.Rows())
+	}
+	if i, j, ok := src.FindNonFinite(); ok {
+		return nil, fmt.Errorf("%w: source[%d,%d] = %v", ErrNonFinite, i, j, src.At(i, j))
+	}
+	if i, j, ok := tgt.FindNonFinite(); ok {
+		return nil, fmt.Errorf("%w: target[%d,%d] = %v", ErrNonFinite, i, j, tgt.At(i, j))
+	}
 	switch metric {
 	case Cosine:
-		return cosineMatrix(src, tgt)
+		return cosineMatrix(ctx, src, tgt)
 	case Euclidean:
-		return distanceMatrix(src, tgt, false), nil
+		return distanceMatrix(ctx, src, tgt, false)
 	case Manhattan:
-		return distanceMatrix(src, tgt, true), nil
+		return distanceMatrix(ctx, src, tgt, true)
 	default:
 		return nil, fmt.Errorf("sim: unknown metric %v", metric)
 	}
@@ -63,8 +110,8 @@ func Matrix(src, tgt *matrix.Dense, metric Metric) (*matrix.Dense, error) {
 // cosineMatrix normalizes copies of the rows and multiplies. If the rows are
 // already unit length (as internal/embed guarantees) the normalization is a
 // near no-op but keeps the function correct for arbitrary inputs.
-func cosineMatrix(src, tgt *matrix.Dense) (*matrix.Dense, error) {
-	return matrix.MulTransposed(normalizedRows(src), normalizedRows(tgt))
+func cosineMatrix(ctx context.Context, src, tgt *matrix.Dense) (*matrix.Dense, error) {
+	return matrix.MulTransposedContext(ctx, normalizedRows(src), normalizedRows(tgt))
 }
 
 // normalizedRows returns a row-L2-normalized copy of m; zero rows stay zero.
@@ -87,11 +134,15 @@ func normalizedRows(m *matrix.Dense) *matrix.Dense {
 	return out
 }
 
-// distanceMatrix computes negated L2 or L1 distances.
-func distanceMatrix(src, tgt *matrix.Dense, manhattan bool) *matrix.Dense {
+// distanceMatrix computes negated L2 or L1 distances, checking ctx once per
+// source row (each row is an O(|tgt|·dim) block of work).
+func distanceMatrix(ctx context.Context, src, tgt *matrix.Dense, manhattan bool) (*matrix.Dense, error) {
 	out := matrix.New(src.Rows(), tgt.Rows())
 	d := src.Cols()
 	for i := 0; i < src.Rows(); i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		srow := src.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < tgt.Rows(); j++ {
@@ -111,7 +162,7 @@ func distanceMatrix(src, tgt *matrix.Dense, manhattan bool) *matrix.Dense {
 			orow[j] = -acc
 		}
 	}
-	return out
+	return out, nil
 }
 
 // TopScoreSTD returns the average, over all rows of S, of the standard

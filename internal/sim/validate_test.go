@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+func TestMatrixRejectsNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src, tgt := randEmb(rng, 5, 4), randEmb(rng, 6, 4)
+
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		src.Set(2, 1, bad)
+		_, err := Matrix(src, tgt, Cosine)
+		if !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("source %v: want ErrNonFinite, got %v", bad, err)
+		}
+		if !strings.Contains(err.Error(), "source[2,1]") {
+			t.Fatalf("error should locate the bad component: %v", err)
+		}
+		src.Set(2, 1, 0.5)
+	}
+
+	tgt.Set(0, 3, math.NaN())
+	_, err := Matrix(src, tgt, Euclidean)
+	if !errors.Is(err, ErrNonFinite) || !strings.Contains(err.Error(), "target[0,3]") {
+		t.Fatalf("target NaN: %v", err)
+	}
+}
+
+func TestMatrixRejectsBadShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src, tgt := randEmb(rng, 5, 4), randEmb(rng, 6, 4)
+
+	if _, err := Matrix(nil, tgt, Cosine); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := Matrix(src, randEmb(rng, 6, 3), Cosine); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := Matrix(matrix.New(0, 4), tgt, Cosine); !errors.Is(err, ErrEmptyEmbeddings) {
+		t.Fatal("empty source accepted")
+	}
+	if _, err := Matrix(src, matrix.New(0, 4), Cosine); !errors.Is(err, ErrEmptyEmbeddings) {
+		t.Fatal("empty target accepted")
+	}
+}
+
+func TestMatrixContextCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, tgt := randEmb(rng, 30, 8), randEmb(rng, 30, 8)
+	cc, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, metric := range []Metric{Cosine, Euclidean, Manhattan} {
+		if _, err := MatrixContext(cc, src, tgt, metric); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: want context.Canceled, got %v", metric, err)
+		}
+	}
+}
+
+// TestCosineZeroRows: an all-zero embedding row has no direction; its cosine
+// scores must be exactly zero against everything rather than NaN, so the
+// validation gate downstream keeps accepting the matrix.
+func TestCosineZeroRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src, tgt := randEmb(rng, 4, 6), randEmb(rng, 5, 6)
+	for k := range src.Row(2) {
+		src.Row(2)[k] = 0
+	}
+	for k := range tgt.Row(0) {
+		tgt.Row(0)[k] = 0
+	}
+	s, err := Matrix(src, tgt, Cosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < s.Cols(); j++ {
+		if v := s.At(2, j); v != 0 {
+			t.Fatalf("zero source row scored %v against column %d", v, j)
+		}
+	}
+	for i := 0; i < s.Rows(); i++ {
+		if v := s.At(i, 0); v != 0 {
+			t.Fatalf("zero target row scored %v against row %d", v, i)
+		}
+	}
+	if _, _, ok := s.FindNonFinite(); ok {
+		t.Fatal("zero rows produced non-finite scores")
+	}
+}

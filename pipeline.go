@@ -1,7 +1,10 @@
 package entmatcher
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"entmatcher/internal/core"
 	"entmatcher/internal/embed"
@@ -85,6 +88,49 @@ type PipelineConfig struct {
 	WithValidation bool
 }
 
+// ErrBadConfig is returned by Pipeline.Prepare (via PipelineConfig.Validate)
+// for configurations that would otherwise fail deep inside internal/embed or
+// internal/sim: unknown enum values, negative or non-finite fusion weights,
+// nil datasets.
+var ErrBadConfig = errors.New("entmatcher: invalid pipeline configuration")
+
+// Validate checks the configuration up front and reports the first problem
+// with a clear, typed error (wrapped around ErrBadConfig).
+func (c PipelineConfig) Validate() error {
+	switch c.Model {
+	case ModelGCN, ModelRREA:
+	default:
+		return fmt.Errorf("%w: unknown encoder model %v", ErrBadConfig, c.Model)
+	}
+	switch c.Features {
+	case FeatureStructure, FeatureName, FeatureFused:
+	default:
+		return fmt.Errorf("%w: unknown feature mode %v", ErrBadConfig, c.Features)
+	}
+	switch c.Metric {
+	case MetricCosine, MetricEuclidean, MetricManhattan:
+	default:
+		return fmt.Errorf("%w: unknown similarity metric %v", ErrBadConfig, c.Metric)
+	}
+	switch c.Setting {
+	case SettingOneToOne, SettingUnmatchable, SettingNonOneToOne:
+	default:
+		return fmt.Errorf("%w: unknown evaluation setting %v", ErrBadConfig, c.Setting)
+	}
+	for _, w := range []struct {
+		name string
+		v    float64
+	}{
+		{"FusionWeightName", c.FusionWeightName},
+		{"FusionWeightStructure", c.FusionWeightStructure},
+	} {
+		if w.v < 0 || math.IsNaN(w.v) || math.IsInf(w.v, 0) {
+			return fmt.Errorf("%w: %s must be a finite non-negative number, got %v", ErrBadConfig, w.name, w.v)
+		}
+	}
+	return nil
+}
+
 // Pipeline turns datasets into prepared matching runs.
 type Pipeline struct {
 	cfg PipelineConfig
@@ -110,22 +156,52 @@ type Run struct {
 // Prepare encodes the dataset, builds the evaluation task for the
 // configured setting and assembles the match context.
 func (p *Pipeline) Prepare(d *Dataset) (*Run, error) {
+	return p.PrepareContext(context.Background(), d)
+}
+
+// PrepareContext is Prepare under a cancellation context: the similarity
+// kernels check ctx cooperatively, so preparation of a large run can be
+// abandoned early.
+func (p *Pipeline) PrepareContext(ctx context.Context, d *Dataset) (*Run, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadConfig)
+	}
+	if err := p.cfg.Validate(); err != nil {
+		return nil, err
+	}
 	emb, err := p.embeddings(d)
 	if err != nil {
 		return nil, err
 	}
-	return p.PrepareWithEmbeddings(d, emb)
+	return p.PrepareWithEmbeddingsContext(ctx, d, emb)
 }
 
 // PrepareWithEmbeddings is Prepare with externally produced embeddings —
 // the entry point for users bringing their own representation-learning
 // model, exactly the seam the original EntMatcher library exposes.
 func (p *Pipeline) PrepareWithEmbeddings(d *Dataset, emb *Embeddings) (*Run, error) {
+	return p.PrepareWithEmbeddingsContext(context.Background(), d, emb)
+}
+
+// PrepareWithEmbeddingsContext is PrepareWithEmbeddings under a cancellation
+// context. Externally produced embeddings are validated here (finiteness,
+// matching dimensions) before any similarity score is computed, so a
+// NaN-laden table surfaces as a typed error instead of a poisoned matrix.
+func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset, emb *Embeddings) (*Run, error) {
+	if d == nil {
+		return nil, fmt.Errorf("%w: nil dataset", ErrBadConfig)
+	}
+	if emb == nil || emb.Source == nil || emb.Target == nil {
+		return nil, fmt.Errorf("%w: nil embeddings", ErrBadConfig)
+	}
+	if err := p.cfg.Validate(); err != nil {
+		return nil, err
+	}
 	task, err := p.task(d)
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.Matrix(
+	s, err := sim.MatrixContext(ctx,
 		emb.Source.SelectRows(task.SourceIDs),
 		emb.Target.SelectRows(task.TargetIDs),
 		p.cfg.Metric,
@@ -133,7 +209,7 @@ func (p *Pipeline) PrepareWithEmbeddings(d *Dataset, emb *Embeddings) (*Run, err
 	if err != nil {
 		return nil, err
 	}
-	ctx := &core.Context{
+	mctx := &core.Context{
 		S:         s,
 		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
 		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
@@ -143,7 +219,7 @@ func (p *Pipeline) PrepareWithEmbeddings(d *Dataset, emb *Embeddings) (*Run, err
 		if err != nil {
 			return nil, err
 		}
-		vs, err := sim.Matrix(
+		vs, err := sim.MatrixContext(ctx,
 			emb.Source.SelectRows(vt.SourceIDs),
 			emb.Target.SelectRows(vt.TargetIDs),
 			p.cfg.Metric,
@@ -151,14 +227,14 @@ func (p *Pipeline) PrepareWithEmbeddings(d *Dataset, emb *Embeddings) (*Run, err
 		if err != nil {
 			return nil, err
 		}
-		ctx.Valid = &core.ValidationTask{
+		mctx.Valid = &core.ValidationTask{
 			S:         vs,
 			SourceAdj: eval.LocalAdjacency(d.Source, vt.SourceIDs),
 			TargetAdj: eval.LocalAdjacency(d.Target, vt.TargetIDs),
 			Gold:      vt.Gold,
 		}
 	}
-	return &Run{Task: task, S: s, Ctx: ctx}, nil
+	return &Run{Task: task, S: s, Ctx: mctx}, nil
 }
 
 // embeddings produces the configured feature embeddings.
@@ -205,10 +281,26 @@ func (p *Pipeline) task(d *Dataset) (*Task, error) {
 	}
 }
 
+// WithContext returns a copy of the run whose match context carries ctx:
+// deadlines and cancellation on ctx then apply to every subsequent Match
+// call on the returned run. The underlying task, similarity matrix and side
+// inputs are shared, not copied.
+func (r *Run) WithContext(ctx context.Context) *Run {
+	mctx := *r.Ctx
+	mctx.Ctx = ctx
+	return &Run{Task: r.Task, S: r.S, Ctx: &mctx}
+}
+
 // Match runs a matcher on the prepared run and scores it against the gold
-// pairs.
+// pairs. The match context is validated first (rejecting NaN/Inf-poisoned
+// or empty similarity matrices with typed errors) and the matcher runs
+// under panic recovery: an internal panic comes back as a *core.PanicError
+// naming the matcher instead of crashing the process.
 func (r *Run) Match(m Matcher) (*MatchResult, Metrics, error) {
-	res, err := m.Match(r.Ctx)
+	if err := core.ValidateContext(r.Ctx); err != nil {
+		return nil, Metrics{}, err
+	}
+	res, err := core.SafeMatch(m, r.Ctx)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
@@ -234,7 +326,10 @@ func (r *Run) MatchWithAbstention(m Matcher, q float64) (*MatchResult, Metrics, 
 	ctx := *r.Ctx
 	ctx.S = core.AddDummyColumns(r.Ctx.S, capacity, score)
 	ctx.NumDummies = r.Ctx.NumDummies + capacity
-	res, err := m.Match(&ctx)
+	if err := core.ValidateContext(&ctx); err != nil {
+		return nil, Metrics{}, err
+	}
+	res, err := core.SafeMatch(m, &ctx)
 	if err != nil {
 		return nil, Metrics{}, err
 	}
@@ -247,7 +342,10 @@ func (r *Run) MatchWithAbstention(m Matcher, q float64) (*MatchResult, Metrics, 
 // granted to abstention; 0 is the calibrated default for cosine inputs.
 func (r *Run) MatchWithDummies(m Matcher, dummyScore float64) (*MatchResult, Metrics, error) {
 	ctx := core.WithDummies(r.Ctx, dummyScore)
-	res, err := m.Match(ctx)
+	if err := core.ValidateContext(ctx); err != nil {
+		return nil, Metrics{}, err
+	}
+	res, err := core.SafeMatch(m, ctx)
 	if err != nil {
 		return nil, Metrics{}, err
 	}

@@ -1,0 +1,138 @@
+package entmatcher
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPipelineConfigValidate(t *testing.T) {
+	if err := (PipelineConfig{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (PipelineConfig{Model: ModelRREA, Features: FeatureFused, Metric: MetricManhattan, Setting: SettingNonOneToOne, FusionWeightName: 0.7, FusionWeightStructure: 0.3}).Validate(); err != nil {
+		t.Fatalf("full config rejected: %v", err)
+	}
+	bad := []PipelineConfig{
+		{Model: 99},
+		{Features: 99},
+		{Metric: 99},
+		{Setting: 99},
+		{FusionWeightName: -0.1},
+		{FusionWeightStructure: math.NaN()},
+		{FusionWeightName: math.Inf(1)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); !errors.Is(err, ErrBadConfig) {
+			t.Fatalf("bad config %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestPrepareRejectsBadInput(t *testing.T) {
+	if _, err := NewPipeline(PipelineConfig{}).Prepare(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil dataset: %v", err)
+	}
+	if _, err := NewPipeline(PipelineConfig{Metric: 42}).Prepare(smallDataset(t)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad metric: %v", err)
+	}
+	d := smallDataset(t)
+	if _, err := NewPipeline(PipelineConfig{}).PrepareWithEmbeddings(d, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil embeddings: %v", err)
+	}
+}
+
+// TestPrepareRejectsNonFiniteEmbeddings: a poisoned embedding table is
+// stopped at the similarity gate, not propagated into the score matrix.
+func TestPrepareRejectsNonFiniteEmbeddings(t *testing.T) {
+	d := smallDataset(t)
+	emb, err := EncodeStructure(d, ModelGCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb.Source.Set(1, 2, math.NaN())
+	if _, err := NewPipeline(PipelineConfig{}).PrepareWithEmbeddings(d, emb); !errors.Is(err, ErrNonFiniteEmbeddings) {
+		t.Fatalf("want ErrNonFiniteEmbeddings, got %v", err)
+	}
+}
+
+func TestRunWithContextCancellation(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := run.WithContext(cc).Match(NewHungarian()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The original run is untouched and still works.
+	if _, metrics, err := run.Match(NewDInf()); err != nil || metrics.F1 <= 0 {
+		t.Fatalf("original run broken: F1=%v err=%v", metrics.F1, err)
+	}
+}
+
+// TestFallbackDegradesHungarianUnderDeadline is the PR's acceptance
+// scenario: Hungarian on a DBP15K-profile task with a 1ms budget must come
+// back quickly with a cheaper tier's answer — not an error, not a hang —
+// and record the degradation.
+func TestFallbackDegradesHungarianUnderDeadline(t *testing.T) {
+	d, err := GenerateBenchmark(ProfileDBP15KZhEn, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~1500×1500: Hungarian needs seconds here, so a 1ms budget forces the
+	// chain past it (and past RInf-pb) down to DInf, which answers in one
+	// unbudgeted pass over the matrix.
+	chain := NewFallback(time.Millisecond, NewHungarian(), NewRInfPB(50), NewDInf())
+	start := time.Now()
+	res, metrics, err := run.Match(chain)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("budgeted chain errored: %v", err)
+	}
+	if res.Matcher == "Hun." {
+		t.Fatalf("Hungarian cannot finish %d×%d in 1ms; the budget was not enforced", run.S.Rows(), run.S.Cols())
+	}
+	found := false
+	for _, name := range res.DegradedFrom {
+		if name == "Hun." {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DegradedFrom = %v, want it to record Hun.", res.DegradedFrom)
+	}
+	if len(res.Pairs) == 0 || metrics.F1 < 0 {
+		t.Fatalf("fallback tier produced no usable result: pairs=%d", len(res.Pairs))
+	}
+	// The budget plus the floor tier's single pass should be near-instant;
+	// the generous bound only guards against a hang on slow CI machines.
+	if elapsed > 5*time.Second {
+		t.Fatalf("chain took %v, budget enforcement failed", elapsed)
+	}
+	t.Logf("degraded to %s in %v (F1=%.3f, tried %v)", res.Matcher, elapsed, metrics.F1, res.DegradedFrom)
+}
+
+// TestMatchRejectsPoisonedMatrix: the validation gate guards Run.Match
+// itself, not just Prepare.
+func TestMatchRejectsPoisonedMatrix(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := run.S.At(0, 0)
+	run.S.Set(0, 0, math.Inf(1))
+	defer run.S.Set(0, 0, old)
+	if _, _, err := run.Match(NewDInf()); !errors.Is(err, ErrNonFiniteScores) {
+		t.Fatalf("want ErrNonFiniteScores, got %v", err)
+	}
+}
