@@ -48,6 +48,8 @@ func run() error {
 	flag.IntVar(&cfg.CSLSK, "csls-k", cfg.CSLSK, "CSLS neighborhood size")
 	flag.Float64Var(&cfg.AbstentionQ, "abstention-q", cfg.AbstentionQ, "validation quantile for dummy abstention")
 	flag.DurationVar(&cfg.RunTimeout, "timeout", cfg.RunTimeout, "per-matcher wall-clock budget; over-budget matchers degrade to RInf-pb then DInf (0 = unbounded)")
+	flag.BoolVar(&cfg.StreamLarge, "stream", cfg.StreamLarge, "run the large-scale table (table6) on the tiled streaming similarity engine: the dense score matrix is never allocated and only the streaming-capable matchers (DInf, CSLS, Sink.-mb) are measured; see also the 'streaming' experiment for a dense-vs-streaming comparison")
+	flag.Int64Var(&cfg.MemoryBudgetBytes, "mem-budget", cfg.MemoryBudgetBytes, "per-algorithm working-memory budget in bytes behind table6's Mem. feasibility column")
 	flag.Parse()
 
 	if *list {

@@ -9,6 +9,12 @@
 //	entmatcher -data ./data/D-Z -features name        # N- setting
 //	entmatcher -data ./data/dz+ -setting unmatchable  # § 5.1 evaluation
 //	entmatcher -data ./data/mul -setting non1to1      # § 5.2 evaluation
+//	entmatcher -data ./data/100k -stream              # tiled streaming engine
+//	entmatcher -data ./data/100k -mem-budget 2048     # stream if dense > 2 GiB
+//
+// With -stream (or when -mem-budget forces it) the score matrix is computed
+// in cache-sized tiles and never materialized; the streaming-capable
+// matchers (DInf, CSLS, Sink.-mb) run fused against the tile stream.
 package main
 
 import (
@@ -51,6 +57,8 @@ func run() error {
 		embSrc   = flag.String("emb-src", "", "optional externally trained source embeddings (word2vec text format)")
 		embTgt   = flag.String("emb-tgt", "", "optional externally trained target embeddings")
 		timeout  = flag.Duration("timeout", 0, "per-matcher wall-clock budget; on timeout the run degrades to cheaper matchers (RInf-pb, then DInf) instead of hanging (0 = unbounded)")
+		stream   = flag.Bool("stream", false, "use the tiled streaming similarity engine: scores are computed tile by tile and the dense matrix is never allocated (matchers: DInf, CSLS, Sink.-mb)")
+		memMiB   = flag.Int64("mem-budget", 0, "dense score-matrix budget in MiB; when the matrix would exceed it the run streams automatically (0 = no cap)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -91,32 +99,11 @@ func run() error {
 		return fmt.Errorf("unknown setting %q", *setting)
 	}
 
-	available := map[string]entmatcher.Matcher{
-		"DInf":    entmatcher.NewDInf(),
-		"CSLS":    entmatcher.NewCSLS(*cslsK),
-		"RInf":    entmatcher.NewRInf(),
-		"RInf-wr": entmatcher.NewRInfWR(),
-		"RInf-pb": entmatcher.NewRInfPB(50),
-		"Sink.":   entmatcher.NewSinkhorn(*sinkL),
-		"Hun.":    entmatcher.NewHungarian(),
-		"SMat":    entmatcher.NewSMat(),
-		"RL":      entmatcher.NewRL(),
+	cfg.Streaming = *stream
+	if *memMiB < 0 {
+		return fmt.Errorf("-mem-budget must be non-negative")
 	}
-	var selected []entmatcher.Matcher
-	if *matchers == "" {
-		selected = []entmatcher.Matcher{
-			available["DInf"], available["CSLS"], available["RInf"],
-			available["Sink."], available["Hun."], available["SMat"], available["RL"],
-		}
-	} else {
-		for _, name := range strings.Split(*matchers, ",") {
-			m, ok := available[strings.TrimSpace(name)]
-			if !ok {
-				return fmt.Errorf("unknown matcher %q (have: DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink., Hun., SMat, RL)", name)
-			}
-			selected = append(selected, m)
-		}
-	}
+	cfg.MemoryBudgetBytes = *memMiB << 20
 
 	fmt.Printf("dataset %s: %d/%d entities, %d test links, setting %v, features %v\n",
 		d.Name, d.Source.NumEntities(), d.Target.NumEntities(), d.Split.Test.Len(), cfg.Setting, cfg.Features)
@@ -140,7 +127,55 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("similarity matrix: %d×%d\n\n", run.S.Rows(), run.S.Cols())
+	rows, cols := run.Dims()
+	streaming := run.Stream != nil
+	if streaming {
+		fmt.Printf("similarity stream: %d×%d in %d×%d tiles (%.2f GiB dense matrix not allocated)\n\n",
+			rows, cols, 256, 512, float64(run.Stream.MatrixBytes())/(1<<30))
+	} else {
+		fmt.Printf("similarity matrix: %d×%d\n\n", rows, cols)
+	}
+
+	available := map[string]entmatcher.Matcher{
+		"DInf":     entmatcher.NewDInf(),
+		"CSLS":     entmatcher.NewCSLS(*cslsK),
+		"RInf":     entmatcher.NewRInf(),
+		"RInf-wr":  entmatcher.NewRInfWR(),
+		"RInf-pb":  entmatcher.NewRInfPB(50),
+		"Sink.":    entmatcher.NewSinkhorn(*sinkL),
+		"Sink.-mb": entmatcher.NewSinkhornBlocked(512, *sinkL),
+		"Hun.":     entmatcher.NewHungarian(),
+		"SMat":     entmatcher.NewSMat(),
+		"RL":       entmatcher.NewRL(),
+	}
+	defaults := []string{"DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL"}
+	if streaming {
+		// Only the fused streaming matchers can run without the dense matrix.
+		available = map[string]entmatcher.Matcher{
+			"DInf":     entmatcher.NewDInfStream(),
+			"CSLS":     entmatcher.NewCSLSStream(*cslsK),
+			"Sink.-mb": entmatcher.NewSinkhornBlocked(512, *sinkL),
+		}
+		defaults = []string{"DInf", "CSLS", "Sink.-mb"}
+	}
+	var selected []entmatcher.Matcher
+	if *matchers == "" {
+		for _, name := range defaults {
+			selected = append(selected, available[name])
+		}
+	} else {
+		for _, name := range strings.Split(*matchers, ",") {
+			m, ok := available[strings.TrimSpace(name)]
+			if !ok {
+				if streaming {
+					return fmt.Errorf("unknown or dense-only matcher %q under -stream (have: DInf, CSLS, Sink.-mb)", name)
+				}
+				return fmt.Errorf("unknown matcher %q (have: DInf, CSLS, RInf, RInf-wr, RInf-pb, Sink., Sink.-mb, Hun., SMat, RL)", name)
+			}
+			selected = append(selected, m)
+		}
+	}
+
 	fmt.Printf("%-8s  %7s  %7s  %7s  %10s  %9s\n", "matcher", "P", "R", "F1", "time", "extra mem")
 	anyDegraded := false
 	for _, m := range selected {
@@ -148,7 +183,7 @@ func run() error {
 		var metrics entmatcher.Metrics
 		// The degradation decision keys off the requested matcher's name,
 		// not the fallback wrapper's.
-		exec := withBudget(m, *timeout)
+		exec := withBudget(m, *timeout, streaming)
 		if cfg.Setting == entmatcher.SettingUnmatchable && (m.Name() == "Hun." || m.Name() == "SMat") {
 			res, metrics, err = run.MatchWithAbstention(exec, *abstainQ)
 		} else {
@@ -173,16 +208,21 @@ func run() error {
 }
 
 // withBudget wraps m in a degradation chain under the budget: m itself,
-// then progressive-blocking RInf, then DInf as the always-answers floor.
-// Tiers whose name duplicates an earlier tier are dropped, so asking for
-// DInf with a budget doesn't build DInf→...→DInf. A zero budget returns m
-// unchanged.
-func withBudget(m entmatcher.Matcher, budget time.Duration) entmatcher.Matcher {
+// then progressive-blocking RInf, then DInf as the always-answers floor (on
+// a streaming run the floor is streaming DInf — the dense fallbacks cannot
+// run without the matrix). Tiers whose name duplicates an earlier tier are
+// dropped, so asking for DInf with a budget doesn't build DInf→...→DInf. A
+// zero budget returns m unchanged.
+func withBudget(m entmatcher.Matcher, budget time.Duration, streaming bool) entmatcher.Matcher {
 	if budget <= 0 {
 		return m
 	}
+	fallbacks := []entmatcher.Matcher{entmatcher.NewRInfPB(50), entmatcher.NewDInf()}
+	if streaming {
+		fallbacks = []entmatcher.Matcher{entmatcher.NewDInfStream()}
+	}
 	tiers := []entmatcher.Matcher{m}
-	for _, fb := range []entmatcher.Matcher{entmatcher.NewRInfPB(50), entmatcher.NewDInf()} {
+	for _, fb := range fallbacks {
 		dup := false
 		for _, t := range tiers {
 			if t.Name() == fb.Name() {

@@ -105,6 +105,15 @@ type (
 	EncoderCompression = embed.Compression
 	// Dense is the dense matrix type used throughout.
 	Dense = matrix.Dense
+	// SimilarityStream is the tiled streaming similarity engine: it produces
+	// the score matrix in cache-sized tiles computed on the fly from the
+	// embedding tables, so the dense matrix is never materialized. Runs
+	// prepared with PipelineConfig.Streaming carry one in Run.Stream.
+	SimilarityStream = sim.Stream
+	// TileSource is the abstract tile producer behind streaming runs.
+	TileSource = matrix.TileSource
+	// TileConsumer folds streamed score tiles into running state.
+	TileConsumer = matrix.TileConsumer
 )
 
 // Encoder models, mirroring the paper's representation-learning choices.
@@ -191,8 +200,27 @@ func NewProbInf(threshold float64) Matcher { return core.NewProbInf(threshold) }
 
 // NewSinkhornBlocked returns the ClusterEA-style mini-batch Sinkhorn
 // matcher (the § 6 scalability direction): the Sinkhorn operation runs
-// inside pivot-clustered mini-batches, bounding working memory.
+// inside pivot-clustered mini-batches, bounding working memory. On a
+// streaming run each mini-batch is computed directly from the embedding
+// tables and the dense score matrix never exists.
 func NewSinkhornBlocked(batchSize, l int) Matcher { return core.NewSinkhornBlocked(batchSize, l) }
+
+// NewDInfStream returns DInf running on the tiled streaming engine: one
+// pass over the score tiles with a fused running argmax, O(rows) extra
+// memory. On runs prepared with PipelineConfig.Streaming this is the greedy
+// baseline; it also accepts dense runs (the matrix is re-sliced into tiles).
+func NewDInfStream() Matcher { return core.NewDInfStream() }
+
+// NewCSLSStream returns CSLS running on the tiled streaming engine in two
+// fused passes (φ statistics, then rescaled argmax) with O((rows+cols)·k)
+// extra memory — the dense matrix and its rescaled copy never exist.
+func NewCSLSStream(k int) Matcher { return core.NewCSLSStream(k) }
+
+// NewSimilarityStream builds a tiled streaming similarity engine over two
+// embedding tables, for driving streaming matchers outside the pipeline.
+func NewSimilarityStream(src, tgt *Dense, metric sim.Metric) (*SimilarityStream, error) {
+	return sim.NewStream(src, tgt, metric)
+}
 
 // NewCustomMatcher assembles a matcher from a score transform and a
 // decider, mirroring the EntMatcher library's loosely-coupled modules.

@@ -48,6 +48,10 @@ type Config struct {
 	// Table 6's "Mem." feasibility column, prorated from the paper's
 	// environment to the configured scale.
 	MemoryBudgetBytes int64
+	// StreamLarge runs the large-scale table (table6) on the tiled streaming
+	// similarity engine: the dense score matrix is never allocated and only
+	// the streaming-capable matchers (DInf, CSLS, Sink.-mb) are measured.
+	StreamLarge bool
 	// RunTimeout is the per-matcher wall-clock budget. When positive, each
 	// matcher run happens inside a degradation chain (matcher → RInf-pb →
 	// DInf) so an over-budget algorithm yields a cheaper tier's answer
@@ -150,7 +154,7 @@ func (e *Env) MulDataset(p datagen.MulProfile, scale float64) (*entmatcher.Datas
 // part of the key: profiles share names across scales, and reusing another
 // instance's embeddings or tasks would silently distort results.
 func runKey(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) string {
-	return fmt.Sprintf("%p|%v|%v|%v|%v", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation)
+	return fmt.Sprintf("%p|%v|%v|%v|%v|%v", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming)
 }
 
 // embKey identifies a cached embedding table, again per dataset instance.
@@ -222,6 +226,7 @@ func Experiments() []Experiment {
 		{ID: "table4", Title: "Table 4: F1 with structural information only", Run: runTable4},
 		{ID: "table5", Title: "Table 5: F1 with name / fused information", Run: runTable5},
 		{ID: "table6", Title: "Table 6: large-scale (DWY100K profile) F1, time, memory", Run: runTable6},
+		{ID: "streaming", Title: "Dense vs tiled-streaming similarity engine: F1, time, peak memory", Run: runStreaming},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

@@ -33,33 +33,15 @@ func NewSinkhornBlocked(batchSize, l int) *SinkhornBlocked {
 // Name returns "Sink.-mb" (mini-batch).
 func (*SinkhornBlocked) Name() string { return "Sink.-mb" }
 
-// Match partitions the task into mini-batches and solves each with the
-// Sinkhorn operation plus greedy matching.
-func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
-	if ctx == nil || ctx.S == nil {
-		return nil, ErrNoMatrix
-	}
-	if m.BatchSize < 2 {
-		return nil, fmt.Errorf("Sink.-mb: batch size must be at least 2, got %d", m.BatchSize)
-	}
-	if m.L < 0 || m.Tau <= 0 {
-		return nil, fmt.Errorf("Sink.-mb: invalid L=%d tau=%v", m.L, m.Tau)
-	}
-	start := time.Now()
-	cc := ctx.Cancellation()
-	s := ctx.S
-	rows, cols := s.Rows(), s.Cols()
-	if rows == 0 || cols == 0 {
-		return nil, fmt.Errorf("Sink.-mb: empty matrix %d×%d", rows, cols)
-	}
-	realCols := cols - ctx.NumDummies
-
-	// Batch construction: each row's best column is its pivot; columns are
-	// grouped into batches of ~BatchSize by pivot popularity order, and a
-	// row joins the batch of its pivot. This is the cheap stand-in for
-	// ClusterEA's learned partition: corresponding entities land in the
-	// same batch whenever their top candidate does.
-	_, rowBest := s.RowMax()
+// partitionBatches groups columns into batches of ~batchSize by pivot
+// popularity and assigns each row to the batch of its pivot (best) column.
+// This is the cheap stand-in for ClusterEA's learned partition: corresponding
+// entities land in the same batch whenever their top candidate does. The
+// popularity sort is stable (descending count, ascending column index) and
+// the round-robin rank assignment spreads popular pivots evenly, so the
+// partition is a pure function of rowBest — dense and streaming runs that
+// agree on the argmaxes produce identical batches.
+func partitionBatches(rowBest []int, cols, batchSize int) (batchRows, batchCols [][]int) {
 	colOrder := make([]int, cols)
 	for j := range colOrder {
 		colOrder[j] = j
@@ -77,14 +59,14 @@ func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
 		return colOrder[a] < colOrder[b]
 	})
 	batchOf := make([]int, cols)
-	numBatches := (cols + m.BatchSize - 1) / m.BatchSize
-	batchCols := make([][]int, numBatches)
+	numBatches := (cols + batchSize - 1) / batchSize
+	batchCols = make([][]int, numBatches)
 	for rank, j := range colOrder {
 		b := rank % numBatches // round-robin spreads popular pivots evenly
 		batchOf[j] = b
 		batchCols[b] = append(batchCols[b], j)
 	}
-	batchRows := make([][]int, numBatches)
+	batchRows = make([][]int, numBatches)
 	for i, j := range rowBest {
 		if j < 0 {
 			continue
@@ -92,6 +74,52 @@ func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
 		b := batchOf[j]
 		batchRows[b] = append(batchRows[b], i)
 	}
+	return batchRows, batchCols
+}
+
+// Match partitions the task into mini-batches and solves each with the
+// Sinkhorn operation plus greedy matching. On a streaming context (ctx.S nil,
+// ctx.Stream set) the pivot argmaxes come from one fused streaming pass and
+// each mini-batch sub-matrix is computed directly from the embedding tables
+// via Stream.Block, so the dense score matrix is never materialized — peak
+// memory is the largest batch, exactly the O(n·B) working set ClusterEA
+// targets.
+func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
+	if ctx == nil || (ctx.S == nil && ctx.Stream == nil) {
+		return nil, ErrNoMatrix
+	}
+	if m.BatchSize < 2 {
+		return nil, fmt.Errorf("Sink.-mb: batch size must be at least 2, got %d", m.BatchSize)
+	}
+	if m.L < 0 || m.Tau <= 0 {
+		return nil, fmt.Errorf("Sink.-mb: invalid L=%d tau=%v", m.L, m.Tau)
+	}
+	start := time.Now()
+	cc := ctx.Cancellation()
+	s := ctx.S
+	var rows, cols int
+	var rowBest []int
+	if s != nil {
+		rows, cols = s.Rows(), s.Cols()
+		if rows == 0 || cols == 0 {
+			return nil, fmt.Errorf("Sink.-mb: empty matrix %d×%d", rows, cols)
+		}
+		_, rowBest = s.RowMax()
+	} else {
+		rows, cols = ctx.Stream.Dims()
+		if rows == 0 || cols == 0 {
+			return nil, fmt.Errorf("Sink.-mb: empty matrix %d×%d", rows, cols)
+		}
+		best := matrix.NewRunningArgmax(rows)
+		if err := ctx.Stream.StreamTiles(cc, best); err != nil {
+			return nil, err
+		}
+		rowBest = best.Idx
+	}
+	realCols := cols - ctx.NumDummies
+
+	batchRows, batchCols := partitionBatches(rowBest, cols, m.BatchSize)
+	numBatches := len(batchCols)
 
 	pairs := make([]Pair, 0, rows)
 	var abstained []int
@@ -111,13 +139,23 @@ func (m *SinkhornBlocked) Match(ctx *Context) (*Result, error) {
 			abstained = append(abstained, rIDs...)
 			continue
 		}
-		// Extract the sub-matrix.
-		sub := matrix.New(len(rIDs), len(cIDs))
-		for x, i := range rIDs {
-			srow := s.Row(i)
-			drow := sub.Row(x)
-			for y, j := range cIDs {
-				drow[y] = srow[j]
+		// Extract the sub-matrix: copied out of the dense matrix, or computed
+		// on demand from the embedding tables on a streaming run.
+		var sub *matrix.Dense
+		if s != nil {
+			sub = matrix.New(len(rIDs), len(cIDs))
+			for x, i := range rIDs {
+				srow := s.Row(i)
+				drow := sub.Row(x)
+				for y, j := range cIDs {
+					drow[y] = srow[j]
+				}
+			}
+		} else {
+			var err error
+			sub, err = ctx.Stream.Block(cc, rIDs, cIDs)
+			if err != nil {
+				return nil, err
 			}
 		}
 		if bts := sub.SizeBytes() * 2; bts > maxBatchBytes {

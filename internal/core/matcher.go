@@ -49,6 +49,15 @@ type Context struct {
 	// target entities, larger is more similar.
 	S *matrix.Dense
 
+	// Stream optionally supplies the scores as cache-sized tiles computed on
+	// the fly instead of a dense matrix (the tiled streaming similarity
+	// engine; see internal/sim.Stream). When S is nil and Stream is set, the
+	// run is a streaming run: only streaming-capable matchers (DInfStream,
+	// CSLSStream, SinkhornBlocked) can execute it — dense matchers return
+	// ErrNoMatrix. Stream's Dims must already include any dummy columns
+	// counted by NumDummies.
+	Stream matrix.TileSource
+
 	// SourceAdj and TargetAdj are neighbor lists among the row entities
 	// (respectively column entities) in row/column index space: SourceAdj[i]
 	// lists the rows whose entities are KG-neighbors of row i's entity.
@@ -147,16 +156,28 @@ var ErrBadInput = errors.New("core: invalid match input")
 // matrices and shape-inconsistent side inputs with typed, wrapped errors.
 // Matchers may assume a validated context and keep only their cheap local
 // checks.
+//
+// For a streaming context (S nil, Stream set) the finiteness scan is
+// skipped: materializing every score to check it would defeat streaming, and
+// the stream constructor already validated the embedding tables, which
+// bounds every derived score. Shape and side-input gates still apply.
 func ValidateContext(c *Context) error {
-	if c == nil || c.S == nil {
+	if c == nil || (c.S == nil && c.Stream == nil) {
 		return ErrNoMatrix
 	}
-	rows, cols := c.S.Rows(), c.S.Cols()
+	var rows, cols int
+	if c.S != nil {
+		rows, cols = c.S.Rows(), c.S.Cols()
+	} else {
+		rows, cols = c.Stream.Dims()
+	}
 	if rows == 0 || cols == 0 {
 		return fmt.Errorf("%w: %d×%d", ErrEmptyMatrix, rows, cols)
 	}
-	if i, j, ok := c.S.FindNonFinite(); ok {
-		return fmt.Errorf("%w: S[%d,%d] = %v", ErrNonFinite, i, j, c.S.At(i, j))
+	if c.S != nil {
+		if i, j, ok := c.S.FindNonFinite(); ok {
+			return fmt.Errorf("%w: S[%d,%d] = %v", ErrNonFinite, i, j, c.S.At(i, j))
+		}
 	}
 	if c.NumDummies < 0 || c.NumDummies >= cols {
 		return fmt.Errorf("%w: NumDummies %d outside [0, %d)", ErrBadInput, c.NumDummies, cols)
@@ -316,8 +337,21 @@ func AddDummyColumns(s *matrix.Dense, n int, score float64) *matrix.Dense {
 // WithDummies wraps a context so that its matrix has the target side padded
 // to at least the row count with dummy columns at the given score. If the
 // matrix already has at least as many columns as rows, the context is
-// returned unchanged.
+// returned unchanged. On a streaming context the pad is virtual: the tile
+// source is wrapped so dummy columns are constant-filled on the fly and
+// nothing is materialized.
 func WithDummies(ctx *Context, score float64) *Context {
+	if ctx.S == nil && ctx.Stream != nil {
+		rows, cols := ctx.Stream.Dims()
+		deficit := rows - cols
+		if deficit <= 0 {
+			return ctx
+		}
+		out := *ctx
+		out.Stream = matrix.PadCols(ctx.Stream, deficit, score)
+		out.NumDummies = ctx.NumDummies + deficit
+		return &out
+	}
 	deficit := ctx.S.Rows() - ctx.S.Cols()
 	if deficit <= 0 {
 		return ctx

@@ -1,0 +1,111 @@
+package matrix
+
+// This file holds the scalar and block (tile) kernels of the streaming
+// similarity engine. The streaming path computes the score matrix tile by
+// tile straight from the embedding tables, so these kernels are its inner
+// loops: a 4-way unrolled dot product for cosine scores and the shared
+// negated-distance scalars for Euclidean/Manhattan. The distance scalars are
+// also used by the dense path in internal/sim, which makes streaming and
+// dense distance scores bit-identical. The unrolled dot product sums in a
+// different order than the dense MulTransposed kernel, so cosine scores may
+// differ from the dense path in the last few ulps; consumers compare with
+// tolerance.
+
+import "math"
+
+// dotUnroll4 is a 4-way unrolled dot product: four independent accumulators
+// break the loop-carried dependency on the single sum, letting the CPU
+// overlap the multiply-adds. Summation order is fixed (pairwise at the end),
+// so the result is deterministic for given inputs.
+func dotUnroll4(a, b []float64) float64 {
+	n := len(a)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	var t float64
+	for ; i < n; i++ {
+		t += a[i] * b[i]
+	}
+	return ((s0 + s1) + (s2 + s3)) + t
+}
+
+// Dot4 exposes the unrolled dot product to sibling packages; it is the
+// scalar kernel behind every streamed cosine score, including the mini-batch
+// Block extraction, so all streaming cosine scores share one summation
+// order.
+func Dot4(a, b []float64) float64 { return dotUnroll4(a, b) }
+
+// NegEuclidean returns the negated Euclidean (L2) distance between two
+// equal-length vectors, accumulated in index order — the exact arithmetic of
+// the dense distance kernel, shared so streaming and dense scores agree
+// bit-for-bit.
+func NegEuclidean(a, b []float64) float64 {
+	var acc float64
+	for k, v := range a {
+		diff := v - b[k]
+		acc += diff * diff
+	}
+	return -math.Sqrt(acc)
+}
+
+// NegManhattan returns the negated Manhattan (L1) distance between two
+// equal-length vectors, accumulated in index order.
+func NegManhattan(a, b []float64) float64 {
+	var acc float64
+	for k, v := range a {
+		acc += math.Abs(v - b[k])
+	}
+	return -acc
+}
+
+// MulTransposedBlockInto fills dst with the aOff/bOff-offset block of a×bᵀ:
+//
+//	dst[r][c] = dot(a.Row(aOff+r), b.Row(bOff+c))
+//
+// for r < dst.Rows(), c < dst.Cols(). The block must lie fully inside the
+// product's shape; dimensions are not re-checked here (the streaming driver
+// validates once). Rows of dst are computed in parallel on the worker pool.
+// The b block (dst.Cols() rows of b) is the reuse target: at tile sizes it
+// stays resident in cache while every a row streams across it.
+func MulTransposedBlockInto(dst, a, b *Dense, aOff, bOff int) {
+	d := a.cols
+	parallelRows(dst.rows, func(r int) {
+		arow := a.data[(aOff+r)*d : (aOff+r+1)*d]
+		orow := dst.Row(r)
+		for c := range orow {
+			brow := b.data[(bOff+c)*d : (bOff+c+1)*d]
+			orow[c] = dotUnroll4(arow, brow)
+		}
+	})
+}
+
+// NegEuclideanBlockInto is MulTransposedBlockInto for negated Euclidean
+// distances.
+func NegEuclideanBlockInto(dst, a, b *Dense, aOff, bOff int) {
+	d := a.cols
+	parallelRows(dst.rows, func(r int) {
+		arow := a.data[(aOff+r)*d : (aOff+r+1)*d]
+		orow := dst.Row(r)
+		for c := range orow {
+			orow[c] = NegEuclidean(arow, b.data[(bOff+c)*d:(bOff+c+1)*d])
+		}
+	})
+}
+
+// NegManhattanBlockInto is MulTransposedBlockInto for negated Manhattan
+// distances.
+func NegManhattanBlockInto(dst, a, b *Dense, aOff, bOff int) {
+	d := a.cols
+	parallelRows(dst.rows, func(r int) {
+		arow := a.data[(aOff+r)*d : (aOff+r+1)*d]
+		orow := dst.Row(r)
+		for c := range orow {
+			orow[c] = NegManhattan(arow, b.data[(bOff+c)*d:(bOff+c+1)*d])
+		}
+	})
+}

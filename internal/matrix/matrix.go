@@ -17,8 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 	"time"
 )
 
@@ -107,20 +105,26 @@ func (m *Dense) Fill(v float64) {
 // Transpose returns a new matrix that is the transpose of m.
 func (m *Dense) Transpose() *Dense {
 	out := New(m.cols, m.rows)
-	// Blocked transpose for cache friendliness on large matrices.
+	// Blocked transpose for cache friendliness, parallelized over row blocks:
+	// a row-block worker writes out[j][i] only for its own i range, so the
+	// workers' output columns are disjoint.
 	const bs = 64
-	for ib := 0; ib < m.rows; ib += bs {
-		imax := min(ib+bs, m.rows)
-		for jb := 0; jb < m.cols; jb += bs {
-			jmax := min(jb+bs, m.cols)
-			for i := ib; i < imax; i++ {
-				row := m.data[i*m.cols:]
-				for j := jb; j < jmax; j++ {
-					out.data[j*m.rows+i] = row[j]
+	rowBlocks := (m.rows + bs - 1) / bs
+	parallelChunks(rowBlocks, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			ib := b * bs
+			imax := min(ib+bs, m.rows)
+			for jb := 0; jb < m.cols; jb += bs {
+				jmax := min(jb+bs, m.cols)
+				for i := ib; i < imax; i++ {
+					row := m.data[i*m.cols:]
+					for j := jb; j < jmax; j++ {
+						out.data[j*m.rows+i] = row[j]
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -151,34 +155,15 @@ func EqualApprox(a, b *Dense, tol float64) bool {
 	return true
 }
 
-// parallelRows invokes fn(i) for every row index, splitting work across
-// GOMAXPROCS goroutines when the matrix is large enough to amortize the
-// scheduling cost.
+// parallelRows invokes fn(i) for every row index, splitting work into
+// contiguous chunks dispatched on the persistent worker pool when the matrix
+// is large enough to amortize the scheduling cost.
 func parallelRows(rows int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || rows < 2*workers {
-		for i := 0; i < rows; i++ {
+	parallelChunks(rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			fn(i)
 		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // cancelCheckStride is how many rows a worker processes between cooperative
@@ -196,39 +181,23 @@ func parallelRowsCtx(ctx context.Context, rows int, fn func(i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || rows < 2*workers {
-		for i := 0; i < rows; i++ {
-			if i%cancelCheckStride == 0 {
-				if err := ctxErr(ctx); err != nil {
-					return err
-				}
+	parallelChunks(rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if (i-lo)%cancelCheckStride == 0 && ctxErr(ctx) != nil {
+				return
 			}
 			fn(i)
 		}
-		return ctxErr(ctx)
-	}
-	var wg sync.WaitGroup
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, rows)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				if (i-lo)%cancelCheckStride == 0 && ctxErr(ctx) != nil {
-					return
-				}
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return ctxErr(ctx)
+}
+
+// ParallelRowsCtx exposes the pool-backed row-parallel driver with
+// cooperative cancellation to sibling packages (internal/sim uses it for the
+// distance kernels). Semantics are those of parallelRowsCtx: on a non-nil
+// error only a prefix of rows may have been processed.
+func ParallelRowsCtx(ctx context.Context, rows int, fn func(i int)) error {
+	return parallelRowsCtx(ctx, rows, fn)
 }
 
 // Apply replaces every element x with fn(x), in place, and returns m.

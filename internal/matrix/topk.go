@@ -27,6 +27,51 @@ func (h *minHeap) Swap(i, j int) {
 func (h *minHeap) Push(x interface{}) { panic("matrix: minHeap.Push unused") }
 func (h *minHeap) Pop() interface{}   { panic("matrix: minHeap.Pop unused") }
 
+// offer feeds one (value, index) candidate into a bounded-size-k heap:
+// while under capacity it appends (initializing the heap exactly at k), and
+// at capacity it replaces the minimum only on a strictly larger value, so
+// among equal boundary values the earliest-offered index is retained. Both
+// the one-shot selectors below and the streaming accumulators in stream.go
+// funnel through this method, which is what makes their selections (and
+// tie-breaking) identical.
+func (h *minHeap) offer(v float64, j, k int) {
+	if len(h.vals) < k {
+		h.vals = append(h.vals, v)
+		h.idx = append(h.idx, j)
+		if len(h.vals) == k {
+			heap.Init(h)
+		}
+		return
+	}
+	if v > h.vals[0] {
+		h.vals[0], h.idx[0] = v, j
+		heap.Fix(h, 0)
+	}
+}
+
+// finalize sorts the heap contents into descending value order (ties by
+// ascending index) and returns them as a TopK. The heap must not be offered
+// to afterwards.
+func (h *minHeap) finalize() TopK {
+	out := TopK{Values: h.vals, Indices: h.idx}
+	sort.Sort(descByValue(out))
+	return out
+}
+
+// heapMean averages the heap contents in array (heap) order. Exposed as the
+// single mean implementation so one-shot and streaming column statistics sum
+// in the same order and agree bit-for-bit.
+func (h *minHeap) heapMean() float64 {
+	if len(h.vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.vals {
+		s += v
+	}
+	return s / float64(len(h.vals))
+}
+
 // topKOfSlice returns the k largest entries of row in descending order.
 // If k >= len(row) it returns the fully sorted row.
 func topKOfSlice(row []float64, k int) TopK {
@@ -39,26 +84,9 @@ func topKOfSlice(row []float64, k int) TopK {
 	}
 	h := minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}
 	for j, v := range row {
-		if len(h.vals) < k {
-			h.vals = append(h.vals, v)
-			h.idx = append(h.idx, j)
-			if len(h.vals) == k {
-				heap.Init(&h)
-			}
-			continue
-		}
-		if v > h.vals[0] {
-			h.vals[0], h.idx[0] = v, j
-			heap.Fix(&h, 0)
-		}
+		h.offer(v, j, k)
 	}
-	if len(h.vals) < k {
-		// Fewer than k entries pushed; heap was never initialized.
-		heap.Init(&h)
-	}
-	out := TopK{Values: h.vals, Indices: h.idx}
-	sort.Sort(descByValue(out))
-	return out
+	return h.finalize()
 }
 
 type descByValue TopK
@@ -105,7 +133,10 @@ func (m *Dense) RowTopKMeans(k int) []float64 {
 
 // ColTopKMeans returns, for every column, the mean of its k largest values.
 // It is equivalent to m.Transpose().RowTopKMeans(k) but avoids materializing
-// the transpose.
+// the transpose. Work is split over column stripes: each worker owns a
+// contiguous range of columns and scans all rows for that stripe, so the
+// per-column heaps see rows in ascending order exactly as the sequential
+// scan did and the results are identical.
 func (m *Dense) ColTopKMeans(k int) []float64 {
 	if k <= 0 || m.cols == 0 {
 		return make([]float64, m.cols)
@@ -113,42 +144,23 @@ func (m *Dense) ColTopKMeans(k int) []float64 {
 	if k > m.rows {
 		k = m.rows
 	}
-	// Maintain one k-sized min-heap per column; single pass over rows keeps
-	// memory at O(cols·k).
+	// One k-sized min-heap per column keeps memory at O(cols·k).
 	heaps := make([]minHeap, m.cols)
 	for j := range heaps {
 		heaps[j] = minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}
 	}
-	for i := 0; i < m.rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			h := &heaps[j]
-			if len(h.vals) < k {
-				h.vals = append(h.vals, v)
-				h.idx = append(h.idx, i)
-				if len(h.vals) == k {
-					heap.Init(h)
-				}
-				continue
-			}
-			if v > h.vals[0] {
-				h.vals[0], h.idx[0] = v, i
-				heap.Fix(h, 0)
-			}
-		}
-	}
 	out := make([]float64, m.cols)
-	for j := range heaps {
-		vals := heaps[j].vals
-		if len(vals) == 0 {
-			continue
+	parallelChunks(m.cols, func(jlo, jhi int) {
+		for i := 0; i < m.rows; i++ {
+			row := m.Row(i)
+			for j := jlo; j < jhi; j++ {
+				heaps[j].offer(row[j], i, k)
+			}
 		}
-		var s float64
-		for _, v := range vals {
-			s += v
+		for j := jlo; j < jhi; j++ {
+			out[j] = heaps[j].heapMean()
 		}
-		out[j] = s / float64(len(vals))
-	}
+	})
 	return out
 }
 

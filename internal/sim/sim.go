@@ -134,33 +134,29 @@ func normalizedRows(m *matrix.Dense) *matrix.Dense {
 	return out
 }
 
-// distanceMatrix computes negated L2 or L1 distances, checking ctx once per
-// source row (each row is an O(|tgt|·dim) block of work).
+// distanceMatrix computes negated L2 or L1 distances with the same
+// pool-backed row parallelism as the cosine kernel (rows are independent, so
+// the output is identical to the former sequential scan). The scalar
+// kernels are shared with the streaming tile engine, which keeps streamed
+// and dense distance scores bit-identical. Cancellation is checked between
+// row chunks; each row is an O(|tgt|·dim) block of work.
 func distanceMatrix(ctx context.Context, src, tgt *matrix.Dense, manhattan bool) (*matrix.Dense, error) {
 	out := matrix.New(src.Rows(), tgt.Rows())
 	d := src.Cols()
-	for i := 0; i < src.Rows(); i++ {
-		if err := ctxErr(ctx); err != nil {
-			return nil, err
-		}
+	err := matrix.ParallelRowsCtx(ctx, src.Rows(), func(i int) {
 		srow := src.Row(i)
 		orow := out.Row(i)
 		for j := 0; j < tgt.Rows(); j++ {
 			trow := tgt.Data()[j*d : (j+1)*d]
-			var acc float64
 			if manhattan {
-				for k, v := range srow {
-					acc += math.Abs(v - trow[k])
-				}
+				orow[j] = matrix.NegManhattan(srow, trow)
 			} else {
-				for k, v := range srow {
-					diff := v - trow[k]
-					acc += diff * diff
-				}
-				acc = math.Sqrt(acc)
+				orow[j] = matrix.NegEuclidean(srow, trow)
 			}
-			orow[j] = -acc
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,263 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"entmatcher/internal/matrix"
+)
+
+// Stream is the tiled streaming similarity engine: it produces the
+// |src|×|tgt| score matrix in row×col tiles computed directly from the
+// embedding tables, so the dense matrix — 80 GB at the paper's DWY100K
+// scale — never exists. Downstream consumers (running argmax, bounded top-k,
+// CSLS φ statistics) fold each tile into O(rows + cols·k) state; see
+// internal/matrix's TileSource contract for the deterministic tile order
+// that makes streamed selections match the dense path's.
+//
+// A Stream is immutable after construction and safe for concurrent use by
+// independent passes (each StreamTiles call owns its tile buffer).
+type Stream struct {
+	// src and tgt are the prepared tables: row-L2-normalized copies for
+	// cosine (so a tile is a plain block matmul), the original tables for
+	// the distance metrics.
+	src, tgt *matrix.Dense
+	metric   Metric
+
+	tileRows, tileCols int
+
+	// dummyCols virtual constant-score columns are appended after the real
+	// targets, implementing AddDummyColumns without materializing anything.
+	dummyCols  int
+	dummyScore float64
+}
+
+// StreamOption customizes a Stream.
+type StreamOption func(*Stream)
+
+// WithTileShape overrides the default 256×512 tile shape. Values below 1
+// are ignored.
+func WithTileShape(rows, cols int) StreamOption {
+	return func(s *Stream) {
+		if rows >= 1 {
+			s.tileRows = rows
+		}
+		if cols >= 1 {
+			s.tileCols = cols
+		}
+	}
+}
+
+// NewStream validates the embedding tables exactly as MatrixContext does
+// (matching dimensions, non-empty, finite) and returns a streaming engine
+// over them. For cosine it takes row-normalized copies up front — O((n+m)·d)
+// extra memory, the only per-stream allocation that scales with the input.
+func NewStream(src, tgt *matrix.Dense, metric Metric, opts ...StreamOption) (*Stream, error) {
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("sim: nil embedding matrix")
+	}
+	if src.Cols() != tgt.Cols() {
+		return nil, fmt.Errorf("sim: embedding dims differ: %d vs %d", src.Cols(), tgt.Cols())
+	}
+	if src.Rows() == 0 || tgt.Rows() == 0 {
+		return nil, fmt.Errorf("%w: %d source rows, %d target rows", ErrEmptyEmbeddings, src.Rows(), tgt.Rows())
+	}
+	if i, j, ok := src.FindNonFinite(); ok {
+		return nil, fmt.Errorf("%w: source[%d,%d] = %v", ErrNonFinite, i, j, src.At(i, j))
+	}
+	if i, j, ok := tgt.FindNonFinite(); ok {
+		return nil, fmt.Errorf("%w: target[%d,%d] = %v", ErrNonFinite, i, j, tgt.At(i, j))
+	}
+	st := &Stream{
+		metric:   metric,
+		tileRows: matrix.DefaultTileRows,
+		tileCols: matrix.DefaultTileCols,
+	}
+	switch metric {
+	case Cosine:
+		st.src, st.tgt = normalizedRows(src), normalizedRows(tgt)
+	case Euclidean, Manhattan:
+		st.src, st.tgt = src, tgt
+	default:
+		return nil, fmt.Errorf("sim: unknown metric %v", metric)
+	}
+	for _, opt := range opts {
+		opt(st)
+	}
+	return st, nil
+}
+
+// WithDummies returns a view of the stream with n extra virtual columns of
+// constant score appended after the real targets — the streaming equivalent
+// of core.AddDummyColumns for the unmatchable setting. The prepared tables
+// are shared, not copied. n <= 0 returns the stream unchanged.
+func (s *Stream) WithDummies(n int, score float64) *Stream {
+	if n <= 0 {
+		return s
+	}
+	out := *s
+	out.dummyCols += n
+	out.dummyScore = score
+	return &out
+}
+
+// PadCols implements matrix.ColPadder, so generic padding helpers
+// (core.WithDummies on a streaming context) use the native dummy support.
+func (s *Stream) PadCols(n int, score float64) matrix.TileSource {
+	return s.WithDummies(n, score)
+}
+
+// Dims returns the score-matrix shape the stream covers, including any
+// virtual dummy columns.
+func (s *Stream) Dims() (rows, cols int) {
+	return s.src.Rows(), s.tgt.Rows() + s.dummyCols
+}
+
+// RealCols returns the number of non-dummy columns.
+func (s *Stream) RealCols() int { return s.tgt.Rows() }
+
+// MatrixBytes returns the size the dense score matrix would occupy — the
+// allocation streaming avoids; reporting and memory-budget decisions use it.
+func (s *Stream) MatrixBytes() int64 {
+	rows, cols := s.Dims()
+	return int64(rows) * int64(cols) * 8
+}
+
+// TileBytes returns the size of one streamed tile buffer.
+func (s *Stream) TileBytes() int64 { return int64(s.tileRows) * int64(s.tileCols) * 8 }
+
+// kernel fills dst with the (rowOff, colOff)-offset block of real scores.
+func (s *Stream) kernel(dst *matrix.Dense, rowOff, colOff int) {
+	switch s.metric {
+	case Cosine:
+		matrix.MulTransposedBlockInto(dst, s.src, s.tgt, rowOff, colOff)
+	case Euclidean:
+		matrix.NegEuclideanBlockInto(dst, s.src, s.tgt, rowOff, colOff)
+	case Manhattan:
+		matrix.NegManhattanBlockInto(dst, s.src, s.tgt, rowOff, colOff)
+	}
+}
+
+// StreamTiles produces every tile in row-major block order and feeds each to
+// all consumers. Tiles spanning the virtual dummy range are constant-filled.
+// Cancellation is checked once per tile — each tile is an O(tileRows ×
+// tileCols × d) unit of work, the checkpoint granularity PR 1 established
+// for the dense kernels.
+func (s *Stream) StreamTiles(ctx context.Context, consumers ...matrix.TileConsumer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rows, cols := s.Dims()
+	realCols := s.RealCols()
+	buf := matrix.GetTileBuf(s.tileRows * s.tileCols)
+	defer matrix.PutTileBuf(buf)
+	for rb := 0; rb < rows; rb += s.tileRows {
+		rn := min(s.tileRows, rows-rb)
+		for cb := 0; cb < cols; cb += s.tileCols {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			cn := min(s.tileCols, cols-cb)
+			tile, err := matrix.NewFromData(rn, cn, buf[:rn*cn])
+			if err != nil {
+				return err
+			}
+			s.fillTile(tile, rb, cb, realCols)
+			for _, c := range consumers {
+				c.ConsumeTile(rb, cb, tile)
+			}
+		}
+	}
+	return nil
+}
+
+// fillTile computes the real-score region of the tile and constant-fills any
+// dummy-column overlap.
+func (s *Stream) fillTile(tile *matrix.Dense, rowOff, colOff, realCols int) {
+	cn := tile.Cols()
+	realN := realCols - colOff // columns of this tile that are real scores
+	if realN > cn {
+		realN = cn
+	}
+	if realN > 0 {
+		if realN == cn {
+			s.kernel(tile, rowOff, colOff)
+		} else {
+			// Split tile: compute the real prefix into a shaped view, then
+			// fill the dummy suffix. The view shares no layout with the tile
+			// (different stride), so compute into a scratch block and copy.
+			real, _ := matrix.NewFromData(tile.Rows(), realN, matrix.GetTileBuf(tile.Rows()*realN))
+			s.kernel(real, rowOff, colOff)
+			for r := 0; r < tile.Rows(); r++ {
+				copy(tile.Row(r)[:realN], real.Row(r))
+			}
+			matrix.PutTileBuf(real.Data())
+		}
+	}
+	if realN < cn {
+		start := realN
+		if start < 0 {
+			start = 0
+		}
+		for r := 0; r < tile.Rows(); r++ {
+			row := tile.Row(r)
+			for c := start; c < cn; c++ {
+				row[c] = s.dummyScore
+			}
+		}
+	}
+}
+
+// Block materializes the sub-matrix at the row/column ID cross product,
+// computing scores directly from the embedding tables (column IDs at or past
+// RealCols yield the dummy score). This is the mini-batch construction hook
+// for blocked matchers: memory stays O(|rowIDs|·|colIDs|).
+func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	rows, cols := s.Dims()
+	out := matrix.New(len(rowIDs), len(colIDs))
+	for _, i := range rowIDs {
+		if i < 0 || i >= rows {
+			return nil, fmt.Errorf("sim: block row %d outside %d source rows", i, rows)
+		}
+	}
+	for _, j := range colIDs {
+		if j < 0 || j >= cols {
+			return nil, fmt.Errorf("sim: block col %d outside %d target cols", j, cols)
+		}
+	}
+	realCols := s.RealCols()
+	err := matrix.ParallelRowsCtx(ctx, len(rowIDs), func(x int) {
+		i := rowIDs[x]
+		srow := s.src.Row(i)
+		drow := out.Row(x)
+		for y, j := range colIDs {
+			if j >= realCols {
+				drow[y] = s.dummyScore
+				continue
+			}
+			trow := s.tgt.Row(j)
+			switch s.metric {
+			case Cosine:
+				drow[y] = matrix.Dot4(srow, trow)
+			case Euclidean:
+				drow[y] = matrix.NegEuclidean(srow, trow)
+			case Manhattan:
+				drow[y] = matrix.NegManhattan(srow, trow)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -86,6 +86,18 @@ type PipelineConfig struct {
 	// WithValidation attaches a validation task to the match context so
 	// learning matchers (RL) can tune themselves, as in the paper.
 	WithValidation bool
+	// Streaming prepares the run on the tiled streaming similarity engine:
+	// scores are computed tile by tile from the embedding tables and the
+	// dense score matrix is never materialized. Only streaming-capable
+	// matchers (NewDInfStream, NewCSLSStream, NewSinkhornBlocked) can run on
+	// a streaming run; dense-only matchers return ErrEmptyMatrix-class
+	// errors. The validation matrix (WithValidation) stays dense — it is a
+	// small fraction of the test matrix.
+	Streaming bool
+	// MemoryBudgetBytes, when positive, caps the dense score matrix: if the
+	// |src|×|tgt| float64 matrix would exceed the budget, Prepare switches to
+	// the streaming engine automatically even when Streaming is false.
+	MemoryBudgetBytes int64
 }
 
 // ErrBadConfig is returned by Pipeline.Prepare (via PipelineConfig.Validate)
@@ -128,6 +140,9 @@ func (c PipelineConfig) Validate() error {
 			return fmt.Errorf("%w: %s must be a finite non-negative number, got %v", ErrBadConfig, w.name, w.v)
 		}
 	}
+	if c.MemoryBudgetBytes < 0 {
+		return fmt.Errorf("%w: MemoryBudgetBytes must be non-negative, got %d", ErrBadConfig, c.MemoryBudgetBytes)
+	}
 	return nil
 }
 
@@ -142,15 +157,28 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 }
 
 // Run is a prepared matching run: the evaluation task, its similarity
-// matrix, and the ready-to-use match context.
+// matrix (or streaming engine), and the ready-to-use match context.
 type Run struct {
 	Task *Task
 	// S is the similarity matrix (rows = Task.SourceIDs, columns =
-	// Task.TargetIDs).
+	// Task.TargetIDs). Nil on streaming runs.
 	S *Dense
+	// Stream is the tiled streaming engine covering the same scores.
+	// Non-nil exactly when the run was prepared with Streaming (or pushed
+	// over MemoryBudgetBytes).
+	Stream *SimilarityStream
 	// Ctx is the context handed to matchers. Use MatchWithDummies for
 	// matchers that require equal side sizes under the unmatchable setting.
 	Ctx *MatchContext
+}
+
+// Dims returns the score-matrix shape of the run — from the dense matrix or
+// the streaming engine, whichever backs it.
+func (r *Run) Dims() (rows, cols int) {
+	if r.S != nil {
+		return r.S.Rows(), r.S.Cols()
+	}
+	return r.Stream.Dims()
 }
 
 // Prepare encodes the dataset, builds the evaluation task for the
@@ -201,11 +229,20 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.MatrixContext(ctx,
-		emb.Source.SelectRows(task.SourceIDs),
-		emb.Target.SelectRows(task.TargetIDs),
-		p.cfg.Metric,
-	)
+	srcSel := emb.Source.SelectRows(task.SourceIDs)
+	tgtSel := emb.Target.SelectRows(task.TargetIDs)
+	streaming := p.cfg.Streaming
+	if !streaming && p.cfg.MemoryBudgetBytes > 0 {
+		need := int64(srcSel.Rows()) * int64(tgtSel.Rows()) * 8
+		streaming = need > p.cfg.MemoryBudgetBytes
+	}
+	var s *Dense
+	var stream *SimilarityStream
+	if streaming {
+		stream, err = sim.NewStream(srcSel, tgtSel, p.cfg.Metric)
+	} else {
+		s, err = sim.MatrixContext(ctx, srcSel, tgtSel, p.cfg.Metric)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +250,9 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 		S:         s,
 		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
 		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
+	}
+	if stream != nil {
+		mctx.Stream = stream
 	}
 	if p.cfg.WithValidation {
 		vt, err := eval.ValidationTaskFor(d)
@@ -234,7 +274,7 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 			Gold:      vt.Gold,
 		}
 	}
-	return &Run{Task: task, S: s, Ctx: mctx}, nil
+	return &Run{Task: task, S: s, Stream: stream, Ctx: mctx}, nil
 }
 
 // embeddings produces the configured feature embeddings.
@@ -288,7 +328,7 @@ func (p *Pipeline) task(d *Dataset) (*Task, error) {
 func (r *Run) WithContext(ctx context.Context) *Run {
 	mctx := *r.Ctx
 	mctx.Ctx = ctx
-	return &Run{Task: r.Task, S: r.S, Ctx: &mctx}
+	return &Run{Task: r.Task, S: r.S, Stream: r.Stream, Ctx: &mctx}
 }
 
 // Match runs a matcher on the prepared run and scores it against the gold
@@ -319,12 +359,19 @@ func (r *Run) MatchWithAbstention(m Matcher, q float64) (*MatchResult, Metrics, 
 		return nil, Metrics{}, fmt.Errorf("entmatcher: MatchWithAbstention requires WithValidation")
 	}
 	score := core.DummyScoreFromValidation(r.Ctx.Valid.S, q)
-	capacity := r.S.Rows() / 3
-	if deficit := r.S.Rows() - r.S.Cols(); deficit > 0 {
+	rows, cols := r.Dims()
+	capacity := rows / 3
+	if deficit := rows - cols; deficit > 0 {
 		capacity += deficit
 	}
 	ctx := *r.Ctx
-	ctx.S = core.AddDummyColumns(r.Ctx.S, capacity, score)
+	if r.S != nil {
+		ctx.S = core.AddDummyColumns(r.Ctx.S, capacity, score)
+	} else {
+		// Streaming run: the dummy columns are virtual, constant-filled as
+		// each tile streams past — nothing is materialized.
+		ctx.Stream = r.Stream.WithDummies(capacity, score)
+	}
 	ctx.NumDummies = r.Ctx.NumDummies + capacity
 	if err := core.ValidateContext(&ctx); err != nil {
 		return nil, Metrics{}, err

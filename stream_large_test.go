@@ -1,0 +1,76 @@
+package entmatcher_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"entmatcher"
+)
+
+// TestStreamingGreedy100k is the large-scale acceptance test for the tiled
+// streaming engine: a 100k×100k greedy matching at d=32 must complete with
+// peak heap well under 8 GiB. The dense engine would need an 80 GB score
+// matrix for the same job. The run takes a few CPU-minutes, so it is gated
+// behind an environment variable:
+//
+//	ENTMATCHER_LARGE=1 go test -run TestStreamingGreedy100k -v .
+func TestStreamingGreedy100k(t *testing.T) {
+	if os.Getenv("ENTMATCHER_LARGE") == "" {
+		t.Skip("set ENTMATCHER_LARGE=1 to run the 100k×100k streaming test")
+	}
+	const n, d = 100_000, 32
+	src := benchEmbeddings(n, d, 41)
+	tgt := benchEmbeddings(n, d, 42)
+
+	// Sample peak heap while the match runs.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	st, err := entmatcher.NewSimilarityStream(src, tgt, entmatcher.MetricCosine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := entmatcher.NewDInfStream().Match(&entmatcher.MatchContext{Stream: st})
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != n {
+		t.Fatalf("got %d pairs, want %d", len(res.Pairs), n)
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > peak {
+		peak = ms.Sys // Sys is a firm upper bound on what we took from the OS
+	}
+	const limit = 8 << 30
+	t.Logf("100k×100k greedy: %v, peak %d MiB (dense matrix would be %d MiB)",
+		elapsed.Round(time.Second), peak>>20, st.MatrixBytes()>>20)
+	if peak > limit {
+		t.Fatalf("peak memory %d MiB exceeds the 8 GiB budget", peak>>20)
+	}
+}
