@@ -1,0 +1,203 @@
+// Package conformance is the cross-engine conformance harness: it checks
+// every matcher and matrix kernel against brute-force oracles (oracle.go) and
+// algebraic metamorphic properties (metamorphic.go) on a fixed suite of
+// adversarial inputs (generate.go) — dense ties, duplicate rows, 1-ulp
+// near-equal floats, non-square shapes, dummy columns and tiny dimensions.
+//
+// The harness exists because the repository runs the same seven paper
+// algorithms on two engines — the dense matrix path and the tiled streaming
+// path — plus blocked approximations, and "looks right on random inputs" is
+// not a contract. Every divergence the harness has flushed out is pinned by a
+// named regression test next to the fix (see DESIGN.md § 9, "Conformance &
+// oracles").
+package conformance
+
+import (
+	"fmt"
+	"sort"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+// Entry describes one paper algorithm under conformance test: its dense
+// constructor and, when the algorithm has a streaming-engine twin, the
+// constructor of that twin (nil otherwise).
+type Entry struct {
+	Name   string
+	New    func() core.Matcher
+	Stream func() core.Matcher
+}
+
+// Matchers returns the paper's Table 2 algorithms as tested by the harness.
+// RL is excluded here and exercised separately: its stochastic policy is
+// checked for determinism under a fixed seed and for structural invariants,
+// not for oracle equality.
+func Matchers() []Entry {
+	return []Entry{
+		{Name: "DInf", New: func() core.Matcher { return core.NewDInf() },
+			Stream: func() core.Matcher { return core.NewDInfStream() }},
+		{Name: "CSLS", New: func() core.Matcher { return core.NewCSLS(1) },
+			Stream: func() core.Matcher { return core.NewCSLSStream(1) }},
+		{Name: "RInf", New: func() core.Matcher { return core.NewRInf() }},
+		{Name: "RInf-wr", New: func() core.Matcher { return core.NewRInfWR() }},
+		{Name: "Sink.", New: func() core.Matcher { return core.NewSinkhorn(core.DefaultSinkhornIterations) }},
+		{Name: "Hun.", New: func() core.Matcher { return core.NewHungarian() }},
+		{Name: "SMat", New: func() core.Matcher { return core.NewSMat() }},
+	}
+}
+
+// TileShapes are the tile geometries every streaming equivalence check runs
+// under: degenerate 1×1 tiles, small odd shapes that misalign with matrix
+// bounds, and the default geometry. Equality must hold for all of them — the
+// TileSource contract promises the streamed visit order is row-major and
+// block-ordered, so tile shape must never leak into results.
+var TileShapes = [][2]int{{1, 1}, {2, 3}, {5, 4}, {0, 0}} // {0,0} = default
+
+// StreamContext wraps a dense context into a streaming one (S nil, Stream a
+// DenseTileSource of the given tile shape) so streaming-capable matchers can
+// be run against the identical scores.
+func StreamContext(ctx *core.Context, tileRows, tileCols int) *core.Context {
+	out := *ctx
+	out.S = nil
+	out.Stream = &matrix.DenseTileSource{M: ctx.S, TileRows: tileRows, TileCols: tileCols}
+	return &out
+}
+
+// Canonical returns pairs sorted by (Source, Target, Score) without mutating
+// the input. Deciders emit pairs in scan order; canonicalizing first makes
+// results comparable across engines and permutations.
+func Canonical(pairs []core.Pair) []core.Pair {
+	out := append([]core.Pair(nil), pairs...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Source != out[b].Source {
+			return out[a].Source < out[b].Source
+		}
+		if out[a].Target != out[b].Target {
+			return out[a].Target < out[b].Target
+		}
+		return out[a].Score < out[b].Score
+	})
+	return out
+}
+
+// CanonicalInts returns a sorted copy of xs.
+func CanonicalInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+// SelectionsEqual reports whether two results pick the same (Source, Target)
+// pairs and the same abstained rows, ignoring scores (which legitimately
+// differ across engines that transform scores differently, e.g. under a
+// metamorphic input transform).
+func SelectionsEqual(a, b *core.Result) bool {
+	ap, bp := Canonical(a.Pairs), Canonical(b.Pairs)
+	if len(ap) != len(bp) {
+		return false
+	}
+	for i := range ap {
+		if ap[i].Source != bp[i].Source || ap[i].Target != bp[i].Target {
+			return false
+		}
+	}
+	aa, ba := CanonicalInts(a.Abstained), CanonicalInts(b.Abstained)
+	if len(aa) != len(ba) {
+		return false
+	}
+	for i := range aa {
+		if aa[i] != ba[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ResultsIdentical reports whether two results agree exactly: same pairs
+// (including scores, bit for bit) and same abstained rows after
+// canonicalization.
+func ResultsIdentical(a, b *core.Result) bool {
+	ap, bp := Canonical(a.Pairs), Canonical(b.Pairs)
+	if len(ap) != len(bp) {
+		return false
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			return false
+		}
+	}
+	aa, ba := CanonicalInts(a.Abstained), CanonicalInts(b.Abstained)
+	if len(aa) != len(ba) {
+		return false
+	}
+	for i := range aa {
+		if aa[i] != ba[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// DescribeDiff renders the first divergence between two results for test
+// failure messages.
+func DescribeDiff(a, b *core.Result) string {
+	ap, bp := Canonical(a.Pairs), Canonical(b.Pairs)
+	n := len(ap)
+	if len(bp) < n {
+		n = len(bp)
+	}
+	for i := 0; i < n; i++ {
+		if ap[i] != bp[i] {
+			return fmt.Sprintf("pair %d: %+v vs %+v", i, ap[i], bp[i])
+		}
+	}
+	if len(ap) != len(bp) {
+		return fmt.Sprintf("pair count %d vs %d", len(ap), len(bp))
+	}
+	return fmt.Sprintf("abstained %v vs %v", CanonicalInts(a.Abstained), CanonicalInts(b.Abstained))
+}
+
+// CheckStructure verifies the universal result invariants every matcher must
+// satisfy on a rows×cols matrix with numDummies trailing dummy columns:
+// pairs and abstentions partition the source rows exactly (each row appears
+// once), every target lies inside the real (non-dummy) column range, and
+// neither list contains out-of-range rows. It returns nil when the result is
+// structurally sound.
+func CheckStructure(res *core.Result, rows, cols, numDummies int) error {
+	seen := make([]int, rows)
+	for _, p := range res.Pairs {
+		if p.Source < 0 || p.Source >= rows {
+			return fmt.Errorf("pair source %d outside [0,%d)", p.Source, rows)
+		}
+		if p.Target < 0 || p.Target >= cols-numDummies {
+			return fmt.Errorf("row %d: target %d outside real columns [0,%d)", p.Source, p.Target, cols-numDummies)
+		}
+		seen[p.Source]++
+	}
+	for _, i := range res.Abstained {
+		if i < 0 || i >= rows {
+			return fmt.Errorf("abstained row %d outside [0,%d)", i, rows)
+		}
+		seen[i]++
+	}
+	for i, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("row %d appears %d times across pairs+abstained, want exactly 1", i, c)
+		}
+	}
+	return nil
+}
+
+// OneToOne verifies that no two pairs share a target column — the constraint
+// Hun. and SMat guarantee (the paper's Table 2 "1-to-1" column).
+func OneToOne(pairs []core.Pair) error {
+	used := make(map[int]int, len(pairs))
+	for _, p := range pairs {
+		if prev, ok := used[p.Target]; ok {
+			return fmt.Errorf("target %d matched by rows %d and %d", p.Target, prev, p.Source)
+		}
+		used[p.Target] = p.Source
+	}
+	return nil
+}

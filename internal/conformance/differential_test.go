@@ -1,0 +1,283 @@
+package conformance
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+const suiteSeed = 1789
+
+// approxEqual compares matrices entry-wise with mixed absolute/relative
+// tolerance, for oracle comparisons where summation order legitimately
+// differs.
+func approxEqual(a, b *matrix.Dense, tol float64) (int, int, bool) {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return -1, -1, false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			diff := math.Abs(ra[j] - rb[j])
+			scale := math.Max(1, math.Max(math.Abs(ra[j]), math.Abs(rb[j])))
+			if diff > tol*scale {
+				return i, j, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+// TestKernelsMatchOracles checks the production matrix kernels — fused,
+// heap-based and parallel — against their brute-force definitions on every
+// adversarial case.
+func TestKernelsMatchOracles(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			_, gotIdx := tc.S.RowMax()
+			if want := OracleArgmax(tc.S); !reflect.DeepEqual(gotIdx, want) {
+				t.Errorf("RowMax idx = %v, oracle = %v", gotIdx, want)
+			}
+			for _, k := range []int{1, 2, 3, tc.S.Cols(), tc.S.Cols() + 2} {
+				got := tc.S.RowTopK(k)
+				want := OracleTopK(tc.S, k)
+				for i := range got {
+					if !reflect.DeepEqual(got[i].Indices, want[i].Indices) ||
+						!reflect.DeepEqual(got[i].Values, want[i].Values) {
+						t.Fatalf("RowTopK(%d) row %d = %+v, oracle = %+v", k, i, got[i], want[i])
+					}
+				}
+			}
+			ranks := tc.S.Clone()
+			ranks.RowRanksInPlace()
+			if !matrix.Equal(ranks, OracleRanks(tc.S)) {
+				t.Errorf("RowRanksInPlace diverged from oracle")
+			}
+		})
+	}
+}
+
+// TestCSLSTransformMatchesOracle checks the production CSLS transform against
+// the textbook definition: bit-exact at K=1 (φ is a single maximum, no
+// summation-order freedom), within tolerance at K=3 (heap-order vs
+// sorted-order summation of the φ means).
+func TestCSLSTransformMatchesOracle(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			got1, err := core.CSLSTransform{K: 1}.Transform(tc.S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(got1, OracleCSLS(tc.S, 1)) {
+				t.Errorf("CSLS K=1 not bit-identical to oracle")
+			}
+			got3, err := core.CSLSTransform{K: 3}.Transform(tc.S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i, j, ok := approxEqual(got3, OracleCSLS(tc.S, 3), 1e-12); !ok {
+				t.Errorf("CSLS K=3 diverged from oracle at (%d,%d)", i, j)
+			}
+		})
+	}
+}
+
+// TestSinkhornTransformMatchesOracle checks the Sinkhorn transform against a
+// plain sequential textbook implementation of the same stabilized iteration.
+func TestSinkhornTransformMatchesOracle(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			tr := core.SinkhornTransform{L: 25, Tau: core.DefaultSinkhornTau}
+			got, err := tr.Transform(tc.S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := OracleSinkhorn(tc.S, 25, core.DefaultSinkhornTau)
+			if i, j, ok := approxEqual(got, want, 1e-9); !ok {
+				t.Errorf("Sinkhorn diverged from oracle at (%d,%d): %v vs %v",
+					i, j, got.At(i, j), want.At(i, j))
+			}
+		})
+	}
+}
+
+// TestStreamingEnginesMatchDense pins the cross-engine contract: the
+// streaming twins of DInf and CSLS, and the streaming path of the mini-batch
+// Sinkhorn matcher, must reproduce their dense runs exactly — same pairs,
+// same scores, same abstentions — for every tile geometry.
+func TestStreamingEnginesMatchDense(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			ctx := &core.Context{S: tc.S, NumDummies: tc.NumDummies}
+			for _, e := range Matchers() {
+				if e.Stream == nil {
+					continue
+				}
+				dense, err := e.New().Match(ctx)
+				if err != nil {
+					t.Fatalf("%s dense: %v", e.Name, err)
+				}
+				for _, shape := range TileShapes {
+					st, err := e.Stream().Match(StreamContext(ctx, shape[0], shape[1]))
+					if err != nil {
+						t.Fatalf("%s stream tiles %v: %v", e.Name, shape, err)
+					}
+					if !ResultsIdentical(dense, st) {
+						t.Fatalf("%s tiles %v diverged from dense: %s", e.Name, shape, DescribeDiff(dense, st))
+					}
+				}
+			}
+			// Mini-batch Sinkhorn: dense context vs streaming context with the
+			// same partition parameters.
+			if tc.S.Cols() < 3 {
+				return
+			}
+			mb := core.NewSinkhornBlocked(3, 20)
+			dense, err := mb.Match(ctx)
+			if err != nil {
+				t.Fatalf("Sink.-mb dense: %v", err)
+			}
+			for _, shape := range TileShapes {
+				st, err := core.NewSinkhornBlocked(3, 20).Match(StreamContext(ctx, shape[0], shape[1]))
+				if err != nil {
+					t.Fatalf("Sink.-mb stream tiles %v: %v", shape, err)
+				}
+				if !ResultsIdentical(dense, st) {
+					t.Fatalf("Sink.-mb tiles %v diverged from dense: %s", shape, DescribeDiff(dense, st))
+				}
+			}
+		})
+	}
+}
+
+// TestHungarianOptimalityCertificate certifies the Jonker-Volgenant solver
+// against exhaustive optimal assignment on every adversarial case: the
+// decider's assignment must be 1-to-1 and attain the brute-force optimum
+// (dummy assignments included in the objective).
+func TestHungarianOptimalityCertificate(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			res, err := core.NewHungarian().Match(&core.Context{S: tc.S, NumDummies: tc.NumDummies})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, cols := tc.S.Rows(), tc.S.Cols()
+			if err := CheckStructure(res, rows, cols, tc.NumDummies); err != nil {
+				t.Fatal(err)
+			}
+			if err := OneToOne(res.Pairs); err != nil {
+				t.Fatal(err)
+			}
+			want, err := OracleAssignmentValue(tc.S)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rows the decider parked on dummy columns contribute the dummy
+			// score to the objective. Dummy columns are constant per column
+			// and each is used at most once (1-to-1), so the contribution is
+			// the dummy score times the number of dummy-parked rows — but only
+			// when every row is assigned (rows ≤ cols); with rows > cols the
+			// abstained rows are simply unassigned and contribute nothing.
+			got := PairValue(tc.S, res.Pairs)
+			if tc.NumDummies > 0 && rows <= cols {
+				got += float64(len(res.Abstained)) * tc.S.At(0, cols-1)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("assignment value %v, exhaustive optimum %v", got, want)
+			}
+		})
+	}
+}
+
+// TestGaleShapleyStabilityCertificate certifies stability: on every
+// dummy-free case, the deferred-acceptance matching admits no blocking pair
+// under the tie-broken strict preference orders.
+func TestGaleShapleyStabilityCertificate(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		if tc.NumDummies != 0 {
+			continue
+		}
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			res, err := core.NewSMat().Match(&core.Context{S: tc.S})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckStructure(res, tc.S.Rows(), tc.S.Cols(), 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := OneToOne(res.Pairs); err != nil {
+				t.Fatal(err)
+			}
+			if bp := OracleBlockingPairs(tc.S, res.Pairs, res.Abstained); len(bp) != 0 {
+				t.Fatalf("matching is unstable, blocking pairs: %v", bp)
+			}
+		})
+	}
+}
+
+// TestAllMatchersStructural runs all seven algorithms over the whole
+// adversarial suite, checking the universal result invariants and run-to-run
+// determinism.
+func TestAllMatchersStructural(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			ctx := &core.Context{S: tc.S, NumDummies: tc.NumDummies}
+			for _, e := range Matchers() {
+				first, err := e.New().Match(ctx)
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				if err := CheckStructure(first, tc.S.Rows(), tc.S.Cols(), tc.NumDummies); err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				second, err := e.New().Match(ctx)
+				if err != nil {
+					t.Fatalf("%s rerun: %v", e.Name, err)
+				}
+				if !ResultsIdentical(first, second) {
+					t.Fatalf("%s not deterministic: %s", e.Name, DescribeDiff(first, second))
+				}
+			}
+		})
+	}
+}
+
+// TestRLStructuralAndDeterministic exercises the stochastic RL matcher: it
+// must satisfy the structural invariants on every case and reproduce itself
+// exactly under an identical seed.
+func TestRLStructuralAndDeterministic(t *testing.T) {
+	for _, tc := range AdversarialCases(suiteSeed) {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			run := func() *core.Result {
+				res, err := core.NewRL(core.DefaultRLConfig()).Match(&core.Context{
+					S:          tc.S,
+					NumDummies: tc.NumDummies,
+					Rand:       rand.New(rand.NewSource(5)),
+				})
+				if err != nil {
+					t.Fatalf("RL: %v", err)
+				}
+				return res
+			}
+			first := run()
+			if err := CheckStructure(first, tc.S.Rows(), tc.S.Cols(), tc.NumDummies); err != nil {
+				t.Fatalf("RL: %v", err)
+			}
+			if second := run(); !ResultsIdentical(first, second) {
+				t.Fatalf("RL not deterministic under fixed seed: %s", DescribeDiff(first, second))
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package conformance
+
+import (
+	"math"
+	"math/rand"
+
+	"entmatcher/internal/matrix"
+)
+
+// Case is one adversarial input of the conformance suite.
+type Case struct {
+	Name string
+	S    *matrix.Dense
+	// NumDummies trailing columns of S are dummy (abstention) targets.
+	NumDummies int
+}
+
+// WellSeparated fills a rows×cols matrix with a random permutation of evenly
+// spaced values, so every pair of entries differs by at least 1/(rows·cols).
+// On such matrices selections are uniquely determined (no ties, and for the
+// assignment matchers the optimum is unique with probability 1 over the
+// jitter), which is what makes exact permutation-equivariance checks valid.
+func WellSeparated(rng *rand.Rand, rows, cols int) *matrix.Dense {
+	n := rows * cols
+	s := matrix.New(rows, cols)
+	data := s.Data()
+	for i, p := range rng.Perm(n) {
+		data[i] = float64(p+1)/float64(n) + rng.Float64()*1e-7
+	}
+	return s
+}
+
+// TieHeavy draws every entry from the dyadic grid {0, 1/levels, …,
+// (levels−1)/levels} with levels a power of two, so ties are dense and all
+// downstream arithmetic on the values (scaling by powers of two, adding
+// dyadic constants, halving) stays exact in float64 — the regime where
+// tie-breaking contracts bite and bitwise metamorphic checks are sound.
+func TieHeavy(rng *rand.Rand, rows, cols, levels int) *matrix.Dense {
+	s := matrix.New(rows, cols)
+	data := s.Data()
+	for i := range data {
+		data[i] = float64(rng.Intn(levels)) / float64(levels)
+	}
+	return s
+}
+
+// DuplicateRows returns a matrix where consecutive row pairs are identical —
+// every matcher must still emit a deterministic, structurally valid result
+// when distinct sources are indistinguishable.
+func DuplicateRows(rng *rand.Rand, rows, cols int) *matrix.Dense {
+	s := WellSeparated(rng, rows, cols)
+	for i := 1; i < rows; i += 2 {
+		copy(s.Row(i), s.Row(i-1))
+	}
+	return s
+}
+
+// NearEqual builds rows whose entries differ only in the last ulp around a
+// base value: adjacent-float adversaries for every strict-greater comparison
+// in the kernels.
+func NearEqual(rng *rand.Rand, rows, cols int) *matrix.Dense {
+	s := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		base := 0.5 + float64(rng.Intn(7))*0.0625
+		v := base
+		row := s.Row(i)
+		perm := rng.Perm(cols)
+		for _, j := range perm {
+			row[j] = v
+			v = math.Nextafter(v, 2)
+		}
+	}
+	return s
+}
+
+// WithDummyCols appends n dummy columns at the given score and returns the
+// padded case.
+func WithDummyCols(name string, s *matrix.Dense, n int, score float64) Case {
+	out := matrix.New(s.Rows(), s.Cols()+n)
+	for i := 0; i < s.Rows(); i++ {
+		dst := out.Row(i)
+		copy(dst, s.Row(i))
+		for j := s.Cols(); j < s.Cols()+n; j++ {
+			dst[j] = score
+		}
+	}
+	return Case{Name: name, S: out, NumDummies: n}
+}
+
+// AdversarialCases returns the fixed conformance suite. The seed pins the
+// random content so failures reproduce.
+func AdversarialCases(seed int64) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	constant := matrix.New(4, 4)
+	constant.Fill(0.25)
+	negative := WellSeparated(rng, 5, 5)
+	negative.Apply(func(v float64) float64 { return v - 2 })
+	cases := []Case{
+		{Name: "well-separated-7x7", S: WellSeparated(rng, 7, 7)},
+		{Name: "tie-dense-8x8", S: TieHeavy(rng, 8, 8, 4)},
+		{Name: "duplicate-rows-6x9", S: DuplicateRows(rng, 6, 9)},
+		{Name: "near-equal-1ulp-6x6", S: NearEqual(rng, 6, 6)},
+		{Name: "tall-9x5", S: WellSeparated(rng, 9, 5)},
+		{Name: "wide-5x9", S: WellSeparated(rng, 5, 9)},
+		{Name: "tall-ties-7x4", S: TieHeavy(rng, 7, 4, 4)},
+		{Name: "tiny-1x1", S: WellSeparated(rng, 1, 1)},
+		{Name: "tiny-1x5", S: WellSeparated(rng, 1, 5)},
+		{Name: "tiny-5x1", S: WellSeparated(rng, 5, 1)},
+		{Name: "constant-4x4", S: constant},
+		{Name: "negative-5x5", S: negative},
+		WithDummyCols("dummies-6x4+2", WellSeparated(rng, 6, 4), 2, 0.5),
+		WithDummyCols("tie-dummies-6x4+2", TieHeavy(rng, 6, 4, 4), 2, 0.5),
+	}
+	return cases
+}

@@ -1,0 +1,97 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+// Metamorphic transforms: input rewrites with a known effect on the correct
+// output. Running a matcher on the rewritten input and mapping the result
+// back checks the implementation against algebra instead of against a second
+// implementation.
+
+// Permute returns the matrix with rows and columns relabelled:
+// out[rowPerm[i]][colPerm[j]] = s[i][j]. Either permutation may be nil for
+// identity.
+func Permute(s *matrix.Dense, rowPerm, colPerm []int) *matrix.Dense {
+	rows, cols := s.Rows(), s.Cols()
+	out := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		src := s.Row(i)
+		di := i
+		if rowPerm != nil {
+			di = rowPerm[i]
+		}
+		dst := out.Row(di)
+		for j, v := range src {
+			dj := j
+			if colPerm != nil {
+				dj = colPerm[j]
+			}
+			dst[dj] = v
+		}
+	}
+	return out
+}
+
+// MapResult relabels a result obtained on a permuted matrix back into the
+// original index space, so it can be compared against the unpermuted run.
+// perms map original → permuted, exactly as passed to Permute.
+func MapResult(res *core.Result, rowPerm, colPerm []int) *core.Result {
+	invRow := invert(rowPerm)
+	invCol := invert(colPerm)
+	out := &core.Result{Matcher: res.Matcher}
+	for _, p := range res.Pairs {
+		q := p
+		if invRow != nil {
+			q.Source = invRow[p.Source]
+		}
+		if invCol != nil {
+			q.Target = invCol[p.Target]
+		}
+		out.Pairs = append(out.Pairs, q)
+	}
+	for _, i := range res.Abstained {
+		if invRow != nil {
+			i = invRow[i]
+		}
+		out.Abstained = append(out.Abstained, i)
+	}
+	return out
+}
+
+func invert(perm []int) []int {
+	if perm == nil {
+		return nil
+	}
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// DummyPreservingPerm draws a permutation of n columns that keeps the
+// trailing numDummies columns in the trailing block (deciders identify dummy
+// targets positionally, so a conformant relabelling must not move real
+// columns past the boundary).
+func DummyPreservingPerm(rng *rand.Rand, n, numDummies int) []int {
+	real := n - numDummies
+	perm := make([]int, n)
+	for i, p := range rng.Perm(real) {
+		perm[i] = p
+	}
+	for i, p := range rng.Perm(numDummies) {
+		perm[real+i] = real + p
+	}
+	return perm
+}
+
+// ApplyElementwise returns f mapped over every entry, without mutating s.
+func ApplyElementwise(s *matrix.Dense, f func(float64) float64) *matrix.Dense {
+	out := s.Clone()
+	out.Apply(f)
+	return out
+}

@@ -1,0 +1,270 @@
+package conformance
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+// equivariant lists the matchers whose selections are invariant under
+// relabelling of rows and columns (their decisions depend only on score
+// comparisons, never on index arithmetic beyond tie-breaking).
+func equivariantMatchers() []Entry {
+	var out []Entry
+	for _, e := range Matchers() {
+		if e.Name == "Sink." {
+			// Sinkhorn normalization sums rows and columns; permutation
+			// changes the float summation order, so its output is equivariant
+			// only up to rounding. It is checked separately below.
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestPermutationEquivariance: relabelling rows and columns, running the
+// matcher and mapping the result back must reproduce the original selections
+// exactly. Valid as an exact check only on well-separated matrices — without
+// ties, tie-breaking (the one index-dependent rule) never fires, and every
+// per-element score computation sees bitwise-identical inputs.
+func TestPermutationEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cases := []Case{
+		{Name: "well-separated-7x7", S: WellSeparated(rng, 7, 7)},
+		{Name: "tall-9x5", S: WellSeparated(rng, 9, 5)},
+		{Name: "wide-5x9", S: WellSeparated(rng, 5, 9)},
+		WithDummyCols("dummies-6x4+2", WellSeparated(rng, 6, 4), 2, 0.5),
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			rows, cols := tc.S.Rows(), tc.S.Cols()
+			rowPerm := rng.Perm(rows)
+			colPerm := DummyPreservingPerm(rng, cols, tc.NumDummies)
+			perm := Permute(tc.S, rowPerm, colPerm)
+			for _, e := range equivariantMatchers() {
+				if e.Name == "RInf" {
+					// Full RInf carries structural preference ties even on
+					// well-separated scores: every cell attaining its column
+					// maximum has preference exactly 1, so a row that is the
+					// argmax of two columns ties and the rank tie-break is
+					// index-dependent. Equivariance holds only when column
+					// pivots are distinct — pinned separately by
+					// TestRInfPermutationEquivarianceDistinctPivots.
+					continue
+				}
+				base, err := e.New().Match(&core.Context{S: tc.S, NumDummies: tc.NumDummies})
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				pres, err := e.New().Match(&core.Context{S: perm, NumDummies: tc.NumDummies})
+				if err != nil {
+					t.Fatalf("%s permuted: %v", e.Name, err)
+				}
+				mapped := MapResult(pres, rowPerm, colPerm)
+				if !SelectionsEqual(base, mapped) {
+					t.Errorf("%s not permutation-equivariant: %s", e.Name, DescribeDiff(base, mapped))
+				}
+			}
+		})
+	}
+}
+
+// TestRInfPermutationEquivarianceDistinctPivots: full RInf is exactly
+// permutation-equivariant once the structural preference ties vanish, which
+// requires every column's maximum in a distinct row AND every row's maximum
+// in a distinct column (the source- and target-side preferences both pin
+// value 1 at the pivots). By pigeonhole that is only possible on square
+// matrices — one more reason the general permutation test excludes RInf. A
+// diagonal-boosted well-separated square matrix guarantees both.
+func TestRInfPermutationEquivarianceDistinctPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, sh := range [][2]int{{7, 7}, {10, 10}} {
+		rows, cols := sh[0], sh[1]
+		s := WellSeparated(rng, rows, cols)
+		for j := 0; j < cols; j++ {
+			s.Set(j, j, s.At(j, j)+2) // column j's max sits in row j
+		}
+		rowPerm, colPerm := rng.Perm(rows), rng.Perm(cols)
+		base, err := core.NewRInf().Match(&core.Context{S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pres, err := core.NewRInf().Match(&core.Context{S: Permute(s, rowPerm, colPerm)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mapped := MapResult(pres, rowPerm, colPerm); !ResultsIdentical(base, mapped) {
+			t.Fatalf("%dx%d: RInf not equivariant with distinct pivots: %s", rows, cols, DescribeDiff(base, mapped))
+		}
+	}
+}
+
+// TestSinkhornPermutationStability: Sinkhorn's selections (not its exact
+// float output) must survive relabelling on well-separated inputs, where the
+// post-normalization argmax margins dwarf summation-order rounding.
+func TestSinkhornPermutationStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	s := WellSeparated(rng, 8, 8)
+	rowPerm, colPerm := rng.Perm(8), rng.Perm(8)
+	base, err := core.NewSinkhorn(core.DefaultSinkhornIterations).Match(&core.Context{S: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := core.NewSinkhorn(core.DefaultSinkhornIterations).Match(&core.Context{S: Permute(s, rowPerm, colPerm)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped := MapResult(pres, rowPerm, colPerm); !SelectionsEqual(base, mapped) {
+		t.Fatalf("Sinkhorn selections changed under permutation: %s", DescribeDiff(base, mapped))
+	}
+}
+
+// TestAffineInvariance: scaling scores by a positive power of two and adding
+// a dyadic constant must leave every comparison-based matcher's selections
+// unchanged. On dyadic tie-heavy matrices all the induced arithmetic is exact
+// in float64, so ties are preserved exactly too and the check is bitwise
+// sound even in the regime where almost every comparison is a tie-break.
+// (Sinkhorn is excluded by design: an affine map of the scores is a
+// temperature change, which legitimately alters its soft assignment.)
+func TestAffineInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cases := []Case{
+		{Name: "tie-dense-8x8", S: TieHeavy(rng, 8, 8, 8)},
+		{Name: "tall-ties-7x4", S: TieHeavy(rng, 7, 4, 8)},
+		WithDummyCols("tie-dummies-6x4+2", TieHeavy(rng, 6, 4, 8), 2, 0.5),
+	}
+	const scale, shift = 4, 0.375
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			mapped := ApplyElementwise(tc.S, func(v float64) float64 { return v*scale + shift })
+			for _, e := range equivariantMatchers() {
+				base, err := e.New().Match(&core.Context{S: tc.S, NumDummies: tc.NumDummies})
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name, err)
+				}
+				aff, err := e.New().Match(&core.Context{S: mapped, NumDummies: tc.NumDummies})
+				if err != nil {
+					t.Fatalf("%s affine: %v", e.Name, err)
+				}
+				if !SelectionsEqual(base, aff) {
+					t.Errorf("%s not affine-invariant: %s", e.Name, DescribeDiff(base, aff))
+				}
+			}
+		})
+	}
+}
+
+// TestMonotoneTransformInvariance: a strictly monotone (non-affine) transform
+// preserves all score orderings, so matchers that consume only per-row and
+// per-column orderings of the raw scores — DInf's argmax and SMat's
+// preference lists — must select identically. (RInf is deliberately absent:
+// its preference p = S − colMax subtracts column maxima before ranking, and
+// a non-affine monotone map does not commute with that subtraction.)
+func TestMonotoneTransformInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	cases := []Case{
+		{Name: "well-separated-7x7", S: WellSeparated(rng, 7, 7)},
+		{Name: "tall-9x5", S: WellSeparated(rng, 9, 5)},
+		{Name: "wide-5x9", S: WellSeparated(rng, 5, 9)},
+	}
+	cube := func(v float64) float64 { return v * v * v }
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.Name, func(t *testing.T) {
+			mapped := ApplyElementwise(tc.S, cube)
+			for _, mk := range []func() core.Matcher{
+				func() core.Matcher { return core.NewDInf() },
+				func() core.Matcher { return core.NewSMat() },
+			} {
+				base, err := mk().Match(&core.Context{S: tc.S})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mon, err := mk().Match(&core.Context{S: mapped})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !SelectionsEqual(base, mon) {
+					t.Errorf("%s not monotone-invariant: %s", base.Matcher, DescribeDiff(base, mon))
+				}
+			}
+		})
+	}
+}
+
+// TestDummyAbstentionConsistency: on a matrix with a hopeless row (every real
+// score far below the dummy score) and otherwise unambiguous matches, every
+// 1-to-1-capable and greedy matcher must abstain exactly on the hopeless row
+// and match the clear rows. All values are dyadic so transform arithmetic is
+// exact.
+func TestDummyAbstentionConsistency(t *testing.T) {
+	const rows, real, dummies = 5, 4, 2
+	s := matrix.New(rows, real+dummies)
+	for i := 0; i < rows; i++ {
+		row := s.Row(i)
+		for j := 0; j < real; j++ {
+			switch {
+			case i == rows-1:
+				row[j] = 0.125 // hopeless row: far below the dummy score
+			case i == j:
+				row[j] = 0.9375
+			default:
+				row[j] = 0.0625
+			}
+		}
+		for j := real; j < real+dummies; j++ {
+			row[j] = 0.5
+		}
+	}
+	ctx := &core.Context{S: s, NumDummies: dummies}
+	for _, e := range equivariantMatchers() {
+		res, err := e.New().Match(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if got := CanonicalInts(res.Abstained); len(got) != 1 || got[0] != rows-1 {
+			t.Errorf("%s abstained = %v, want exactly the hopeless row [%d]", e.Name, got, rows-1)
+			continue
+		}
+		for _, p := range Canonical(res.Pairs) {
+			if p.Target != p.Source {
+				t.Errorf("%s matched row %d to %d, want the diagonal", e.Name, p.Source, p.Target)
+			}
+		}
+	}
+}
+
+// TestDeterminismAcrossGOMAXPROCS: the parallel kernels must be
+// schedule-independent — results at GOMAXPROCS(1) are bit-identical to
+// results at full parallelism, on matrices large enough to actually engage
+// the worker pool.
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	s := TieHeavy(rng, 160, 130, 16)
+	ctx := &core.Context{S: s}
+	baseline := make(map[string]*core.Result)
+	for _, e := range Matchers() {
+		res, err := e.New().Match(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		baseline[e.Name] = res
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	for _, e := range Matchers() {
+		res, err := e.New().Match(ctx)
+		if err != nil {
+			t.Fatalf("%s at GOMAXPROCS(1): %v", e.Name, err)
+		}
+		if !ResultsIdentical(baseline[e.Name], res) {
+			t.Errorf("%s differs at GOMAXPROCS(1): %s", e.Name, DescribeDiff(baseline[e.Name], res))
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+)
+
+// Brute-force oracles. Each is the textbook O(n·m) (or exponential)
+// definition of a quantity the production kernels compute with fused,
+// parallel or streaming shortcuts. Oracles are deliberately naive — a
+// different implementation strategy is the whole point — but they honor the
+// same documented tie-break contracts (first occurrence for maxima,
+// ascending index among equal values for top-k and ranks), so exact
+// comparison is meaningful.
+
+// OracleArgmax returns, per row, the index of the first strictly-greatest
+// element, or −1 for rows with no selectable maximum (width zero, all NaN
+// or all −Inf) — the documented RowMax contract.
+func OracleArgmax(s *matrix.Dense) []int {
+	idx := make([]int, s.Rows())
+	for i := range idx {
+		best, bi := math.Inf(-1), -1
+		for j := 0; j < s.Cols(); j++ {
+			if v := s.At(i, j); v > best {
+				best, bi = v, j
+			}
+		}
+		idx[i] = bi
+	}
+	return idx
+}
+
+// OracleTopK returns the k largest entries of every row by full sort:
+// descending value, ties by ascending column index — the documented RowTopK
+// contract (minHeap.offer retains the earliest index among equal boundary
+// values, which is exactly the first-k prefix of this order).
+func OracleTopK(s *matrix.Dense, k int) []matrix.TopK {
+	out := make([]matrix.TopK, s.Rows())
+	for i := range out {
+		row := s.Row(i)
+		order := make([]int, len(row))
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if row[order[a]] != row[order[b]] {
+				return row[order[a]] > row[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		n := k
+		if n > len(row) {
+			n = len(row)
+		}
+		tk := matrix.TopK{Values: make([]float64, n), Indices: make([]int, n)}
+		for x := 0; x < n; x++ {
+			tk.Indices[x] = order[x]
+			tk.Values[x] = row[order[x]]
+		}
+		out[i] = tk
+	}
+	return out
+}
+
+// OracleRanks returns the per-row descending ranks (largest = 1, ties by
+// column order) — the documented RowRanksInPlace contract — without mutating
+// the input.
+func OracleRanks(s *matrix.Dense) *matrix.Dense {
+	out := matrix.New(s.Rows(), s.Cols())
+	for i := 0; i < s.Rows(); i++ {
+		row := s.Row(i)
+		order := make([]int, len(row))
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if row[order[a]] != row[order[b]] {
+				return row[order[a]] > row[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		dst := out.Row(i)
+		for r, j := range order {
+			dst[j] = float64(r + 1)
+		}
+	}
+	return out
+}
+
+// OracleCSLS computes the textbook CSLS rescaling 2·S(u,v) − φ_s(u) − φ_t(v)
+// with φ means taken over fully-sorted top-k sets, in the same left-to-right
+// evaluation order as the production transform so that k=1 comparisons can be
+// exact.
+func OracleCSLS(s *matrix.Dense, k int) *matrix.Dense {
+	rows, cols := s.Rows(), s.Cols()
+	phiS := make([]float64, rows)
+	for i, tk := range OracleTopK(s, k) {
+		phiS[i] = meanOf(tk.Values)
+	}
+	phiT := make([]float64, cols)
+	for j, tk := range OracleTopK(s.Transpose(), k) {
+		phiT[j] = meanOf(tk.Values)
+	}
+	out := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		src, dst := s.Row(i), out.Row(i)
+		for j := range dst {
+			dst[j] = (src[j]*2 - phiS[i]) - phiT[j]
+		}
+	}
+	return out
+}
+
+func meanOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// OracleSinkhorn runs the textbook Sinkhorn operation — exp((S − max)/τ)
+// followed by L alternating row/column normalizations — with plain sequential
+// loops, mirroring the production transform's stabilization and its eps guard
+// against zero sums.
+func OracleSinkhorn(s *matrix.Dense, l int, tau float64) *matrix.Dense {
+	rows, cols := s.Rows(), s.Cols()
+	gmax := math.Inf(-1)
+	for i := 0; i < rows; i++ {
+		for _, v := range s.Row(i) {
+			if v > gmax {
+				gmax = v
+			}
+		}
+	}
+	if math.IsInf(gmax, -1) {
+		gmax = 0
+	}
+	out := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		src, dst := s.Row(i), out.Row(i)
+		for j := range dst {
+			dst[j] = math.Exp((src[j] - gmax) / tau)
+		}
+	}
+	const eps = 1e-300
+	for it := 0; it < l; it++ {
+		for i := 0; i < rows; i++ {
+			row := out.Row(i)
+			var sum float64
+			for _, v := range row {
+				sum += v
+			}
+			if math.Abs(sum) < eps {
+				continue
+			}
+			for j := range row {
+				row[j] /= sum
+			}
+		}
+		for j := 0; j < cols; j++ {
+			var sum float64
+			for i := 0; i < rows; i++ {
+				sum += out.At(i, j)
+			}
+			if math.Abs(sum) < eps {
+				continue
+			}
+			for i := 0; i < rows; i++ {
+				out.Set(i, j, out.At(i, j)/sum)
+			}
+		}
+	}
+	return out
+}
+
+// OracleAssignmentValue returns the maximum total score of a complete
+// assignment of the smaller side of s to distinct members of the larger side,
+// by exhaustive bitmask dynamic programming. It certifies the Hungarian
+// decider's optimality; the larger dimension must be at most 20.
+func OracleAssignmentValue(s *matrix.Dense) (float64, error) {
+	if s.Rows() > s.Cols() {
+		return OracleAssignmentValue(s.Transpose())
+	}
+	n, m := s.Rows(), s.Cols()
+	if m > 20 {
+		return 0, fmt.Errorf("conformance: exhaustive assignment limited to 20 columns, got %d", m)
+	}
+	ninf := math.Inf(-1)
+	size := 1 << m
+	best := make([]float64, size)
+	for mask := 1; mask < size; mask++ {
+		best[mask] = ninf
+	}
+	for mask := 0; mask < size; mask++ {
+		if best[mask] == ninf && mask != 0 {
+			continue
+		}
+		i := popcount(mask) // next row to place
+		if i >= n {
+			continue
+		}
+		row := s.Row(i)
+		for j := 0; j < m; j++ {
+			if mask&(1<<j) != 0 {
+				continue
+			}
+			next := mask | 1<<j
+			if v := best[mask] + row[j]; v > best[next] {
+				best[next] = v
+			}
+		}
+	}
+	ans := ninf
+	for mask := 0; mask < size; mask++ {
+		if popcount(mask) == n && best[mask] > ans {
+			ans = best[mask]
+		}
+	}
+	return ans, nil
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// PairValue sums s over the matched pairs — the objective the assignment
+// certificate compares against.
+func PairValue(s *matrix.Dense, pairs []core.Pair) float64 {
+	var total float64
+	for _, p := range pairs {
+		total += s.At(p.Source, p.Target)
+	}
+	return total
+}
+
+// BlockingPair is a (row, column) pair that destabilizes a matching: both
+// sides strictly prefer each other over their assigned partners under the
+// tie-broken strict preference orders (higher score wins; equal scores prefer
+// the lower index — the same tie-break the Gale-Shapley decider sorts with).
+type BlockingPair struct {
+	Row, Col int
+}
+
+// OracleBlockingPairs scans all rows×cols pairs of a dummy-free matching for
+// blocking pairs. matchedCol maps each row to its column (−1 if unmatched);
+// an unmatched participant prefers any partner over none. An empty return
+// certifies stability.
+func OracleBlockingPairs(s *matrix.Dense, pairs []core.Pair, abstained []int) []BlockingPair {
+	rows, cols := s.Rows(), s.Cols()
+	matchedCol := make([]int, rows)
+	for i := range matchedCol {
+		matchedCol[i] = -1
+	}
+	matchedRow := make([]int, cols)
+	for j := range matchedRow {
+		matchedRow[j] = -1
+	}
+	for _, p := range pairs {
+		matchedCol[p.Source] = p.Target
+		matchedRow[p.Target] = p.Source
+	}
+	// prefers reports whether value a at index ia strictly beats value b at
+	// index ib under the tie-broken order.
+	prefers := func(a float64, ia int, b float64, ib int) bool {
+		if a != b {
+			return a > b
+		}
+		return ia < ib
+	}
+	var out []BlockingPair
+	for i := 0; i < rows; i++ {
+		row := s.Row(i)
+		cur := matchedCol[i]
+		for j := 0; j < cols; j++ {
+			if j == cur {
+				continue
+			}
+			rowWants := cur < 0 || prefers(row[j], j, row[cur], cur)
+			if !rowWants {
+				continue
+			}
+			partner := matchedRow[j]
+			colWants := partner < 0 || prefers(row[j], i, s.At(partner, j), partner)
+			if colWants {
+				out = append(out, BlockingPair{Row: i, Col: j})
+			}
+		}
+	}
+	return out
+}

@@ -57,9 +57,14 @@ func (t CSLSTransform) TransformContext(ctx context.Context, s *matrix.Dense) (*
 	return out, nil
 }
 
-// ExtraBytes is one extra matrix: the CSLS copy (the paper notes CSLS
-// "needs to generate the additional CSLS matrix").
-func (CSLSTransform) ExtraBytes(rows, cols int) int64 { return matBytes(rows, cols) }
+// ExtraBytes is the CSLS copy (the paper notes CSLS "needs to generate the
+// additional CSLS matrix") plus the two φ vectors that are live alongside it
+// during the rescaling sweeps. The φ-pass top-k heaps (Θ(cols·K)) are freed
+// before the copy is cloned, so under the peak-simultaneous accounting rule
+// they do not appear here.
+func (CSLSTransform) ExtraBytes(rows, cols int) int64 {
+	return matBytes(rows, cols) + int64(rows+cols)*8
+}
 
 // NewCSLS returns the CSLS algorithm with neighborhood size k.
 func NewCSLS(k int) *Composite {

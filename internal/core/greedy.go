@@ -28,7 +28,11 @@ type GreedyDecider struct{}
 func (GreedyDecider) Name() string { return "greedy" }
 
 // Decide computes the row-wise argmax. Rows whose argmax is a dummy column
-// (the trailing ctx.NumDummies columns) are reported as abstained.
+// (the trailing ctx.NumDummies columns) are reported as abstained, as are
+// degenerate rows with no selectable maximum (every score NaN or −Inf, for
+// which RowMax yields index −1): emitting Target −1 for such a row would
+// poison downstream evaluation, so dense and streaming paths both abstain.
+// See TestDegenerateRowAbstention for the pinned semantics.
 func (GreedyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, error) {
 	if s.Cols() == 0 {
 		return nil, nil, fmt.Errorf("greedy: matrix has no columns")
@@ -41,7 +45,7 @@ func (GreedyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, error
 	var abstained []int
 	realCols := s.Cols() - ctx.NumDummies
 	for i, j := range idx {
-		if j >= realCols {
+		if j < 0 || j >= realCols {
 			abstained = append(abstained, i)
 			continue
 		}
@@ -50,8 +54,8 @@ func (GreedyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, error
 	return pairs, abstained, nil
 }
 
-// ExtraBytes is zero beyond per-row scratch.
-func (GreedyDecider) ExtraBytes(rows, cols int) int64 { return 0 }
+// ExtraBytes counts the argmax scan's per-row value and index vectors.
+func (GreedyDecider) ExtraBytes(rows, cols int) int64 { return int64(rows) * 16 }
 
 // NewDInf returns the DInf baseline (the paper's § 3.2): raw similarity
 // scores plus greedy matching. Time and space O(n²), both dominated by the

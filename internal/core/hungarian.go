@@ -84,9 +84,20 @@ func (HungarianDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, er
 }
 
 // ExtraBytes covers the duals, assignment arrays and the per-augmentation
-// scratch.
+// scratch, per the package accounting rule: one Θ(rows) dual plus five
+// Θ(cols) arrays (v, p, way, minv at 8 bytes, used at 1), the column-to-row
+// assignment and the row-to-column table. When rows > cols the decider
+// solves the transposed problem, which materializes Sᵀ — a full extra matrix
+// that dominates the vectors and must be counted for the memory tables to
+// reflect what tall inputs actually cost.
 func (HungarianDecider) ExtraBytes(rows, cols int) int64 {
-	return int64(rows+cols) * 8 * 4
+	n, m := rows, cols // solveLAP shape: n ≤ m
+	var transposed int64
+	if rows > cols {
+		n, m = cols, rows
+		transposed = matBytes(rows, cols)
+	}
+	return transposed + int64(n)*16 + int64(m)*41
 }
 
 // solveLAP returns, for each column, the row assigned to it (-1 if none),

@@ -223,11 +223,21 @@ func SafeMatch(m Matcher, ctx *Context) (res *Result, err error) {
 
 // ScoreTransform is stage one of embedding matching: it rewrites the
 // pairwise score matrix. Implementations must not mutate the input.
+//
+// ExtraBytes accounting rule (shared with Decider and pinned by
+// TestExtraBytesAccounting): a stage reports the payload bytes of its peak
+// set of simultaneously-live allocations whose size scales with the input
+// shape — derived rows×cols matrices and Θ(rows)/Θ(cols) vectors. Scratch
+// that is freed before the peak allocation exists (e.g. the φ-pass heaps of
+// CSLS, released before the output matrix is cloned), pooled per-tile
+// buffers, O(1) state and slice headers are excluded. The rule is what keeps
+// the paper's memory tables (Figure 5, Tables 6–8) comparable across
+// methods: every stage is measured by the same yardstick.
 type ScoreTransform interface {
 	Name() string
 	Transform(s *matrix.Dense) (*matrix.Dense, error)
 	// ExtraBytes estimates the transform's peak working memory for an
-	// input of the given shape.
+	// input of the given shape, under the package accounting rule above.
 	ExtraBytes(rows, cols int) int64
 }
 

@@ -121,13 +121,17 @@ func (t ReciprocalTransform) TransformContext(ctx context.Context, s *matrix.Den
 
 // ExtraBytes counts the preference matrices in both directions plus the
 // transpose scratch — the memory overhead the paper attributes to RInf's
-// "computation of similarity, preference, and ranking matrices".
+// "computation of similarity, preference, and ranking matrices" — and the
+// row/column max value+index vectors live throughout, per the package
+// accounting rule.
 func (t ReciprocalTransform) ExtraBytes(rows, cols int) int64 {
 	if t.WithRanking {
-		return 3 * matBytes(rows, cols)
+		// Peak: pst, pts and ptsT live together during the final merge.
+		return 3*matBytes(rows, cols) + int64(rows+cols)*16
 	}
-	// The no-ranking variant needs only the single combined matrix.
-	return matBytes(rows, cols)
+	// The no-ranking variant needs only the single combined matrix plus the
+	// max vectors and the two halved-vector scratches.
+	return matBytes(rows, cols) + int64(rows+cols)*24
 }
 
 // NewRInf returns the full RInf algorithm: reciprocal preferences with rank

@@ -67,9 +67,11 @@ func (t SinkhornTransform) TransformContext(ctx context.Context, s *matrix.Dense
 }
 
 // ExtraBytes is the exponentiated working copy (the paper: Sinkhorn "needs
-// to store intermediate results").
+// to store intermediate results") plus the column-sum and inverse scratch
+// vectors of each column normalization, both live alongside the copy at
+// peak, per the package accounting rule.
 func (SinkhornTransform) ExtraBytes(rows, cols int) int64 {
-	return matBytes(rows, cols) + int64(cols)*8
+	return matBytes(rows, cols) + int64(cols)*16
 }
 
 // DefaultSinkhornIterations is the paper's tuned l (its Figure 7 analysis:

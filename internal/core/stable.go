@@ -96,18 +96,21 @@ func (GaleShapleyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, 
 	}
 	proposals := 0
 	for len(free) > 0 {
-		// One proposal round scans at most cols columns; check the context
-		// once per freed row so a worst-case displacement cascade still
-		// observes cancellation within O(cols) work.
-		proposals++
-		if proposals%checkRowStride == 0 {
-			if err := ctxErr(cc); err != nil {
-				return nil, nil, err
-			}
-		}
 		i := free[len(free)-1]
 		free = free[:len(free)-1]
 		for next[i] < cols {
+			// Count actual proposals: a displacement cascade performs up to
+			// O(rows·cols) of them between freed-row pops without ever
+			// returning to the outer loop (the displaced row keeps proposing
+			// as i), so the cancellation checkpoint must live here for the
+			// checkRowStride bound to hold. Pinned by
+			// TestGaleShapleyCancelDuringCascade.
+			proposals++
+			if proposals%checkRowStride == 0 {
+				if err := ctxErr(cc); err != nil {
+					return nil, nil, err
+				}
+			}
 			j := int(rowPref[i][next[i]])
 			next[i]++
 			cur := engaged[j]
@@ -149,11 +152,13 @@ func (GaleShapleyDecider) Decide(ctx *Context, s *matrix.Dense) ([]Pair, []int, 
 	return pairs, abstained, nil
 }
 
-// ExtraBytes counts both materialized preference structures (2·n·m int32),
+// ExtraBytes counts both materialized preference structures (2·n·m int32) —
 // the dominant cost that makes SMat the least space-efficient algorithm in
-// the paper's comparison.
+// the paper's comparison — plus the deferred-acceptance bookkeeping live
+// alongside them (next/free/assigned and the column sort scratch, Θ(rows)
+// each; the engaged table, Θ(cols)), per the package accounting rule.
 func (GaleShapleyDecider) ExtraBytes(rows, cols int) int64 {
-	return 2*int64(rows)*int64(cols)*4 + int64(rows+cols)*8
+	return 2*int64(rows)*int64(cols)*4 + int64(rows)*32 + int64(cols)*8
 }
 
 // NewSMat returns the SMat algorithm: raw scores plus Gale-Shapley stable

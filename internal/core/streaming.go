@@ -37,11 +37,13 @@ func streamOf(ctx *Context) (matrix.TileSource, error) {
 
 // assemblePairs converts a completed running argmax into matched pairs,
 // reporting rows whose best column is a dummy as abstained — the exact loop
-// of GreedyDecider.Decide.
+// of GreedyDecider.Decide, including its abstention on degenerate rows whose
+// running argmax never advanced past the initial (−Inf, −1) state (all
+// streamed scores NaN or −Inf).
 func assemblePairs(vals []float64, idx []int, realCols int) (pairs []Pair, abstained []int) {
 	pairs = make([]Pair, 0, len(idx))
 	for i, j := range idx {
-		if j >= realCols {
+		if j < 0 || j >= realCols {
 			abstained = append(abstained, i)
 			continue
 		}

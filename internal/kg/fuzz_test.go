@@ -1,0 +1,211 @@
+package kg
+
+// Native fuzz targets for the TSV readers, plus the named regression tests
+// for the malformed-input classes they flushed out (wrong column counts,
+// duplicate IDs, out-of-range entity references). Invariant under fuzzing:
+// the readers never panic, every rejection carries a line position, and an
+// accepted input survives a serialize/re-parse round trip.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzLinkGraphs builds the fixed vocabulary the link/name fuzzers resolve
+// URIs against.
+func fuzzLinkGraphs() (*Graph, *Graph) {
+	src := NewGraph("src")
+	tgt := NewGraph("tgt")
+	for _, e := range []string{"a", "b", "c", "d"} {
+		src.AddEntity(e)
+	}
+	for _, e := range []string{"x", "y", "z"} {
+		tgt.AddEntity(e)
+	}
+	return src, tgt
+}
+
+func FuzzReadGraph(f *testing.F) {
+	f.Add([]byte("a\tr\tb\n"))
+	f.Add([]byte("a\tr\tb\nb\tr\tc\n\na\tr\tc\n"))
+	f.Add([]byte("a\tb\n"))
+	f.Add([]byte("a\t\tb\n"))
+	f.Add([]byte("\t\t\n"))
+	f.Add([]byte("a\tr\tb\r\n"))
+	f.Add([]byte("s\tr\to\ts\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadGraph(bytes.NewReader(data), "fuzz")
+		if err != nil {
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("rejection without line position: %v", err)
+			}
+			return
+		}
+		// Accepted input: the graph must serialize and re-parse to identical
+		// statistics (triple multiplicity included).
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("serialize accepted graph: %v", err)
+		}
+		back, err := ReadGraph(&buf, "back")
+		if err != nil {
+			t.Fatalf("re-parse of serialized graph: %v", err)
+		}
+		if back.NumEntities() != g.NumEntities() ||
+			back.NumRelations() != g.NumRelations() ||
+			back.NumTriples() != g.NumTriples() {
+			t.Fatalf("round trip changed stats: %+v vs %+v", back.Stats(), g.Stats())
+		}
+	})
+}
+
+func FuzzReadLinks(f *testing.F) {
+	f.Add([]byte("a\tx\n"))
+	f.Add([]byte("a\tx\nb\ty\n"))
+	f.Add([]byte("a\tx\na\tx\n"))
+	f.Add([]byte("a\tx\ty\n"))
+	f.Add([]byte("zzz\tx\n"))
+	f.Add([]byte("a\tzzz\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, tgt := fuzzLinkGraphs()
+		set, err := readLinks(bytes.NewReader(data), src, tgt)
+		if err != nil {
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("rejection without line position: %v", err)
+			}
+			return
+		}
+		for _, l := range set.Links {
+			if l.Source < 0 || l.Source >= src.NumEntities() || l.Target < 0 || l.Target >= tgt.NumEntities() {
+				t.Fatalf("out-of-range link %+v", l)
+			}
+		}
+		// An accepted set is exact-duplicate-free by construction, so its
+		// serialization must re-parse cleanly and preserve the count.
+		var buf bytes.Buffer
+		if err := writeLinks(&buf, set, src, tgt); err != nil {
+			t.Fatalf("serialize accepted links: %v", err)
+		}
+		back, err := readLinks(&buf, src, tgt)
+		if err != nil {
+			t.Fatalf("re-parse of serialized links: %v", err)
+		}
+		if back.Len() != set.Len() {
+			t.Fatalf("round trip changed link count: %d vs %d", back.Len(), set.Len())
+		}
+	})
+}
+
+func FuzzReadNames(f *testing.F) {
+	f.Add([]byte("a\tAlpha\n"))
+	f.Add([]byte("a\tAlpha\nb\t\n"))
+	f.Add([]byte("a\tAlpha\na\tBeta\n"))
+	f.Add([]byte("zzz\tGhost\n"))
+	f.Add([]byte("a\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, _ := fuzzLinkGraphs()
+		names, err := readNames(bytes.NewReader(data), src)
+		if err != nil {
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("rejection without line position: %v", err)
+			}
+			return
+		}
+		if len(names) != src.NumEntities() {
+			t.Fatalf("names length %d, want %d", len(names), src.NumEntities())
+		}
+	})
+}
+
+// --- Named regression tests for the fuzz-found divergences. ---
+
+func TestReadEntitiesDuplicate(t *testing.T) {
+	g := NewGraph("ents")
+	err := readEntities(strings.NewReader("a\nb\na\n"), g)
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "duplicate entity") {
+		t.Fatalf("want duplicate-entity error at line 3, got %v", err)
+	}
+}
+
+func TestReadGraphEmptyField(t *testing.T) {
+	for _, bad := range []string{"a\t\tb\n", "\tr\tb\n", "a\tr\t\n"} {
+		if _, err := ReadGraph(strings.NewReader(bad), "bad"); err == nil ||
+			!strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), "empty field") {
+			t.Fatalf("%q: want empty-field error at line 1, got %v", bad, err)
+		}
+	}
+}
+
+func TestReadGraphLineTooLong(t *testing.T) {
+	long := strings.Repeat("x", 1<<20+16)
+	_, err := ReadGraph(strings.NewReader(long), "long")
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("want positional scanner error, got %v", err)
+	}
+}
+
+func TestReadTriplesStrictVocabulary(t *testing.T) {
+	g := NewGraph("strict")
+	g.AddEntity("a")
+	g.AddEntity("b")
+	err := readTriplesInto(strings.NewReader("a\tr\tghost\n"), g, true)
+	if err == nil || !strings.Contains(err.Error(), "line 1") || !strings.Contains(err.Error(), "not in vocabulary") {
+		t.Fatalf("want out-of-vocabulary error, got %v", err)
+	}
+	if err := readTriplesInto(strings.NewReader("a\tr\tb\n"), g, true); err != nil {
+		t.Fatalf("in-vocabulary triple rejected: %v", err)
+	}
+	// Lenient mode (no vocabulary file) keeps growing the ID space.
+	if err := readTriplesInto(strings.NewReader("a\tr\tghost\n"), g, false); err != nil {
+		t.Fatalf("lenient mode rejected new entity: %v", err)
+	}
+}
+
+func TestReadLinksDuplicateLine(t *testing.T) {
+	src, tgt := fuzzLinkGraphs()
+	_, err := readLinks(strings.NewReader("a\tx\nb\ty\na\tx\n"), src, tgt)
+	if err == nil || !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "duplicate link") {
+		t.Fatalf("want duplicate-link error at line 3, got %v", err)
+	}
+	// Non-1-to-1 links (same source, different targets and vice versa) stay
+	// legitimate data.
+	set, err := readLinks(strings.NewReader("a\tx\na\ty\nb\tx\n"), src, tgt)
+	if err != nil || set.Len() != 3 {
+		t.Fatalf("non-1-to-1 links rejected: %v (len %d)", err, set.Len())
+	}
+}
+
+// TestReadPairStrictEntityVocabulary: when ent_ids files are present they fix
+// the ID space, so a triple naming an entity outside them must fail the whole
+// dataset load with a positional error.
+func TestReadPairStrictEntityVocabulary(t *testing.T) {
+	p := randomPair(t, false)
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := WritePair(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, fileTriples1), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("ghost\tr0\tghost2\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPair(dir, "rt"); err == nil || !strings.Contains(err.Error(), "not in vocabulary") {
+		t.Fatalf("want strict vocabulary error, got %v", err)
+	}
+}
+
+func TestReadNamesDuplicate(t *testing.T) {
+	src, _ := fuzzLinkGraphs()
+	_, err := readNames(strings.NewReader("a\tAlpha\na\tBeta\n"), src)
+	if err == nil || !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "duplicate surface form") {
+		t.Fatalf("want duplicate-name error at line 2, got %v", err)
+	}
+}

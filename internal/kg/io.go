@@ -44,17 +44,28 @@ func writeEntities(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// readEntities interns one entity per line into g.
+// readEntities interns one entity per line into g. A URI appearing twice is a
+// positional error: entity files fix the dense-ID order, so a silent re-intern
+// would shift every later ID and corrupt all downstream matrix indices.
 func readEntities(r io.Reader, g *Graph) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimRight(sc.Text(), "\r\n")
-		if line != "" {
-			g.AddEntity(line)
+		if line == "" {
+			continue
 		}
+		if _, ok := g.EntityID(line); ok {
+			return fmt.Errorf("kg: %s line %d: duplicate entity %q", g.Name, lineNo, line)
+		}
+		g.AddEntity(line)
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("kg: %s line %d: %w", g.Name, lineNo+1, err)
+	}
+	return nil
 }
 
 // WriteGraph serializes the triples of g in TSV form.
@@ -72,14 +83,20 @@ func WriteGraph(w io.Writer, g *Graph) error {
 // ReadGraph parses TSV triples into a new graph named name.
 func ReadGraph(r io.Reader, name string) (*Graph, error) {
 	g := NewGraph(name)
-	if err := readTriplesInto(r, g); err != nil {
+	if err := readTriplesInto(r, g, false); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
-// readTriplesInto parses TSV triples into an existing graph.
-func readTriplesInto(r io.Reader, g *Graph) error {
+// readTriplesInto parses TSV triples into an existing graph. Every malformed
+// line — wrong field count, empty field — is a positional error rather than a
+// silent skip or a later panic; fuzz-found inputs like "a\t\tb" used to intern
+// an empty-string relation that survived round trips invisibly. When
+// strictEntities is set (a vocabulary file fixed the entity ID space), a
+// triple naming an entity outside that vocabulary is an out-of-range reference
+// and errors instead of quietly growing the ID space past the embedding rows.
+func readTriplesInto(r io.Reader, g *Graph, strictEntities bool) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	lineNo := 0
@@ -93,9 +110,24 @@ func readTriplesInto(r io.Reader, g *Graph) error {
 		if len(parts) != 3 {
 			return fmt.Errorf("kg: %s line %d: want 3 tab-separated fields, got %d", g.Name, lineNo, len(parts))
 		}
+		for k, field := range parts {
+			if field == "" {
+				return fmt.Errorf("kg: %s line %d: empty field %d in triple", g.Name, lineNo, k+1)
+			}
+		}
+		if strictEntities {
+			for _, uri := range [2]string{parts[0], parts[2]} {
+				if _, ok := g.EntityID(uri); !ok {
+					return fmt.Errorf("kg: %s line %d: entity %q not in vocabulary (%d entities)", g.Name, lineNo, uri, g.NumEntities())
+				}
+			}
+		}
 		g.AddTripleNames(parts[0], parts[1], parts[2])
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("kg: %s line %d: %w", g.Name, lineNo+1, err)
+	}
+	return nil
 }
 
 // writeLinks serializes links as "sourceURI\ttargetURI" lines.
@@ -109,9 +141,14 @@ func writeLinks(w io.Writer, set LinkSet, src, tgt *Graph) error {
 	return bw.Flush()
 }
 
-// readLinks parses link lines, resolving URIs against the two graphs.
+// readLinks parses link lines, resolving URIs against the two graphs. An
+// exact (source, target) pair repeated on a later line is a positional error:
+// LinkSet.Add appends without deduplication (non-1-to-1 links are legitimate
+// data), so a duplicated line would double-count the pair in every evaluation
+// metric. Unknown URIs are out-of-range entity references and error likewise.
 func readLinks(r io.Reader, src, tgt *Graph) (LinkSet, error) {
 	var set LinkSet
+	seen := make(map[[2]int]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	lineNo := 0
@@ -133,9 +170,16 @@ func readLinks(r io.Reader, src, tgt *Graph) (LinkSet, error) {
 		if !ok {
 			return set, fmt.Errorf("kg: links line %d: unknown target entity %q", lineNo, parts[1])
 		}
+		if prev, dup := seen[[2]int{s, t}]; dup {
+			return set, fmt.Errorf("kg: links line %d: duplicate link %q -> %q (first at line %d)", lineNo, parts[0], parts[1], prev)
+		}
+		seen[[2]int{s, t}] = lineNo
 		set.Add(s, t)
 	}
-	return set, sc.Err()
+	if err := sc.Err(); err != nil {
+		return set, fmt.Errorf("kg: links line %d: %w", lineNo+1, err)
+	}
+	return set, nil
 }
 
 // writeNames serializes surface forms as "URI\tname" lines in ID order.
@@ -153,6 +197,7 @@ func writeNames(w io.Writer, g *Graph, names []string) error {
 // from the file keep an empty surface form.
 func readNames(r io.Reader, g *Graph) ([]string, error) {
 	names := make([]string, g.NumEntities())
+	assigned := make([]int, g.NumEntities()) // entity -> first defining line
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	lineNo := 0
@@ -170,9 +215,16 @@ func readNames(r io.Reader, g *Graph) ([]string, error) {
 		if !ok {
 			return nil, fmt.Errorf("kg: names line %d: unknown entity %q", lineNo, parts[0])
 		}
+		if assigned[id] != 0 {
+			return nil, fmt.Errorf("kg: names line %d: duplicate surface form for %q (first at line %d)", lineNo, parts[0], assigned[id])
+		}
+		assigned[id] = lineNo
 		names[id] = parts[1]
 	}
-	return names, sc.Err()
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kg: names line %d: %w", lineNo+1, err)
+	}
+	return names, nil
 }
 
 // WritePair serializes a dataset to dir, creating it if necessary.
@@ -247,9 +299,12 @@ func ReadPair(dir, name string) (*Pair, error) {
 	p.Source = NewGraph(name + "-source")
 	p.Target = NewGraph(name + "-target")
 	// Entity vocabulary files are optional for compatibility with plain
-	// OpenEA dumps; when present they fix the dense-ID order and preserve
-	// isolated entities.
-	for _, v := range []struct {
+	// OpenEA dumps; when present they fix the dense-ID order, preserve
+	// isolated entities, and switch the triple reader to strict mode — a
+	// triple referencing an entity absent from the vocabulary is then an
+	// out-of-range reference, not an excuse to grow the ID space.
+	strict := [2]bool{}
+	for k, v := range []struct {
 		fname string
 		g     *Graph
 	}{{fileEntities1, p.Source}, {fileEntities2, p.Target}} {
@@ -258,12 +313,13 @@ func ReadPair(dir, name string) (*Pair, error) {
 			if err := readInto(v.fname, func(r io.Reader) error { return readEntities(r, v.g) }); err != nil {
 				return nil, err
 			}
+			strict[k] = true
 		}
 	}
-	if err := readInto(fileTriples1, func(r io.Reader) error { return readTriplesInto(r, p.Source) }); err != nil {
+	if err := readInto(fileTriples1, func(r io.Reader) error { return readTriplesInto(r, p.Source, strict[0]) }); err != nil {
 		return nil, err
 	}
-	if err := readInto(fileTriples2, func(r io.Reader) error { return readTriplesInto(r, p.Target) }); err != nil {
+	if err := readInto(fileTriples2, func(r io.Reader) error { return readTriplesInto(r, p.Target, strict[1]) }); err != nil {
 		return nil, err
 	}
 	links := []struct {

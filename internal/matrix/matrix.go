@@ -274,7 +274,13 @@ func (m *Dense) SubColVector(v []float64) error {
 }
 
 // RowMax returns, for every row, the maximum value and the column index of
-// the first occurrence of that maximum. Rows of width zero yield (-Inf, -1).
+// the first occurrence of that maximum. Rows of width zero yield (-Inf, -1),
+// and so do degenerate rows with no selectable maximum — every entry NaN or
+// −Inf — because no entry ever compares strictly greater than the initial
+// −Inf. Callers that turn the index into a prediction must treat -1 as
+// abstention (GreedyDecider and the streaming assemblePairs both do); the
+// identical initial state of RunningArgmax keeps the dense and streaming
+// paths in agreement on such rows.
 func (m *Dense) RowMax() (vals []float64, idx []int) {
 	vals = make([]float64, m.rows)
 	idx = make([]int, m.rows)

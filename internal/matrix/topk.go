@@ -18,8 +18,24 @@ type minHeap struct {
 	idx  []int
 }
 
-func (h *minHeap) Len() int           { return len(h.vals) }
-func (h *minHeap) Less(i, j int) bool { return h.vals[i] < h.vals[j] }
+func (h *minHeap) Len() int { return len(h.vals) }
+
+// Less orders by ascending value with ties broken by DESCENDING index, so the
+// heap minimum among equal boundary values is always the latest-offered one
+// and eviction retains the earliest indices. Candidates arrive in ascending
+// index order everywhere (row scans and tile streams are row-major), so this
+// makes the kept top-k set exactly the first-k prefix of the
+// (value desc, index asc) sort — the contract RowTopK documents. Before this
+// tie-break the evicted entry depended on heap layout: on [0.75, 0@1, 0@2]
+// with k=3, a later 0.5 displaced the zero at index 1 or 2 depending on how
+// heapify had arranged them (caught by the conformance harness's
+// TestKernelsMatchOracles on tie-heavy matrices).
+func (h *minHeap) Less(i, j int) bool {
+	if h.vals[i] != h.vals[j] {
+		return h.vals[i] < h.vals[j]
+	}
+	return h.idx[i] > h.idx[j]
+}
 func (h *minHeap) Swap(i, j int) {
 	h.vals[i], h.vals[j] = h.vals[j], h.vals[i]
 	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
