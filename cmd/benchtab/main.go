@@ -8,6 +8,8 @@
 //	benchtab -scale-medium 0.1       # override individual scales
 //	benchtab -list                   # list experiment IDs
 //	benchtab -o results.txt          # also write the output to a file
+//	benchtab -exp sparse -cand 64    # sparse engine at a single budget C
+//	benchtab -exp sparse -json BENCH_sparse.json   # machine-readable results
 //
 // Scales are relative to the paper's full dataset sizes; the defaults are
 // the ones recorded in EXPERIMENTS.md for a 1-CPU container.
@@ -34,11 +36,12 @@ func main() {
 func run() error {
 	cfg := bench.DefaultConfig()
 	var (
-		expList = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
-		quick   = flag.Bool("quick", false, "use the small smoke-test scales")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		outFile = flag.String("o", "", "also write results to this file")
-		verbose = flag.Bool("v", false, "log per-run progress to stderr")
+		expList  = flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+		quick    = flag.Bool("quick", false, "use the small smoke-test scales")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		outFile  = flag.String("o", "", "also write results to this file")
+		jsonFile = flag.String("json", "", "write machine-readable measurements (JSON, BENCH_*.json schema) to this file; currently the 'sparse' experiment records them")
+		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Float64Var(&cfg.ScaleMedium, "scale-medium", cfg.ScaleMedium, "scale factor for DBP15K/SRPRS")
 	flag.Float64Var(&cfg.ScaleLarge, "scale-large", cfg.ScaleLarge, "scale factor for DWY100K")
@@ -50,6 +53,7 @@ func run() error {
 	flag.DurationVar(&cfg.RunTimeout, "timeout", cfg.RunTimeout, "per-matcher wall-clock budget; over-budget matchers degrade to RInf-pb then DInf (0 = unbounded)")
 	flag.BoolVar(&cfg.StreamLarge, "stream", cfg.StreamLarge, "run the large-scale table (table6) on the tiled streaming similarity engine: the dense score matrix is never allocated and only the streaming-capable matchers (DInf, CSLS, Sink.-mb) are measured; see also the 'streaming' experiment for a dense-vs-streaming comparison")
 	flag.Int64Var(&cfg.MemoryBudgetBytes, "mem-budget", cfg.MemoryBudgetBytes, "per-algorithm working-memory budget in bytes behind table6's Mem. feasibility column")
+	flag.IntVar(&cfg.SparseCand, "cand", cfg.SparseCand, "restrict the 'sparse' experiment to a single candidate budget C (0 = sweep 16/32/64/128)")
 	flag.Parse()
 
 	if *list {
@@ -108,6 +112,32 @@ func run() error {
 			}
 		}
 		fmt.Fprintf(out, "(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Second))
+	}
+	if *jsonFile != "" {
+		ids := make([]string, len(selected))
+		for i, exp := range selected {
+			ids[i] = exp.ID
+		}
+		report := env.Report(
+			fmt.Sprintf("benchtab machine-readable results for experiments: %s. Produced by: benchtab -exp %s -json %s",
+				strings.Join(ids, ", "), strings.Join(ids, ","), *jsonFile),
+			time.Now().Format("2006-01-02"),
+		)
+		if report == nil {
+			return fmt.Errorf("-json: no experiment recorded measurements (the 'sparse' experiment does)")
+		}
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %d measurement(s) to %s\n", len(report.Benchmarks), *jsonFile)
 	}
 	if notes := env.DegradationNotes(); len(notes) > 0 {
 		fmt.Fprintf(os.Stderr, "benchtab: %d matcher run(s) degraded under the -timeout budget:\n", len(notes))

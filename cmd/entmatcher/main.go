@@ -11,10 +11,17 @@
 //	entmatcher -data ./data/mul -setting non1to1      # § 5.2 evaluation
 //	entmatcher -data ./data/100k -stream              # tiled streaming engine
 //	entmatcher -data ./data/100k -mem-budget 2048     # stream if dense > 2 GiB
+//	entmatcher -data ./data/100k -cand 64             # sparse candidate graphs
 //
 // With -stream (or when -mem-budget forces it) the score matrix is computed
 // in cache-sized tiles and never materialized; the streaming-capable
 // matchers (DInf, CSLS, Sink.-mb) run fused against the tile stream.
+//
+// With -cand C the run also streams, but matching happens on sparse top-C
+// candidate graphs, which unlocks the paper's memory-heavy collective
+// matchers (RInf, Hun., SMat) at scales where the dense matrix cannot exist.
+// At C >= the larger side the sparse matchers reproduce their dense
+// counterparts exactly; smaller C trades a little recall for O(n·C) cost.
 package main
 
 import (
@@ -59,6 +66,7 @@ func run() error {
 		timeout  = flag.Duration("timeout", 0, "per-matcher wall-clock budget; on timeout the run degrades to cheaper matchers (RInf-pb, then DInf) instead of hanging (0 = unbounded)")
 		stream   = flag.Bool("stream", false, "use the tiled streaming similarity engine: scores are computed tile by tile and the dense matrix is never allocated (matchers: DInf, CSLS, Sink.-mb)")
 		memMiB   = flag.Int64("mem-budget", 0, "dense score-matrix budget in MiB; when the matrix would exceed it the run streams automatically (0 = no cap)")
+		cand     = flag.Int("cand", 0, "sparse candidate budget C: stream the scores into top-C candidate graphs and run the sparse matcher twins (CSLS, RInf, Sink., Hun., SMat) on them (0 = dense/streaming as usual)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -104,6 +112,10 @@ func run() error {
 		return fmt.Errorf("-mem-budget must be non-negative")
 	}
 	cfg.MemoryBudgetBytes = *memMiB << 20
+	if *cand < 0 {
+		return fmt.Errorf("-cand must be non-negative")
+	}
+	cfg.CandidateBudget = *cand
 
 	fmt.Printf("dataset %s: %d/%d entities, %d test links, setting %v, features %v\n",
 		d.Name, d.Source.NumEntities(), d.Target.NumEntities(), d.Split.Test.Len(), cfg.Setting, cfg.Features)
@@ -149,7 +161,19 @@ func run() error {
 		"RL":       entmatcher.NewRL(),
 	}
 	defaults := []string{"DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat", "RL"}
-	if streaming {
+	if *cand > 0 {
+		// Sparse candidate-graph twins: the collective matchers run on top-C
+		// graphs built in one tiled pass, no dense matrix.
+		available = map[string]entmatcher.Matcher{
+			"DInf":  entmatcher.NewDInfStream(),
+			"CSLS":  entmatcher.NewCSLSSparse(*cand, *cslsK),
+			"RInf":  entmatcher.NewRInfSparse(*cand),
+			"Sink.": entmatcher.NewSinkhornSparse(*cand, *sinkL),
+			"Hun.":  entmatcher.NewHungarianSparse(*cand),
+			"SMat":  entmatcher.NewSMatSparse(*cand),
+		}
+		defaults = []string{"DInf", "CSLS", "RInf", "Sink.", "Hun.", "SMat"}
+	} else if streaming {
 		// Only the fused streaming matchers can run without the dense matrix.
 		available = map[string]entmatcher.Matcher{
 			"DInf":     entmatcher.NewDInfStream(),
@@ -167,6 +191,9 @@ func run() error {
 		for _, name := range strings.Split(*matchers, ",") {
 			m, ok := available[strings.TrimSpace(name)]
 			if !ok {
+				if *cand > 0 {
+					return fmt.Errorf("unknown matcher %q under -cand (have: DInf, CSLS, RInf, Sink., Hun., SMat)", name)
+				}
 				if streaming {
 					return fmt.Errorf("unknown or dense-only matcher %q under -stream (have: DInf, CSLS, Sink.-mb)", name)
 				}

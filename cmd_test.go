@@ -150,6 +150,52 @@ func TestCLIBenchtabRejectsUnknownExperiment(t *testing.T) {
 	}
 }
 
+// TestCLISparseCandidateFlag exercises the sparse candidate-graph path of
+// both binaries: entmatcher -cand streams into top-C graphs and runs the
+// sparse matcher twins, and benchtab -exp sparse -json writes the
+// machine-readable measurement file.
+func TestCLISparseCandidateFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "ds")
+
+	d, err := entmatcher.GenerateBenchmark(entmatcher.ProfileSRPRSDbpYg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := entmatcher.SaveDataset(dataDir, d); err != nil {
+		t.Fatal(err)
+	}
+	out := runTool(t, filepath.Join(bins, "entmatcher"), "-data", dataDir, "-cand", "8", "-m", "RInf,Hun.,SMat")
+	if !strings.Contains(out, "similarity stream") {
+		t.Fatalf("-cand run did not stream:\n%s", out)
+	}
+	for _, name := range []string{"RInf", "Hun.", "SMat"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-cand output missing %s row:\n%s", name, out)
+		}
+	}
+	cmd := exec.Command(filepath.Join(bins, "entmatcher"), "-data", dataDir, "-cand", "8", "-m", "RL")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("dense-only matcher accepted under -cand:\n%s", out)
+	}
+
+	jsonPath := filepath.Join(dir, "sparse.json")
+	runTool(t, filepath.Join(bins, "benchtab"), "-quick", "-exp", "sparse", "-cand", "8", "-json", jsonPath)
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"Sparse/Hun./C=8/`, `"Sparse/RInf/dense/`, `"hits1"`, `"ns_per_op"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("benchtab -json output missing %s:\n%s", want, data)
+		}
+	}
+}
+
 // TestCLIExternalEmbeddings exercises the train-anywhere / match-here
 // workflow: embeddings produced through the library API are saved in the
 // word2vec text format and fed to the CLI via -emb-src / -emb-tgt.

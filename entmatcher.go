@@ -216,6 +216,37 @@ func NewDInfStream() Matcher { return core.NewDInfStream() }
 // extra memory — the dense matrix and its rescaled copy never exist.
 func NewCSLSStream(k int) Matcher { return core.NewCSLSStream(k) }
 
+// Sparse candidate-graph matchers: each streams the scores once into a
+// top-C-per-entity candidate graph (O(n·C) edges) and runs the matching
+// logic over the edges alone, which is what lets RInf, Hungarian and SMat —
+// the paper's memory-heaviest algorithms — run at DWY100K scale. At
+// C >= max(rows, cols) each twin reproduces its dense counterpart
+// bit-identically (pinned by the conformance suite); smaller budgets trade
+// a little recall for near-linear time and memory. They accept both dense
+// and streaming runs (PipelineConfig.CandidateBudget prepares streaming).
+
+// NewRInfSparse returns the sparse reciprocal matcher (RInf) with candidate
+// budget c. It computes exactly what NewRInfPB(c) computes, from one
+// streaming pass and without the dense matrix.
+func NewRInfSparse(c int) Matcher { return core.NewRInfSparse(c) }
+
+// NewCSLSSparse returns sparse CSLS with candidate budget c and φ
+// neighborhood k.
+func NewCSLSSparse(c, k int) Matcher { return core.NewCSLSSparse(c, k) }
+
+// NewSinkhornSparse returns the Sinkhorn operation restricted to a top-c
+// candidate graph, with l normalization iterations.
+func NewSinkhornSparse(c, l int) Matcher { return core.NewSinkhornSparse(c, l) }
+
+// NewHungarianSparse returns optimal assignment restricted to a top-c
+// candidate graph; rows whose candidates are exhausted fall back to a
+// virtual dummy and abstain.
+func NewHungarianSparse(c int) Matcher { return core.NewHungarianSparse(c) }
+
+// NewSMatSparse returns stable matching over truncated top-c preference
+// lists; rows that exhaust their list abstain.
+func NewSMatSparse(c int) Matcher { return core.NewSMatSparse(c) }
+
 // NewSimilarityStream builds a tiled streaming similarity engine over two
 // embedding tables, for driving streaming matchers outside the pipeline.
 func NewSimilarityStream(src, tgt *Dense, metric sim.Metric) (*SimilarityStream, error) {

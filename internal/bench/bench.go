@@ -52,6 +52,10 @@ type Config struct {
 	// similarity engine: the dense score matrix is never allocated and only
 	// the streaming-capable matchers (DInf, CSLS, Sink.-mb) are measured.
 	StreamLarge bool
+	// SparseCand, when positive, restricts the 'sparse' experiment to a
+	// single candidate budget C instead of its default {16, 32, 64, 128}
+	// sweep.
+	SparseCand int
 	// RunTimeout is the per-matcher wall-clock budget. When positive, each
 	// matcher run happens inside a degradation chain (matcher → RInf-pb →
 	// DInf) so an over-budget algorithm yields a cheaper tier's answer
@@ -111,6 +115,8 @@ type Env struct {
 
 	mu           sync.Mutex
 	degradations []string
+	records      []Record
+	summary      map[string]string
 }
 
 // NewEnv returns an empty cache environment.
@@ -154,7 +160,7 @@ func (e *Env) MulDataset(p datagen.MulProfile, scale float64) (*entmatcher.Datas
 // part of the key: profiles share names across scales, and reusing another
 // instance's embeddings or tasks would silently distort results.
 func runKey(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) string {
-	return fmt.Sprintf("%p|%v|%v|%v|%v|%v", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming)
+	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget)
 }
 
 // embKey identifies a cached embedding table, again per dataset instance.
@@ -227,6 +233,7 @@ func Experiments() []Experiment {
 		{ID: "table5", Title: "Table 5: F1 with name / fused information", Run: runTable5},
 		{ID: "table6", Title: "Table 6: large-scale (DWY100K profile) F1, time, memory", Run: runTable6},
 		{ID: "streaming", Title: "Dense vs tiled-streaming similarity engine: F1, time, peak memory", Run: runStreaming},
+		{ID: "sparse", Title: "Sparse candidate-graph engine: Hits@1, time, peak memory vs dense across C", Run: runSparse},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

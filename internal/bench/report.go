@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Record is one machine-readable measurement emitted by an experiment, in
+// the schema of the checked-in BENCH_*.json files: a slash-separated name,
+// wall time, peak working bytes, and the accuracy the run achieved (Hits@1,
+// which under the paper's 1-to-1 evaluation equals recall).
+type Record struct {
+	Name       string  `json:"name"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	Hits1      float64 `json:"hits1"`
+}
+
+// Host describes the benchmark machine, mirroring the host block of the
+// checked-in BENCH_*.json files.
+type Host struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// Report is the envelope written by benchtab -json: enough metadata to
+// interpret the measurements without the producing command line.
+type Report struct {
+	Description string            `json:"description"`
+	Host        Host              `json:"host"`
+	Date        string            `json:"date"`
+	Benchmarks  []Record          `json:"benchmarks"`
+	Summary     map[string]string `json:"summary,omitempty"`
+}
+
+// Record appends a machine-readable measurement to the environment; benchtab
+// -json collects them into a Report after the experiments finish.
+func (e *Env) Record(r Record) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.records = append(e.records, r)
+}
+
+// Summarize attaches a named headline conclusion to the JSON report.
+func (e *Env) Summarize(key, value string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.summary == nil {
+		e.summary = make(map[string]string)
+	}
+	e.summary[key] = value
+}
+
+// Report assembles the collected records into the JSON envelope. Returns nil
+// if no experiment recorded anything (so callers can skip writing a file).
+func (e *Env) Report(description, date string) *Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.records) == 0 {
+		return nil
+	}
+	return &Report{
+		Description: description,
+		Host: Host{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPU:        hostCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Date:       date,
+		Benchmarks: append([]Record(nil), e.records...),
+		Summary:    e.summary,
+	}
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// hostCPU reads the CPU model name from /proc/cpuinfo (Linux); elsewhere it
+// reports the architecture so the field is never empty.
+func hostCPU() string {
+	b, err := os.ReadFile("/proc/cpuinfo")
+	if err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+			}
+		}
+	}
+	return runtime.GOARCH
+}

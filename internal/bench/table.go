@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // Table is one rendered experiment artifact: a titled grid with a label
@@ -37,22 +38,24 @@ func (t *Table) AddNote(format string, args ...interface{}) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
-// Render writes the table as aligned text.
+// Render writes the table as aligned text. Cell widths count runes, not
+// bytes, so headers like "ΔHits@1" and cells like "3.4×" align.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.Columns)+1)
-	widths[0] = len("")
 	for _, r := range t.Rows {
-		if len(r.Label) > widths[0] {
-			widths[0] = len(r.Label)
+		if n := utf8.RuneCountInString(r.Label); n > widths[0] {
+			widths[0] = n
 		}
 	}
 	for c, h := range t.Columns {
-		widths[c+1] = len(h)
+		widths[c+1] = utf8.RuneCountInString(h)
 	}
 	for _, r := range t.Rows {
 		for c, cell := range r.Cells {
-			if c+1 < len(widths) && len(cell) > widths[c+1] {
-				widths[c+1] = len(cell)
+			if c+1 < len(widths) {
+				if n := utf8.RuneCountInString(cell); n > widths[c+1] {
+					widths[c+1] = n
+				}
 			}
 		}
 	}
@@ -91,12 +94,12 @@ func (t *Table) Render(w io.Writer) error {
 	return err
 }
 
-// pad right-pads s to width.
+// pad right-pads s to width runes.
 func pad(s string, width int) string {
-	if len(s) >= width {
-		return s
+	if n := utf8.RuneCountInString(s); n < width {
+		return s + strings.Repeat(" ", width-n)
 	}
-	return s + strings.Repeat(" ", width-len(s))
+	return s
 }
 
 // f3 formats a metric value the way the paper prints F1 scores.

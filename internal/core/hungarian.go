@@ -103,67 +103,94 @@ func (HungarianDecider) ExtraBytes(rows, cols int) int64 {
 // solveLAP returns, for each column, the row assigned to it (-1 if none),
 // maximizing the total score of a complete assignment of all rows.
 // Requires rows ≤ cols. It returns ctx.Err() as soon as the context is done;
-// cancellation is checked once per augmentation step, whose cost is one
-// O(cols) scan, so the abort latency is bounded by a single matrix row.
+// cancellation is checked once per search step, whose cost is one O(cols)
+// scan, so the abort latency is bounded by a single matrix row.
+//
+// The formulation is Jonker & Volgenant's shortest augmenting path with
+// absolute distance labels: per free row, a Dijkstra search over reduced
+// costs (cost = -score) finds the cheapest alternating path to a free
+// column, then the duals of the scanned columns are updated once from their
+// final distances (u[p[j]] += df − dist[j], v[j] −= df − dist[j]).
+// Mathematically this is the classic per-round delta formulation with the
+// deltas telescoped; computationally it does the dual updates in O(path)
+// instead of O(rounds²), and — crucially — it is the exact arithmetic the
+// sparse candidate-graph solver (solveSparseLAP) performs, which is what
+// makes the sparse matcher bit-identical to this one at full candidate
+// width. Ties in the pivot choice break toward the smallest column index;
+// ties in the relaxation keep the earliest predecessor (strict <), matching
+// the selection contract used across the package.
 func solveLAP(ctx context.Context, s *matrix.Dense) ([]int, error) {
 	n, m := s.Rows(), s.Cols()
 	// Minimization duals over cost = -score. 1-based arrays with a virtual
-	// row 0 / column 0, following the classic shortest-augmenting-path
-	// formulation.
+	// row 0 / column 0.
 	u := make([]float64, n+1)
 	v := make([]float64, m+1)
 	p := make([]int, m+1) // p[j]: row (1-based) assigned to column j; 0 = free
-	way := make([]int, m+1)
-	minv := make([]float64, m+1)
-	used := make([]bool, m+1)
+	pred := make([]int, m+1)
+	dist := make([]float64, m+1)
+	scanned := make([]bool, m+1)
+	ready := make([]int, 0, m) // scanned columns in pop order
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
-		j0 := 0
-		for j := 0; j <= m; j++ {
-			minv[j] = math.Inf(1)
-			used[j] = false
+		for j := 1; j <= m; j++ {
+			scanned[j] = false
+			pred[j] = 0
 		}
+		ready = ready[:0]
+		row := s.Row(i - 1)
+		for j := 1; j <= m; j++ {
+			dist[j] = -row[j-1] - u[i] - v[j]
+		}
+		jf := -1 // free column ending the shortest augmenting path
+		var df float64
 		for {
 			if err := ctxErr(ctx); err != nil {
 				return nil, err
 			}
-			used[j0] = true
-			i0 := p[j0]
-			delta := math.Inf(1)
 			j1 := -1
-			row := s.Row(i0 - 1)
+			best := math.Inf(1)
 			for j := 1; j <= m; j++ {
-				if used[j] {
-					continue
-				}
-				cur := -row[j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
+				if !scanned[j] && dist[j] < best {
+					best = dist[j]
 					j1 = j
 				}
 			}
-			for j := 0; j <= m; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
+			if j1 < 0 {
+				break // unreachable with finite scores; leaves row i unassigned
 			}
-			j0 = j1
-			if p[j0] == 0 {
+			if p[j1] == 0 {
+				jf, df = j1, best
 				break
 			}
+			scanned[j1] = true
+			ready = append(ready, j1)
+			i2 := p[j1]
+			r2 := s.Row(i2 - 1)
+			d := dist[j1]
+			for j := 1; j <= m; j++ {
+				if scanned[j] {
+					continue
+				}
+				nd := d + (-r2[j-1] - u[i2] - v[j])
+				if nd < dist[j] {
+					dist[j] = nd
+					pred[j] = j1
+				}
+			}
 		}
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
+		if jf < 0 {
+			continue
+		}
+		u[i] += df
+		for _, j := range ready {
+			u[p[j]] += df - dist[j]
+			v[j] -= df - dist[j]
+		}
+		for j := jf; j != 0; {
+			pj := pred[j]
+			p[j] = p[pj]
+			j = pj
 		}
 	}
 	out := make([]int, m)

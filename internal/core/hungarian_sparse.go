@@ -1,0 +1,323 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"entmatcher/internal/matrix"
+)
+
+// HungarianSparse solves the linear assignment problem restricted to a
+// candidate graph: Jonker–Volgenant shortest augmenting paths run over each
+// row's top-C candidate edges only, with a lazy-deletion binary heap ordered
+// by (distance, column) in place of the dense solver's O(cols) pivot scan,
+// and one-shot dual updates from the final distance labels. This is the same
+// arithmetic as the dense solveLAP, so at full candidate width
+// (C ≥ max(rows, cols)) the assignment is bit-identical to the dense
+// decider's.
+//
+// Below full width the restricted problem may be infeasible for some rows: a
+// row whose reachable region contains no free column abandons the search and
+// abstains — the M→∞ limit of a cost-augmented dummy edge, without big-M
+// numerical contamination. Each failed search also proves a Hall violator:
+// every column the alternating tree touched is matched to a row inside the
+// tree, and those rows have no candidate edges outside the touched columns,
+// so no future augmenting path can enter the region and leave it. The solver
+// marks the region dead and skips it in all later searches. This
+// amortization is what makes 100k-row instances tractable — without it,
+// every unmatchable row re-walks its whole component to prove
+// unreachability, which is quadratic in the component size.
+//
+// When rows > cols the solver runs on the reverse graph (the transposed
+// problem's forward graph), exactly as the dense decider transposes, so the
+// two agree at full candidate width.
+type HungarianSparse struct {
+	// C is the per-row candidate budget.
+	C int
+}
+
+// Name returns "Hun.-sparse".
+func (*HungarianSparse) Name() string { return "Hun.-sparse" }
+
+// Match runs the sparse optimal assignment.
+func (m *HungarianSparse) Match(ctx *Context) (*Result, error) {
+	if ctx == nil {
+		return nil, ErrNoMatrix
+	}
+	if m.C < 1 {
+		return nil, fmt.Errorf("hungarian-sparse: candidate budget must be positive, got %d", m.C)
+	}
+	start := time.Now()
+	cc := ctx.Cancellation()
+	src, rows, cols, err := sparseSource(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// The solver runs on one orientation only; the reverse graph is needed
+	// just for tall inputs, so square and wide cases skip its heap pass —
+	// at scale that halves the non-GEMM cost of the streamed build.
+	cRev := m.C
+	if rows <= cols {
+		cRev = 0
+	}
+	fwd, rev, err := matrix.BuildCandGraphs(cc, src, m.C, cRev)
+	if err != nil {
+		return nil, err
+	}
+
+	// assigned[i] = column of row i, or -1. Mirrors the dense decider: the
+	// solver always runs on the side with fewer rows.
+	assigned := make([]int, rows)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	if rows <= cols {
+		rowCol, err := solveSparseLAP(cc, fwd)
+		if err != nil {
+			return nil, err
+		}
+		copy(assigned, rowCol)
+	} else {
+		// More rows than columns: solve on the reverse graph, whose rows
+		// are the original columns.
+		colRow, err := solveSparseLAP(cc, rev)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range colRow {
+			if i >= 0 {
+				assigned[i] = j
+			}
+		}
+	}
+
+	realCols := cols - ctx.NumDummies
+	pairs := make([]Pair, 0, rows)
+	var abstained []int
+	for i, j := range assigned {
+		if j < 0 || j >= realCols {
+			abstained = append(abstained, i)
+			continue
+		}
+		v, ok := edgeScore(fwd, i, j)
+		if !ok && rev != nil {
+			// Tall-matrix assignments come from the reverse graph; the edge
+			// may be outside row i's forward block.
+			v, _ = edgeScore(rev, j, i)
+		}
+		pairs = append(pairs, Pair{Source: i, Target: j, Score: v})
+	}
+	// The graphs, the solver's dual/assignment/scratch arrays over the
+	// rows + columns of the solved orientation, the search heap (worst case
+	// one entry per candidate edge), and the streaming tile.
+	extra := fwd.SizeBytes() + int64(rows+cols)*49 +
+		int64(rows)*int64(m.C)*12 +
+		int64(matrix.DefaultTileRows*matrix.DefaultTileCols)*8
+	if rev != nil {
+		extra += rev.SizeBytes()
+	}
+	return &Result{
+		Matcher:    m.Name(),
+		Pairs:      pairs,
+		Abstained:  abstained,
+		Elapsed:    time.Since(start),
+		ExtraBytes: extra,
+	}, nil
+}
+
+// edgeScore finds the stored score of edge (i, j) in g, scanning row i's
+// candidate list.
+func edgeScore(g *matrix.CandGraph, i, j int) (float64, bool) {
+	cand, scores := g.Row(i)
+	for x, c := range cand {
+		if int(c) == j {
+			return scores[x], true
+		}
+	}
+	return 0, false
+}
+
+// distHeap is a binary min-heap of (distance, column) pairs ordered
+// lexicographically — smallest distance first, ties to the smallest column
+// index, which realizes the solver-wide pivot tie-break. Entries are never
+// deleted in place; stale ones (whose distance no longer matches the
+// column's current label) are skipped at pop time.
+type distHeap struct {
+	d []float64
+	j []int32
+}
+
+func (h *distHeap) len() int { return len(h.d) }
+func (h *distHeap) reset()   { h.d, h.j = h.d[:0], h.j[:0] }
+func (h *distHeap) less(a, b int) bool {
+	return h.d[a] < h.d[b] || (h.d[a] == h.d[b] && h.j[a] < h.j[b])
+}
+
+func (h *distHeap) swap(a, b int) {
+	h.d[a], h.d[b] = h.d[b], h.d[a]
+	h.j[a], h.j[b] = h.j[b], h.j[a]
+}
+
+func (h *distHeap) push(d float64, j int32) {
+	h.d = append(h.d, d)
+	h.j = append(h.j, j)
+	for c := len(h.d) - 1; c > 0; {
+		p := (c - 1) / 2
+		if !h.less(c, p) {
+			break
+		}
+		h.swap(c, p)
+		c = p
+	}
+}
+
+func (h *distHeap) pop() (float64, int32) {
+	d0, j0 := h.d[0], h.j[0]
+	last := len(h.d) - 1
+	h.swap(0, last)
+	h.d, h.j = h.d[:last], h.j[:last]
+	for p := 0; ; {
+		c := 2*p + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && h.less(c+1, c) {
+			c++
+		}
+		if !h.less(c, p) {
+			break
+		}
+		h.swap(c, p)
+		p = c
+	}
+	return d0, j0
+}
+
+// solveSparseLAP returns, for each graph row, the assigned column (-1 for
+// abandoned rows), maximizing total score over the candidate edges. It is
+// the restricted-edge twin of solveLAP: the same shortest-path formulation
+// over reduced costs (cost = −score − u − v), the same one-shot dual updates
+// from the final distance labels, the same strict-< relaxation and
+// (distance, column) lexicographic pivot order — realized with a
+// lazy-deletion binary heap and touch lists so one search step costs
+// O(C log) instead of O(cols). Columns inside failed alternating trees are
+// marked dead (see the HungarianSparse comment for the Hall argument) and
+// skipped by all later searches; a failure never occurs at full candidate
+// width, where every search reaches a free column, so the dense equivalence
+// is unaffected.
+func solveSparseLAP(ctx context.Context, g *matrix.CandGraph) ([]int, error) {
+	n, m := g.Rows(), g.Cols()
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j]: row (1-based) assigned to column j; 0 = free
+	pred := make([]int32, m+1)
+	dist := make([]float64, m+1)
+	scanned := make([]bool, m+1)
+	dead := make([]bool, m+1)
+	touched := make([]int32, 0, 256) // columns with a finite label, for reset
+	ready := make([]int32, 0, 256)   // scanned columns in pop order
+	var h distHeap
+	for j := range dist {
+		dist[j] = math.Inf(1)
+	}
+
+	for i := 1; i <= n; i++ {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		p[0] = i
+		cand, scores := g.Row(i - 1)
+		for x, c := range cand {
+			j := int(c) + 1
+			if dead[j] {
+				continue
+			}
+			dist[j] = -scores[x] - u[i] - v[j]
+			pred[j] = 0
+			touched = append(touched, int32(j))
+			h.push(dist[j], int32(j))
+		}
+		jf := -1 // free column ending the shortest augmenting path
+		var df float64
+		pops := 0
+		for h.len() > 0 {
+			d, jc := h.pop()
+			j1 := int(jc)
+			if scanned[j1] || d != dist[j1] {
+				continue // stale entry
+			}
+			if p[j1] == 0 {
+				jf, df = j1, d
+				break
+			}
+			scanned[j1] = true
+			ready = append(ready, jc)
+			if pops++; pops&63 == 0 {
+				if err := ctxErr(ctx); err != nil {
+					return nil, err
+				}
+			}
+			i2 := p[j1]
+			cand2, scores2 := g.Row(i2 - 1)
+			for x, c := range cand2 {
+				j := int(c) + 1
+				if scanned[j] || dead[j] {
+					continue
+				}
+				nd := d + (-scores2[x] - u[i2] - v[j])
+				if nd < dist[j] {
+					if math.IsInf(dist[j], 1) {
+						touched = append(touched, int32(j))
+					}
+					dist[j] = nd
+					pred[j] = jc
+					h.push(nd, int32(j))
+				}
+			}
+		}
+		if jf < 0 {
+			// No free column reachable: row i goes to its fallback dummy
+			// (abstains), and every touched column — all matched within the
+			// failed tree — is dead for the rest of the run.
+			for _, jc := range touched {
+				dead[jc] = true
+			}
+		} else {
+			u[i] += df
+			for _, jc := range ready {
+				j := int(jc)
+				u[p[j]] += df - dist[j]
+				v[j] -= df - dist[j]
+			}
+			for j := jf; j != 0; {
+				pj := int(pred[j])
+				p[j] = p[pj]
+				j = pj
+			}
+		}
+		// Lazy reset of the per-search column state.
+		for _, jc := range touched {
+			dist[jc] = math.Inf(1)
+			scanned[jc] = false
+		}
+		touched = touched[:0]
+		ready = ready[:0]
+		h.reset()
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			out[p[j]-1] = j - 1
+		}
+	}
+	return out, nil
+}
+
+// NewHungarianSparse returns the sparse optimal-assignment matcher with
+// candidate budget c.
+func NewHungarianSparse(c int) *HungarianSparse { return &HungarianSparse{C: c} }

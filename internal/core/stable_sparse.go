@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"entmatcher/internal/matrix"
+)
+
+// SMatSparse is the stable-matching (SMat) twin over a candidate graph:
+// row-proposing deferred acceptance where each row proposes down its top-C
+// candidate list — which the graph already stores in exactly the dense
+// decider's preference order (descending score, ties by ascending column) —
+// and abstains when the list is exhausted. Columns need no materialized
+// rank table: a column compares an incoming proposal against its current
+// partner by (score, smaller row id), which is precisely the order the
+// dense colRank tables encode. That drops SMat's Θ(2·n·m) preference
+// storage, the paper's least space-efficient structure, to O(n·C).
+//
+// Truncated lists also give unmatchable-setting behavior for free: a row
+// whose candidates are all taken by better-ranked rivals runs out of
+// proposals and abstains instead of being forced onto an arbitrary column.
+// At C >= cols the proposal sequence is identical to the dense decider's
+// and so is the matching.
+type SMatSparse struct {
+	// C is the per-row candidate budget.
+	C int
+}
+
+// Name returns "SMat-sparse".
+func (*SMatSparse) Name() string { return "SMat-sparse" }
+
+// Match runs sparse stable matching.
+func (m *SMatSparse) Match(ctx *Context) (*Result, error) {
+	if ctx == nil {
+		return nil, ErrNoMatrix
+	}
+	if m.C < 1 {
+		return nil, fmt.Errorf("smat-sparse: candidate budget must be positive, got %d", m.C)
+	}
+	start := time.Now()
+	cc := ctx.Cancellation()
+	src, rows, cols, err := sparseSource(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fwd, err := matrix.BuildCandGraph(cc, src, m.C)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deferred acceptance, mirroring the dense decider's loop shape: the
+	// free stack pops from the end and a displaced row keeps proposing
+	// inside the inner loop.
+	next := make([]int, rows)         // next proposal index per row
+	engaged := make([]int, cols)      // column -> row, -1 when free
+	engScore := make([]float64, cols) // score of the engaged proposal
+	for j := range engaged {
+		engaged[j] = -1
+		engScore[j] = math.Inf(-1)
+	}
+	free := make([]int, rows)
+	for i := range free {
+		free[i] = i
+	}
+	proposals := 0
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		cand, scores := fwd.Row(i)
+		for next[i] < len(cand) {
+			// Per-proposal cancellation, as in the dense decider: a
+			// displacement cascade can run many proposals without returning
+			// to the outer loop.
+			proposals++
+			if proposals%checkRowStride == 0 {
+				if err := ctxErr(cc); err != nil {
+					return nil, err
+				}
+			}
+			x := next[i]
+			next[i]++
+			j := int(cand[x])
+			v := scores[x]
+			cur := engaged[j]
+			if cur == -1 {
+				engaged[j] = i
+				engScore[j] = v
+				i = -1
+				break
+			}
+			// Column j prefers the proposal iff it scores higher, or ties
+			// with a smaller row id — the (score desc, row asc) order the
+			// dense colRank table ranks by.
+			if v > engScore[j] || (v == engScore[j] && i < cur) {
+				engaged[j] = i
+				engScore[j] = v
+				i = cur // the displaced row proposes again
+				cand, scores = fwd.Row(i)
+			}
+		}
+		// i == -1: accepted. Otherwise row i exhausted its candidate list
+		// and stays unmatched (abstains) — either rows > cols, or every
+		// candidate is held by a better-ranked rival.
+	}
+
+	realCols := cols - ctx.NumDummies
+	assigned := make([]int, rows)
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	for j, i := range engaged {
+		if i >= 0 {
+			assigned[i] = j
+		}
+	}
+	pairs := make([]Pair, 0, rows)
+	var abstained []int
+	for i, j := range assigned {
+		if j < 0 || j >= realCols {
+			abstained = append(abstained, i)
+			continue
+		}
+		pairs = append(pairs, Pair{Source: i, Target: j, Score: engScore[j]})
+	}
+	return &Result{
+		Matcher:   m.Name(),
+		Pairs:     pairs,
+		Abstained: abstained,
+		Elapsed:   time.Since(start),
+		ExtraBytes: fwd.SizeBytes() + int64(rows)*24 + int64(cols)*16 +
+			int64(matrix.DefaultTileRows*matrix.DefaultTileCols)*8,
+	}, nil
+}
+
+// NewSMatSparse returns the sparse stable-matching matcher with candidate
+// budget c.
+func NewSMatSparse(c int) *SMatSparse { return &SMatSparse{C: c} }

@@ -1,0 +1,261 @@
+package matrix
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// CandGraph is a compressed-sparse-row candidate graph over a score matrix:
+// for every row, its top-C columns by score, stored as int32 column ids and
+// float64 scores. Within a row, entries are ordered by descending score with
+// ties by ascending column — exactly the total order Dense.RowTopK emits —
+// so prefix truncation and "first candidate" preserve the earliest-index
+// tie-break contract the dense kernels document.
+//
+// The graph is the bridge between the streaming similarity engine and the
+// matchers that otherwise need the dense matrix: one tiled pass reduces the
+// O(rows·cols) score matrix to O(rows·C) edges, and the sparse matcher twins
+// (RInfSparse, HungarianSparse, SMatSparse, ...) run on the edges alone.
+type CandGraph struct {
+	rows, cols int
+	rowPtr     []int64   // len rows+1; row i spans rowPtr[i]..rowPtr[i+1]
+	colIdx     []int32   // len nnz
+	score      []float64 // len nnz, aligned with colIdx
+}
+
+// Rows returns the number of rows the graph covers.
+func (g *CandGraph) Rows() int { return g.rows }
+
+// Cols returns the width of the underlying score matrix (the column id
+// space), not the per-row candidate count.
+func (g *CandGraph) Cols() int { return g.cols }
+
+// NNZ returns the total number of stored candidate edges.
+func (g *CandGraph) NNZ() int { return len(g.colIdx) }
+
+// Row returns row i's candidate column ids and scores, ordered by
+// descending score with ties by ascending column. The slices alias the
+// graph's storage and must not be mutated.
+func (g *CandGraph) Row(i int) ([]int32, []float64) {
+	lo, hi := g.rowPtr[i], g.rowPtr[i+1]
+	return g.colIdx[lo:hi], g.score[lo:hi]
+}
+
+// SizeBytes returns the heap footprint of the graph's storage, the quantity
+// the ExtraBytes accounting rule tracks.
+func (g *CandGraph) SizeBytes() int64 {
+	return int64(len(g.colIdx))*12 + int64(g.rows+1)*8
+}
+
+// RowHeadScores returns each row's best score (the first stored candidate),
+// or -Inf for rows with no candidates — the value Dense.RowMax yields for
+// width-zero rows. For any budget C >= 1 the head is the exact row maximum,
+// which is what lets reverse-direction statistics (RInf's max_u' S(v,u'))
+// come from a truncated graph without error.
+func (g *CandGraph) RowHeadScores() []float64 {
+	out := make([]float64, g.rows)
+	for i := 0; i < g.rows; i++ {
+		if g.rowPtr[i] < g.rowPtr[i+1] {
+			out[i] = g.score[g.rowPtr[i]]
+		} else {
+			out[i] = math.Inf(-1)
+		}
+	}
+	return out
+}
+
+// CSC is the transpose view of a CandGraph: for every column, the rows that
+// listed it as a candidate, in ascending row order, plus each entry's
+// position in the CSR arrays so per-edge data computed on the CSR side can
+// be joined without hashing.
+type CSC struct {
+	ColPtr []int64 // len cols+1
+	RowIdx []int32 // len nnz, ascending within a column
+	Pos    []int32 // len nnz; index into the graph's colIdx/score arrays
+}
+
+// CSCView builds the transpose view in two O(nnz) counting passes. Entries
+// within a column appear in ascending row order because rows are scattered
+// in ascending order.
+func (g *CandGraph) CSCView() *CSC {
+	counts := make([]int64, g.cols+1)
+	for _, j := range g.colIdx {
+		counts[j+1]++
+	}
+	for j := 0; j < g.cols; j++ {
+		counts[j+1] += counts[j]
+	}
+	v := &CSC{
+		ColPtr: counts,
+		RowIdx: make([]int32, len(g.colIdx)),
+		Pos:    make([]int32, len(g.colIdx)),
+	}
+	next := make([]int64, g.cols)
+	copy(next, counts[:g.cols])
+	for i := 0; i < g.rows; i++ {
+		for p := g.rowPtr[i]; p < g.rowPtr[i+1]; p++ {
+			j := g.colIdx[p]
+			x := next[j]
+			next[j]++
+			v.RowIdx[x] = int32(i)
+			v.Pos[x] = int32(p)
+		}
+	}
+	return v
+}
+
+// ColSortedClone returns a copy of the graph whose rows are re-ordered by
+// ascending column id instead of descending score. Kernels that must sum a
+// row in ascending column order to stay bit-identical with their dense
+// counterparts (Sinkhorn's row normalization, greedy argmax) run on this
+// layout. Built via the transpose view, so it costs O(nnz) with no per-row
+// sort.
+func (g *CandGraph) ColSortedClone() *CandGraph {
+	out := &CandGraph{
+		rows:   g.rows,
+		cols:   g.cols,
+		rowPtr: make([]int64, g.rows+1),
+		colIdx: make([]int32, len(g.colIdx)),
+		score:  make([]float64, len(g.score)),
+	}
+	copy(out.rowPtr, g.rowPtr)
+	next := make([]int64, g.rows)
+	copy(next, g.rowPtr[:g.rows])
+	csc := g.CSCView()
+	for j := 0; j < g.cols; j++ {
+		for x := csc.ColPtr[j]; x < csc.ColPtr[j+1]; x++ {
+			i := csc.RowIdx[x]
+			p := next[i]
+			next[i]++
+			out.colIdx[p] = int32(j)
+			out.score[p] = g.score[csc.Pos[x]]
+		}
+	}
+	return out
+}
+
+// BuildCandGraph streams src once and returns the forward candidate graph:
+// the top-c columns of every row (c is clamped to the matrix width). All
+// candidate selection funnels through the same bounded heap the dense
+// RowTopK uses, so at c >= cols the graph holds every score of every row in
+// Dense.RowTopK order, bit-exactly.
+func BuildCandGraph(ctx context.Context, src TileSource, c int) (*CandGraph, error) {
+	fwd, _, err := buildGraphs(ctx, src, c, 0)
+	return fwd, err
+}
+
+// BuildCandGraphs streams src once and returns both the forward graph
+// (top-c per row) and the reverse graph: the forward candidate graph of the
+// transposed score matrix (top-cRev rows per column, cRev clamped to the
+// row count), built by a fused per-column consumer in the same tiled pass.
+// The reverse graph is what gives the sparse matchers their
+// reverse-direction statistics — RInf's target-side preferences, the
+// Hungarian transpose fallback — without a second sweep over the scores.
+func BuildCandGraphs(ctx context.Context, src TileSource, c, cRev int) (fwd, rev *CandGraph, err error) {
+	return buildGraphs(ctx, src, c, cRev)
+}
+
+// BuildCandGraphWithColMeans streams src once and returns the forward graph
+// plus the per-column top-kCol means — the CSLS φ_t statistic — from the
+// same pass. The means are averaged in heap-array order, exactly as
+// Dense.ColTopKMeans sums, so a sparse CSLS built on them matches the dense
+// transform bit-for-bit. kCol should arrive clamped to the row count.
+func BuildCandGraphWithColMeans(ctx context.Context, src TileSource, c, kCol int) (*CandGraph, []float64, error) {
+	if src == nil {
+		return nil, nil, fmt.Errorf("matrix: nil tile source")
+	}
+	if c < 1 {
+		return nil, nil, fmt.Errorf("%w: candidate budget %d < 1", ErrShape, c)
+	}
+	rows, cols := src.Dims()
+	if c > cols {
+		c = cols
+	}
+	rowAcc := NewRunningTopK(rows, c)
+	defer rowAcc.Release()
+	colAcc := NewColTopKAcc(cols, kCol)
+	defer colAcc.Release()
+	if err := src.StreamTiles(ctx, rowAcc, colAcc); err != nil {
+		return nil, nil, err
+	}
+	fwd, err := graphFromHeaps(rowAcc.heaps, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fwd, colAcc.Means(), nil
+}
+
+func buildGraphs(ctx context.Context, src TileSource, c, cRev int) (*CandGraph, *CandGraph, error) {
+	if src == nil {
+		return nil, nil, fmt.Errorf("matrix: nil tile source")
+	}
+	if c < 1 {
+		return nil, nil, fmt.Errorf("%w: candidate budget %d < 1", ErrShape, c)
+	}
+	rows, cols := src.Dims()
+	if c > cols {
+		c = cols
+	}
+	if cRev > rows {
+		cRev = rows
+	}
+	rowAcc := NewRunningTopK(rows, c)
+	defer rowAcc.Release()
+	consumers := []TileConsumer{rowAcc}
+	var colAcc *ColTopKAcc
+	if cRev > 0 {
+		colAcc = NewColTopKAcc(cols, cRev)
+		defer colAcc.Release()
+		consumers = append(consumers, colAcc)
+	}
+	if err := src.StreamTiles(ctx, consumers...); err != nil {
+		return nil, nil, err
+	}
+	fwd, err := graphFromHeaps(rowAcc.heaps, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rev *CandGraph
+	if colAcc != nil {
+		rev, err = graphFromHeaps(colAcc.heaps, rows)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return fwd, rev, nil
+}
+
+// graphFromHeaps finalizes one heap per graph row into CSR storage. The
+// heap contents are copied out, so the (pooled) heap backing can be
+// released afterwards.
+func graphFromHeaps(heaps []minHeap, width int) (*CandGraph, error) {
+	rows := len(heaps)
+	var nnz int64
+	for i := range heaps {
+		nnz += int64(len(heaps[i].vals))
+	}
+	if nnz > math.MaxInt32 {
+		// CSCView's position join stores CSR offsets as int32.
+		return nil, fmt.Errorf("%w: candidate graph with %d edges exceeds int32 addressing", ErrShape, nnz)
+	}
+	g := &CandGraph{
+		rows:   rows,
+		cols:   width,
+		rowPtr: make([]int64, rows+1),
+		colIdx: make([]int32, nnz),
+		score:  make([]float64, nnz),
+	}
+	var p int64
+	for i := range heaps {
+		g.rowPtr[i] = p
+		tk := heaps[i].finalize()
+		for x, v := range tk.Values {
+			g.colIdx[p] = int32(tk.Indices[x])
+			g.score[p] = v
+			p++
+		}
+	}
+	g.rowPtr[rows] = p
+	return g, nil
+}

@@ -1,0 +1,297 @@
+package matrix
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// candTestMatrices builds a deterministic set of shapes/value regimes that
+// exercise the candidate-graph builder: ties, non-square shapes, -Inf rows
+// and single-row/column degenerates.
+func candTestMatrices() map[string]*Dense {
+	rng := rand.New(rand.NewSource(271))
+	out := make(map[string]*Dense)
+
+	random := New(9, 7)
+	for i := range random.Data() {
+		random.Data()[i] = rng.NormFloat64()
+	}
+	out["random-9x7"] = random
+
+	ties := New(8, 10)
+	for i := range ties.Data() {
+		ties.Data()[i] = float64(rng.Intn(4)) / 4
+	}
+	out["tie-dense-8x10"] = ties
+
+	tall := New(13, 3)
+	for i := range tall.Data() {
+		tall.Data()[i] = float64(rng.Intn(8)) / 8
+	}
+	out["tall-13x3"] = tall
+
+	inf := New(5, 6)
+	for i := range inf.Data() {
+		inf.Data()[i] = float64(rng.Intn(8)) / 8
+	}
+	copy(inf.Row(2), []float64{math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1), math.Inf(-1)})
+	out["neg-inf-row-5x6"] = inf
+
+	t11, _ := NewFromData(1, 1, []float64{0.5})
+	out["tiny-1x1"] = t11
+	t14, _ := NewFromData(1, 4, []float64{0.25, 0.75, 0.75, 0.5})
+	out["tiny-1x4"] = t14
+	t41, _ := NewFromData(4, 1, []float64{0.25, 0.75, 0.75, 0.5})
+	out["tiny-4x1"] = t41
+	return out
+}
+
+var candTileShapes = [][2]int{{1, 1}, {2, 3}, {5, 4}, {0, 0}}
+
+// TestBuildCandGraphMatchesTopKOracle pins the tentpole contract: for every
+// budget and tile shape, each CSR row equals the naive full-sort top-k oracle
+// — same columns, same scores, same (value desc, index asc) order.
+func TestBuildCandGraphMatchesTopKOracle(t *testing.T) {
+	for name, m := range candTestMatrices() {
+		t.Run(name, func(t *testing.T) {
+			for _, c := range []int{1, 2, 3, m.Cols(), m.Cols() + 2} {
+				for _, shape := range candTileShapes {
+					src := &DenseTileSource{M: m, TileRows: shape[0], TileCols: shape[1]}
+					g, err := BuildCandGraph(context.Background(), src, c)
+					if err != nil {
+						t.Fatalf("c=%d tiles %v: %v", c, shape, err)
+					}
+					if g.Rows() != m.Rows() || g.Cols() != m.Cols() {
+						t.Fatalf("c=%d: graph shape %dx%d, want %dx%d", c, g.Rows(), g.Cols(), m.Rows(), m.Cols())
+					}
+					for i := 0; i < m.Rows(); i++ {
+						want := naiveTopK(m.Row(i), c)
+						cand, scores := g.Row(i)
+						if len(cand) != len(want.Indices) {
+							t.Fatalf("c=%d tiles %v row %d: %d candidates, oracle %d", c, shape, i, len(cand), len(want.Indices))
+						}
+						for x := range cand {
+							if int(cand[x]) != want.Indices[x] || scores[x] != want.Values[x] {
+								t.Fatalf("c=%d tiles %v row %d entry %d: (%d, %v), oracle (%d, %v)",
+									c, shape, i, x, cand[x], scores[x], want.Indices[x], want.Values[x])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildCandGraphsReverseMatchesTranspose checks that the reverse graph of
+// the fused single-pass builder is bit-identical to the forward graph built
+// over the explicitly transposed matrix.
+func TestBuildCandGraphsReverseMatchesTranspose(t *testing.T) {
+	for name, m := range candTestMatrices() {
+		t.Run(name, func(t *testing.T) {
+			mT := m.Transpose()
+			for _, c := range []int{1, 2, m.Rows(), m.Rows() + 3} {
+				fwd, rev, err := BuildCandGraphs(context.Background(), &DenseTileSource{M: m}, m.Cols(), c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if fwd == nil || rev == nil {
+					t.Fatalf("c=%d: nil graph", c)
+				}
+				want, err := BuildCandGraph(context.Background(), &DenseTileSource{M: mT}, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rev.Rows() != want.Rows() || rev.Cols() != want.Cols() || rev.NNZ() != want.NNZ() {
+					t.Fatalf("c=%d: reverse shape/nnz mismatch", c)
+				}
+				for j := 0; j < rev.Rows(); j++ {
+					gc, gs := rev.Row(j)
+					wc, ws := want.Row(j)
+					if !reflect.DeepEqual(gc, wc) || !reflect.DeepEqual(gs, ws) {
+						t.Fatalf("c=%d: reverse row %d = (%v, %v), transpose oracle (%v, %v)", c, j, gc, gs, wc, ws)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBuildCandGraphWithColMeans checks the fused φ_t statistic against the
+// dense column-mean kernel, bit for bit.
+func TestBuildCandGraphWithColMeans(t *testing.T) {
+	for name, m := range candTestMatrices() {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []int{1, 3} {
+				kc := k
+				if kc > m.Rows() {
+					kc = m.Rows()
+				}
+				g, means, err := BuildCandGraphWithColMeans(context.Background(), &DenseTileSource{M: m}, 2, kc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if g == nil {
+					t.Fatal("nil graph")
+				}
+				if want := m.ColTopKMeans(kc); !reflect.DeepEqual(means, want) {
+					t.Fatalf("k=%d: means %v, dense %v", kc, means, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCandGraphRowHeadScores checks that each row head is the exact row
+// maximum for every budget, including C=1 — the property the sparse matchers'
+// reverse-direction statistics rely on.
+func TestCandGraphRowHeadScores(t *testing.T) {
+	for name, m := range candTestMatrices() {
+		t.Run(name, func(t *testing.T) {
+			maxVals, _ := m.RowMax()
+			for _, c := range []int{1, 3, m.Cols()} {
+				g, err := BuildCandGraph(context.Background(), &DenseTileSource{M: m}, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := g.RowHeadScores(); !reflect.DeepEqual(got, maxVals) {
+					t.Fatalf("c=%d: heads %v, RowMax %v", c, got, maxVals)
+				}
+			}
+		})
+	}
+}
+
+// TestCandGraphCSCView checks the transpose view invariants: monotone column
+// pointers, ascending rows within a column, and a position join that maps
+// every CSC entry back to its exact CSR edge, covering each edge once.
+func TestCandGraphCSCView(t *testing.T) {
+	for name, m := range candTestMatrices() {
+		t.Run(name, func(t *testing.T) {
+			g, err := BuildCandGraph(context.Background(), &DenseTileSource{M: m}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := g.CSCView()
+			if len(v.ColPtr) != g.Cols()+1 || v.ColPtr[0] != 0 || v.ColPtr[g.Cols()] != int64(g.NNZ()) {
+				t.Fatalf("ColPtr endpoints wrong: %v", v.ColPtr)
+			}
+			seen := make([]bool, g.NNZ())
+			for j := 0; j < g.Cols(); j++ {
+				if v.ColPtr[j] > v.ColPtr[j+1] {
+					t.Fatalf("ColPtr not monotone at %d", j)
+				}
+				prev := int32(-1)
+				for x := v.ColPtr[j]; x < v.ColPtr[j+1]; x++ {
+					i := v.RowIdx[x]
+					if i <= prev {
+						t.Fatalf("column %d rows not ascending: %d after %d", j, i, prev)
+					}
+					prev = i
+					p := v.Pos[x]
+					if g.colIdx[p] != int32(j) {
+						t.Fatalf("Pos join broken: csc (%d,%d) maps to csr column %d", i, j, g.colIdx[p])
+					}
+					if int64(p) < g.rowPtr[i] || int64(p) >= g.rowPtr[i+1] {
+						t.Fatalf("Pos %d outside row %d's CSR span", p, i)
+					}
+					if seen[p] {
+						t.Fatalf("CSR edge %d appears twice in CSC", p)
+					}
+					seen[p] = true
+				}
+			}
+			for p, ok := range seen {
+				if !ok {
+					t.Fatalf("CSR edge %d missing from CSC", p)
+				}
+			}
+		})
+	}
+}
+
+// TestCandGraphColSortedClone checks the ascending-column row layout: same
+// edges and scores per row, columns strictly ascending, row spans unchanged.
+func TestCandGraphColSortedClone(t *testing.T) {
+	for name, m := range candTestMatrices() {
+		t.Run(name, func(t *testing.T) {
+			g, err := BuildCandGraph(context.Background(), &DenseTileSource{M: m}, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := g.ColSortedClone()
+			if !reflect.DeepEqual(w.rowPtr, g.rowPtr) {
+				t.Fatal("rowPtr changed")
+			}
+			for i := 0; i < g.Rows(); i++ {
+				gc, gs := g.Row(i)
+				wc, ws := w.Row(i)
+				orig := make(map[int32]float64, len(gc))
+				for x, j := range gc {
+					orig[j] = gs[x]
+				}
+				prev := int32(-1)
+				for x, j := range wc {
+					if j <= prev {
+						t.Fatalf("row %d columns not strictly ascending: %d after %d", i, j, prev)
+					}
+					prev = j
+					if s, ok := orig[j]; !ok || s != ws[x] {
+						t.Fatalf("row %d edge (%d, %v) not in original row", i, j, ws[x])
+					}
+				}
+				if len(wc) != len(gc) {
+					t.Fatalf("row %d edge count changed: %d vs %d", i, len(wc), len(gc))
+				}
+			}
+		})
+	}
+}
+
+// TestBuildCandGraphErrors covers the builder's validation and cancellation
+// paths.
+func TestBuildCandGraphErrors(t *testing.T) {
+	m := candTestMatrices()["random-9x7"]
+	if _, err := BuildCandGraph(context.Background(), nil, 3); err == nil {
+		t.Error("nil source: want error")
+	}
+	if _, err := BuildCandGraph(context.Background(), &DenseTileSource{M: m}, 0); err == nil {
+		t.Error("c=0: want error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildCandGraph(ctx, &DenseTileSource{M: m}, 3); err == nil {
+		t.Error("canceled context: want error")
+	}
+}
+
+// TestAccumulatorConstructionAllocsFlat pins the satellite fix for the
+// allocs/op growth in BenchmarkStream*: building and releasing the streaming
+// accumulators must cost a constant number of allocations regardless of the
+// row/column count, because the per-heap backing arrays are pooled flat
+// slabs, not per-row makes.
+func TestAccumulatorConstructionAllocsFlat(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated by race-detector bookkeeping")
+	}
+	const k = 10
+	alloc := func(n int) float64 {
+		return testing.AllocsPerRun(20, func() {
+			tk := NewRunningTopK(n, k)
+			tk.Release()
+			ca := NewColTopKAcc(n, k)
+			ca.Release()
+		})
+	}
+	alloc(16384) // warm the pools at the largest size measured below
+	small, large := alloc(512), alloc(16384)
+	if large > small+2 {
+		t.Errorf("accumulator allocations scale with size: %v at n=512, %v at n=16384", small, large)
+	}
+	if large > 12 {
+		t.Errorf("accumulator construction costs %v allocations, want a small constant", large)
+	}
+}

@@ -1,0 +1,95 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dotAVX2(a, b []float64) float64
+//
+// Four YMM accumulators, 16 elements per iteration, FMA multiply-adds.
+// Lane layout and reduction order are part of the kernel's contract (see
+// dot_amd64.go); the Go reference dotFMARef in dot_amd64_test.go mirrors it
+// operation for operation.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	CMPQ AX, DX
+	JGE  tail
+
+loop16:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VFMADD231PD (DI)(AX*8), Y4, Y0
+	VFMADD231PD 32(DI)(AX*8), Y5, Y1
+	VFMADD231PD 64(DI)(AX*8), Y6, Y2
+	VFMADD231PD 96(DI)(AX*8), Y7, Y3
+	ADDQ $16, AX
+	CMPQ AX, DX
+	JLT  loop16
+
+tail:
+	// Lanewise tree: Y0 = (Y0+Y1) + (Y2+Y3).
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	// Across lanes: [l0 l1 l2 l3] -> [l0+l2, l1+l3] -> (l0+l2)+(l1+l3).
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+
+scalar:
+	CMPQ AX, CX
+	JGE  done
+	VMOVSD (SI)(AX*8), X2
+	VFMADD231SD (DI)(AX*8), X2, X0
+	INCQ AX
+	JMP  scalar
+
+done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func cpuSupportsAVX2FMA() bool
+TEXT ·cpuSupportsAVX2FMA(SB), NOSPLIT, $0-1
+	// Highest CPUID leaf must reach 7.
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+	// Leaf 1 ECX: FMA (bit 12), OSXSAVE (bit 27), AVX (bit 28).
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<12 | 1<<27 | 1<<28), DX
+	CMPL DX, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+	// Leaf 7 subleaf 0 EBX: AVX2 (bit 5).
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	// XCR0 must have XMM (bit 1) and YMM (bit 2) state enabled by the OS.
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

@@ -1,0 +1,100 @@
+//go:build amd64 && !purego
+
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// dotFMARef mirrors the dotAVX2 assembly operation for operation: four
+// 4-lane accumulators over 16-element steps (lane l of accumulator q sums
+// elements i ≡ 4q+l mod 16), a lanewise (acc0+acc1)+(acc2+acc3) tree, the
+// cross-lane reduction (l0+l2)+(l1+l3), then the tail folded in by
+// sequential scalar FMAs. Bit-for-bit equality between this and the
+// assembly is what pins the kernel's summation order.
+func dotFMARef(a, b []float64) float64 {
+	var acc [16]float64
+	n := len(a) &^ 15
+	for i := 0; i < n; i += 16 {
+		for l := 0; l < 16; l++ {
+			acc[l] = math.FMA(a[i+l], b[i+l], acc[l])
+		}
+	}
+	var r [4]float64
+	for l := 0; l < 4; l++ {
+		r[l] = (acc[l] + acc[4+l]) + (acc[8+l] + acc[12+l])
+	}
+	res := (r[0] + r[2]) + (r[1] + r[3])
+	for i := n; i < len(a); i++ {
+		res = math.FMA(a[i], b[i], res)
+	}
+	return res
+}
+
+// TestDotAVX2MatchesReference pins the assembly kernel to the documented
+// summation order on lengths around every boundary (empty, sub-step, exact
+// steps, ragged tails) and checks it stays within a few ulps of the scalar
+// kernel.
+func TestDotAVX2MatchesReference(t *testing.T) {
+	if !hasFastDot {
+		t.Skip("no AVX2+FMA on this CPU")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 15, 16, 17, 31, 32, 33, 64, 100, 128, 257} {
+		for rep := 0; rep < 8; rep++ {
+			a := make([]float64, n)
+			b := make([]float64, n)
+			for i := range a {
+				a[i] = rng.NormFloat64()
+				b[i] = rng.NormFloat64()
+			}
+			got := dotAVX2(a, b)
+			want := dotFMARef(a, b)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("n=%d: dotAVX2 = %x, reference = %x", n, got, want)
+			}
+			scalar := dotUnroll4(a, b)
+			if diff := math.Abs(got - scalar); diff > 1e-9*(1+math.Abs(scalar)) {
+				t.Fatalf("n=%d: dotAVX2 = %v vs scalar %v (diff %g)", n, got, scalar, diff)
+			}
+		}
+	}
+}
+
+// TestDotDispatchShortVectors confirms vectors below one vector step take
+// the portable scalar path, keeping low-dimensional scores platform
+// independent.
+func TestDotDispatchShortVectors(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	b := []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	if got, want := Dot4(a, b), dotUnroll4(a, b); got != want {
+		t.Fatalf("short-vector Dot4 = %v, scalar = %v", got, want)
+	}
+}
+
+func BenchmarkDotKernels(b *testing.B) {
+	const d = 128
+	rng := rand.New(rand.NewSource(11))
+	x := make([]float64, d)
+	y := make([]float64, d)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.Run("scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkDot = dotUnroll4(x, y)
+		}
+	})
+	if hasFastDot {
+		b.Run("avx2", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sinkDot = dotAVX2(x, y)
+			}
+		})
+	}
+}
+
+var sinkDot float64

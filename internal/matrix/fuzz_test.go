@@ -125,6 +125,23 @@ func FuzzRowKernels(f *testing.F) {
 			if got, want := colAcc.Means(), m.ColTopKMeans(k); !reflect.DeepEqual(got, want) {
 				t.Fatalf("ColTopKAcc(%d) tiles %v = %v, dense = %v", k, shape, got, want)
 			}
+			g, err := BuildCandGraph(context.Background(), src, k)
+			if err != nil {
+				t.Fatalf("BuildCandGraph tiles %v: %v", shape, err)
+			}
+			for i := 0; i < rows; i++ {
+				want := naiveTopK(m.Row(i), k)
+				cand, scores := g.Row(i)
+				if len(cand) != len(want.Indices) {
+					t.Fatalf("CandGraph tiles %v row %d: %d candidates, naive %d", shape, i, len(cand), len(want.Indices))
+				}
+				for x := range cand {
+					if int(cand[x]) != want.Indices[x] || scores[x] != want.Values[x] {
+						t.Fatalf("CandGraph tiles %v row %d entry %d: (%d, %v), naive (%d, %v)",
+							shape, i, x, cand[x], scores[x], want.Indices[x], want.Values[x])
+					}
+				}
+			}
 		}
 
 		ranks := m.Clone()
@@ -148,6 +165,113 @@ func FuzzRowKernels(f *testing.F) {
 					if orig[a] == orig[b] && row[a] > row[b] {
 						t.Fatalf("RowRanksInPlace row %d: tie at cols %d,%d broken against column order", i, a, b)
 					}
+				}
+			}
+		}
+	})
+}
+
+// FuzzCandGraph cross-checks the fused candidate-graph builder on arbitrary
+// tie-heavy inputs: every forward row must equal the naive top-k oracle, the
+// reverse graph must equal the forward graph of the transposed matrix, and
+// the CSC view and column-sorted clone must be structurally consistent with
+// the CSR storage.
+func FuzzCandGraph(f *testing.F) {
+	f.Add([]byte{0, 8, 16, 8, 8, 0xFF, 32, 32, 1}, byte(2), byte(1))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 7, 7, 7, 7}, byte(3), byte(2))
+	f.Add([]byte{200, 100, 200, 100, 200, 100}, byte(5), byte(6))
+	f.Fuzz(func(t *testing.T, data []byte, colsB, cB byte) {
+		m := fuzzMatrix(data, colsB)
+		if m == nil {
+			return
+		}
+		rows, cols := m.Rows(), m.Cols()
+		c := int(cB)%(cols+2) + 1
+		cRev := int(cB)%(rows+2) + 1
+		src := &DenseTileSource{M: m, TileRows: 2, TileCols: 3}
+		fwd, rev, err := BuildCandGraphs(context.Background(), src, c, cRev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			want := naiveTopK(m.Row(i), c)
+			cand, scores := fwd.Row(i)
+			if len(cand) != len(want.Indices) {
+				t.Fatalf("fwd row %d: %d candidates, naive %d", i, len(cand), len(want.Indices))
+			}
+			for x := range cand {
+				if int(cand[x]) != want.Indices[x] || scores[x] != want.Values[x] {
+					t.Fatalf("fwd row %d entry %d: (%d, %v), naive (%d, %v)",
+						i, x, cand[x], scores[x], want.Indices[x], want.Values[x])
+				}
+			}
+		}
+		mT := m.Transpose()
+		for j := 0; j < cols; j++ {
+			want := naiveTopK(mT.Row(j), cRev)
+			cand, scores := rev.Row(j)
+			if len(cand) != len(want.Indices) {
+				t.Fatalf("rev row %d: %d candidates, naive %d", j, len(cand), len(want.Indices))
+			}
+			for x := range cand {
+				if int(cand[x]) != want.Indices[x] || scores[x] != want.Values[x] {
+					t.Fatalf("rev row %d entry %d: (%d, %v), naive (%d, %v)",
+						j, x, cand[x], scores[x], want.Indices[x], want.Values[x])
+				}
+			}
+		}
+		// CSC view: every edge exactly once, ascending rows per column,
+		// position join lands on the right column.
+		v := fwd.CSCView()
+		if v.ColPtr[cols] != int64(fwd.NNZ()) {
+			t.Fatalf("CSC covers %d edges, graph has %d", v.ColPtr[cols], fwd.NNZ())
+		}
+		seen := make([]bool, fwd.NNZ())
+		for j := 0; j < cols; j++ {
+			prev := int32(-1)
+			for x := v.ColPtr[j]; x < v.ColPtr[j+1]; x++ {
+				if v.RowIdx[x] <= prev {
+					t.Fatalf("CSC column %d rows not ascending", j)
+				}
+				prev = v.RowIdx[x]
+				p := v.Pos[x]
+				if seen[p] {
+					t.Fatalf("CSR edge %d duplicated in CSC", p)
+				}
+				seen[p] = true
+				cand, _ := fwd.Row(int(v.RowIdx[x]))
+				found := false
+				for _, jc := range cand {
+					if jc == int32(j) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("CSC edge (%d,%d) missing from CSR row", v.RowIdx[x], j)
+				}
+			}
+		}
+		// Column-sorted clone: same per-row edge sets, ascending columns.
+		w := fwd.ColSortedClone()
+		for i := 0; i < rows; i++ {
+			gc, gs := fwd.Row(i)
+			wc, ws := w.Row(i)
+			if len(gc) != len(wc) {
+				t.Fatalf("clone row %d edge count %d, want %d", i, len(wc), len(gc))
+			}
+			set := make(map[int32]float64, len(gc))
+			for x, j := range gc {
+				set[j] = gs[x]
+			}
+			prev := int32(-1)
+			for x, j := range wc {
+				if j <= prev {
+					t.Fatalf("clone row %d not ascending", i)
+				}
+				prev = j
+				if s, ok := set[j]; !ok || s != ws[x] {
+					t.Fatalf("clone row %d edge (%d, %v) not in original", i, j, ws[x])
 				}
 			}
 		}

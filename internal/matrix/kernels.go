@@ -3,13 +3,20 @@ package matrix
 // This file holds the scalar and block (tile) kernels of the streaming
 // similarity engine. The streaming path computes the score matrix tile by
 // tile straight from the embedding tables, so these kernels are its inner
-// loops: a 4-way unrolled dot product for cosine scores and the shared
-// negated-distance scalars for Euclidean/Manhattan. The distance scalars are
-// also used by the dense path in internal/sim, which makes streaming and
-// dense distance scores bit-identical. The unrolled dot product sums in a
-// different order than the dense MulTransposed kernel, so cosine scores may
-// differ from the dense path in the last few ulps; consumers compare with
-// tolerance.
+// loops: a dot product for cosine scores and the shared negated-distance
+// scalars for Euclidean/Manhattan. The distance scalars are also used by the
+// dense path in internal/sim, which makes streaming and dense distance
+// scores bit-identical. The dot product sums in a different order than the
+// dense MulTransposed kernel, so cosine scores may differ from the dense
+// path in the last few ulps; consumers compare with tolerance.
+//
+// On amd64 with AVX2+FMA the dot product dispatches to the vectorized
+// dotAVX2 (dot_amd64.s) for vectors of 16+ elements — the similarity pass is
+// >75 % of a streamed sparse match, so this is the single highest-leverage
+// kernel in the repository. The dispatch is decided once at startup from
+// CPUID, so every score in a process comes from the same kernel and the
+// engine's determinism and tile-shape invariance are unaffected; results may
+// differ across CPU generations by a few ulps, like any vectorized BLAS.
 
 import "math"
 
@@ -34,11 +41,22 @@ func dotUnroll4(a, b []float64) float64 {
 	return ((s0 + s1) + (s2 + s3)) + t
 }
 
-// Dot4 exposes the unrolled dot product to sibling packages; it is the
-// scalar kernel behind every streamed cosine score, including the mini-batch
-// Block extraction, so all streaming cosine scores share one summation
-// order.
-func Dot4(a, b []float64) float64 { return dotUnroll4(a, b) }
+// dot is the kernel behind every streamed cosine score: the AVX2+FMA path
+// when the CPU supports it and the vector is long enough to fill a vector
+// step, the portable unrolled scalar otherwise. Short vectors always take
+// the scalar path, so low-dimensional scores are identical on every
+// platform.
+func dot(a, b []float64) float64 {
+	if hasFastDot && len(a) >= 16 {
+		return dotAVX2(a, b)
+	}
+	return dotUnroll4(a, b)
+}
+
+// Dot4 exposes the streaming dot kernel to sibling packages; it is the
+// kernel behind every streamed cosine score, including the mini-batch Block
+// extraction, so all streaming cosine scores share one summation order.
+func Dot4(a, b []float64) float64 { return dot(a, b) }
 
 // NegEuclidean returns the negated Euclidean (L2) distance between two
 // equal-length vectors, accumulated in index order — the exact arithmetic of
@@ -79,7 +97,7 @@ func MulTransposedBlockInto(dst, a, b *Dense, aOff, bOff int) {
 		orow := dst.Row(r)
 		for c := range orow {
 			brow := b.data[(bOff+c)*d : (bOff+c+1)*d]
-			orow[c] = dotUnroll4(arow, brow)
+			orow[c] = dot(arow, brow)
 		}
 	})
 }

@@ -65,6 +65,18 @@ func NewFromData(rows, cols int, data []float64) (*Dense, error) {
 	return &Dense{rows: rows, cols: cols, data: data}, nil
 }
 
+// Reshape repoints m at an existing backing slice as a rows×cols matrix
+// without copying, with the same validation as NewFromData. It lets tile
+// producers reuse a single header across thousands of tiles instead of
+// allocating one per tile.
+func (m *Dense) Reshape(rows, cols int, data []float64) error {
+	if rows < 0 || cols < 0 || len(data) != rows*cols {
+		return fmt.Errorf("%w: data length %d for %d×%d", ErrShape, len(data), rows, cols)
+	}
+	m.rows, m.cols, m.data = rows, cols, data
+	return nil
+}
+
 // Rows returns the number of rows.
 func (m *Dense) Rows() int { return m.rows }
 

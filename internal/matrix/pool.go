@@ -112,3 +112,53 @@ func GetTileBuf(n int) []float64 { return getTileBuf(n) }
 
 // PutTileBuf returns a buffer obtained from GetTileBuf to the pool.
 func PutTileBuf(buf []float64) { putTileBuf(buf) }
+
+// heapBackingPool recycles the flat backing arrays behind the streaming
+// accumulators' per-row/per-column heaps (one float64 and one int array per
+// accumulator, sliced into k-capacity sub-slices). Before pooling, every
+// accumulator construction cost 2 allocations per row, which is why
+// allocs/op in BenchmarkStream* grew linearly with n.
+var (
+	heapValsPool sync.Pool
+	heapIdxPool  sync.Pool
+)
+
+// getHeapVals returns a float64 backing array with length and capacity n.
+// Contents are unspecified.
+func getHeapVals(n int) []float64 {
+	if v := heapValsPool.Get(); v != nil {
+		buf := v.([]float64)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putHeapVals returns a backing array to the pool.
+func putHeapVals(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	heapValsPool.Put(buf[:cap(buf)]) //nolint:staticcheck // slice header boxing is fine here
+}
+
+// getHeapIdx returns an int backing array with length and capacity n.
+// Contents are unspecified.
+func getHeapIdx(n int) []int {
+	if v := heapIdxPool.Get(); v != nil {
+		buf := v.([]int)
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]int, n)
+}
+
+// putHeapIdx returns a backing array to the pool.
+func putHeapIdx(buf []int) {
+	if cap(buf) == 0 {
+		return
+	}
+	heapIdxPool.Put(buf[:cap(buf)]) //nolint:staticcheck // slice header boxing is fine here
+}

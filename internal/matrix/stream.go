@@ -84,6 +84,7 @@ func (s *DenseTileSource) StreamTiles(ctx context.Context, consumers ...TileCons
 	}
 	buf := getTileBuf(tr * tc)
 	defer putTileBuf(buf)
+	tile := &Dense{} // one header reused across tiles; consumers must not retain it
 	for rb := 0; rb < s.M.rows; rb += tr {
 		rn := min(tr, s.M.rows-rb)
 		for cb := 0; cb < s.M.cols; cb += tc {
@@ -91,7 +92,7 @@ func (s *DenseTileSource) StreamTiles(ctx context.Context, consumers ...TileCons
 				return err
 			}
 			cn := min(tc, s.M.cols-cb)
-			tile := &Dense{rows: rn, cols: cn, data: buf[:rn*cn]}
+			*tile = Dense{rows: rn, cols: cn, data: buf[:rn*cn]}
 			for r := 0; r < rn; r++ {
 				copy(tile.Row(r), s.M.data[(rb+r)*s.M.cols+cb:(rb+r)*s.M.cols+cb+cn])
 			}
@@ -299,20 +300,46 @@ func (a *RunningArgmax) SizeBytes() int64 { return int64(len(a.Vals)) * 16 }
 type RunningTopK struct {
 	k     int
 	heaps []minHeap
+	// backingVals/backingIdx are pooled flat arrays sliced into k-capacity
+	// heap storage, so construction costs O(1) allocations instead of
+	// O(rows). Returned to the pool by Release.
+	backingVals []float64
+	backingIdx  []int
 }
 
 // NewRunningTopK returns an accumulator holding the k best candidates per
 // row. k is clamped to at least 0; rows with fewer than k scored columns
-// simply keep them all.
+// simply keep them all. Call Release once the results derived from
+// Finalize/Means are no longer referenced to recycle the heap storage.
 func NewRunningTopK(rows, k int) *RunningTopK {
 	if k < 0 {
 		k = 0
 	}
 	t := &RunningTopK{k: k, heaps: make([]minHeap, rows)}
-	for i := range t.heaps {
-		t.heaps[i] = minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}
+	if k > 0 && rows > 0 {
+		t.backingVals = getHeapVals(rows * k)
+		t.backingIdx = getHeapIdx(rows * k)
+		for i := range t.heaps {
+			t.heaps[i] = minHeap{
+				vals: t.backingVals[i*k : i*k : (i+1)*k],
+				idx:  t.backingIdx[i*k : i*k : (i+1)*k],
+			}
+		}
 	}
 	return t
+}
+
+// Release returns the pooled heap storage. The accumulator — and any TopK
+// slices returned by Finalize, which alias the storage — must not be used
+// afterwards. Callers that retain Finalize results past the accumulator's
+// lifetime must copy them first (or skip Release).
+func (t *RunningTopK) Release() {
+	if t.backingVals != nil {
+		putHeapVals(t.backingVals)
+		putHeapIdx(t.backingIdx)
+		t.backingVals, t.backingIdx = nil, nil
+	}
+	t.heaps = nil
 }
 
 // ConsumeTile folds one tile into the per-row heaps.
@@ -369,20 +396,42 @@ func (t *RunningTopK) SizeBytes() int64 { return int64(len(t.heaps)) * int64(t.k
 type ColTopKAcc struct {
 	k     int
 	heaps []minHeap
+	// Pooled flat heap storage, as in RunningTopK.
+	backingVals []float64
+	backingIdx  []int
 }
 
 // NewColTopKAcc returns an accumulator for the given column count, keeping
 // the k best rows per column. Pass k already clamped to the row count for
-// exact Dense.ColTopKMeans equivalence.
+// exact Dense.ColTopKMeans equivalence. Call Release when done to recycle
+// the heap storage.
 func NewColTopKAcc(cols, k int) *ColTopKAcc {
 	if k < 0 {
 		k = 0
 	}
 	a := &ColTopKAcc{k: k, heaps: make([]minHeap, cols)}
-	for j := range a.heaps {
-		a.heaps[j] = minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}
+	if k > 0 && cols > 0 {
+		a.backingVals = getHeapVals(cols * k)
+		a.backingIdx = getHeapIdx(cols * k)
+		for j := range a.heaps {
+			a.heaps[j] = minHeap{
+				vals: a.backingVals[j*k : j*k : (j+1)*k],
+				idx:  a.backingIdx[j*k : j*k : (j+1)*k],
+			}
+		}
 	}
 	return a
+}
+
+// Release returns the pooled heap storage; the accumulator must not be used
+// afterwards.
+func (a *ColTopKAcc) Release() {
+	if a.backingVals != nil {
+		putHeapVals(a.backingVals)
+		putHeapIdx(a.backingIdx)
+		a.backingVals, a.backingIdx = nil, nil
+	}
+	a.heaps = nil
 }
 
 // ConsumeTile folds one tile into the per-column heaps.

@@ -68,10 +68,43 @@ func (h *minHeap) offer(v float64, j, k int) {
 // finalize sorts the heap contents into descending value order (ties by
 // ascending index) and returns them as a TopK. The heap must not be offered
 // to afterwards.
+//
+// The sort is an in-place heapsort under Less (ascending value, ties by
+// descending index): repeatedly moving the minimum to the end leaves the
+// array in the exact inverse order — descending value, ties by ascending
+// index. Since column indices are distinct the order is total, so the result
+// is identical to any comparison sort under descByValue, without the
+// interface boxing sort.Sort would allocate per call (one per row per
+// streamed match).
 func (h *minHeap) finalize() TopK {
-	out := TopK{Values: h.vals, Indices: h.idx}
-	sort.Sort(descByValue(out))
-	return out
+	n := len(h.vals)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		h.Swap(0, end)
+		h.down(0, end)
+	}
+	return TopK{Values: h.vals, Indices: h.idx}
+}
+
+// down restores the min-heap property below node i within h[:n].
+func (h *minHeap) down(i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && h.Less(r, l) {
+			j = r
+		}
+		if !h.Less(j, i) {
+			return
+		}
+		h.Swap(i, j)
+		i = j
+	}
 }
 
 // heapMean averages the heap contents in array (heap) order. Exposed as the
@@ -103,20 +136,6 @@ func topKOfSlice(row []float64, k int) TopK {
 		h.offer(v, j, k)
 	}
 	return h.finalize()
-}
-
-type descByValue TopK
-
-func (s descByValue) Len() int { return len(s.Values) }
-func (s descByValue) Swap(i, j int) {
-	s.Values[i], s.Values[j] = s.Values[j], s.Values[i]
-	s.Indices[i], s.Indices[j] = s.Indices[j], s.Indices[i]
-}
-func (s descByValue) Less(i, j int) bool {
-	if s.Values[i] != s.Values[j] {
-		return s.Values[i] > s.Values[j]
-	}
-	return s.Indices[i] < s.Indices[j]
 }
 
 // RowTopK returns the k largest entries of every row, each in descending

@@ -151,6 +151,9 @@ func (s *Stream) StreamTiles(ctx context.Context, consumers ...matrix.TileConsum
 	realCols := s.RealCols()
 	buf := matrix.GetTileBuf(s.tileRows * s.tileCols)
 	defer matrix.PutTileBuf(buf)
+	// One tile header reused across the whole pass; consumers must not
+	// retain it (the TileConsumer contract).
+	tile := new(matrix.Dense)
 	for rb := 0; rb < rows; rb += s.tileRows {
 		rn := min(s.tileRows, rows-rb)
 		for cb := 0; cb < cols; cb += s.tileCols {
@@ -158,8 +161,7 @@ func (s *Stream) StreamTiles(ctx context.Context, consumers ...matrix.TileConsum
 				return err
 			}
 			cn := min(s.tileCols, cols-cb)
-			tile, err := matrix.NewFromData(rn, cn, buf[:rn*cn])
-			if err != nil {
+			if err := tile.Reshape(rn, cn, buf[:rn*cn]); err != nil {
 				return err
 			}
 			s.fillTile(tile, rb, cb, realCols)

@@ -98,6 +98,14 @@ type PipelineConfig struct {
 	// |src|×|tgt| float64 matrix would exceed the budget, Prepare switches to
 	// the streaming engine automatically even when Streaming is false.
 	MemoryBudgetBytes int64
+	// CandidateBudget, when positive, declares that matching will run on
+	// sparse candidate graphs of top-C edges per entity (the sparse matcher
+	// twins: NewRInfSparse, NewHungarianSparse, NewSMatSparse, ...), so
+	// Prepare uses the streaming engine — the graphs are built in one tiled
+	// pass at match time and the dense score matrix is never materialized.
+	// Zero (the default) prepares densely unless Streaming or
+	// MemoryBudgetBytes says otherwise.
+	CandidateBudget int
 }
 
 // ErrBadConfig is returned by Pipeline.Prepare (via PipelineConfig.Validate)
@@ -142,6 +150,9 @@ func (c PipelineConfig) Validate() error {
 	}
 	if c.MemoryBudgetBytes < 0 {
 		return fmt.Errorf("%w: MemoryBudgetBytes must be non-negative, got %d", ErrBadConfig, c.MemoryBudgetBytes)
+	}
+	if c.CandidateBudget < 0 {
+		return fmt.Errorf("%w: CandidateBudget must be non-negative, got %d", ErrBadConfig, c.CandidateBudget)
 	}
 	return nil
 }
@@ -231,7 +242,7 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 	}
 	srcSel := emb.Source.SelectRows(task.SourceIDs)
 	tgtSel := emb.Target.SelectRows(task.TargetIDs)
-	streaming := p.cfg.Streaming
+	streaming := p.cfg.Streaming || p.cfg.CandidateBudget > 0
 	if !streaming && p.cfg.MemoryBudgetBytes > 0 {
 		need := int64(srcSel.Rows()) * int64(tgtSel.Rows()) * 8
 		streaming = need > p.cfg.MemoryBudgetBytes

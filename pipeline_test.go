@@ -144,6 +144,30 @@ func TestPipelineRejectsUnknownConfig(t *testing.T) {
 	if _, err := NewPipeline(PipelineConfig{Setting: Setting(9)}).Prepare(d); err == nil {
 		t.Fatal("unknown setting accepted")
 	}
+	if _, err := NewPipeline(PipelineConfig{CandidateBudget: -1}).Prepare(d); err == nil {
+		t.Fatal("negative candidate budget accepted")
+	}
+}
+
+// TestPipelineCandidateBudgetPreparesStreaming pins the sparse-engine wiring:
+// a positive CandidateBudget forces the streaming prepare (no dense matrix),
+// and the sparse candidate-graph matchers run and score on the resulting run.
+func TestPipelineCandidateBudgetPreparesStreaming(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA, CandidateBudget: 16}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.S != nil || run.Stream == nil {
+		t.Fatalf("CandidateBudget run: S=%v Stream=%v, want streaming-only", run.S != nil, run.Stream != nil)
+	}
+	res, m, err := run.Match(NewRInfSparse(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) == 0 || m.F1 < 0.2 {
+		t.Fatalf("RInf-sparse on streaming run: %d pairs, F1 = %v", len(res.Pairs), m.F1)
+	}
 }
 
 func TestEnumStrings(t *testing.T) {

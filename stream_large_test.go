@@ -74,3 +74,91 @@ func TestStreamingGreedy100k(t *testing.T) {
 		t.Fatalf("peak memory %d MiB exceeds the 8 GiB budget", peak>>20)
 	}
 }
+
+// peakHeapSampler samples HeapAlloc on a ticker until the returned stop
+// function is called; stop returns the peak observed, floored by the final
+// Sys reading (a firm upper bound on what the process took from the OS).
+func peakHeapSampler() (stop func() uint64) {
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	return func() uint64 {
+		close(quit)
+		<-done
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.Sys > peak {
+			peak = ms.Sys
+		}
+		return peak
+	}
+}
+
+// TestSparseCollective100k is the large-scale acceptance test for the sparse
+// candidate-graph engine: the two matchers the paper rules out at DWY100K
+// scale for memory — optimal assignment (Hungarian) and reciprocal inference
+// (RInf) — must complete a 100k×100k matching at d=32 within an 8 GiB peak.
+// Their dense forms would need the 80 GB score matrix alone, before any
+// O(n²) matcher state. Gated like the streaming test:
+//
+//	ENTMATCHER_LARGE=1 go test -run TestSparseCollective100k -v .
+func TestSparseCollective100k(t *testing.T) {
+	if os.Getenv("ENTMATCHER_LARGE") == "" {
+		t.Skip("set ENTMATCHER_LARGE=1 to run the 100k×100k sparse tests")
+	}
+	const n, d, c = 100_000, 32, 16
+	src := benchEmbeddings(n, d, 41)
+	tgt := benchEmbeddings(n, d, 42)
+
+	for _, tc := range []struct {
+		name    string
+		matcher entmatcher.Matcher
+	}{
+		{"HungarianSparse", entmatcher.NewHungarianSparse(c)},
+		{"RInfSparse", entmatcher.NewRInfSparse(c)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := entmatcher.NewSimilarityStream(src, tgt, entmatcher.MetricCosine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stop := peakHeapSampler()
+			start := time.Now()
+			res, err := tc.matcher.Match(&entmatcher.MatchContext{Stream: st})
+			elapsed := time.Since(start)
+			peak := stop()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(res.Pairs) + len(res.Abstained); got != n {
+				t.Fatalf("%d pairs + %d abstentions cover %d rows, want %d",
+					len(res.Pairs), len(res.Abstained), got, n)
+			}
+			const limit = 8 << 30
+			t.Logf("100k×100k %s (C=%d): %v, peak %d MiB, %d pairs, %d abstained (dense matrix would be %d MiB)",
+				tc.name, c, elapsed.Round(time.Second), peak>>20,
+				len(res.Pairs), len(res.Abstained), st.MatrixBytes()>>20)
+			if peak > limit {
+				t.Fatalf("peak memory %d MiB exceeds the 8 GiB budget", peak>>20)
+			}
+		})
+	}
+}
