@@ -10,6 +10,8 @@
 //	benchtab -o results.txt          # also write the output to a file
 //	benchtab -exp sparse -cand 64    # sparse engine at a single budget C
 //	benchtab -exp sparse -json BENCH_sparse.json   # machine-readable results
+//	benchtab -exp ann                # IVF nprobe→recall/speed sweep
+//	benchtab -exp ann -json BENCH_ann.json         # machine-readable sweep
 //
 // Scales are relative to the paper's full dataset sizes; the defaults are
 // the ones recorded in EXPERIMENTS.md for a 1-CPU container.
@@ -40,7 +42,7 @@ func run() error {
 		quick    = flag.Bool("quick", false, "use the small smoke-test scales")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		outFile  = flag.String("o", "", "also write results to this file")
-		jsonFile = flag.String("json", "", "write machine-readable measurements (JSON, BENCH_*.json schema) to this file; currently the 'sparse' experiment records them")
+		jsonFile = flag.String("json", "", "write machine-readable measurements (JSON, BENCH_*.json schema) to this file; currently the 'sparse' and 'ann' experiments record them")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Float64Var(&cfg.ScaleMedium, "scale-medium", cfg.ScaleMedium, "scale factor for DBP15K/SRPRS")
@@ -54,7 +56,24 @@ func run() error {
 	flag.BoolVar(&cfg.StreamLarge, "stream", cfg.StreamLarge, "run the large-scale table (table6) on the tiled streaming similarity engine: the dense score matrix is never allocated and only the streaming-capable matchers (DInf, CSLS, Sink.-mb) are measured; see also the 'streaming' experiment for a dense-vs-streaming comparison")
 	flag.Int64Var(&cfg.MemoryBudgetBytes, "mem-budget", cfg.MemoryBudgetBytes, "per-algorithm working-memory budget in bytes behind table6's Mem. feasibility column")
 	flag.IntVar(&cfg.SparseCand, "cand", cfg.SparseCand, "restrict the 'sparse' experiment to a single candidate budget C (0 = sweep 16/32/64/128)")
+	flag.IntVar(&cfg.ANNClusters, "ann", cfg.ANNClusters, "IVF cluster count for the 'ann' experiment (0 = auto, ≈√targets)")
+	flag.IntVar(&cfg.ANNNProbe, "nprobe", cfg.ANNNProbe, "restrict the 'ann' experiment to a single probe count (0 = sweep up to the full cluster count)")
 	flag.Parse()
+
+	if cfg.SparseCand < 0 {
+		return fmt.Errorf("-cand must be non-negative")
+	}
+	if cfg.ANNClusters < 0 {
+		return fmt.Errorf("-ann must be non-negative")
+	}
+	if cfg.ANNNProbe < 0 {
+		return fmt.Errorf("-nprobe must be non-negative")
+	}
+	if cfg.ANNClusters > 0 && cfg.ANNNProbe > cfg.ANNClusters {
+		fmt.Fprintf(os.Stderr, "benchtab: warning: -nprobe %d exceeds -ann %d clusters; clamping to %d (exact coverage)\n",
+			cfg.ANNNProbe, cfg.ANNClusters, cfg.ANNClusters)
+		cfg.ANNNProbe = cfg.ANNClusters
+	}
 
 	if *list {
 		for _, exp := range bench.Experiments() {

@@ -12,6 +12,8 @@
 //	entmatcher -data ./data/100k -stream              # tiled streaming engine
 //	entmatcher -data ./data/100k -mem-budget 2048     # stream if dense > 2 GiB
 //	entmatcher -data ./data/100k -cand 64             # sparse candidate graphs
+//	entmatcher -data ./data/100k -cand 64 -ann 316    # IVF approximate candidates
+//	entmatcher -data ./data/100k -cand 64 -ann 316 -nprobe 40  # higher recall
 //
 // With -stream (or when -mem-budget forces it) the score matrix is computed
 // in cache-sized tiles and never materialized; the streaming-capable
@@ -22,6 +24,12 @@
 // matchers (RInf, Hun., SMat) at scales where the dense matrix cannot exist.
 // At C >= the larger side the sparse matchers reproduce their dense
 // counterparts exactly; smaller C trades a little recall for O(n·C) cost.
+//
+// With -ann K (requires -cand) the top-C graphs come from a pure-Go IVF
+// index — a K-cell k-means quantizer over the normalized embeddings —
+// instead of the exhaustive streaming pass, making candidate generation
+// sub-quadratic. -nprobe trades recall for speed; at -nprobe K the result is
+// bit-identical to the exact build.
 package main
 
 import (
@@ -67,6 +75,8 @@ func run() error {
 		stream   = flag.Bool("stream", false, "use the tiled streaming similarity engine: scores are computed tile by tile and the dense matrix is never allocated (matchers: DInf, CSLS, Sink.-mb)")
 		memMiB   = flag.Int64("mem-budget", 0, "dense score-matrix budget in MiB; when the matrix would exceed it the run streams automatically (0 = no cap)")
 		cand     = flag.Int("cand", 0, "sparse candidate budget C: stream the scores into top-C candidate graphs and run the sparse matcher twins (CSLS, RInf, Sink., Hun., SMat) on them (0 = dense/streaming as usual)")
+		annK     = flag.Int("ann", 0, "approximate candidate generation: build the top-C graphs through an IVF index with this many k-means clusters instead of the exhaustive streaming pass (requires -cand; 0 = exact build)")
+		nprobe   = flag.Int("nprobe", 0, "IVF cells scanned per query — the recall/speed knob (requires -ann; 0 = auto, clusters/16; equal to -ann reproduces the exact build bit-for-bit)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -116,6 +126,25 @@ func run() error {
 		return fmt.Errorf("-cand must be non-negative")
 	}
 	cfg.CandidateBudget = *cand
+	if *annK < 0 {
+		return fmt.Errorf("-ann must be non-negative")
+	}
+	if *nprobe < 0 {
+		return fmt.Errorf("-nprobe must be non-negative")
+	}
+	if *nprobe > 0 && *annK == 0 {
+		return fmt.Errorf("-nprobe requires -ann (it is the IVF probe count)")
+	}
+	if *annK > 0 {
+		if *cand == 0 {
+			return fmt.Errorf("-ann requires -cand (the index only accelerates candidate-graph construction)")
+		}
+		if *nprobe > *annK {
+			fmt.Fprintf(os.Stderr, "warning: -nprobe %d exceeds -ann %d clusters; clamping to %d (exact coverage)\n", *nprobe, *annK, *annK)
+			*nprobe = *annK
+		}
+		cfg.ANN = &entmatcher.ANNConfig{Clusters: *annK, NProbe: *nprobe}
+	}
 
 	fmt.Printf("dataset %s: %d/%d entities, %d test links, setting %v, features %v\n",
 		d.Name, d.Source.NumEntities(), d.Target.NumEntities(), d.Split.Test.Len(), cfg.Setting, cfg.Features)
@@ -140,6 +169,12 @@ func run() error {
 		}
 	}
 	rows, cols := run.Dims()
+	if *cand > cols {
+		// A budget past the matrix width silently degenerates to the full
+		// width anyway; clamp loudly so reported C matches what actually ran.
+		fmt.Fprintf(os.Stderr, "warning: -cand %d exceeds the %d target columns; clamping to %d\n", *cand, cols, cols)
+		*cand = cols
+	}
 	streaming := run.Stream != nil
 	if streaming {
 		fmt.Printf("similarity stream: %d×%d in %d×%d tiles (%.2f GiB dense matrix not allocated)\n\n",

@@ -1,0 +1,128 @@
+package ann
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+// fuzzTable decodes fuzz bytes into a small embedding table on a dyadic grid
+// (exact arithmetic, heavy ties and duplicate rows — the adversarial regime
+// for selection tie-breaks). Rows are NOT normalized: the index contract is
+// inner-product search over whatever prepared rows it is given, and
+// un-normalized tables exercise the same code paths with nastier score
+// collisions.
+func fuzzTable(data []byte, colsB byte) *matrix.Dense {
+	cols := int(colsB%7) + 1
+	rows := len(data) / cols
+	if rows == 0 {
+		return nil
+	}
+	if rows > 48 {
+		rows = 48
+	}
+	m := matrix.New(rows, cols)
+	vals := m.Data()
+	for i := range vals {
+		vals[i] = float64(data[i]>>3)/32 - 0.5
+	}
+	return m
+}
+
+// FuzzIVFQuery cross-checks the IVF query path against the exhaustive
+// oracle on arbitrary tie-heavy tables. Invariants:
+//
+//   - at nprobe = Clusters the result is bit-identical to the naive
+//     all-pairs top-c in (value desc, index asc) order, for every cluster
+//     count the bytes select;
+//   - at partial nprobe every returned hit is a genuinely scored corpus
+//     point: its value equals the oracle's score for that id, rows stay
+//     sorted in the canonical order, and no id repeats within a row.
+func FuzzIVFQuery(f *testing.F) {
+	f.Add([]byte{0, 8, 16, 8, 8, 255, 32, 32, 1, 77, 200, 13}, []byte{9, 9, 9, 9, 9, 9, 9, 9}, byte(3), byte(4), byte(2))
+	f.Add([]byte{200, 100, 200, 100, 200, 100, 200, 100}, []byte{1, 2, 3, 4, 5, 6}, byte(1), byte(8), byte(5))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7}, []byte{7, 7, 7, 7}, byte(2), byte(1), byte(1))
+	f.Fuzz(func(t *testing.T, corpusB, queryB []byte, colsB, kB, cB byte) {
+		corpus := fuzzTable(corpusB, colsB)
+		queries := fuzzTable(queryB, colsB)
+		if corpus == nil || queries == nil {
+			return
+		}
+		k := int(kB)%corpus.Rows() + 1
+		c := int(cB)%(corpus.Rows()+2) + 1
+		ivf, err := Build(context.Background(), corpus, Config{Clusters: k, Seed: 99})
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		want := naiveSearchF(queries, corpus, c)
+
+		got, err := ivf.Search(context.Background(), queries, c, ivf.Clusters())
+		if err != nil {
+			t.Fatalf("Search(full): %v", err)
+		}
+		for i := range want {
+			if !topKEqual(got[i], want[i]) {
+				t.Fatalf("full-probe query %d differs from oracle\ngot  %+v\nwant %+v", i, got[i], want[i])
+			}
+		}
+
+		partial, err := ivf.Search(context.Background(), queries, c, 1)
+		if err != nil {
+			t.Fatalf("Search(nprobe=1): %v", err)
+		}
+		for i, tk := range partial {
+			seen := make(map[int]bool, len(tk.Indices))
+			for x, j := range tk.Indices {
+				if j < 0 || j >= corpus.Rows() {
+					t.Fatalf("query %d: id %d out of range", i, j)
+				}
+				if seen[j] {
+					t.Fatalf("query %d: duplicate id %d", i, j)
+				}
+				seen[j] = true
+				if exact := matrix.Dot4(queries.Row(i), corpus.Row(j)); tk.Values[x] != exact {
+					t.Fatalf("query %d id %d: score %v != exact %v", i, j, tk.Values[x], exact)
+				}
+				if x > 0 {
+					pv, pj := tk.Values[x-1], tk.Indices[x-1]
+					if !(pv > tk.Values[x] || (pv == tk.Values[x] && pj < j)) {
+						t.Fatalf("query %d: row order violated at %d: (%v,%d) then (%v,%d)",
+							i, x, pv, pj, tk.Values[x], j)
+					}
+				}
+			}
+			// A probed cell can be empty (no corpus point chose it), so rows
+			// may hold fewer than c hits — but never more.
+			if len(tk.Values) > c {
+				t.Fatalf("query %d: %d hits for budget %d", i, len(tk.Values), c)
+			}
+		}
+	})
+}
+
+// naiveSearchF is naiveSearch without the *testing.T plumbing, shared with
+// the fuzz target; kept separate so a future move of naiveSearch into a
+// helper file cannot silently weaken the oracle.
+func naiveSearchF(queries, corpus *matrix.Dense, c int) []matrix.TopK {
+	if c > corpus.Rows() {
+		c = corpus.Rows()
+	}
+	scores := matrix.New(queries.Rows(), corpus.Rows())
+	for i := 0; i < queries.Rows(); i++ {
+		row := scores.Row(i)
+		for j := 0; j < corpus.Rows(); j++ {
+			row[j] = matrix.Dot4(queries.Row(i), corpus.Row(j))
+		}
+	}
+	tks := scores.RowTopK(c)
+	for i := range tks {
+		for _, v := range tks[i].Values {
+			if math.IsNaN(v) {
+				panic("oracle produced NaN")
+			}
+		}
+	}
+	return tks
+}

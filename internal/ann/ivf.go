@@ -1,0 +1,251 @@
+// Package ann provides a pure-Go IVF-Flat approximate-nearest-neighbor
+// index over entity embedding tables. It is the sub-quadratic producer of
+// candidate graphs: instead of streaming every source×target score
+// (O(n·m·d)), the target table is partitioned into Clusters Voronoi cells by
+// a k-means coarse quantizer and each query scores only the NProbe nearest
+// cells — O(n·(k + m·nprobe/k)·d) — while reusing the exact same dot kernel
+// as the exhaustive tile pass, so every returned score is a true score, and
+// full coverage (nprobe = Clusters) reproduces the exhaustive result
+// bit-for-bit.
+package ann
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"entmatcher/internal/matrix"
+)
+
+// Config parameterizes the IVF index. The zero value means "auto": every
+// field <= 0 is replaced by a scale-aware default at build time (see
+// withDefaults), so callers only set what they want to pin.
+type Config struct {
+	// Clusters is the number of k-means cells (the IVF "nlist").
+	// Default: round(√n) for an n-point corpus.
+	Clusters int
+	// NProbe is how many cells each query scans, the recall/speed knob.
+	// Default: max(1, Clusters/16); clamped to Clusters. nprobe = Clusters
+	// is exhaustive and bit-identical to the exact builders.
+	NProbe int
+	// SampleSize is how many corpus points the quantizer trains on.
+	// Default: 32·Clusters, clamped to [Clusters, n]. The quantizer is only
+	// a partition — every corpus row is re-assigned exactly after training —
+	// so a modest sample suffices and training stays a small fraction of one
+	// exhaustive pass.
+	SampleSize int
+	// Iters bounds the Lloyd refinement iterations. Default: 6 (with
+	// k-means++ seeding the partition stabilizes in a handful of rounds, and
+	// assignment early-stops when nothing moves).
+	Iters int
+	// Seed drives sampling and k-means++ seeding; the same (data, Config)
+	// always builds the identical index.
+	Seed int64
+}
+
+// withDefaults resolves the auto fields against an n-point corpus and clamps
+// everything to valid ranges.
+func (c Config) withDefaults(n int) Config {
+	if c.Clusters <= 0 {
+		c.Clusters = int(math.Round(math.Sqrt(float64(n))))
+	}
+	if c.Clusters < 1 {
+		c.Clusters = 1
+	}
+	if c.Clusters > n {
+		c.Clusters = n
+	}
+	if c.NProbe <= 0 {
+		c.NProbe = c.Clusters / 16
+	}
+	if c.NProbe < 1 {
+		c.NProbe = 1
+	}
+	if c.NProbe > c.Clusters {
+		c.NProbe = c.Clusters
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 32 * c.Clusters
+	}
+	if c.SampleSize < c.Clusters {
+		c.SampleSize = c.Clusters
+	}
+	if c.SampleSize > n {
+		c.SampleSize = n
+	}
+	if c.Iters <= 0 {
+		c.Iters = 6
+	}
+	return c
+}
+
+// IVF is a built inverted-file index over one embedding table. The corpus
+// vectors are copied into a contiguous slab grouped by cell, so a probe
+// scans one cache-friendly run of memory; within a cell, ids ascend —
+// together with the order-insensitive BoundedTopK selector this keeps query
+// results independent of cell layout.
+type IVF struct {
+	dim, n, k int
+
+	centroids *matrix.Dense // k×dim quantizer
+	cnormHalf []float64     // ‖centroid‖²/2, for fused distance ranking
+
+	listPtr []int64   // len k+1; cell c spans listPtr[c]..listPtr[c+1]
+	ids     []int32   // len n, corpus row ids, ascending within a cell
+	vecs    []float64 // len n·dim, corpus rows in slab order
+}
+
+// Clusters returns the number of cells the index was built with (after
+// defaulting), the exhaustive value for the nprobe knob.
+func (ivf *IVF) Clusters() int { return ivf.k }
+
+// Len returns the corpus size.
+func (ivf *IVF) Len() int { return ivf.n }
+
+// SizeBytes returns the heap footprint of the index: the vector slab, ids,
+// list pointers, and quantizer.
+func (ivf *IVF) SizeBytes() int64 {
+	return int64(len(ivf.vecs))*8 + int64(len(ivf.ids))*4 +
+		int64(len(ivf.listPtr))*8 + int64(ivf.k)*int64(ivf.dim)*8 + int64(len(ivf.cnormHalf))*8
+}
+
+// Build trains the coarse quantizer on a sample of data and scatters every
+// row into its nearest cell. data must be the *prepared* table (for cosine:
+// the row-normalized copy the similarity stream scores with) so that index
+// hits carry exactly the streamed scores.
+func Build(ctx context.Context, data *matrix.Dense, cfg Config) (*IVF, error) {
+	if data == nil {
+		return nil, fmt.Errorf("ann: nil corpus")
+	}
+	n, d := data.Rows(), data.Cols()
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("ann: empty corpus (%d×%d)", n, d)
+	}
+	cfg = cfg.withDefaults(n)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cent, err := trainCentroids(ctx, data, cfg.Clusters, cfg.SampleSize, cfg.Iters, rng)
+	if err != nil {
+		return nil, err
+	}
+	k := cfg.Clusters
+	ivf := &IVF{
+		dim:       d,
+		n:         n,
+		k:         k,
+		centroids: cent,
+		cnormHalf: make([]float64, k),
+		listPtr:   make([]int64, k+1),
+		ids:       make([]int32, n),
+		vecs:      make([]float64, n*d),
+	}
+	for c := 0; c < k; c++ {
+		row := cent.Row(c)
+		ivf.cnormHalf[c] = 0.5 * matrix.Dot4(row, row)
+	}
+	// Assign every corpus row to its cell (parallel; each point owns its
+	// slot), then counting-sort into the slab. Scanning rows in ascending
+	// order during the scatter leaves ids ascending within each cell.
+	assign := make([]int32, n)
+	if err := matrix.ParallelRowsCtx(ctx, n, func(i int) {
+		assign[i] = int32(nearestCell(data.Row(i), cent, ivf.cnormHalf))
+	}); err != nil {
+		return nil, err
+	}
+	counts := make([]int64, k+1)
+	for _, c := range assign {
+		counts[c+1]++
+	}
+	for c := 0; c < k; c++ {
+		counts[c+1] += counts[c]
+	}
+	copy(ivf.listPtr, counts)
+	next := make([]int64, k)
+	copy(next, counts[:k])
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		p := next[c]
+		next[c]++
+		ivf.ids[p] = int32(i)
+		copy(ivf.vecs[int(p)*d:(int(p)+1)*d], data.Row(i))
+	}
+	return ivf, nil
+}
+
+// searchScratch is the per-worker state of a Search call: one selector for
+// ranking cells, one for the candidate top-c.
+type searchScratch struct {
+	cells *matrix.BoundedTopK
+	sel   *matrix.BoundedTopK
+}
+
+// Search scores each query row against the nprobe nearest cells and returns
+// its top-c hits by inner product, in the codebase-wide (value desc, index
+// asc) order. queries must share the index's dimensionality and, like the
+// corpus, be the prepared (normalized) rows. nprobe and c are clamped to
+// [1, Clusters] and [1, Len]; at nprobe = Clusters every corpus point is
+// scored and the result equals the exhaustive top-c selection exactly.
+//
+// Cells are ranked by the query's fused distance score ⟨q,centroid⟩ −
+// ‖centroid‖²/2 (the same geometry that assigned points to cells), ties by
+// ascending cell id. Candidates arrive selector-side in cell-slab order —
+// out of index order — which is why selection runs on the order-insensitive
+// BoundedTopK rather than the streaming accumulators' heaps.
+func (ivf *IVF) Search(ctx context.Context, queries *matrix.Dense, c, nprobe int) ([]matrix.TopK, error) {
+	if queries == nil {
+		return nil, fmt.Errorf("ann: nil queries")
+	}
+	if queries.Cols() != ivf.dim {
+		return nil, fmt.Errorf("ann: query dim %d != index dim %d", queries.Cols(), ivf.dim)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("ann: candidate budget %d < 1", c)
+	}
+	if c > ivf.n {
+		c = ivf.n
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > ivf.k {
+		nprobe = ivf.k
+	}
+	nq := queries.Rows()
+	out := make([]matrix.TopK, nq)
+	d := ivf.dim
+	pool := sync.Pool{New: func() any {
+		return &searchScratch{
+			cells: matrix.NewBoundedTopK(nprobe),
+			sel:   matrix.NewBoundedTopK(c),
+		}
+	}}
+	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
+		sc := pool.Get().(*searchScratch)
+		sc.cells.Reset()
+		sc.sel.Reset()
+		q := queries.Row(qi)
+		for cell := 0; cell < ivf.k; cell++ {
+			sc.cells.Offer(matrix.Dot4(q, ivf.centroids.Row(cell))-ivf.cnormHalf[cell], cell)
+		}
+		probes := sc.cells.Finalize()
+		for _, cell := range probes.Indices {
+			lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
+			for p := lo; p < hi; p++ {
+				v := matrix.Dot4(q, ivf.vecs[int(p)*d:(int(p)+1)*d])
+				sc.sel.Offer(v, int(ivf.ids[p]))
+			}
+		}
+		tk := sc.sel.Finalize()
+		// Finalize aliases pooled storage; copy out before releasing.
+		out[qi] = matrix.TopK{
+			Values:  append([]float64(nil), tk.Values...),
+			Indices: append([]int(nil), tk.Indices...),
+		}
+		pool.Put(sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

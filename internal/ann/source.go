@@ -1,0 +1,262 @@
+package ann
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"entmatcher/internal/matrix"
+)
+
+// Source wraps a streaming tile source (the similarity stream) and
+// implements matrix.CandGraphProducer on top of lazily built IVF indexes, so
+// the candidate-graph builders — and through them every sparse matcher —
+// transparently switch from the exhaustive O(rows·cols·d) tile pass to
+// sub-quadratic approximate retrieval. It still implements
+// matrix.TileSource by delegation, so consumers that genuinely need tiles
+// or blocks (Sinkhorn's mini-batches, degradation fallbacks) keep working;
+// only candidate-graph construction is intercepted.
+//
+// The forward index is built over the target table and queried by source
+// rows; the reverse index (built on demand for reverse graphs and CSLS
+// column means) is the mirror image. Indexes build lazily under a mutex and
+// are shared across WithNProbe views, so an nprobe sweep trains once.
+//
+// Deliberately NOT implemented: matrix.ColPadder. Padding a Source for the
+// unmatchable setting therefore goes through the generic wrapper, which
+// hides the producer interface — dummy-column runs fall back to the exact
+// streaming build rather than approximating around virtual columns.
+type Source struct {
+	inner          matrix.TileSource
+	srcTab, tgtTab *matrix.Dense
+	cfg            Config
+	state          *sourceState
+}
+
+// sourceState holds the lazily built indexes, shared by WithNProbe views.
+type sourceState struct {
+	mu       sync.Mutex
+	fwd, rev *IVF
+}
+
+// NewSource validates shapes and returns a producer over the prepared
+// embedding tables. inner must cover exactly srcTab.Rows()×tgtTab.Rows()
+// scores (no virtual dummy columns), and the tables must be the *prepared*
+// rows the stream scores with — for cosine, the row-normalized copies
+// exposed by sim.Stream.PreparedTables — so index scores carry the streamed
+// bits. Index construction is deferred to the first candidate-graph request.
+func NewSource(inner matrix.TileSource, srcTab, tgtTab *matrix.Dense, cfg Config) (*Source, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("ann: nil tile source")
+	}
+	if srcTab == nil || tgtTab == nil {
+		return nil, fmt.Errorf("ann: nil embedding table")
+	}
+	if srcTab.Cols() != tgtTab.Cols() {
+		return nil, fmt.Errorf("ann: table dims differ: %d vs %d", srcTab.Cols(), tgtTab.Cols())
+	}
+	rows, cols := inner.Dims()
+	if rows != srcTab.Rows() || cols != tgtTab.Rows() {
+		return nil, fmt.Errorf("ann: tile source covers %d×%d but tables are %d×%d",
+			rows, cols, srcTab.Rows(), tgtTab.Rows())
+	}
+	if cfg.Clusters < 0 || cfg.NProbe < 0 || cfg.SampleSize < 0 || cfg.Iters < 0 {
+		return nil, fmt.Errorf("ann: negative config field: %+v", cfg)
+	}
+	if cfg.Clusters > 0 && cfg.NProbe > cfg.Clusters {
+		return nil, fmt.Errorf("ann: nprobe %d exceeds clusters %d", cfg.NProbe, cfg.Clusters)
+	}
+	return &Source{inner: inner, srcTab: srcTab, tgtTab: tgtTab, cfg: cfg, state: &sourceState{}}, nil
+}
+
+// Config returns the source's configuration as given (auto fields
+// unresolved).
+func (s *Source) Config() Config { return s.cfg }
+
+// WithNProbe returns a view of the source with a different query-time nprobe
+// (np <= 0 restores the auto default). The underlying indexes are shared, so
+// sweeping nprobe across views trains the quantizer once.
+func (s *Source) WithNProbe(np int) *Source {
+	out := *s
+	if np < 0 {
+		np = 0
+	}
+	out.cfg.NProbe = np
+	return &out
+}
+
+// Dims implements matrix.TileSource by delegation.
+func (s *Source) Dims() (rows, cols int) { return s.inner.Dims() }
+
+// StreamTiles implements matrix.TileSource by delegation: consumers that
+// need the full score stream still get the exact tiles.
+func (s *Source) StreamTiles(ctx context.Context, consumers ...matrix.TileConsumer) error {
+	return s.inner.StreamTiles(ctx, consumers...)
+}
+
+// Block delegates mini-batch extraction to the inner source: blocked
+// matchers get exact on-demand scores regardless of the index.
+func (s *Source) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense, error) {
+	return s.inner.Block(ctx, rowIDs, colIDs)
+}
+
+// BuildIndexes eagerly trains the forward index (and the reverse one when
+// reverse is set) instead of waiting for the first graph request — callers
+// that want to time or amortize construction (the bench sweep) use this.
+func (s *Source) BuildIndexes(ctx context.Context, reverse bool) error {
+	if _, err := s.fwdIndex(ctx); err != nil {
+		return err
+	}
+	if reverse {
+		if _, err := s.revIndex(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForwardIndex returns the index over the target table, building it if
+// needed — the hook benchmarks use to read resolved parameters (cluster
+// count, footprint) and to time training separately from queries.
+func (s *Source) ForwardIndex(ctx context.Context) (*IVF, error) {
+	return s.fwdIndex(ctx)
+}
+
+// IndexBytes returns the combined heap footprint of the indexes built so
+// far (0 before any graph request).
+func (s *Source) IndexBytes() int64 {
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	var b int64
+	if s.state.fwd != nil {
+		b += s.state.fwd.SizeBytes()
+	}
+	if s.state.rev != nil {
+		b += s.state.rev.SizeBytes()
+	}
+	return b
+}
+
+// fwdIndex returns the index over the target table, building it on first
+// use. A failed build (cancellation mid-training) is not cached, so a later
+// request retries.
+func (s *Source) fwdIndex(ctx context.Context) (*IVF, error) {
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	if s.state.fwd == nil {
+		ivf, err := Build(ctx, s.tgtTab, s.cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.state.fwd = ivf
+	}
+	return s.state.fwd, nil
+}
+
+// revIndex returns the index over the source table. Its seed is offset from
+// the forward one so the two quantizers draw independent samples while
+// staying deterministic per Config.
+func (s *Source) revIndex(ctx context.Context) (*IVF, error) {
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	if s.state.rev == nil {
+		cfg := s.cfg
+		cfg.Seed++
+		ivf, err := Build(ctx, s.srcTab, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.state.rev = ivf
+	}
+	return s.state.rev, nil
+}
+
+// nprobeFor resolves the query-time probe count against a built index:
+// the configured value if set, the auto default otherwise; Search clamps to
+// [1, Clusters].
+func (s *Source) nprobeFor(ivf *IVF) int {
+	if s.cfg.NProbe > 0 {
+		return s.cfg.NProbe
+	}
+	return Config{Clusters: ivf.k}.withDefaults(ivf.n).NProbe
+}
+
+// ProduceCandGraph implements matrix.CandGraphProducer: the forward
+// candidate graph from the index instead of the exhaustive pass.
+func (s *Source) ProduceCandGraph(ctx context.Context, c int) (*matrix.CandGraph, error) {
+	ivf, err := s.fwdIndex(ctx)
+	if err != nil {
+		return nil, err
+	}
+	tks, err := ivf.Search(ctx, s.srcTab, c, s.nprobeFor(ivf))
+	if err != nil {
+		return nil, err
+	}
+	return matrix.NewCandGraph(s.tgtTab.Rows(), tks)
+}
+
+// ProduceCandGraphs implements matrix.CandGraphProducer; the reverse graph
+// comes from the mirror index over the source table.
+func (s *Source) ProduceCandGraphs(ctx context.Context, c, cRev int) (fwd, rev *matrix.CandGraph, err error) {
+	fwd, err = s.ProduceCandGraph(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cRev <= 0 {
+		return fwd, nil, nil
+	}
+	ivf, err := s.revIndex(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	tks, err := ivf.Search(ctx, s.tgtTab, cRev, s.nprobeFor(ivf))
+	if err != nil {
+		return nil, nil, err
+	}
+	rev, err = matrix.NewCandGraph(s.srcTab.Rows(), tks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fwd, rev, nil
+}
+
+// ProduceCandGraphWithColMeans implements matrix.CandGraphProducer. The
+// column statistic (CSLS's φ_t: per-target mean of its kCol best scores) is
+// estimated by querying each target row against the reverse index — at
+// partial nprobe a column that surfaces fewer than kCol neighbors is
+// averaged over what was found (and 0 with none, matching the dense
+// convention for empty heaps). At full coverage the selected scores equal
+// the exact statistic's; the sum runs in descending-score order rather than
+// the dense path's heap-array order, so means can differ in the last ulps
+// (kCol = 1 is exact). kCol <= 0 yields all-zero means, mirroring
+// Dense.ColTopKMeans.
+func (s *Source) ProduceCandGraphWithColMeans(ctx context.Context, c, kCol int) (*matrix.CandGraph, []float64, error) {
+	fwd, err := s.ProduceCandGraph(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := s.tgtTab.Rows()
+	means := make([]float64, cols)
+	if kCol <= 0 {
+		return fwd, means, nil
+	}
+	ivf, err := s.revIndex(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	tks, err := ivf.Search(ctx, s.tgtTab, kCol, s.nprobeFor(ivf))
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, tk := range tks {
+		if len(tk.Values) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range tk.Values {
+			sum += v
+		}
+		means[j] = sum / float64(len(tk.Values))
+	}
+	return fwd, means, nil
+}

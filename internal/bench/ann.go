@@ -1,0 +1,409 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"entmatcher"
+	"entmatcher/internal/ann"
+	"entmatcher/internal/core"
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/matrix"
+	"entmatcher/internal/sim"
+)
+
+// runANN measures the IVF approximate candidate generator against the
+// exhaustive streaming build it replaces, on a DWY100K-profile dataset. One
+// exact top-C graph is built and timed as the baseline, the IVF quantizer is
+// trained once, and then nprobe sweeps from 1 to full coverage: each point
+// reports the graph-build time (queries only; training is its own row, and
+// the summary speedup charges it), recall@C against the exact graph, and the
+// end-to-end Hits@1 of the sparse RInf matcher running on the approximate
+// graphs. At nprobe = Clusters the graph is bit-identical to the exact build
+// — the last sweep row doubles as a live conformance check. Every row is
+// recorded for benchtab -json (BENCH_ann.json).
+func runANN(cfg *Config, env *Env) ([]*Table, error) {
+	ctx := context.Background()
+	prof := datagen.DWY100K()[0]
+	d, err := env.Dataset(prof, cfg.ScaleLarge)
+	if err != nil {
+		return nil, err
+	}
+	c := 64
+	if cfg.SparseCand > 0 {
+		c = cfg.SparseCand
+	}
+	// RREA, not GCN: approximate retrieval presumes the encoder left real
+	// cluster structure in the embedding space. RREA's low-noise geometry has
+	// it; GCN's noise floor (Noise 0.20, RawMix 0.70) scatters the deep ranks
+	// of every top-C list nearly uniformly, which caps recall@C near the
+	// scanned fraction regardless of the index (see DESIGN.md § 12).
+	basePC := entmatcher.PipelineConfig{Model: entmatcher.ModelRREA, WithValidation: true, CandidateBudget: c}
+	run, err := env.Run(d, basePC)
+	if err != nil {
+		return nil, err
+	}
+	rows, cols := run.Dims()
+	if c > cols {
+		c = cols
+	}
+
+	// Exact baseline: one exhaustive streaming build of the forward top-C
+	// graph, plus the exact sparse RInf end-to-end result.
+	runtime.GC()
+	t0 := time.Now()
+	exactG, err := matrix.BuildCandGraph(ctx, run.Stream, c)
+	if err != nil {
+		return nil, fmt.Errorf("ann: exact build: %w", err)
+	}
+	exactBuild := time.Since(t0)
+	exactRes, exactMetrics, err := matchBudgeted(cfg, env, run, entmatcher.NewRInfSparse(c))
+	if err != nil {
+		return nil, fmt.Errorf("ann: RInf (exact): %w", err)
+	}
+	cfg.logf("  ann exact: build %v, RInf Hits@1=%.3f",
+		exactBuild.Round(time.Millisecond), exactMetrics.Recall)
+	env.Record(Record{
+		Name:       fmt.Sprintf("ANN/exact/build/C=%d/n=%d", c, rows),
+		NsPerOp:    exactBuild.Nanoseconds(),
+		BytesPerOp: exactG.SizeBytes(),
+		Hits1:      1,
+	})
+	env.Record(Record{
+		Name:    fmt.Sprintf("ANN/exact/RInf/C=%d/n=%d", c, rows),
+		NsPerOp: exactRes.Elapsed.Nanoseconds(),
+		Hits1:   exactMetrics.Recall,
+	})
+
+	// Train the quantizers once; every nprobe view shares them. The reverse
+	// index is included because RInf consumes both graph directions.
+	sTab, tTab := run.Stream.PreparedTables()
+	annSrc, err := ann.NewSource(run.Stream, sTab, tTab, ann.Config{Clusters: cfg.ANNClusters, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	t0 = time.Now()
+	if err := annSrc.BuildIndexes(ctx, true); err != nil {
+		return nil, fmt.Errorf("ann: training: %w", err)
+	}
+	train := time.Since(t0)
+	fwdIdx, err := annSrc.ForwardIndex(ctx)
+	if err != nil {
+		return nil, err
+	}
+	k := fwdIdx.Clusters()
+	cfg.logf("  ann train: k=%d in %v (%s GiB of indexes)", k, train.Round(time.Millisecond), gb(annSrc.IndexBytes()))
+	env.Record(Record{
+		Name:       fmt.Sprintf("ANN/train/k=%d/n=%d", k, rows),
+		NsPerOp:    train.Nanoseconds(),
+		BytesPerOp: annSrc.IndexBytes(),
+	})
+
+	probes := []int{}
+	if cfg.ANNNProbe > 0 {
+		probes = []int{min(cfg.ANNNProbe, k)}
+	} else {
+		for np := 1; np < k; np *= 4 {
+			probes = append(probes, np)
+		}
+		probes = append(probes, k)
+	}
+
+	t := &Table{
+		ID: "ann",
+		Title: fmt.Sprintf("IVF candidate generation vs exact build on %s (RREA, %d×%d, C=%d, k=%d)",
+			prof.Name, rows, cols, c, k),
+		Columns: []string{"Recall@C", "Build(s)", "Speedup", "Hits@1", "ΔHits@1"},
+	}
+	t.AddRow("exact", "1.000", secs(exactBuild.Seconds()), "1.0×", f3(exactMetrics.Recall), "—")
+
+	type point struct {
+		np      int
+		recall  float64
+		total   time.Duration
+		speedup float64
+		hits    float64
+	}
+	var best *point
+	for _, np := range probes {
+		view := annSrc.WithNProbe(np)
+		runtime.GC()
+		t0 = time.Now()
+		g, err := view.ProduceCandGraph(ctx, c)
+		if err != nil {
+			return nil, fmt.Errorf("ann: nprobe=%d: %w", np, err)
+		}
+		build := time.Since(t0)
+		recall := graphRecall(exactG, g)
+		if np == k && recall != 1 {
+			return nil, fmt.Errorf("ann: full coverage (nprobe=%d=k) recall %.6f != 1: exactness contract broken", np, recall)
+		}
+		// The matcher rebuilds graphs inside its own timed run; giving the
+		// exact run's context the ANN view is all it takes to reroute it.
+		mctx := *run.Ctx
+		mctx.Stream = view
+		annRun := &entmatcher.Run{Task: run.Task, Stream: run.Stream, Ctx: &mctx}
+		res, metrics, err := matchBudgeted(cfg, env, annRun, entmatcher.NewRInfSparse(c))
+		if err != nil {
+			return nil, fmt.Errorf("ann: RInf (nprobe=%d): %w", np, err)
+		}
+		// The honest speedup charges the (amortizable) training to every
+		// sweep point; the per-query build time is in the records.
+		total := build + train
+		speedup := exactBuild.Seconds() / total.Seconds()
+		delta := metrics.Recall - exactMetrics.Recall
+		t.AddRow(fmt.Sprintf("nprobe=%d", np),
+			f3(recall), secs(total.Seconds()), fmt.Sprintf("%.1f×", speedup),
+			f3(metrics.Recall), pct(delta))
+		env.Record(Record{
+			Name:       fmt.Sprintf("ANN/graph/nprobe=%d/C=%d/n=%d", np, c, rows),
+			NsPerOp:    build.Nanoseconds(),
+			BytesPerOp: annSrc.IndexBytes() + g.SizeBytes(),
+			Hits1:      recall,
+		})
+		env.Record(Record{
+			Name:    fmt.Sprintf("ANN/RInf/nprobe=%d/C=%d/n=%d", np, c, rows),
+			NsPerOp: res.Elapsed.Nanoseconds(),
+			Hits1:   metrics.Recall,
+		})
+		cfg.logf("  ann nprobe=%d: recall=%.3f build=%v (+train=%v) RInf Hits@1=%.3f (%.1fx exact build)",
+			np, recall, build.Round(time.Millisecond), total.Round(time.Millisecond), metrics.Recall, speedup)
+		p := point{np: np, recall: recall, total: total, speedup: speedup, hits: metrics.Recall}
+		if best == nil || (p.recall >= 0.98 && (best.recall < 0.98 || p.speedup > best.speedup)) ||
+			(p.recall < 0.98 && best.recall < 0.98 && p.recall > best.recall) {
+			best = &p
+		}
+	}
+	if best != nil {
+		env.Summarize(fmt.Sprintf("ANN_C%d_n%d", c, rows),
+			fmt.Sprintf("nprobe=%d/%d: %.1fx faster graph build than exact (train included), recall@%d %.3f, RInf Hits@1 %+.1f pts",
+				best.np, k, best.speedup, c, best.recall, 100*(best.hits-exactMetrics.Recall)))
+	}
+	t.AddNote("Build(s) for sweep rows = forward top-C queries + the one-off k-means training (shared by all rows; query-only times are in the -json records)")
+	t.AddNote("the nprobe=%d row scans every cell: its graph is bit-identical to the exact build (verified during the run)", k)
+	t.AddNote("Hits@1 is sparse RInf end-to-end on the approximate graphs, matcher time excluded from Build(s)")
+
+	t2, err := runANNClustered(cfg, env, rows, c)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{t, t2}, nil
+}
+
+// runANNClustered is the capability probe that separates the index from the
+// encoder: the same sweep on a synthetic clustered embedding table of the
+// same size (mixture of Gaussians on the sphere, planted 1-to-1 alignment).
+// The DWY sweep above measures IVF on what our synthetic encoders actually
+// emit — sparse-KG propagation profiles whose deep top-C ranks sit in a
+// high-dimensional noise bulk that caps recall near the scanned fraction. On
+// clusterable geometry (what trained encoders produce on dense KGs, and what
+// the ANN literature assumes) the same index reaches the classic operating
+// points: ≥0.98 recall@C at a small fraction of the exhaustive build time.
+func runANNClustered(cfg *Config, env *Env, n, c int) (*Table, error) {
+	ctx := context.Background()
+	const (
+		dim     = 128  // matches the fused encoder width (2×64)
+		spread  = 0.5  // within-cluster noise around each center
+		pairGap = 0.35 // extra noise between a point and its gold twin
+	)
+	centers := max(8, n/250)
+	rng := rand.New(rand.NewSource(77))
+	ctrs := matrix.New(centers, dim)
+	for i := 0; i < centers; i++ {
+		row := ctrs.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		normalizeRow(row)
+	}
+	srcTab, tgtTab := matrix.New(n, dim), matrix.New(n, dim)
+	scale := 1 / math.Sqrt(float64(dim))
+	for i := 0; i < n; i++ {
+		ctr := ctrs.Row(rng.Intn(centers))
+		s, t := srcTab.Row(i), tgtTab.Row(i)
+		for j := range s {
+			s[j] = ctr[j] + spread*rng.NormFloat64()*scale
+		}
+		normalizeRow(s)
+		for j := range t {
+			t[j] = s[j] + pairGap*rng.NormFloat64()*scale
+		}
+		normalizeRow(t)
+	}
+	st, err := sim.NewStream(srcTab, tgtTab, sim.Cosine)
+	if err != nil {
+		return nil, err
+	}
+	if c > n {
+		c = n
+	}
+
+	runtime.GC()
+	t0 := time.Now()
+	exactG, err := matrix.BuildCandGraph(ctx, st, c)
+	if err != nil {
+		return nil, fmt.Errorf("ann clustered: exact build: %w", err)
+	}
+	exactBuild := time.Since(t0)
+	exactHits, err := rinfHits1(st, c)
+	if err != nil {
+		return nil, err
+	}
+	env.Record(Record{
+		Name:       fmt.Sprintf("ANN/clustered/exact/build/C=%d/n=%d", c, n),
+		NsPerOp:    exactBuild.Nanoseconds(),
+		BytesPerOp: exactG.SizeBytes(),
+		Hits1:      1,
+	})
+	cfg.logf("  ann clustered exact: build %v, RInf Hits@1=%.3f", exactBuild.Round(time.Millisecond), exactHits)
+
+	pTab, qTab := st.PreparedTables()
+	annSrc, err := ann.NewSource(st, pTab, qTab, ann.Config{Clusters: cfg.ANNClusters, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	t0 = time.Now()
+	if err := annSrc.BuildIndexes(ctx, true); err != nil {
+		return nil, fmt.Errorf("ann clustered: training: %w", err)
+	}
+	train := time.Since(t0)
+	fwdIdx, err := annSrc.ForwardIndex(ctx)
+	if err != nil {
+		return nil, err
+	}
+	k := fwdIdx.Clusters()
+	env.Record(Record{
+		Name:       fmt.Sprintf("ANN/clustered/train/k=%d/n=%d", k, n),
+		NsPerOp:    train.Nanoseconds(),
+		BytesPerOp: annSrc.IndexBytes(),
+	})
+
+	t := &Table{
+		ID: "ann-clustered",
+		Title: fmt.Sprintf("IVF capability probe on clustered geometry (%d×%d, d=%d, %d planted clusters, C=%d, k=%d)",
+			n, n, dim, centers, c, k),
+		Columns: []string{"Recall@C", "Build(s)", "Speedup", "Hits@1", "ΔHits@1"},
+	}
+	t.AddRow("exact", "1.000", secs(exactBuild.Seconds()), "1.0×", f3(exactHits), "—")
+
+	type point struct {
+		np      int
+		recall  float64
+		speedup float64
+		hits    float64
+	}
+	var best *point
+	for np := 1; np <= k && np <= 32; np *= 2 {
+		view := annSrc.WithNProbe(np)
+		runtime.GC()
+		t0 = time.Now()
+		g, err := view.ProduceCandGraph(ctx, c)
+		if err != nil {
+			return nil, fmt.Errorf("ann clustered: nprobe=%d: %w", np, err)
+		}
+		build := time.Since(t0)
+		recall := graphRecall(exactG, g)
+		hits, err := rinfHits1(view, c)
+		if err != nil {
+			return nil, err
+		}
+		total := build + train
+		speedup := exactBuild.Seconds() / total.Seconds()
+		delta := hits - exactHits
+		t.AddRow(fmt.Sprintf("nprobe=%d", np),
+			f3(recall), secs(total.Seconds()), fmt.Sprintf("%.1f×", speedup), f3(hits), pct(delta))
+		env.Record(Record{
+			Name:       fmt.Sprintf("ANN/clustered/graph/nprobe=%d/C=%d/n=%d", np, c, n),
+			NsPerOp:    build.Nanoseconds(),
+			BytesPerOp: annSrc.IndexBytes() + g.SizeBytes(),
+			Hits1:      recall,
+		})
+		env.Record(Record{
+			Name:  fmt.Sprintf("ANN/clustered/RInf/nprobe=%d/C=%d/n=%d", np, c, n),
+			Hits1: hits,
+		})
+		cfg.logf("  ann clustered nprobe=%d: recall=%.3f build=%v (+train=%v) RInf Hits@1=%.3f (%.1fx exact build)",
+			np, recall, build.Round(time.Millisecond), total.Round(time.Millisecond), hits, speedup)
+		p := point{np: np, recall: recall, speedup: speedup, hits: hits}
+		if best == nil || (p.recall >= 0.98 && (best.recall < 0.98 || p.speedup > best.speedup)) ||
+			(p.recall < 0.98 && best.recall < 0.98 && p.recall > best.recall) {
+			best = &p
+		}
+	}
+	if best != nil {
+		env.Summarize(fmt.Sprintf("ANN_clustered_C%d_n%d", c, n),
+			fmt.Sprintf("nprobe=%d/%d: %.1fx faster graph build than exact (train included), recall@%d %.3f, RInf Hits@1 %+.1f pts",
+				best.np, k, best.speedup, c, best.recall, 100*(best.hits-exactHits)))
+	}
+	t.AddNote("same index, same sweep as the DWY table, but on mixture-of-Gaussians embeddings with a planted alignment: the recall gap between the two tables is encoder geometry, not the index")
+	t.AddNote("Hits@1 is sparse RInf against the planted 1-to-1 alignment")
+	return t, nil
+}
+
+// rinfHits1 runs the sparse RInf matcher on the source and scores its pairs
+// against the planted identity alignment.
+func rinfHits1(src matrix.TileSource, c int) (float64, error) {
+	res, err := core.NewRInfSparse(c).Match(&core.Context{Stream: src})
+	if err != nil {
+		return 0, err
+	}
+	rows, _ := src.Dims()
+	if rows == 0 {
+		return 0, nil
+	}
+	hits := 0
+	for _, p := range res.Pairs {
+		if p.Source == p.Target {
+			hits++
+		}
+	}
+	return float64(hits) / float64(rows), nil
+}
+
+// normalizeRow scales a vector to unit L2 norm (no-op on zero rows).
+func normalizeRow(row []float64) {
+	var s float64
+	for _, v := range row {
+		s += v * v
+	}
+	if s <= 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(s)
+	for j := range row {
+		row[j] *= inv
+	}
+}
+
+// graphRecall returns the fraction of exact candidate edges the approximate
+// graph recovered (micro-averaged over all rows).
+func graphRecall(exact, approx *matrix.CandGraph) float64 {
+	var hit, total int
+	seen := make(map[int32]bool)
+	for i := 0; i < exact.Rows(); i++ {
+		ej, _ := exact.Row(i)
+		aj, _ := approx.Row(i)
+		total += len(ej)
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, j := range aj {
+			seen[j] = true
+		}
+		for _, j := range ej {
+			if seen[j] {
+				hit++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(hit) / float64(total)
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestANNSmokeRecallAndSpeed runs the ann experiment at quick scale and
+// checks the recorded sweep: the full-coverage row must report recall
+// exactly 1 (the live exactness contract), recall must be non-decreasing in
+// nprobe (probed cell sets are nested), and the cheapest sweep point's
+// query-only graph build must not exceed the exact exhaustive build — a
+// deliberately loose speed floor, since at smoke scale the corpus is tiny
+// and constant overheads dominate. CI runs this as the ann-recall smoke
+// step.
+func TestANNSmokeRecallAndSpeed(t *testing.T) {
+	cfg := QuickConfig()
+	env := NewEnv()
+	exp, ok := ByID("ann")
+	if !ok {
+		t.Fatal("ann experiment not registered")
+	}
+	tables, err := exp.Run(&cfg, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(tables[0].Rows) < 3 || len(tables[1].Rows) < 3 {
+		t.Fatalf("expected the DWY sweep and the clustered capability probe, got %+v", tables)
+	}
+	rep := env.Report("smoke", "now")
+	if rep == nil {
+		t.Fatal("ann experiment recorded no measurements")
+	}
+
+	var exactBuildNs int64
+	var trainSeen bool
+	type pt struct {
+		np     int
+		recall float64
+		ns     int64
+	}
+	var sweep []pt
+	for _, r := range rep.Benchmarks {
+		switch {
+		case strings.HasPrefix(r.Name, "ANN/exact/build/"):
+			exactBuildNs = r.NsPerOp
+		case strings.HasPrefix(r.Name, "ANN/train/"):
+			trainSeen = true
+			if r.BytesPerOp <= 0 {
+				t.Fatalf("train record %q has no index footprint", r.Name)
+			}
+		case strings.HasPrefix(r.Name, "ANN/graph/"):
+			var np, c, n int
+			if _, err := fmt.Sscanf(r.Name, "ANN/graph/nprobe=%d/C=%d/n=%d", &np, &c, &n); err != nil {
+				t.Fatalf("unparseable graph record name %q: %v", r.Name, err)
+			}
+			sweep = append(sweep, pt{np: np, recall: r.Hits1, ns: r.NsPerOp})
+		}
+	}
+	if exactBuildNs <= 0 {
+		t.Fatal("no exact-build record")
+	}
+	if !trainSeen {
+		t.Fatal("no training record")
+	}
+	if len(sweep) < 2 {
+		t.Fatalf("sweep has %d points, want the full nprobe sweep", len(sweep))
+	}
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i].np <= sweep[i-1].np {
+			t.Fatalf("sweep not ordered by nprobe: %+v", sweep)
+		}
+		if sweep[i].recall < sweep[i-1].recall {
+			t.Fatalf("recall not monotone in nprobe: %+v", sweep)
+		}
+	}
+	last := sweep[len(sweep)-1]
+	if last.recall != 1 {
+		t.Fatalf("full-coverage recall = %v, want exactly 1", last.recall)
+	}
+	if first := sweep[0]; first.ns > exactBuildNs {
+		t.Fatalf("nprobe=%d query build (%dns) slower than the exact exhaustive build (%dns)",
+			first.np, first.ns, exactBuildNs)
+	}
+}

@@ -56,6 +56,12 @@ type Config struct {
 	// single candidate budget C instead of its default {16, 32, 64, 128}
 	// sweep.
 	SparseCand int
+	// ANNClusters, when positive, pins the IVF cluster count of the 'ann'
+	// experiment (0 = auto, ≈ √targets).
+	ANNClusters int
+	// ANNNProbe, when positive, restricts the 'ann' experiment to a single
+	// probe count instead of its default sweep up to full coverage.
+	ANNNProbe int
 	// RunTimeout is the per-matcher wall-clock budget. When positive, each
 	// matcher run happens inside a degradation chain (matcher → RInf-pb →
 	// DInf) so an over-budget algorithm yields a cheaper tier's answer
@@ -160,7 +166,14 @@ func (e *Env) MulDataset(p datagen.MulProfile, scale float64) (*entmatcher.Datas
 // part of the key: profiles share names across scales, and reusing another
 // instance's embeddings or tasks would silently distort results.
 func runKey(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) string {
-	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget)
+	annK := ""
+	if pc.ANN != nil {
+		// The ANN knobs change which candidate graphs a run produces, so
+		// they are part of the identity; a nil ANN stays distinct from any
+		// configured one.
+		annK = fmt.Sprintf("%d/%d/%d/%d", pc.ANN.Clusters, pc.ANN.NProbe, pc.ANN.SampleSize, pc.ANN.Seed)
+	}
+	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d|%s", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget, annK)
 }
 
 // embKey identifies a cached embedding table, again per dataset instance.
@@ -234,6 +247,7 @@ func Experiments() []Experiment {
 		{ID: "table6", Title: "Table 6: large-scale (DWY100K profile) F1, time, memory", Run: runTable6},
 		{ID: "streaming", Title: "Dense vs tiled-streaming similarity engine: F1, time, peak memory", Run: runStreaming},
 		{ID: "sparse", Title: "Sparse candidate-graph engine: Hits@1, time, peak memory vs dense across C", Run: runSparse},
+		{ID: "ann", Title: "IVF approximate candidate generation: nprobe → recall, Hits@1, build time vs exact", Run: runANN},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

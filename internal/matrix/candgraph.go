@@ -135,12 +135,53 @@ func (g *CandGraph) ColSortedClone() *CandGraph {
 	return out
 }
 
+// CandGraphProducer is implemented by tile sources that can produce
+// candidate graphs directly — without streaming every score of the matrix —
+// such as the IVF approximate-nearest-neighbor index in internal/ann. The
+// Build* entry points below dispatch to a producer when the source
+// implements one, so every sparse matcher transparently consumes approximate
+// candidates when the pipeline installs such a source.
+//
+// Producers own the clamping of budgets to the matrix shape and must return
+// graphs satisfying the CandGraph CSR contract (rows in (value desc, index
+// asc) order); NewCandGraph re-validates it. Below exhaustive coverage a
+// producer's graph is approximate — rows may hold fewer than c candidates
+// and may miss true top-c columns — but every row head it does return must
+// still be a genuinely scored value, and at full coverage (e.g. nprobe =
+// Clusters for the IVF index) the graph must be bit-identical to the
+// exhaustive builders'.
+type CandGraphProducer interface {
+	// ProduceCandGraph is the BuildCandGraph counterpart: the top-c columns
+	// of every row.
+	ProduceCandGraph(ctx context.Context, c int) (*CandGraph, error)
+	// ProduceCandGraphs is the BuildCandGraphs counterpart; rev is nil when
+	// cRev <= 0.
+	ProduceCandGraphs(ctx context.Context, c, cRev int) (fwd, rev *CandGraph, err error)
+	// ProduceCandGraphWithColMeans is the BuildCandGraphWithColMeans
+	// counterpart: the forward graph plus per-column top-kCol means (the
+	// CSLS φ_t statistic).
+	ProduceCandGraphWithColMeans(ctx context.Context, c, kCol int) (*CandGraph, []float64, error)
+}
+
 // BuildCandGraph streams src once and returns the forward candidate graph:
 // the top-c columns of every row (c is clamped to the matrix width). All
 // candidate selection funnels through the same bounded heap the dense
 // RowTopK uses, so at c >= cols the graph holds every score of every row in
 // Dense.RowTopK order, bit-exactly.
+//
+// Sources implementing CandGraphProducer (the ANN index source) produce the
+// graph directly instead of being streamed exhaustively; their result may be
+// approximate below full coverage.
 func BuildCandGraph(ctx context.Context, src TileSource, c int) (*CandGraph, error) {
+	if src == nil {
+		return nil, fmt.Errorf("matrix: nil tile source")
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("%w: candidate budget %d < 1", ErrShape, c)
+	}
+	if p, ok := src.(CandGraphProducer); ok {
+		return p.ProduceCandGraph(ctx, c)
+	}
 	fwd, _, err := buildGraphs(ctx, src, c, 0)
 	return fwd, err
 }
@@ -153,6 +194,15 @@ func BuildCandGraph(ctx context.Context, src TileSource, c int) (*CandGraph, err
 // reverse-direction statistics — RInf's target-side preferences, the
 // Hungarian transpose fallback — without a second sweep over the scores.
 func BuildCandGraphs(ctx context.Context, src TileSource, c, cRev int) (fwd, rev *CandGraph, err error) {
+	if src == nil {
+		return nil, nil, fmt.Errorf("matrix: nil tile source")
+	}
+	if c < 1 {
+		return nil, nil, fmt.Errorf("%w: candidate budget %d < 1", ErrShape, c)
+	}
+	if p, ok := src.(CandGraphProducer); ok {
+		return p.ProduceCandGraphs(ctx, c, cRev)
+	}
 	return buildGraphs(ctx, src, c, cRev)
 }
 
@@ -167,6 +217,9 @@ func BuildCandGraphWithColMeans(ctx context.Context, src TileSource, c, kCol int
 	}
 	if c < 1 {
 		return nil, nil, fmt.Errorf("%w: candidate budget %d < 1", ErrShape, c)
+	}
+	if p, ok := src.(CandGraphProducer); ok {
+		return p.ProduceCandGraphWithColMeans(ctx, c, kCol)
 	}
 	rows, cols := src.Dims()
 	if c > cols {
@@ -224,6 +277,60 @@ func buildGraphs(ctx context.Context, src TileSource, c, cRev int) (*CandGraph, 
 		}
 	}
 	return fwd, rev, nil
+}
+
+// NewCandGraph assembles a candidate graph from per-row TopK selections over
+// a width-cols column space — the constructor CandGraphProducer
+// implementations use. It enforces the full CSR contract the exhaustive
+// builders guarantee by construction: every row in strict (value desc, index
+// asc) order with no duplicate columns, all column ids in [0, cols), and a
+// total edge count within int32 addressing (the CSCView position join's
+// limit). The TopK contents are copied, so callers may reuse pooled
+// selector storage afterwards.
+func NewCandGraph(cols int, rows []TopK) (*CandGraph, error) {
+	if cols < 0 {
+		return nil, fmt.Errorf("%w: negative column count %d", ErrShape, cols)
+	}
+	var nnz int64
+	for i := range rows {
+		if len(rows[i].Values) != len(rows[i].Indices) {
+			return nil, fmt.Errorf("%w: row %d has %d values but %d indices",
+				ErrShape, i, len(rows[i].Values), len(rows[i].Indices))
+		}
+		nnz += int64(len(rows[i].Values))
+	}
+	if nnz > math.MaxInt32 {
+		return nil, fmt.Errorf("%w: candidate graph with %d edges exceeds int32 addressing", ErrShape, nnz)
+	}
+	g := &CandGraph{
+		rows:   len(rows),
+		cols:   cols,
+		rowPtr: make([]int64, len(rows)+1),
+		colIdx: make([]int32, nnz),
+		score:  make([]float64, nnz),
+	}
+	var p int64
+	for i := range rows {
+		g.rowPtr[i] = p
+		pv, pj := math.Inf(1), -1
+		for x, v := range rows[i].Values {
+			j := rows[i].Indices[x]
+			if j < 0 || j >= cols {
+				return nil, fmt.Errorf("%w: row %d candidate %d: column %d out of range [0,%d)",
+					ErrShape, i, x, j, cols)
+			}
+			if x > 0 && !(pv > v || (pv == v && pj < j)) {
+				return nil, fmt.Errorf("%w: row %d candidates %d,%d violate (value desc, index asc) order: (%v,%d) then (%v,%d)",
+					ErrShape, i, x-1, x, pv, pj, v, j)
+			}
+			pv, pj = v, j
+			g.colIdx[p] = int32(j)
+			g.score[p] = v
+			p++
+		}
+	}
+	g.rowPtr[len(rows)] = p
+	return g, nil
 }
 
 // graphFromHeaps finalizes one heap per graph row into CSR storage. The

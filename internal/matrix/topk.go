@@ -121,6 +121,68 @@ func (h *minHeap) heapMean() float64 {
 	return s / float64(len(h.vals))
 }
 
+// BoundedTopK is an order-insensitive bounded top-k selector over
+// (value, index) candidates. minHeap.offer relies on candidates arriving in
+// ascending index order to keep the earliest-index-wins contract (it only
+// replaces on a strictly larger value); BoundedTopK instead compares against
+// the full (value desc, index asc) total order on replacement, so the
+// selected set is the canonical top-k regardless of arrival order. The ANN
+// query path (internal/ann) offers candidates inverted-list by inverted-list
+// — out of index order — which is exactly the arrival pattern this selector
+// exists for. Indices must be distinct across offers; the heap minimum is
+// then always the unique worst kept candidate.
+type BoundedTopK struct {
+	h minHeap
+	k int
+}
+
+// NewBoundedTopK returns a selector keeping the k best candidates. k < 0 is
+// treated as 0 (the selector accepts offers and keeps nothing).
+func NewBoundedTopK(k int) *BoundedTopK {
+	if k < 0 {
+		k = 0
+	}
+	return &BoundedTopK{k: k, h: minHeap{vals: make([]float64, 0, k), idx: make([]int, 0, k)}}
+}
+
+// Reset empties the selector for reuse, keeping its backing storage. Any TopK
+// previously returned by Finalize aliases that storage and must not be read
+// after a Reset.
+func (b *BoundedTopK) Reset() {
+	b.h.vals = b.h.vals[:0]
+	b.h.idx = b.h.idx[:0]
+}
+
+// Offer feeds one (value, index) candidate: under capacity it appends
+// (heapifying exactly at k), at capacity it replaces the heap minimum —
+// the worst kept candidate under (value desc, index asc): smallest value,
+// largest index among equals — whenever the new candidate beats it.
+func (b *BoundedTopK) Offer(v float64, j int) {
+	if b.k == 0 {
+		return
+	}
+	h := &b.h
+	if len(h.vals) < b.k {
+		h.vals = append(h.vals, v)
+		h.idx = append(h.idx, j)
+		if len(h.vals) == b.k {
+			heap.Init(h)
+		}
+		return
+	}
+	if v > h.vals[0] || (v == h.vals[0] && j < h.idx[0]) {
+		h.vals[0], h.idx[0] = v, j
+		heap.Fix(h, 0)
+	}
+}
+
+// Finalize returns the kept candidates in (value desc, index asc) order —
+// the same total order minHeap.finalize emits, so a full-coverage offer
+// sequence yields results bit-identical to the streaming accumulators'. The
+// returned slices alias the selector's storage: copy them out before Reset,
+// and do not Offer again before Reset.
+func (b *BoundedTopK) Finalize() TopK { return b.h.finalize() }
+
 // topKOfSlice returns the k largest entries of row in descending order.
 // If k >= len(row) it returns the fully sorted row.
 func topKOfSlice(row []float64, k int) TopK {

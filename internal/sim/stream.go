@@ -116,6 +116,17 @@ func (s *Stream) Dims() (rows, cols int) {
 // RealCols returns the number of non-dummy columns.
 func (s *Stream) RealCols() int { return s.tgt.Rows() }
 
+// Metric returns the stream's similarity metric.
+func (s *Stream) Metric() Metric { return s.metric }
+
+// PreparedTables exposes the stream's prepared embedding tables — the
+// row-normalized copies for cosine, the originals for distance metrics. The
+// ANN index (internal/ann) builds over exactly these tables so its scores
+// come from the same bits and the same dot kernel as the streamed tiles,
+// which is what makes full-coverage ANN graphs bit-identical to the
+// exhaustive builders'. Callers must not mutate the returned matrices.
+func (s *Stream) PreparedTables() (src, tgt *matrix.Dense) { return s.src, s.tgt }
+
 // MatrixBytes returns the size the dense score matrix would occupy — the
 // allocation streaming avoids; reporting and memory-budget decisions use it.
 func (s *Stream) MatrixBytes() int64 {

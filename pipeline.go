@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"entmatcher/internal/ann"
 	"entmatcher/internal/core"
 	"entmatcher/internal/embed"
 	"entmatcher/internal/eval"
@@ -106,6 +107,29 @@ type PipelineConfig struct {
 	// Zero (the default) prepares densely unless Streaming or
 	// MemoryBudgetBytes says otherwise.
 	CandidateBudget int
+	// ANN, when non-nil, builds the candidate graphs through the IVF
+	// approximate-nearest-neighbor index (internal/ann) instead of the
+	// exhaustive streaming pass — sub-quadratic construction at the price of
+	// bounded recall (exact again at NProbe = Clusters). Requires
+	// CandidateBudget > 0 (only graph construction is accelerated) and the
+	// cosine metric (the index searches by inner product over the stream's
+	// normalized tables). Abstention runs with virtual dummy columns
+	// automatically fall back to the exact build.
+	ANN *ANNConfig
+}
+
+// ANNConfig tunes the IVF candidate generator; zero fields mean scale-aware
+// defaults (Clusters ≈ √targets, NProbe = Clusters/16, SampleSize =
+// 64·Clusters). See internal/ann.Config for the precise semantics.
+type ANNConfig struct {
+	// Clusters is the number of k-means cells of the coarse quantizer.
+	Clusters int
+	// NProbe is how many cells each query scans — the recall/speed knob.
+	NProbe int
+	// SampleSize is how many corpus points the quantizer trains on.
+	SampleSize int
+	// Seed drives sampling and seeding; a fixed seed makes runs identical.
+	Seed int64
 }
 
 // ErrBadConfig is returned by Pipeline.Prepare (via PipelineConfig.Validate)
@@ -153,6 +177,20 @@ func (c PipelineConfig) Validate() error {
 	}
 	if c.CandidateBudget < 0 {
 		return fmt.Errorf("%w: CandidateBudget must be non-negative, got %d", ErrBadConfig, c.CandidateBudget)
+	}
+	if c.ANN != nil {
+		if c.CandidateBudget <= 0 {
+			return fmt.Errorf("%w: ANN requires CandidateBudget > 0 (the index only accelerates candidate-graph construction)", ErrBadConfig)
+		}
+		if c.Metric != MetricCosine {
+			return fmt.Errorf("%w: ANN requires the cosine metric, got %v", ErrBadConfig, c.Metric)
+		}
+		if c.ANN.Clusters < 0 || c.ANN.NProbe < 0 || c.ANN.SampleSize < 0 {
+			return fmt.Errorf("%w: ANN fields must be non-negative, got %+v", ErrBadConfig, *c.ANN)
+		}
+		if c.ANN.Clusters > 0 && c.ANN.NProbe > c.ANN.Clusters {
+			return fmt.Errorf("%w: ANN.NProbe %d exceeds ANN.Clusters %d", ErrBadConfig, c.ANN.NProbe, c.ANN.Clusters)
+		}
 	}
 	return nil
 }
@@ -264,6 +302,24 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 	}
 	if stream != nil {
 		mctx.Stream = stream
+		if p.cfg.ANN != nil {
+			// Swap the match context's tile source for the IVF producer:
+			// candidate-graph builders dispatch to the index, while tile and
+			// block consumers still stream exact scores through it. Run.Stream
+			// keeps the plain engine, so the abstention path (virtual dummy
+			// columns) rebuilds from exact scores.
+			sTab, tTab := stream.PreparedTables()
+			annSrc, err := ann.NewSource(stream, sTab, tTab, ann.Config{
+				Clusters:   p.cfg.ANN.Clusters,
+				NProbe:     p.cfg.ANN.NProbe,
+				SampleSize: p.cfg.ANN.SampleSize,
+				Seed:       p.cfg.ANN.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mctx.Stream = annSrc
+		}
 	}
 	if p.cfg.WithValidation {
 		vt, err := eval.ValidationTaskFor(d)

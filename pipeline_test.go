@@ -170,6 +170,80 @@ func TestPipelineCandidateBudgetPreparesStreaming(t *testing.T) {
 	}
 }
 
+// TestPipelineANNWiring pins the IVF candidate-generation seam: an ANN
+// config installs the producer in the match context, sparse matchers run
+// and score through it, and at NProbe = Clusters the results equal the
+// exact sparse run's exactly. Abstention (virtual dummy columns) must keep
+// working by falling back to the exact build.
+func TestPipelineANNWiring(t *testing.T) {
+	d := smallDataset(t)
+	const c = 16
+	exact, err := NewPipeline(PipelineConfig{Model: ModelRREA, CandidateBudget: c, WithValidation: true}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewPipeline(PipelineConfig{
+		Model: ModelRREA, CandidateBudget: c, WithValidation: true,
+		ANN: &ANNConfig{Clusters: 8, NProbe: 8},
+	}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resExact, mExact, err := exact.Match(NewRInfSparse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resFull, mFull, err := full.Match(NewRInfSparse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resExact.Pairs) != len(resFull.Pairs) || mExact.F1 != mFull.F1 {
+		t.Fatalf("full-coverage ANN diverges from exact: %d/%v vs %d/%v",
+			len(resFull.Pairs), mFull.F1, len(resExact.Pairs), mExact.F1)
+	}
+	for i := range resExact.Pairs {
+		if resExact.Pairs[i] != resFull.Pairs[i] {
+			t.Fatalf("pair %d differs: %v vs %v", i, resFull.Pairs[i], resExact.Pairs[i])
+		}
+	}
+	// Partial coverage still matches plausibly.
+	part, err := NewPipeline(PipelineConfig{
+		Model: ModelRREA, CandidateBudget: c, WithValidation: true,
+		ANN: &ANNConfig{Clusters: 8, NProbe: 2},
+	}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mPart, err := part.Match(NewRInfSparse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPart.F1 < mExact.F1-0.1 {
+		t.Fatalf("partial-probe F1 %v implausibly far below exact %v", mPart.F1, mExact.F1)
+	}
+	// Abstention path: virtual dummy columns hide the producer, so this
+	// must run (on the exact fallback) rather than error.
+	if _, _, err := part.MatchWithAbstention(NewCSLSStream(1), 0.3); err != nil {
+		t.Fatalf("abstention on ANN run: %v", err)
+	}
+}
+
+func TestPipelineANNConfigValidation(t *testing.T) {
+	d := smallDataset(t)
+	if _, err := NewPipeline(PipelineConfig{ANN: &ANNConfig{}}).Prepare(d); err == nil {
+		t.Fatal("ANN without CandidateBudget accepted")
+	}
+	if _, err := NewPipeline(PipelineConfig{CandidateBudget: 8, Metric: MetricEuclidean, ANN: &ANNConfig{}}).Prepare(d); err == nil {
+		t.Fatal("ANN with non-cosine metric accepted")
+	}
+	if _, err := NewPipeline(PipelineConfig{CandidateBudget: 8, ANN: &ANNConfig{Clusters: -1}}).Prepare(d); err == nil {
+		t.Fatal("negative ANN.Clusters accepted")
+	}
+	if _, err := NewPipeline(PipelineConfig{CandidateBudget: 8, ANN: &ANNConfig{Clusters: 4, NProbe: 5}}).Prepare(d); err == nil {
+		t.Fatal("ANN.NProbe > Clusters accepted")
+	}
+}
+
 func TestEnumStrings(t *testing.T) {
 	if FeatureStructure.String() != "structure" || FeatureName.String() != "name" || FeatureFused.String() != "name+structure" {
 		t.Fatal("feature mode names wrong")
