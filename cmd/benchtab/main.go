@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,12 +27,21 @@ import (
 	"time"
 
 	"entmatcher/internal/bench"
+	"entmatcher/internal/exitcode"
 )
+
+// errDegraded marks a run whose tables are complete but where at least one
+// matcher fell back to a cheaper tier under -timeout; main maps it to exit
+// code 3, the convention shared with entmatcher (see internal/exitcode).
+var errDegraded = errors.New("degraded under the -timeout budget")
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
-		os.Exit(1)
+		if errors.Is(err, errDegraded) {
+			os.Exit(exitcode.Degraded)
+		}
+		os.Exit(exitcode.Failure)
 	}
 }
 
@@ -145,15 +155,7 @@ func run() error {
 		if report == nil {
 			return fmt.Errorf("-json: no experiment recorded measurements (the 'sparse' experiment does)")
 		}
-		f, err := os.Create(*jsonFile)
-		if err != nil {
-			return err
-		}
-		if err := report.WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := report.WriteFile(*jsonFile); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "benchtab: wrote %d measurement(s) to %s\n", len(report.Benchmarks), *jsonFile)
@@ -163,7 +165,7 @@ func run() error {
 		for _, n := range notes {
 			fmt.Fprintf(os.Stderr, "  - %s\n", n)
 		}
-		return fmt.Errorf("%d run(s) degraded; the affected table cells report fallback-tier results", len(notes))
+		return fmt.Errorf("%w: %d run(s); the affected table cells report fallback-tier results", errDegraded, len(notes))
 	}
 	return nil
 }

@@ -14,6 +14,8 @@
 //	entmatcher -data ./data/100k -cand 64             # sparse candidate graphs
 //	entmatcher -data ./data/100k -cand 64 -ann 316    # IVF approximate candidates
 //	entmatcher -data ./data/100k -cand 64 -ann 316 -nprobe 40  # higher recall
+//	entmatcher -data ./data/100k -cand 64 -save-snapshot p.snap  # persist prep
+//	entmatcher -data ./data/100k -cand 64 -load-snapshot p.snap  # skip prep
 //
 // With -stream (or when -mem-budget forces it) the score matrix is computed
 // in cache-sized tiles and never materialized; the streaming-capable
@@ -41,21 +43,23 @@ import (
 	"time"
 
 	"entmatcher"
+	"entmatcher/internal/exitcode"
 )
 
 // errDegraded marks a run that completed but only after at least one matcher
 // degraded to a cheaper fallback tier; main maps it to exit code 3 so
 // scripted callers can distinguish "answered, but not by the matcher you
-// asked for" from success (0) and failure (1).
+// asked for" from success (0) and failure (1). The convention is shared
+// with benchtab and documented in internal/exitcode.
 var errDegraded = errors.New("one or more matchers degraded under the time budget")
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "entmatcher:", err)
 		if errors.Is(err, errDegraded) {
-			os.Exit(3)
+			os.Exit(exitcode.Degraded)
 		}
-		os.Exit(1)
+		os.Exit(exitcode.Failure)
 	}
 }
 
@@ -77,6 +81,8 @@ func run() error {
 		cand     = flag.Int("cand", 0, "sparse candidate budget C: stream the scores into top-C candidate graphs and run the sparse matcher twins (CSLS, RInf, Sink., Hun., SMat) on them (0 = dense/streaming as usual)")
 		annK     = flag.Int("ann", 0, "approximate candidate generation: build the top-C graphs through an IVF index with this many k-means clusters instead of the exhaustive streaming pass (requires -cand; 0 = exact build)")
 		nprobe   = flag.Int("nprobe", 0, "IVF cells scanned per query — the recall/speed knob (requires -ann; 0 = auto, clusters/16; equal to -ann reproduces the exact build bit-for-bit)")
+		saveSnap = flag.String("save-snapshot", "", "after preparation, persist the prepared tables (and the IVF indexes under -ann) to this path as a crash-safe snapshot (requires -stream or -cand; written atomically: temp file, fsync, rename)")
+		loadSnap = flag.String("load-snapshot", "", "prepare from a previously saved snapshot instead of re-encoding embeddings (requires -stream or -cand; the snapshot must match -features, -setting and -ann, otherwise the run fails with a mismatch error rather than silently rebuilding)")
 	)
 	flag.Parse()
 	if *dataDir == "" {
@@ -145,6 +151,20 @@ func run() error {
 		}
 		cfg.ANN = &entmatcher.ANNConfig{Clusters: *annK, NProbe: *nprobe}
 	}
+	if *saveSnap != "" && *loadSnap != "" {
+		return fmt.Errorf("-save-snapshot and -load-snapshot are mutually exclusive")
+	}
+	if (*saveSnap != "" || *loadSnap != "") && !*stream && *cand == 0 {
+		return fmt.Errorf("-save-snapshot/-load-snapshot require a streaming run (-stream or -cand): snapshots hold the prepared streaming tables")
+	}
+	if *loadSnap != "" && (*embSrc != "" || *embTgt != "") {
+		return fmt.Errorf("-load-snapshot is incompatible with -emb-src/-emb-tgt (the snapshot already holds the prepared tables)")
+	}
+	cfg.SaveSnapshot = *saveSnap
+	cfg.LoadSnapshot = *loadSnap
+	// The validation matrix is not snapshotted; a snapshot-served run skips
+	// it (MatchWithAbstention then reports a clear error if requested).
+	cfg.WithValidation = *loadSnap == ""
 
 	fmt.Printf("dataset %s: %d/%d entities, %d test links, setting %v, features %v\n",
 		d.Name, d.Source.NumEntities(), d.Target.NumEntities(), d.Split.Test.Len(), cfg.Setting, cfg.Features)

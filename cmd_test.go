@@ -4,12 +4,16 @@ package entmatcher_test
 // into a temp dir and exercised through its primary flag combinations.
 
 import (
+	"bufio"
 	"errors"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 
 	"entmatcher"
@@ -31,7 +35,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		buildDir = dir
-		for _, tool := range []string{"datagen", "entmatcher", "benchtab"} {
+		for _, tool := range []string{"datagen", "entmatcher", "benchtab", "entserver"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			cmd.Dir = repoRoot()
 			if out, err := cmd.CombinedOutput(); err != nil {
@@ -233,6 +237,148 @@ func TestCLIExternalEmbeddings(t *testing.T) {
 	cmd := exec.Command(filepath.Join(bins, "entmatcher"), "-data", dataDir, "-emb-src", srcPath)
 	if out, err := cmd.CombinedOutput(); err == nil {
 		t.Fatalf("lone -emb-src accepted:\n%s", out)
+	}
+}
+
+// TestCLISnapshotSaveLoad exercises the crash-safe snapshot workflow end to
+// end: save during a sparse/ANN run, serve an identical run from the saved
+// file, and reject corrupt or mismatched snapshots loudly.
+func TestCLISnapshotSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "dz")
+	runTool(t, filepath.Join(bins, "datagen"), "-profile", "D-Z", "-scale", "0.02", "-out", dataDir)
+
+	snapPath := filepath.Join(dir, "prep.snap")
+	saved := runTool(t, filepath.Join(bins, "entmatcher"),
+		"-data", dataDir, "-cand", "8", "-ann", "4", "-m", "DInf,RInf", "-save-snapshot", snapPath)
+	loaded := runTool(t, filepath.Join(bins, "entmatcher"),
+		"-data", dataDir, "-cand", "8", "-ann", "4", "-m", "DInf,RInf", "-load-snapshot", snapPath)
+	// The loaded run must reproduce the saved run's quality numbers exactly
+	// (the time and memory columns legitimately vary between runs).
+	scores := func(s string) []string {
+		var rows []string
+		for _, line := range strings.Split(s, "\n") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && (f[0] == "DInf" || f[0] == "RInf-sparse") {
+				rows = append(rows, strings.Join(f[:4], " "))
+			}
+		}
+		return rows
+	}
+	sr, lr := scores(saved), scores(loaded)
+	if len(sr) != 2 || len(lr) != 2 || sr[0] != lr[0] || sr[1] != lr[1] {
+		t.Fatalf("loaded-snapshot results differ from fresh run\nfresh: %v\nloaded: %v", sr, lr)
+	}
+
+	// Flag interactions: both flags, no streaming run, mismatched clusters.
+	for _, args := range [][]string{
+		{"-data", dataDir, "-cand", "8", "-save-snapshot", snapPath, "-load-snapshot", snapPath},
+		{"-data", dataDir, "-save-snapshot", snapPath},
+		{"-data", dataDir, "-load-snapshot", snapPath},
+		{"-data", dataDir, "-cand", "8", "-ann", "16", "-m", "DInf", "-load-snapshot", snapPath},
+	} {
+		cmd := exec.Command(filepath.Join(bins, "entmatcher"), args...)
+		if out, err := cmd.CombinedOutput(); err == nil {
+			t.Fatalf("invalid flag combination %v accepted:\n%s", args, out)
+		}
+	}
+
+	// A flipped byte mid-file must be detected, never silently served.
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	badPath := filepath.Join(dir, "corrupt.snap")
+	if err := os.WriteFile(badPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(bins, "entmatcher"),
+		"-data", dataDir, "-cand", "8", "-ann", "4", "-m", "DInf", "-load-snapshot", badPath)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupted snapshot accepted:\n%s", out)
+	}
+	if !strings.Contains(string(out), "snapshot") {
+		t.Fatalf("corruption error does not mention the snapshot:\n%s", out)
+	}
+}
+
+// TestCLIEntserverServesAndDrains boots the alignment server on a saved
+// snapshot, queries it over HTTP, and verifies that SIGTERM produces a
+// graceful drain and a zero exit.
+func TestCLIEntserverServesAndDrains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "dz")
+	runTool(t, filepath.Join(bins, "datagen"), "-profile", "D-Z", "-scale", "0.02", "-out", dataDir)
+	snapPath := filepath.Join(dir, "prep.snap")
+	runTool(t, filepath.Join(bins, "entmatcher"),
+		"-data", dataDir, "-cand", "8", "-ann", "4", "-m", "DInf", "-save-snapshot", snapPath)
+
+	cmd := exec.Command(filepath.Join(bins, "entserver"), "-snapshot", snapPath, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The serving line is printed only after Listen succeeded.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if _, rest, ok := strings.Cut(sc.Text(), " on "); ok {
+			addr = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never reported its address (scanner err %v)", sc.Err())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get("/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("/readyz: %d %s", code, body)
+	}
+	code, body := get("/match/topk?row=0&k=3")
+	if code != http.StatusOK || !strings.Contains(body, "results") {
+		t.Fatalf("/match/topk: %d %s", code, body)
+	}
+
+	// SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var drained bool
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "drained") {
+			drained = true
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("entserver exit after SIGTERM: %v", err)
+	}
+	if !drained {
+		t.Fatal("server exited without reporting a drain")
 	}
 }
 

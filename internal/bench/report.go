@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"strings"
+
+	"entmatcher/internal/snapshot"
 )
 
 // Record is one machine-readable measurement emitted by an experiment, in
@@ -83,6 +85,16 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// WriteFile publishes the report at path atomically — temp file, fsync,
+// rename, via the crash-safe helper shared with the snapshot writer — so an
+// interrupted benchtab run can never truncate a previously committed
+// BENCH_*.json down to a partial document.
+func (r *Report) WriteFile(path string) error {
+	return snapshot.AtomicWriteFile(path, func(w io.Writer) error {
+		return r.WriteJSON(w)
+	})
 }
 
 // hostCPU reads the CPU model name from /proc/cpuinfo (Linux); elsewhere it

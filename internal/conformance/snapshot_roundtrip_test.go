@@ -1,0 +1,208 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"entmatcher"
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/matrix"
+)
+
+// The snapshot contract is the same one that pins sparse and ANN to dense:
+// serving from a loaded snapshot is an implementation detail, not an
+// approximation. These tests prove it end to end through the public
+// pipeline — prepared tables, candidate graphs, and matcher results from a
+// loaded snapshot must be bit-identical to a fresh preparation, not merely
+// close.
+
+func roundTripDataset(t *testing.T) *entmatcher.Dataset {
+	t.Helper()
+	d, err := datagen.GenerateSplit(datagen.DBP15KZhEn.Scaled(0.01), 0.2, 0.1)
+	if err != nil {
+		t.Fatalf("generating dataset: %v", err)
+	}
+	return d
+}
+
+func roundTripConfig() entmatcher.PipelineConfig {
+	return entmatcher.PipelineConfig{
+		CandidateBudget: 16,
+		ANN:             &entmatcher.ANNConfig{Clusters: 8, NProbe: 8},
+	}
+}
+
+// prepareFreshAndLoaded runs the same configuration three ways — fresh,
+// fresh-with-save, loaded-from-the-save — and returns the fresh and loaded
+// runs.
+func prepareFreshAndLoaded(t *testing.T, d *entmatcher.Dataset, cfg entmatcher.PipelineConfig) (fresh, loaded *entmatcher.Run) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prep.snap")
+
+	saveCfg := cfg
+	saveCfg.SaveSnapshot = path
+	if _, err := entmatcher.NewPipeline(saveCfg).Prepare(d); err != nil {
+		t.Fatalf("prepare with save: %v", err)
+	}
+
+	fresh, err := entmatcher.NewPipeline(cfg).Prepare(d)
+	if err != nil {
+		t.Fatalf("fresh prepare: %v", err)
+	}
+
+	loadCfg := cfg
+	loadCfg.LoadSnapshot = path
+	loaded, err = entmatcher.NewPipeline(loadCfg).Prepare(d)
+	if err != nil {
+		t.Fatalf("prepare from snapshot: %v", err)
+	}
+	return fresh, loaded
+}
+
+func TestSnapshotRoundTripTablesBitIdentical(t *testing.T) {
+	d := roundTripDataset(t)
+	fresh, loaded := prepareFreshAndLoaded(t, d, roundTripConfig())
+
+	fs, ft := fresh.Stream.PreparedTables()
+	ls, lt := loaded.Stream.PreparedTables()
+	if !fs.EqualBits(ls) {
+		t.Error("loaded source table differs in bits from fresh preparation")
+	}
+	if !ft.EqualBits(lt) {
+		t.Error("loaded target table differs in bits from fresh preparation")
+	}
+	if len(fresh.Task.SourceIDs) != len(loaded.Task.SourceIDs) {
+		t.Fatalf("task shape changed: fresh %d rows, loaded %d", len(fresh.Task.SourceIDs), len(loaded.Task.SourceIDs))
+	}
+}
+
+func TestSnapshotRoundTripCandGraphsBitIdentical(t *testing.T) {
+	d := roundTripDataset(t)
+	fresh, loaded := prepareFreshAndLoaded(t, d, roundTripConfig())
+
+	ctx := context.Background()
+	for name, run := range map[string]*entmatcher.Run{"fresh": fresh, "loaded": loaded} {
+		if _, ok := run.Ctx.Stream.(matrix.CandGraphProducer); !ok {
+			t.Fatalf("%s run's stream is not a candidate-graph producer", name)
+		}
+	}
+	fg, err := fresh.Ctx.Stream.(matrix.CandGraphProducer).ProduceCandGraph(ctx, 8)
+	if err != nil {
+		t.Fatalf("fresh candidate graph: %v", err)
+	}
+	lg, err := loaded.Ctx.Stream.(matrix.CandGraphProducer).ProduceCandGraph(ctx, 8)
+	if err != nil {
+		t.Fatalf("loaded candidate graph: %v", err)
+	}
+	if fg.Rows() != lg.Rows() || fg.Cols() != lg.Cols() || fg.NNZ() != lg.NNZ() {
+		t.Fatalf("graph shapes differ: fresh %d×%d/%d, loaded %d×%d/%d",
+			fg.Rows(), fg.Cols(), fg.NNZ(), lg.Rows(), lg.Cols(), lg.NNZ())
+	}
+	for i := 0; i < fg.Rows(); i++ {
+		fc, fs := fg.Row(i)
+		lc, ls := lg.Row(i)
+		if len(fc) != len(lc) {
+			t.Fatalf("row %d: fresh has %d candidates, loaded %d", i, len(fc), len(lc))
+		}
+		for j := range fc {
+			if fc[j] != lc[j] || fs[j] != ls[j] {
+				t.Fatalf("row %d slot %d: fresh (%d, %v), loaded (%d, %v)",
+					i, j, fc[j], fs[j], lc[j], ls[j])
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripMatcherResultsIdentical(t *testing.T) {
+	d := roundTripDataset(t)
+	fresh, loaded := prepareFreshAndLoaded(t, d, roundTripConfig())
+
+	for _, mk := range []struct {
+		name string
+		make func() entmatcher.Matcher
+	}{
+		{"DInf", func() entmatcher.Matcher { return entmatcher.NewDInfStream() }},
+		{"CSLS", func() entmatcher.Matcher { return entmatcher.NewCSLSSparse(16, 1) }},
+		{"RInf", func() entmatcher.Matcher { return entmatcher.NewRInfSparse(16) }},
+		{"Hun.", func() entmatcher.Matcher { return entmatcher.NewHungarianSparse(16) }},
+	} {
+		fres, fmet, err := fresh.Match(mk.make())
+		if err != nil {
+			t.Fatalf("%s on fresh run: %v", mk.name, err)
+		}
+		lres, lmet, err := loaded.Match(mk.make())
+		if err != nil {
+			t.Fatalf("%s on loaded run: %v", mk.name, err)
+		}
+		if fmet != lmet {
+			t.Errorf("%s: metrics differ: fresh %+v, loaded %+v", mk.name, fmet, lmet)
+		}
+		if len(fres.Pairs) != len(lres.Pairs) {
+			t.Fatalf("%s: fresh matched %d pairs, loaded %d", mk.name, len(fres.Pairs), len(lres.Pairs))
+		}
+		for i := range fres.Pairs {
+			if fres.Pairs[i] != lres.Pairs[i] {
+				// Pair equality includes the float64 score — bit identity,
+				// not tolerance.
+				t.Fatalf("%s pair %d: fresh %+v, loaded %+v", mk.name, i, fres.Pairs[i], lres.Pairs[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripWithoutANN pins the exact-sparse path: a snapshot
+// without index sections must reproduce the exhaustive candidate build.
+func TestSnapshotRoundTripWithoutANN(t *testing.T) {
+	d := roundTripDataset(t)
+	cfg := entmatcher.PipelineConfig{CandidateBudget: 16}
+	fresh, loaded := prepareFreshAndLoaded(t, d, cfg)
+
+	fres, _, err := fresh.Match(entmatcher.NewRInfSparse(16))
+	if err != nil {
+		t.Fatalf("fresh match: %v", err)
+	}
+	lres, _, err := loaded.Match(entmatcher.NewRInfSparse(16))
+	if err != nil {
+		t.Fatalf("loaded match: %v", err)
+	}
+	if len(fres.Pairs) != len(lres.Pairs) {
+		t.Fatalf("fresh matched %d pairs, loaded %d", len(fres.Pairs), len(lres.Pairs))
+	}
+	for i := range fres.Pairs {
+		if fres.Pairs[i] != lres.Pairs[i] {
+			t.Fatalf("pair %d: fresh %+v, loaded %+v", i, fres.Pairs[i], lres.Pairs[i])
+		}
+	}
+}
+
+// TestSnapshotLoadRejectsMismatchedConfig is the flag-interaction contract
+// at the pipeline layer: a snapshot is never silently rebuilt or
+// reinterpreted for a configuration it was not prepared for.
+func TestSnapshotLoadRejectsMismatchedConfig(t *testing.T) {
+	d := roundTripDataset(t)
+	path := filepath.Join(t.TempDir(), "prep.snap")
+	saveCfg := roundTripConfig()
+	saveCfg.SaveSnapshot = path
+	if _, err := entmatcher.NewPipeline(saveCfg).Prepare(d); err != nil {
+		t.Fatalf("prepare with save: %v", err)
+	}
+
+	for name, mutate := range map[string]func(*entmatcher.PipelineConfig){
+		"different features":     func(c *entmatcher.PipelineConfig) { c.Features = entmatcher.FeatureName },
+		"different setting":      func(c *entmatcher.PipelineConfig) { c.Setting = entmatcher.SettingUnmatchable },
+		"different metric":       func(c *entmatcher.PipelineConfig) { c.ANN = nil; c.Metric = entmatcher.MetricEuclidean },
+		"mismatched ANN cluster": func(c *entmatcher.PipelineConfig) { c.ANN.Clusters = 13 },
+		"nprobe past clusters":   func(c *entmatcher.PipelineConfig) { c.ANN.Clusters = 0; c.ANN.NProbe = 99 },
+	} {
+		cfg := roundTripConfig()
+		cfg.ANN = &entmatcher.ANNConfig{Clusters: 8, NProbe: 8} // own copy per case
+		cfg.LoadSnapshot = path
+		mutate(&cfg)
+		_, err := entmatcher.NewPipeline(cfg).Prepare(d)
+		if !errors.Is(err, entmatcher.ErrSnapshotMismatch) {
+			t.Errorf("%s: got %v, want ErrSnapshotMismatch", name, err)
+		}
+	}
+}

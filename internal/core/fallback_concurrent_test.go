@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"entmatcher/internal/matrix"
+)
+
+// The Fallback ladder was built for one budgeted CLI run at a time; the
+// alignment server makes a shared chain concurrent for the first time.
+// These tests drive one chain (and one shared match context) from many
+// goroutines — under -race they prove the chain keeps no hidden mutable
+// state, that degradation bookkeeping stays per-call, and that concurrent
+// callers all receive the same answer.
+
+// concurrencyProbe is a flaky tier that fails every call while recording
+// how many callers are inside it simultaneously.
+type concurrencyProbe struct {
+	calls   atomic.Int64
+	current atomic.Int64
+	peak    atomic.Int64
+	panics  bool
+}
+
+func (p *concurrencyProbe) Name() string { return "probe" }
+
+func (p *concurrencyProbe) Match(ctx *Context) (*Result, error) {
+	p.calls.Add(1)
+	cur := p.current.Add(1)
+	defer p.current.Add(-1)
+	for {
+		peak := p.peak.Load()
+		if cur <= peak || p.peak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond) // widen the concurrency window
+	if p.panics {
+		panic("probe tier panics")
+	}
+	return nil, errors.New("probe tier always fails")
+}
+
+func concurrentContext(t *testing.T, n int) *Context {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	s := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s.Set(i, j, rng.Float64())
+		}
+		s.Set(i, i, 2) // make the diagonal the unambiguous answer
+	}
+	return &Context{S: s}
+}
+
+func runConcurrently(t *testing.T, chain *Fallback, mctx *Context, callers, iters int) []*Result {
+	t.Helper()
+	results := make([]*Result, callers*iters)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				res, err := chain.Match(mctx)
+				if err != nil {
+					t.Errorf("caller %d iteration %d: %v", c, i, err)
+					return
+				}
+				results[c*iters+i] = res
+			}
+		}(c)
+	}
+	wg.Wait()
+	return results
+}
+
+// TestFallbackConcurrentCallers shares one chain and one context across many
+// goroutines: every call must degrade past the flaky tier independently and
+// produce the same final answer.
+func TestFallbackConcurrentCallers(t *testing.T) {
+	const callers, iters = 8, 5
+	probe := &concurrencyProbe{}
+	chain := NewFallback(0, probe, NewDInf())
+	mctx := concurrentContext(t, 24)
+
+	results := runConcurrently(t, chain, mctx, callers, iters)
+
+	if got := probe.calls.Load(); got != callers*iters {
+		t.Fatalf("flaky tier saw %d calls, want %d (per-call degradation leaked across callers)", got, callers*iters)
+	}
+	if probe.peak.Load() < 2 {
+		t.Logf("warning: peak tier concurrency %d — the race window did not overlap", probe.peak.Load())
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		if res.Matcher != "DInf" {
+			t.Fatalf("result %d answered by %q, want DInf", i, res.Matcher)
+		}
+		if len(res.DegradedFrom) != 1 || res.DegradedFrom[0] != "probe" {
+			t.Fatalf("result %d DegradedFrom = %v, want [probe]", i, res.DegradedFrom)
+		}
+		if len(res.Pairs) != 24 {
+			t.Fatalf("result %d has %d pairs, want 24", i, len(res.Pairs))
+		}
+		for _, p := range res.Pairs {
+			if p.Source != p.Target {
+				t.Fatalf("result %d matched %d→%d, want the diagonal", i, p.Source, p.Target)
+			}
+		}
+	}
+}
+
+// TestFallbackConcurrentPanickingTier is the same ladder with the flaky
+// tier panicking instead of erroring: SafeMatch must contain every panic
+// per-call, with no cross-caller corruption.
+func TestFallbackConcurrentPanickingTier(t *testing.T) {
+	probe := &concurrencyProbe{panics: true}
+	chain := NewFallback(0, probe, NewDInf())
+	mctx := concurrentContext(t, 16)
+
+	results := runConcurrently(t, chain, mctx, 8, 3)
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("result %d missing", i)
+		}
+		if res.Matcher != "DInf" || len(res.DegradedFrom) != 1 {
+			t.Fatalf("result %d: matcher %q degraded from %v", i, res.Matcher, res.DegradedFrom)
+		}
+	}
+}
+
+// TestFallbackConcurrentBudgets gives every caller its own deadline on the
+// shared chain: budget bookkeeping must not bleed between calls, and a
+// caller whose own context expires mid-chain gets the context error, not a
+// degraded answer.
+func TestFallbackConcurrentBudgets(t *testing.T) {
+	probe := &concurrencyProbe{}
+	chain := NewFallback(50*time.Millisecond, probe, NewDInf())
+	base := concurrentContext(t, 16)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for c := 0; c < len(errs); c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mctx := *base
+			if c%2 == 0 {
+				// Already-expired caller context: must surface the
+				// cancellation, never a fallback answer.
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				mctx.Ctx = ctx
+				_, err := chain.Match(&mctx)
+				if !errors.Is(err, context.Canceled) {
+					errs[c] = fmt.Errorf("cancelled caller got %v, want context.Canceled", err)
+				}
+				return
+			}
+			res, err := chain.Match(&mctx)
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if res.Matcher != "DInf" {
+				errs[c] = fmt.Errorf("answered by %q, want DInf", res.Matcher)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("caller %d: %v", c, err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package exitcode is the single home of the process exit-code convention
+// shared by every CLI in this repository (entmatcher, benchtab, entserver):
+//
+//	0 (OK)       — the run completed as requested.
+//	1 (Failure)  — the run failed: bad input, I/O error, matcher error.
+//	2 (Usage)    — flag parsing rejected the command line (the flag
+//	               package's own convention; listed here for completeness,
+//	               the CLIs never return it themselves).
+//	3 (Degraded) — the run completed and produced answers, but at least one
+//	               matcher degraded to a cheaper fallback tier under its
+//	               time budget. Scripted callers treating any non-zero exit
+//	               as fatal will catch it; callers that can accept a
+//	               best-effort answer test for 3 explicitly.
+//
+// entserver is the one surface where degradation is per-request rather than
+// per-process: it reports the same condition in the response body's
+// "degraded_from" field (see internal/server) and reserves its exit code
+// for the process outcome — 0 after a clean SIGTERM drain, 1 on a serve or
+// startup failure.
+package exitcode
+
+// The convention's values. These are stable interface, not implementation
+// detail: scripts and CI smoke steps match on them.
+const (
+	OK       = 0
+	Failure  = 1
+	Usage    = 2
+	Degraded = 3
+)

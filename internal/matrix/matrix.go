@@ -107,6 +107,22 @@ func (m *Dense) Clone() *Dense {
 // SizeBytes returns the approximate heap footprint of the matrix payload.
 func (m *Dense) SizeBytes() int64 { return int64(len(m.data)) * 8 }
 
+// EqualBits reports whether m and o have the same shape and bit-identical
+// payloads (IEEE-754 bit patterns, so NaNs compare by representation and
+// -0 != +0). This is the equality the conformance and snapshot round-trip
+// suites pin: not "close enough", the same bits.
+func (m *Dense) EqualBits(o *Dense) bool {
+	if o == nil || m.rows != o.rows || m.cols != o.cols {
+		return false
+	}
+	for i, v := range m.data {
+		if math.Float64bits(v) != math.Float64bits(o.data[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Fill sets every element to v.
 func (m *Dense) Fill(v float64) {
 	for i := range m.data {

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a small mutex-guarded LRU for /match/topk responses. The
+// working set of an alignment service is heavily skewed — popular entities
+// are queried repeatedly — so even a modest cache absorbs most of the
+// repeated index probes without unbounded growth.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element, capacity)}
+}
+
+// get returns the cached value and promotes the entry to most-recent.
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts or refreshes an entry, evicting the least-recent past capacity.
+func (c *lruCache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

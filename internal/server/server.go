@@ -1,0 +1,584 @@
+// Package server implements the hardened alignment server behind
+// cmd/entserver. It loads one crash-safe snapshot (internal/snapshot) at
+// startup and serves entity-alignment queries over HTTP through the existing
+// streaming/ANN machinery:
+//
+//   - GET  /match/topk  — point lookup: top-k target candidates for one
+//     source entity, served from the persisted IVF index when present and
+//     degrading to the exact streaming scan when the index fails.
+//   - POST /align       — batch job: run a matcher over the whole task
+//     through the Fallback degradation ladder (matcher@ann → matcher@exact).
+//   - GET  /healthz     — liveness: the process is up.
+//   - GET  /readyz      — readiness: snapshot loaded and not draining.
+//
+// Robustness contract (see DESIGN.md § 13):
+//
+//   - Admission gate: at most MaxInFlight requests execute concurrently.
+//     Excess load is shed immediately with 429 + Retry-After — the server
+//     never queues unboundedly, so overload cannot become an OOM or a
+//     latency collapse.
+//   - Deadlines: every request runs under RequestTimeout riding the
+//     cooperative-cancellation plumbing; a deadline hit returns 504.
+//   - Degradation is surfaced, never silent: when a cheaper path answered,
+//     the response carries the failed tiers in "degraded_from" (the HTTP
+//     analogue of the CLIs' exit code 3; see internal/exitcode).
+//   - Panics become 500s: matcher panics are contained by core.SafeMatch
+//     and the Fallback ladder, handler panics by the recovery middleware.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/core"
+	"entmatcher/internal/matrix"
+	"entmatcher/internal/sim"
+	"entmatcher/internal/snapshot"
+)
+
+// Config tunes the server. Zero values mean the documented defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing /match/topk and /align
+	// requests — the admission gate's capacity. Default 16.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline. Default 10s.
+	RequestTimeout time.Duration
+	// CacheSize is the /match/topk LRU capacity in entries. Default 1024.
+	CacheSize int
+	// MaxK caps the k a /match/topk request may ask for. Default 128.
+	MaxK int
+	// NProbe overrides the IVF probe count for /match/topk index searches
+	// (0 = the snapshot's recorded value, or an auto default).
+	NProbe int
+	// MaxSnapshotBytes bounds the snapshot file size accepted at load
+	// (0 = snapshot.DefaultMaxBytes).
+	MaxSnapshotBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 1024
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 128
+	}
+	return c
+}
+
+// TopKSearcher answers point top-k queries for one source row. It is the
+// seam the degradation ladder walks — index-backed first, exact scan last —
+// and the seam fault-injection tests replace to prove the walk happens.
+type TopKSearcher interface {
+	// Name labels the searcher in the response's served_by/degraded_from.
+	Name() string
+	// Search returns the top-k target columns for source row, best first.
+	Search(ctx context.Context, row, k int) (matrix.TopK, error)
+}
+
+// Option customizes a Server at construction; the With* helpers are the
+// fault-injection seams used by the robustness tests.
+type Option func(*Server)
+
+// WithPrimarySearcher replaces the primary (index-backed) /match/topk
+// searcher. The exact scan stays as the fallback tier, so an injected
+// failing searcher exercises the degradation path end to end.
+func WithPrimarySearcher(s TopKSearcher) Option {
+	return func(srv *Server) { srv.searchers[0] = s }
+}
+
+// WithAlignSource replaces the tile source behind the /align ANN tier, so a
+// test can make the first tier fail (or succeed) deterministically.
+func WithAlignSource(src matrix.TileSource) Option {
+	return func(srv *Server) { srv.annSrc = src }
+}
+
+// Server is one loaded snapshot plus the HTTP machinery around it. All
+// fields are set at construction and immutable afterwards except the
+// draining flag and the cache, both safe for concurrent use.
+type Server struct {
+	cfg    Config
+	snap   *snapshot.Snapshot
+	stream *sim.Stream
+	annSrc matrix.TileSource // nil when the snapshot has no index
+
+	searchers []TopKSearcher // walked in order; last is the exact scan
+	srcByName map[string]int
+	colIDs    []int // 0..cols-1, shared by the exact scans
+
+	cache    *lruCache
+	gate     chan struct{}
+	draining atomic.Bool
+	inflight atomic.Int64
+}
+
+// New loads the snapshot at path and builds a ready-to-serve Server.
+func New(path string, cfg Config, opts ...Option) (*Server, error) {
+	limit := cfg.MaxSnapshotBytes
+	if limit <= 0 {
+		limit = snapshot.DefaultMaxBytes
+	}
+	snap, err := snapshot.LoadLimit(path, limit)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSnapshot(snap, cfg, opts...)
+}
+
+// NewFromSnapshot builds a Server over an already validated snapshot.
+func NewFromSnapshot(snap *snapshot.Snapshot, cfg Config, opts ...Option) (*Server, error) {
+	cfg = cfg.withDefaults()
+	stream, err := sim.NewStreamPrepared(snap.SrcTable, snap.TgtTable, sim.Metric(snap.Meta.Metric))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		snap:      snap,
+		stream:    stream,
+		srcByName: make(map[string]int, len(snap.SrcVocab)),
+		colIDs:    make([]int, snap.TgtTable.Rows()),
+		cache:     newLRU(cfg.CacheSize),
+		gate:      make(chan struct{}, cfg.MaxInFlight),
+	}
+	for i, name := range snap.SrcVocab {
+		s.srcByName[name] = i
+	}
+	for j := range s.colIDs {
+		s.colIDs[j] = j
+	}
+	s.searchers = []TopKSearcher{nil, &exactSearcher{s: s}}
+	if snap.FwdIndex != nil {
+		fwd, err := ann.FromData(snap.FwdIndex)
+		if err != nil {
+			return nil, err
+		}
+		var rev *ann.IVF
+		if snap.RevIndex != nil {
+			if rev, err = ann.FromData(snap.RevIndex); err != nil {
+				return nil, err
+			}
+		}
+		nprobe := cfg.NProbe
+		if nprobe <= 0 {
+			nprobe = snap.Meta.ANN.NProbe
+		}
+		if nprobe > fwd.Clusters() {
+			nprobe = fwd.Clusters()
+		}
+		s.searchers[0] = &ivfSearcher{s: s, ivf: fwd, nprobe: nprobe}
+		src, err := ann.NewSourceWithIndexes(stream, snap.SrcTable, snap.TgtTable, ann.Config{
+			Clusters:   snap.FwdIndex.K,
+			NProbe:     nprobe,
+			SampleSize: snap.Meta.ANN.SampleSize,
+			Iters:      snap.Meta.ANN.Iters,
+			Seed:       snap.Meta.ANN.Seed,
+		}, fwd, rev)
+		if err != nil {
+			return nil, err
+		}
+		s.annSrc = src
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.searchers[0] == nil {
+		s.searchers = s.searchers[1:] // no index, no injected primary: exact only
+	}
+	return s, nil
+}
+
+// Dims reports the served task's source×target shape.
+func (s *Server) Dims() (rows, cols int) {
+	return s.snap.SrcTable.Rows(), s.snap.TgtTable.Rows()
+}
+
+// StartDrain flips the server to draining: /readyz turns 503 so load
+// balancers stop routing here, while in-flight requests run to completion
+// (the caller then awaits them via http.Server.Shutdown).
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight reports the number of requests currently past the admission gate.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// Handler returns the server's HTTP handler: the four endpoints behind the
+// recovery middleware, with the gated endpoints behind admission + deadline.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/match/topk", s.gated(http.HandlerFunc(s.handleTopK)))
+	mux.Handle("/align", s.gated(http.HandlerFunc(s.handleAlign)))
+	return s.recovered(mux)
+}
+
+// recovered turns handler panics into 500s instead of torn connections.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("entserver: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// gated wraps a work endpoint in the admission gate and per-request
+// deadline. The gate is a non-blocking semaphore: when MaxInFlight requests
+// are already executing, the request is shed immediately with 429 +
+// Retry-After — shedding early and cheaply is what keeps the deadline
+// meaningful for the requests that are admitted.
+func (s *Server) gated(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			s.inflight.Add(-1)
+			<-s.gate
+		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	rows, cols := s.Dims()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready", "rows": rows, "cols": cols,
+		"index": s.snap.FwdIndex != nil,
+	})
+}
+
+// topKResponse is one /match/topk answer. DegradedFrom lists the searchers
+// that failed before ServedBy answered — the response-level analogue of the
+// CLIs' degradation exit code.
+type topKResponse struct {
+	Query        string      `json:"query"`
+	Row          int         `json:"row"`
+	K            int         `json:"k"`
+	ServedBy     string      `json:"served_by"`
+	DegradedFrom []string    `json:"degraded_from,omitempty"`
+	Cached       bool        `json:"cached,omitempty"`
+	Results      []topKEntry `json:"results"`
+}
+
+type topKEntry struct {
+	Col   int     `json:"col"`
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	row, name, ok := s.sourceRow(w, r)
+	if !ok {
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+		k = n
+	}
+	if k > s.cfg.MaxK {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("k %d exceeds the server's limit %d", k, s.cfg.MaxK))
+		return
+	}
+	if cols := s.snap.TgtTable.Rows(); k > cols {
+		k = cols
+	}
+
+	key := strconv.Itoa(row) + "|" + strconv.Itoa(k)
+	if v, ok := s.cache.get(key); ok {
+		resp := v.(topKResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	var degraded []string
+	for _, searcher := range s.searchers {
+		top, err := searcher.Search(r.Context(), row, k)
+		if err == nil {
+			resp := topKResponse{
+				Query: name, Row: row, K: k,
+				ServedBy: searcher.Name(), DegradedFrom: degraded,
+				Results: make([]topKEntry, len(top.Indices)),
+			}
+			for i, col := range top.Indices {
+				resp.Results[i] = topKEntry{Col: col, Name: s.snap.TgtVocab[col], Score: top.Values[i]}
+			}
+			s.cache.add(key, resp)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if r.Context().Err() != nil {
+			// The deadline, not the searcher, failed: degrading further
+			// would just time out again slower.
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+			return
+		}
+		log.Printf("entserver: searcher %s failed for row %d: %v (degrading)", searcher.Name(), row, err)
+		degraded = append(degraded, searcher.Name())
+	}
+	writeError(w, http.StatusInternalServerError,
+		fmt.Sprintf("all searchers failed (%v)", degraded))
+}
+
+// sourceRow resolves the query's source entity from ?src=<name> or
+// ?row=<index>, writing the HTTP error itself when the lookup fails.
+func (s *Server) sourceRow(w http.ResponseWriter, r *http.Request) (int, string, bool) {
+	q := r.URL.Query()
+	if name := q.Get("src"); name != "" {
+		row, ok := s.srcByName[name]
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown source entity %q", name))
+			return 0, "", false
+		}
+		return row, name, true
+	}
+	if v := q.Get("row"); v != "" {
+		row, err := strconv.Atoi(v)
+		if err != nil || row < 0 || row >= s.snap.SrcTable.Rows() {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("row must be an integer in [0, %d)", s.snap.SrcTable.Rows()))
+			return 0, "", false
+		}
+		return row, s.snap.SrcVocab[row], true
+	}
+	writeError(w, http.StatusBadRequest, "missing query parameter: src=<entity name> or row=<index>")
+	return 0, "", false
+}
+
+// alignRequest is the /align body. Matcher names mirror the CLI's sparse
+// set; Cand is the top-C candidate budget for the sparse twins; BudgetMS
+// bounds the degradation ladder (0 = the request deadline).
+type alignRequest struct {
+	Matcher   string `json:"matcher"`
+	Cand      int    `json:"cand"`
+	CSLSK     int    `json:"csls_k"`
+	SinkhornL int    `json:"sinkhorn_l"`
+	BudgetMS  int    `json:"budget_ms"`
+}
+
+type alignResponse struct {
+	Matcher      string      `json:"matcher"`
+	DegradedFrom []string    `json:"degraded_from,omitempty"`
+	Pairs        int         `json:"pairs"`
+	Abstained    int         `json:"abstained"`
+	ElapsedMS    int64       `json:"elapsed_ms"`
+	Matches      []alignPair `json:"matches"`
+}
+
+type alignPair struct {
+	Source     int     `json:"source"`
+	Target     int     `json:"target"`
+	SourceName string  `json:"source_name"`
+	TargetName string  `json:"target_name"`
+	Score      float64 `json:"score"`
+}
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST a JSON body: {\"matcher\": \"DInf\"}")
+		return
+	}
+	var req alignRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	m, err := s.alignMatcher(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	budget := s.cfg.RequestTimeout
+	if req.BudgetMS > 0 {
+		budget = time.Duration(req.BudgetMS) * time.Millisecond
+	}
+	// The degradation ladder: the requested matcher on the ANN source,
+	// then the same matcher on the exact stream. The exact tier is the
+	// safety net — Fallback runs it under the request deadline only.
+	var tiers []core.Matcher
+	if s.annSrc != nil {
+		tiers = append(tiers, &sourced{m: m, src: s.annSrc, suffix: "@ann"})
+	}
+	tiers = append(tiers, &sourced{m: m, src: s.stream, suffix: "@exact"})
+	chain := core.NewFallback(budget, tiers...)
+
+	mctx := &core.Context{Stream: s.stream, Ctx: r.Context()}
+	res, err := core.SafeMatch(chain, mctx)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := alignResponse{
+		Matcher:      res.Matcher,
+		DegradedFrom: res.DegradedFrom,
+		Pairs:        len(res.Pairs),
+		Abstained:    len(res.Abstained),
+		ElapsedMS:    res.Elapsed.Milliseconds(),
+		Matches:      make([]alignPair, len(res.Pairs)),
+	}
+	for i, p := range res.Pairs {
+		resp.Matches[i] = alignPair{
+			Source: p.Source, Target: p.Target,
+			SourceName: s.snap.SrcVocab[p.Source], TargetName: s.snap.TgtVocab[p.Target],
+			Score: p.Score,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// alignMatcher builds the requested matcher. The set mirrors the CLI's
+// sparse candidate-graph twins plus streaming DInf.
+func (s *Server) alignMatcher(req alignRequest) (core.Matcher, error) {
+	cand := req.Cand
+	cols := s.snap.TgtTable.Rows()
+	if cand <= 0 {
+		cand = 32
+	}
+	if cand > cols {
+		cand = cols
+	}
+	cslsK := req.CSLSK
+	if cslsK <= 0 {
+		cslsK = 1
+	}
+	sinkL := req.SinkhornL
+	if sinkL <= 0 {
+		sinkL = 100
+	}
+	switch req.Matcher {
+	case "", "DInf":
+		return core.NewDInfStream(), nil
+	case "CSLS":
+		return core.NewCSLSSparse(cand, cslsK), nil
+	case "RInf":
+		return core.NewRInfSparse(cand), nil
+	case "Sink.":
+		return core.NewSinkhornSparse(cand, sinkL), nil
+	case "Hun.":
+		return core.NewHungarianSparse(cand), nil
+	case "SMat":
+		return core.NewSMatSparse(cand), nil
+	default:
+		return nil, fmt.Errorf("unknown matcher %q (have: DInf, CSLS, RInf, Sink., Hun., SMat)", req.Matcher)
+	}
+}
+
+// sourced runs a matcher with the match context's tile source swapped, so a
+// Fallback ladder can try the same algorithm against different engines
+// (index-backed, then exact) and record which one answered.
+type sourced struct {
+	m      core.Matcher
+	src    matrix.TileSource
+	suffix string
+}
+
+func (t *sourced) Name() string { return t.m.Name() + t.suffix }
+
+func (t *sourced) Match(ctx *core.Context) (*core.Result, error) {
+	c := *ctx
+	c.Stream = t.src
+	res, err := t.m.Match(&c)
+	if res != nil {
+		res.Matcher = t.Name()
+	}
+	return res, err
+}
+
+// ivfSearcher answers top-k from the persisted IVF index.
+type ivfSearcher struct {
+	s      *Server
+	ivf    *ann.IVF
+	nprobe int
+}
+
+func (i *ivfSearcher) Name() string { return "ann" }
+
+func (i *ivfSearcher) Search(ctx context.Context, row, k int) (matrix.TopK, error) {
+	q, err := matrix.NewFromData(1, i.s.snap.SrcTable.Cols(), i.s.snap.SrcTable.Row(row))
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	res, err := i.ivf.Search(ctx, q, k, i.nprobe)
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	return res[0], nil
+}
+
+// exactSearcher answers top-k from a full streaming score row — the
+// always-correct floor of the searcher ladder, metric-faithful because it
+// goes through the same Block kernel as the batch engines.
+type exactSearcher struct {
+	s *Server
+}
+
+func (e *exactSearcher) Name() string { return "exact" }
+
+func (e *exactSearcher) Search(ctx context.Context, row, k int) (matrix.TopK, error) {
+	block, err := e.s.stream.Block(ctx, []int{row}, e.s.colIDs)
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	scores := block.Row(0)
+	sel := matrix.NewBoundedTopK(k)
+	for j, v := range scores {
+		sel.Offer(v, j)
+	}
+	return sel.Finalize(), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}

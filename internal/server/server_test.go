@@ -1,0 +1,410 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/matrix"
+	"entmatcher/internal/snapshot"
+)
+
+// testSnapshot builds an in-memory snapshot (with IVF indexes) the way the
+// pipeline would: unit-normalized tables, names, trained forward and
+// reverse indexes.
+func testSnapshot(t *testing.T, srcRows, tgtRows, dim, clusters int) *snapshot.Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	mk := func(rows int) *matrix.Dense {
+		m := matrix.New(rows, dim)
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			var s float64
+			for j := range row {
+				row[j] = rng.NormFloat64()
+				s += row[j] * row[j]
+			}
+			inv := 1 / math.Sqrt(s)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		return m
+	}
+	src, tgt := mk(srcRows), mk(tgtRows)
+	names := func(p string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s/%d", p, i)
+		}
+		return out
+	}
+	snap := &snapshot.Snapshot{
+		Meta:     snapshot.Meta{Tool: "test", SrcRows: srcRows, TgtRows: tgtRows, Dim: dim},
+		SrcTable: src, TgtTable: tgt,
+		SrcVocab: names("s", srcRows), TgtVocab: names("t", tgtRows),
+	}
+	if clusters > 0 {
+		fwd, err := ann.Build(context.Background(), tgt, ann.Config{Clusters: clusters, Seed: 1})
+		if err != nil {
+			t.Fatalf("building forward index: %v", err)
+		}
+		rev, err := ann.Build(context.Background(), src, ann.Config{Clusters: clusters, Seed: 2})
+		if err != nil {
+			t.Fatalf("building reverse index: %v", err)
+		}
+		snap.FwdIndex, snap.RevIndex = fwd.Export(), rev.Export()
+		snap.Meta.ANN = &snapshot.ANNMeta{Clusters: clusters, NProbe: clusters, Seed: 1}
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("test snapshot invalid: %v", err)
+	}
+	return snap
+}
+
+func newTestServer(t *testing.T, cfg Config, opts ...Option) *Server {
+	t.Helper()
+	srv, err := NewFromSnapshot(testSnapshot(t, 40, 40, 8, 4), cfg, opts...)
+	if err != nil {
+		t.Fatalf("NewFromSnapshot: %v", err)
+	}
+	return srv
+}
+
+func getJSON(t *testing.T, h http.Handler, url string, wantStatus int) map[string]any {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", url, rec.Code, wantStatus, rec.Body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("GET %s: invalid JSON %q: %v", url, rec.Body, err)
+	}
+	return out
+}
+
+func TestTopKServedByANNAndAgreesWithExact(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	// nprobe = clusters in the test snapshot, so ann and exact must agree.
+	viaANN := getJSON(t, h, "/match/topk?src=s/3&k=5", http.StatusOK)
+	if viaANN["served_by"] != "ann" {
+		t.Fatalf("served_by = %v, want ann", viaANN["served_by"])
+	}
+	exact, err := (&exactSearcher{s: srv}).Search(context.Background(), 3, 5)
+	if err != nil {
+		t.Fatalf("exact search: %v", err)
+	}
+	results := viaANN["results"].([]any)
+	if len(results) != len(exact.Indices) {
+		t.Fatalf("ann returned %d results, exact %d", len(results), len(exact.Indices))
+	}
+	for i, r := range results {
+		got := int(r.(map[string]any)["col"].(float64))
+		if got != exact.Indices[i] {
+			t.Errorf("rank %d: ann col %d, exact col %d", i, got, exact.Indices[i])
+		}
+	}
+}
+
+func TestTopKByRowAndBadQueries(t *testing.T) {
+	srv := newTestServer(t, Config{MaxK: 8})
+	h := srv.Handler()
+	byRow := getJSON(t, h, "/match/topk?row=3&k=2", http.StatusOK)
+	if byRow["query"] != "s/3" {
+		t.Errorf("row lookup resolved to %v, want s/3", byRow["query"])
+	}
+	getJSON(t, h, "/match/topk", http.StatusBadRequest)
+	getJSON(t, h, "/match/topk?src=nope", http.StatusNotFound)
+	getJSON(t, h, "/match/topk?row=999", http.StatusBadRequest)
+	getJSON(t, h, "/match/topk?src=s/0&k=0", http.StatusBadRequest)
+	getJSON(t, h, "/match/topk?src=s/0&k=9", http.StatusBadRequest) // > MaxK
+}
+
+func TestTopKCache(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	first := getJSON(t, h, "/match/topk?src=s/7&k=3", http.StatusOK)
+	if c, ok := first["cached"]; ok && c.(bool) {
+		t.Fatal("first lookup reported cached")
+	}
+	second := getJSON(t, h, "/match/topk?src=s/7&k=3", http.StatusOK)
+	if second["cached"] != true {
+		t.Fatal("second identical lookup not served from cache")
+	}
+	if srv.cache.len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", srv.cache.len())
+	}
+}
+
+// failSearcher fails every search — the injected "index subsystem down".
+type failSearcher struct{ err error }
+
+func (f *failSearcher) Name() string { return "ann" }
+func (f *failSearcher) Search(context.Context, int, int) (matrix.TopK, error) {
+	return matrix.TopK{}, f.err
+}
+
+func TestTopKDegradesToExactAndSurfacesIt(t *testing.T) {
+	srv := newTestServer(t, Config{},
+		WithPrimarySearcher(&failSearcher{err: errors.New("injected index failure")}))
+	resp := getJSON(t, srv.Handler(), "/match/topk?src=s/1&k=3", http.StatusOK)
+	if resp["served_by"] != "exact" {
+		t.Fatalf("served_by = %v, want exact", resp["served_by"])
+	}
+	deg := resp["degraded_from"].([]any)
+	if len(deg) != 1 || deg[0] != "ann" {
+		t.Fatalf("degraded_from = %v, want [ann]", deg)
+	}
+	if len(resp["results"].([]any)) != 3 {
+		t.Fatalf("degraded answer has %d results, want 3", len(resp["results"].([]any)))
+	}
+}
+
+// panicSearcher panics — the recovery middleware must turn it into a 500.
+type panicSearcher struct{}
+
+func (panicSearcher) Name() string { return "ann" }
+func (panicSearcher) Search(context.Context, int, int) (matrix.TopK, error) {
+	panic("injected searcher panic")
+}
+
+func TestPanicBecomes500(t *testing.T) {
+	srv := newTestServer(t, Config{}, WithPrimarySearcher(panicSearcher{}))
+	resp := getJSON(t, srv.Handler(), "/match/topk?src=s/1&k=3", http.StatusInternalServerError)
+	if resp["error"] == nil {
+		t.Fatal("500 body carries no error field")
+	}
+}
+
+// stallSearcher blocks until its request's deadline fires, then reports the
+// context error — a hung index shard.
+type stallSearcher struct{ entered chan struct{} }
+
+func (s *stallSearcher) Name() string { return "ann" }
+func (s *stallSearcher) Search(ctx context.Context, _, _ int) (matrix.TopK, error) {
+	if s.entered != nil {
+		s.entered <- struct{}{}
+	}
+	<-ctx.Done()
+	return matrix.TopK{}, ctx.Err()
+}
+
+func TestDeadlineReturns504(t *testing.T) {
+	srv := newTestServer(t, Config{RequestTimeout: 30 * time.Millisecond},
+		WithPrimarySearcher(&stallSearcher{}))
+	start := time.Now()
+	resp := getJSON(t, srv.Handler(), "/match/topk?src=s/1&k=3", http.StatusGatewayTimeout)
+	if resp["error"] == nil {
+		t.Fatal("504 body carries no error field")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline response took %v", elapsed)
+	}
+}
+
+func TestOverloadShedsWith429(t *testing.T) {
+	stall := &stallSearcher{entered: make(chan struct{}, 1)}
+	srv := newTestServer(t, Config{MaxInFlight: 1, RequestTimeout: 2 * time.Second},
+		WithPrimarySearcher(stall))
+	h := srv.Handler()
+
+	// Occupy the single admission slot with a stalled request...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/match/topk?src=s/1&k=3", nil))
+	}()
+	<-stall.entered
+
+	// ...every further request must be shed immediately, well inside the
+	// in-flight request's own deadline.
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/match/topk?src=s/2&k=3", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429 (body %s)", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 carries no Retry-After header")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shedding took %v — the gate queued instead of shedding", elapsed)
+	}
+	// Health endpoints stay outside the gate: they must answer during
+	// overload, or the orchestrator would kill a merely busy server.
+	getJSON(t, h, "/healthz", http.StatusOK)
+	getJSON(t, h, "/readyz", http.StatusOK)
+	wg.Wait()
+	if got := srv.InFlight(); got != 0 {
+		t.Fatalf("in-flight count %d after drain, want 0", got)
+	}
+}
+
+// failTileSource implements TileSource + CandGraphProducer but fails every
+// call — the /align ANN tier's "index subsystem down".
+type failTileSource struct {
+	inner matrix.TileSource
+	err   error
+}
+
+func (f *failTileSource) Dims() (int, int) { return f.inner.Dims() }
+func (f *failTileSource) StreamTiles(context.Context, ...matrix.TileConsumer) error {
+	return f.err
+}
+func (f *failTileSource) Block(context.Context, []int, []int) (*matrix.Dense, error) {
+	return nil, f.err
+}
+func (f *failTileSource) ProduceCandGraph(context.Context, int) (*matrix.CandGraph, error) {
+	return nil, f.err
+}
+func (f *failTileSource) ProduceCandGraphs(context.Context, int, int) (*matrix.CandGraph, *matrix.CandGraph, error) {
+	return nil, nil, f.err
+}
+func (f *failTileSource) ProduceCandGraphWithColMeans(context.Context, int, int) (*matrix.CandGraph, []float64, error) {
+	return nil, nil, f.err
+}
+
+func postAlign(t *testing.T, h http.Handler, body string, wantStatus int) map[string]any {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/align", bytes.NewBufferString(body))
+	h.ServeHTTP(rec, req)
+	if rec.Code != wantStatus {
+		t.Fatalf("POST /align %s: status %d, want %d (body %s)", body, rec.Code, wantStatus, rec.Body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("POST /align: invalid JSON %q: %v", rec.Body, err)
+	}
+	return out
+}
+
+func TestAlignServedByANNTier(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	resp := postAlign(t, srv.Handler(), `{"matcher":"RInf","cand":8}`, http.StatusOK)
+	if resp["matcher"] != "RInf-sparse@ann" {
+		t.Fatalf("matcher = %v, want RInf-sparse@ann", resp["matcher"])
+	}
+	if resp["degraded_from"] != nil {
+		t.Fatalf("healthy align degraded: %v", resp["degraded_from"])
+	}
+	if int(resp["pairs"].(float64)) == 0 {
+		t.Fatal("align produced no pairs")
+	}
+}
+
+func TestAlignDegradesANNToExact(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	srv2 := newTestServer(t, Config{},
+		WithAlignSource(&failTileSource{inner: srv.stream, err: errors.New("injected ann outage")}))
+	resp := postAlign(t, srv2.Handler(), `{"matcher":"RInf","cand":8}`, http.StatusOK)
+	if resp["matcher"] != "RInf-sparse@exact" {
+		t.Fatalf("matcher = %v, want RInf-sparse@exact", resp["matcher"])
+	}
+	deg, _ := resp["degraded_from"].([]any)
+	if len(deg) != 1 || deg[0] != "RInf-sparse@ann" {
+		t.Fatalf("degraded_from = %v, want [RInf-sparse@ann]", resp["degraded_from"])
+	}
+	// The degraded answer must equal the healthy exact answer: same matcher,
+	// same candidate graphs, just reached through the ladder.
+	healthy := postAlign(t, srv.Handler(), `{"matcher":"RInf","cand":8}`, http.StatusOK)
+	if healthy["pairs"] != resp["pairs"] {
+		t.Fatalf("degraded run found %v pairs, healthy %v", resp["pairs"], healthy["pairs"])
+	}
+}
+
+func TestAlignRejectsBadRequests(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	postAlign(t, h, `{"matcher":"nope"}`, http.StatusBadRequest)
+	postAlign(t, h, `{bad json`, http.StatusBadRequest)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/align", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /align: status %d, want 405", rec.Code)
+	}
+}
+
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	if resp := getJSON(t, h, "/readyz", http.StatusOK); resp["status"] != "ready" {
+		t.Fatalf("readyz = %v, want ready", resp["status"])
+	}
+	srv.StartDrain()
+	if resp := getJSON(t, h, "/readyz", http.StatusServiceUnavailable); resp["status"] != "draining" {
+		t.Fatalf("draining readyz = %v, want draining", resp["status"])
+	}
+	// Liveness is unaffected: draining is healthy, not dead.
+	getJSON(t, h, "/healthz", http.StatusOK)
+}
+
+func TestNoIndexServesExactOnly(t *testing.T) {
+	snap := testSnapshot(t, 12, 12, 4, 0) // no IVF sections
+	srv, err := NewFromSnapshot(snap, Config{})
+	if err != nil {
+		t.Fatalf("NewFromSnapshot: %v", err)
+	}
+	resp := getJSON(t, srv.Handler(), "/match/topk?src=s/2&k=3", http.StatusOK)
+	if resp["served_by"] != "exact" {
+		t.Fatalf("served_by = %v, want exact", resp["served_by"])
+	}
+	ready := getJSON(t, srv.Handler(), "/readyz", http.StatusOK)
+	if ready["index"] != false {
+		t.Fatal("readyz reports an index the snapshot does not hold")
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	srv := newTestServer(t, Config{MaxInFlight: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	var shed, served, other int64
+	var mu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/match/topk?row=%d&k=3", ts.URL, i%40))
+			if err != nil {
+				t.Errorf("request: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				served++
+			case http.StatusTooManyRequests:
+				shed++
+			default:
+				other++
+			}
+		}(i)
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("%d requests got neither 200 nor 429", other)
+	}
+	if served == 0 {
+		t.Fatal("overloaded server served nothing")
+	}
+	t.Logf("served %d, shed %d", served, shed)
+}

@@ -87,6 +87,49 @@ func NewStream(src, tgt *matrix.Dense, metric Metric, opts ...StreamOption) (*St
 	return st, nil
 }
 
+// NewStreamPrepared returns a streaming engine over tables that are already
+// prepared — for cosine, rows already L2-normalized — skipping the
+// normalization pass NewStream performs. This is the snapshot-restore entry
+// point: a snapshot persists the prepared tables bit-for-bit, and
+// re-normalizing near-unit rows would perturb low-order bits and break the
+// load-after-save ≡ fresh-preparation guarantee. Validation (shape,
+// non-empty, finite) is identical to NewStream; the caller is responsible
+// for the tables actually being prepared (the snapshot loader's checksums
+// guarantee it for snapshot-sourced tables).
+func NewStreamPrepared(src, tgt *matrix.Dense, metric Metric, opts ...StreamOption) (*Stream, error) {
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("sim: nil embedding matrix")
+	}
+	if src.Cols() != tgt.Cols() {
+		return nil, fmt.Errorf("sim: embedding dims differ: %d vs %d", src.Cols(), tgt.Cols())
+	}
+	if src.Rows() == 0 || tgt.Rows() == 0 {
+		return nil, fmt.Errorf("%w: %d source rows, %d target rows", ErrEmptyEmbeddings, src.Rows(), tgt.Rows())
+	}
+	if i, j, ok := src.FindNonFinite(); ok {
+		return nil, fmt.Errorf("%w: source[%d,%d] = %v", ErrNonFinite, i, j, src.At(i, j))
+	}
+	if i, j, ok := tgt.FindNonFinite(); ok {
+		return nil, fmt.Errorf("%w: target[%d,%d] = %v", ErrNonFinite, i, j, tgt.At(i, j))
+	}
+	switch metric {
+	case Cosine, Euclidean, Manhattan:
+	default:
+		return nil, fmt.Errorf("sim: unknown metric %v", metric)
+	}
+	st := &Stream{
+		src:      src,
+		tgt:      tgt,
+		metric:   metric,
+		tileRows: matrix.DefaultTileRows,
+		tileCols: matrix.DefaultTileCols,
+	}
+	for _, opt := range opts {
+		opt(st)
+	}
+	return st, nil
+}
+
 // WithDummies returns a view of the stream with n extra virtual columns of
 // constant score appended after the real targets — the streaming equivalent
 // of core.AddDummyColumns for the unmatchable setting. The prepared tables

@@ -1,0 +1,370 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/matrix"
+)
+
+// Load reads and strictly verifies the snapshot at path, with the
+// DefaultMaxBytes size limit. Every structural claim the file makes is
+// bounds-checked before it is believed, and every payload byte is covered by
+// a verified CRC32C, so a truncated, torn, bit-flipped, version-skewed or
+// oversized file comes back as a typed error — never as silently wrong data.
+func Load(path string) (*Snapshot, error) {
+	return LoadLimit(path, DefaultMaxBytes)
+}
+
+// LoadLimit is Load with an explicit size limit.
+func LoadLimit(path string, maxBytes int64) (*Snapshot, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() > maxBytes {
+		return nil, fmt.Errorf("%w: %s is %d bytes, limit %d", ErrTooLarge, path, fi.Size(), maxBytes)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// DecodeReader decodes a snapshot from a byte stream, reading at most
+// maxBytes. It is the seam the fault-injection suite drives: a
+// fault.Reader interposed here models every disk-side corruption.
+func DecodeReader(r io.Reader, maxBytes int64) (*Snapshot, error) {
+	data, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > maxBytes {
+		return nil, fmt.Errorf("%w: stream exceeds %d bytes", ErrTooLarge, maxBytes)
+	}
+	return Decode(data)
+}
+
+// cursor is a bounds-checked reader over one section payload.
+type cursor struct {
+	b   []byte
+	off int
+}
+
+func (c *cursor) remaining() int { return len(c.b) - c.off }
+
+func (c *cursor) u32() (uint32, error) {
+	if c.remaining() < 4 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint32(c.b[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(c.b[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+// dim reads a u64 that must fit comfortably in an int (shape field).
+func (c *cursor) dim() (int, error) {
+	v, err := c.u64()
+	if err != nil {
+		return 0, err
+	}
+	if v > 1<<40 {
+		return 0, fmt.Errorf("%w: implausible dimension %d", ErrMalformed, v)
+	}
+	return int(v), nil
+}
+
+func (c *cursor) bytes(n int) ([]byte, error) {
+	if n < 0 || c.remaining() < n {
+		return nil, ErrTruncated
+	}
+	b := c.b[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *cursor) f64s(n int) ([]float64, error) {
+	b, err := c.bytes(n * 8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+func (c *cursor) i64s(n int) ([]int64, error) {
+	b, err := c.bytes(n * 8)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+func (c *cursor) i32s(n int) ([]int32, error) {
+	b, err := c.bytes(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// done reports ErrMalformed when payload bytes remain unconsumed — a
+// section must account for every byte its checksum covers.
+func (c *cursor) done() error {
+	if c.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in section payload", ErrMalformed, c.remaining())
+	}
+	return nil
+}
+
+// decodeTable decodes a rows/cols-prefixed dense table.
+func decodeTable(payload []byte) (*matrix.Dense, error) {
+	c := &cursor{b: payload}
+	rows, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	cols, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("%w: empty table %d×%d", ErrMalformed, rows, cols)
+	}
+	if int64(rows)*int64(cols)*8 != int64(c.remaining()) {
+		return nil, fmt.Errorf("%w: table claims %d×%d (%d bytes) but payload holds %d",
+			ErrMalformed, rows, cols, int64(rows)*int64(cols)*8, c.remaining())
+	}
+	data, err := c.f64s(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	m, err := matrix.NewFromData(rows, cols, data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	return m, c.done()
+}
+
+// decodeVocab decodes a count-prefixed string list.
+func decodeVocab(payload []byte) ([]string, error) {
+	c := &cursor{b: payload}
+	count, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	if count*4 > c.remaining() {
+		return nil, fmt.Errorf("%w: vocabulary claims %d entries in %d payload bytes", ErrMalformed, count, c.remaining())
+	}
+	out := make([]string, count)
+	for i := range out {
+		n, err := c.u32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := c.bytes(int(n))
+		if err != nil {
+			return nil, fmt.Errorf("%w: vocabulary entry %d overruns its section", ErrMalformed, i)
+		}
+		out[i] = string(b)
+	}
+	return out, c.done()
+}
+
+// decodeIVF decodes an index's flat slabs.
+func decodeIVF(payload []byte) (*ann.IVFData, error) {
+	c := &cursor{b: payload}
+	dim, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	n, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	k, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	if dim <= 0 || n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("%w: index claims shape dim=%d n=%d k=%d", ErrMalformed, dim, n, k)
+	}
+	// Exact expected payload size, computed in int64 to survive hostile
+	// dimension fields (dim() already caps each at 2^40, but products could
+	// still overflow 32-bit ints).
+	want := int64(k)*int64(dim)*8 + int64(k+1)*8 + int64(n)*4 + int64(n)*int64(dim)*8
+	if n%2 != 0 {
+		want += 4 // alignment pad between ids and vecs
+	}
+	if want != int64(c.remaining()) {
+		return nil, fmt.Errorf("%w: index claims %d payload bytes, section holds %d", ErrMalformed, want, c.remaining())
+	}
+	d := &ann.IVFData{Dim: dim, N: n, K: k}
+	if d.Centroids, err = c.f64s(k * dim); err != nil {
+		return nil, err
+	}
+	if d.ListPtr, err = c.i64s(k + 1); err != nil {
+		return nil, err
+	}
+	if d.IDs, err = c.i32s(n); err != nil {
+		return nil, err
+	}
+	if n%2 != 0 {
+		if _, err = c.bytes(4); err != nil {
+			return nil, err
+		}
+	}
+	if d.Vecs, err = c.f64s(n * dim); err != nil {
+		return nil, err
+	}
+	return d, c.done()
+}
+
+// Decode strictly decodes a snapshot from its complete byte image.
+func Decode(data []byte) (*Snapshot, error) {
+	size := int64(len(data))
+	if size < headerLen+footerLen {
+		return nil, fmt.Errorf("%w: %d bytes is smaller than the fixed structure", ErrTruncated, size)
+	}
+	if !bytes.Equal(data[:8], headMagic[:]) {
+		return nil, ErrNotSnapshot
+	}
+	version := binary.LittleEndian.Uint32(data[8:])
+	if version != Version {
+		return nil, fmt.Errorf("%w: file is version %d, this build reads version %d", ErrVersion, version, Version)
+	}
+	nsec := int(binary.LittleEndian.Uint32(data[12:]))
+	if binary.LittleEndian.Uint64(data[16:]) != 0 {
+		return nil, fmt.Errorf("%w: reserved header field is non-zero", ErrMalformed)
+	}
+	// Footer: its tail magic sits at the very end of the file, so any
+	// truncation or torn final write destroys it.
+	foot := data[size-footerLen:]
+	if !bytes.Equal(foot[24:32], tailMagic[:]) {
+		return nil, fmt.Errorf("%w: footer magic missing (file ends mid-write?)", ErrTruncated)
+	}
+	if fv := binary.LittleEndian.Uint32(foot[20:]); fv != version {
+		return nil, fmt.Errorf("%w: header says version %d, footer says %d", ErrMalformed, version, fv)
+	}
+	idxOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	idxLen := int64(binary.LittleEndian.Uint64(foot[8:]))
+	idxCRC := binary.LittleEndian.Uint32(foot[16:])
+	if idxLen != int64(nsec)*indexEntryLen {
+		return nil, fmt.Errorf("%w: header declares %d sections, index holds %d bytes", ErrMalformed, nsec, idxLen)
+	}
+	if idxOff < headerLen || idxOff%8 != 0 || idxOff+idxLen != size-footerLen {
+		return nil, fmt.Errorf("%w: index extent [%d, %d) does not abut the footer at %d",
+			ErrTruncated, idxOff, idxOff+idxLen, size-footerLen)
+	}
+	idx := data[idxOff : idxOff+idxLen]
+	if got := crc32.Checksum(idx, castagnoli); got != idxCRC {
+		return nil, fmt.Errorf("%w: section index CRC %08x, want %08x", ErrChecksum, got, idxCRC)
+	}
+	// Walk the index: entries must be in file order, non-overlapping,
+	// aligned, within the payload area, and each payload must checksum.
+	snap := &Snapshot{}
+	seen := make(map[SectionKind]bool, nsec)
+	prevEnd := int64(headerLen)
+	for i := 0; i < nsec; i++ {
+		ent := idx[i*indexEntryLen:]
+		kind := SectionKind(binary.LittleEndian.Uint32(ent[0:]))
+		off := int64(binary.LittleEndian.Uint64(ent[8:]))
+		slen := int64(binary.LittleEndian.Uint64(ent[16:]))
+		crc := binary.LittleEndian.Uint32(ent[24:])
+		if off%8 != 0 || off < prevEnd || off-prevEnd > 7 || slen < 0 || off+slen > idxOff {
+			return nil, &SectionError{Kind: kind, Offset: off,
+				Err: fmt.Errorf("%w: extent [%d, %d) outside payload area [%d, %d)", ErrMalformed, off, off+slen, prevEnd, idxOff)}
+		}
+		// Alignment padding is part of the format: it must be zero, so every
+		// byte of the file is covered by some integrity check.
+		for _, b := range data[prevEnd:off] {
+			if b != 0 {
+				return nil, &SectionError{Kind: kind, Offset: off, Err: fmt.Errorf("%w: non-zero alignment padding", ErrMalformed)}
+			}
+		}
+		prevEnd = off + slen
+		if seen[kind] {
+			return nil, &SectionError{Kind: kind, Offset: off, Err: fmt.Errorf("%w: duplicate section", ErrMalformed)}
+		}
+		seen[kind] = true
+		payload := data[off : off+slen]
+		if got := crc32.Checksum(payload, castagnoli); got != crc {
+			return nil, &SectionError{Kind: kind, Offset: off,
+				Err: fmt.Errorf("%w: payload CRC %08x, want %08x", ErrChecksum, got, crc)}
+		}
+		var err error
+		switch kind {
+		case SectionMeta:
+			err = json.Unmarshal(payload, &snap.Meta)
+			if err != nil {
+				err = fmt.Errorf("%w: metadata: %v", ErrMalformed, err)
+			}
+		case SectionSrcTable:
+			snap.SrcTable, err = decodeTable(payload)
+		case SectionTgtTable:
+			snap.TgtTable, err = decodeTable(payload)
+		case SectionSrcVocab:
+			snap.SrcVocab, err = decodeVocab(payload)
+		case SectionTgtVocab:
+			snap.TgtVocab, err = decodeVocab(payload)
+		case SectionIVFFwd:
+			snap.FwdIndex, err = decodeIVF(payload)
+		case SectionIVFRev:
+			snap.RevIndex, err = decodeIVF(payload)
+		default:
+			err = fmt.Errorf("%w: unknown section kind", ErrMalformed)
+		}
+		if err != nil {
+			return nil, &SectionError{Kind: kind, Offset: off, Err: err}
+		}
+	}
+	if idxOff-prevEnd > 7 {
+		return nil, fmt.Errorf("%w: %d unaccounted bytes before the section index", ErrMalformed, idxOff-prevEnd)
+	}
+	for _, b := range data[prevEnd:idxOff] {
+		if b != 0 {
+			return nil, fmt.Errorf("%w: non-zero alignment padding before the section index", ErrMalformed)
+		}
+	}
+	for _, required := range []SectionKind{SectionMeta, SectionSrcTable, SectionTgtTable, SectionSrcVocab, SectionTgtVocab} {
+		if !seen[required] {
+			return nil, fmt.Errorf("%w: missing required section %v", ErrMalformed, required)
+		}
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

@@ -1,0 +1,375 @@
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/matrix"
+)
+
+const (
+	headerLen     = 24
+	footerLen     = 32
+	indexEntryLen = 32
+)
+
+// castagnoli is the CRC32C table used for every checksum in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// countingWriter tracks the absolute offset and, while a section is open,
+// folds written bytes into the section CRC.
+type countingWriter struct {
+	w   io.Writer
+	off int64
+	crc uint32
+	sum bool // CRC accumulation enabled (inside a section payload)
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.off += int64(n)
+	if cw.sum {
+		cw.crc = crc32.Update(cw.crc, castagnoli, p[:n])
+	}
+	if err == nil && n < len(p) {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}
+
+var zeroPad [8]byte
+
+// pad8 advances the writer to the next 8-byte boundary.
+func (cw *countingWriter) pad8() error {
+	if rem := cw.off & 7; rem != 0 {
+		_, err := cw.Write(zeroPad[:8-rem])
+		return err
+	}
+	return nil
+}
+
+// indexEntry is one record of the section index.
+type indexEntry struct {
+	kind SectionKind
+	off  int64
+	len  int64
+	crc  uint32
+}
+
+// encoder streams a snapshot into its binary form.
+type encoder struct {
+	cw      *countingWriter
+	index   []indexEntry
+	scratch []byte
+}
+
+func (e *encoder) u32(v uint32) error {
+	binary.LittleEndian.PutUint32(e.scratch[:4], v)
+	_, err := e.cw.Write(e.scratch[:4])
+	return err
+}
+
+func (e *encoder) u64(v uint64) error {
+	binary.LittleEndian.PutUint64(e.scratch[:8], v)
+	_, err := e.cw.Write(e.scratch[:8])
+	return err
+}
+
+// f64s writes a float64 slice in little-endian chunks.
+func (e *encoder) f64s(vs []float64) error {
+	buf := e.scratch
+	for len(vs) > 0 {
+		n := len(buf) / 8
+		if n > len(vs) {
+			n = len(vs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(vs[i]))
+		}
+		if _, err := e.cw.Write(buf[: n*8 : n*8]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// i64s writes an int64 slice.
+func (e *encoder) i64s(vs []int64) error {
+	buf := e.scratch
+	for len(vs) > 0 {
+		n := len(buf) / 8
+		if n > len(vs) {
+			n = len(vs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(vs[i]))
+		}
+		if _, err := e.cw.Write(buf[: n*8 : n*8]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// i32s writes an int32 slice.
+func (e *encoder) i32s(vs []int32) error {
+	buf := e.scratch
+	for len(vs) > 0 {
+		n := len(buf) / 4
+		if n > len(vs) {
+			n = len(vs)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], uint32(vs[i]))
+		}
+		if _, err := e.cw.Write(buf[: n*4 : n*4]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
+// section streams one payload, recording its extent and CRC in the index.
+func (e *encoder) section(kind SectionKind, payload func() error) error {
+	if err := e.cw.pad8(); err != nil {
+		return err
+	}
+	start := e.cw.off
+	e.cw.crc, e.cw.sum = 0, true
+	err := payload()
+	crc := e.cw.crc
+	e.cw.sum = false
+	if err != nil {
+		return fmt.Errorf("snapshot: writing section %v: %w", kind, err)
+	}
+	e.index = append(e.index, indexEntry{kind: kind, off: start, len: e.cw.off - start, crc: crc})
+	return nil
+}
+
+// table encodes a Dense as rows, cols, row-major float64 data.
+func (e *encoder) table(m *matrix.Dense) error {
+	if err := e.u64(uint64(m.Rows())); err != nil {
+		return err
+	}
+	if err := e.u64(uint64(m.Cols())); err != nil {
+		return err
+	}
+	return e.f64s(m.Data())
+}
+
+// vocab encodes a string list as count, then per-string u32 length + bytes.
+func (e *encoder) vocab(names []string) error {
+	if err := e.u64(uint64(len(names))); err != nil {
+		return err
+	}
+	for _, s := range names {
+		if err := e.u32(uint32(len(s))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(e.cw, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ivf encodes an index's flat slabs: dim, n, k, centroids, listPtr, ids
+// (padded to 8), vecs.
+func (e *encoder) ivf(d *ann.IVFData) error {
+	if err := e.u64(uint64(d.Dim)); err != nil {
+		return err
+	}
+	if err := e.u64(uint64(d.N)); err != nil {
+		return err
+	}
+	if err := e.u64(uint64(d.K)); err != nil {
+		return err
+	}
+	if err := e.f64s(d.Centroids); err != nil {
+		return err
+	}
+	if err := e.i64s(d.ListPtr); err != nil {
+		return err
+	}
+	if err := e.i32s(d.IDs); err != nil {
+		return err
+	}
+	if d.N%2 != 0 { // keep the vecs slab 8-aligned within the payload
+		if _, err := e.cw.Write(zeroPad[:4]); err != nil {
+			return err
+		}
+	}
+	return e.f64s(d.Vecs)
+}
+
+// WriteTo streams the snapshot in format-version Version to w and returns
+// the byte count. The snapshot is validated first; an invalid snapshot is
+// never written. WriteTo writes sequentially, so tests can interpose a
+// fault-injecting writer to model crashes and short writes.
+func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	e := &encoder{cw: &countingWriter{w: w}, scratch: make([]byte, 64<<10)}
+	// Header.
+	if _, err := e.cw.Write(headMagic[:]); err != nil {
+		return e.cw.off, err
+	}
+	nsec := 5
+	if s.FwdIndex != nil {
+		nsec++
+	}
+	if s.RevIndex != nil {
+		nsec++
+	}
+	if err := e.u32(Version); err != nil {
+		return e.cw.off, err
+	}
+	if err := e.u32(uint32(nsec)); err != nil {
+		return e.cw.off, err
+	}
+	if err := e.u64(0); err != nil { // reserved
+		return e.cw.off, err
+	}
+	// Payload sections.
+	meta := s.Meta
+	if meta.Tool == "" {
+		meta.Tool = "entmatcher"
+	}
+	if meta.CreatedUnix == 0 {
+		meta.CreatedUnix = time.Now().Unix()
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return e.cw.off, fmt.Errorf("snapshot: encoding metadata: %w", err)
+	}
+	steps := []struct {
+		kind SectionKind
+		fn   func() error
+	}{
+		{SectionMeta, func() error { _, err := e.cw.Write(metaJSON); return err }},
+		{SectionSrcTable, func() error { return e.table(s.SrcTable) }},
+		{SectionTgtTable, func() error { return e.table(s.TgtTable) }},
+		{SectionSrcVocab, func() error { return e.vocab(s.SrcVocab) }},
+		{SectionTgtVocab, func() error { return e.vocab(s.TgtVocab) }},
+	}
+	if s.FwdIndex != nil {
+		steps = append(steps, struct {
+			kind SectionKind
+			fn   func() error
+		}{SectionIVFFwd, func() error { return e.ivf(s.FwdIndex) }})
+	}
+	if s.RevIndex != nil {
+		steps = append(steps, struct {
+			kind SectionKind
+			fn   func() error
+		}{SectionIVFRev, func() error { return e.ivf(s.RevIndex) }})
+	}
+	for _, st := range steps {
+		if err := e.section(st.kind, st.fn); err != nil {
+			return e.cw.off, err
+		}
+	}
+	// Section index.
+	if err := e.cw.pad8(); err != nil {
+		return e.cw.off, err
+	}
+	idxOff := e.cw.off
+	idxBuf := make([]byte, 0, len(e.index)*indexEntryLen)
+	var ent [indexEntryLen]byte
+	for _, ie := range e.index {
+		binary.LittleEndian.PutUint32(ent[0:], uint32(ie.kind))
+		binary.LittleEndian.PutUint32(ent[4:], 0)
+		binary.LittleEndian.PutUint64(ent[8:], uint64(ie.off))
+		binary.LittleEndian.PutUint64(ent[16:], uint64(ie.len))
+		binary.LittleEndian.PutUint32(ent[24:], ie.crc)
+		binary.LittleEndian.PutUint32(ent[28:], 0)
+		idxBuf = append(idxBuf, ent[:]...)
+	}
+	if _, err := e.cw.Write(idxBuf); err != nil {
+		return e.cw.off, err
+	}
+	// Footer.
+	var foot [footerLen]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(idxOff))
+	binary.LittleEndian.PutUint64(foot[8:], uint64(len(idxBuf)))
+	binary.LittleEndian.PutUint32(foot[16:], crc32.Checksum(idxBuf, castagnoli))
+	binary.LittleEndian.PutUint32(foot[20:], Version)
+	copy(foot[24:], tailMagic[:])
+	if _, err := e.cw.Write(foot[:]); err != nil {
+		return e.cw.off, err
+	}
+	return e.cw.off, nil
+}
+
+// Write persists the snapshot at path atomically: the bytes go to a
+// temporary file in the same directory, are flushed and fsynced, and only
+// then renamed over path (followed by a directory sync). A crash at any
+// point leaves either the old file or the new file — never a torn hybrid —
+// and a failed write never leaves the temporary behind.
+func (s *Snapshot) Write(path string) error {
+	return AtomicWriteFile(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
+}
+
+// AtomicWriteFile writes a file via temp file → flush → fsync → rename, the
+// crash-safe publication pattern shared by the snapshot writer and the
+// benchmark JSON reports: readers of path never observe a partial write,
+// and an interrupted writer cannot truncate previously committed contents.
+func AtomicWriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: creating temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("snapshot: fsync %s: %w", tmp, err)
+	}
+	// CreateTemp makes the file 0600; publish with the conventional mode
+	// instead so the artifact is readable like any os.Create product.
+	if err = f.Chmod(0o644); err != nil {
+		return fmt.Errorf("snapshot: chmod %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("snapshot: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: publishing %s: %w", path, err)
+	}
+	// Sync the directory so the rename itself is durable. Not all platforms
+	// support fsync on directories; degrade silently where it fails.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/matrix"
+)
+
+// fuzzSeed builds a valid snapshot image for the fuzz corpus.
+func fuzzSeed(srcRows, tgtRows, dim int, withIndex bool, seed int64) ([]byte, error) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(rows int) *matrix.Dense {
+		m := matrix.New(rows, dim)
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			var s float64
+			for j := range row {
+				row[j] = rng.NormFloat64()
+				s += row[j] * row[j]
+			}
+			inv := 1 / math.Sqrt(s)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		return m
+	}
+	src, tgt := mk(srcRows), mk(tgtRows)
+	names := func(p string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s/%d", p, i)
+		}
+		return out
+	}
+	snap := &Snapshot{
+		Meta:     Meta{SrcRows: srcRows, TgtRows: tgtRows, Dim: dim, CreatedUnix: 1754000000},
+		SrcTable: src, TgtTable: tgt,
+		SrcVocab: names("s", srcRows), TgtVocab: names("t", tgtRows),
+	}
+	if withIndex {
+		ivf, err := ann.Build(context.Background(), tgt, ann.Config{Clusters: 2, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		snap.FwdIndex = ivf.Export()
+		snap.Meta.ANN = &ANNMeta{Clusters: 2, Seed: seed}
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// FuzzSnapshotLoad feeds arbitrary bytes — seeded with valid snapshots, so
+// the mutator explores near-valid corruptions — to the strict loader. The
+// invariant under fuzz: Decode never panics, and when it accepts an input,
+// the result is fully self-consistent — it re-validates, re-encodes, and
+// decodes again to the same tables bit-for-bit. Corruption may go undetected
+// only if it is not corruption at all (the bytes still describe exactly the
+// data every consumer will see); anything else must come back as an error,
+// never as silently wrong tables.
+func FuzzSnapshotLoad(f *testing.F) {
+	for _, seed := range []struct {
+		srcRows, tgtRows, dim int
+		withIndex             bool
+		seed                  int64
+	}{
+		{3, 2, 2, false, 1},
+		{5, 4, 3, true, 2},
+		{1, 1, 1, false, 3},
+	} {
+		b, err := fuzzSeed(seed.srcRows, seed.tgtRows, seed.dim, seed.withIndex, seed.seed)
+		if err != nil {
+			f.Fatalf("building seed: %v", err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), headMagic[:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			return // rejected: the only acceptable outcome for bad bytes
+		}
+		// Accepted: the snapshot must be internally consistent...
+		if verr := snap.Validate(); verr != nil {
+			t.Fatalf("Decode accepted a snapshot its own Validate rejects: %v", verr)
+		}
+		// ...and round-trip stable: re-encoding and re-decoding must yield
+		// bit-identical tables, vocabularies and index slabs.
+		var buf bytes.Buffer
+		if _, werr := snap.WriteTo(&buf); werr != nil {
+			t.Fatalf("re-encoding an accepted snapshot failed: %v", werr)
+		}
+		again, aerr := Decode(buf.Bytes())
+		if aerr != nil {
+			t.Fatalf("re-decoding a re-encoded snapshot failed: %v", aerr)
+		}
+		if !again.SrcTable.EqualBits(snap.SrcTable) || !again.TgtTable.EqualBits(snap.TgtTable) {
+			t.Fatal("round trip changed table bits")
+		}
+		if len(again.SrcVocab) != len(snap.SrcVocab) || len(again.TgtVocab) != len(snap.TgtVocab) {
+			t.Fatal("round trip changed vocabulary sizes")
+		}
+		for i := range snap.SrcVocab {
+			if again.SrcVocab[i] != snap.SrcVocab[i] {
+				t.Fatal("round trip changed a source name")
+			}
+		}
+		for i := range snap.TgtVocab {
+			if again.TgtVocab[i] != snap.TgtVocab[i] {
+				t.Fatal("round trip changed a target name")
+			}
+		}
+		if (snap.FwdIndex == nil) != (again.FwdIndex == nil) || (snap.RevIndex == nil) != (again.RevIndex == nil) {
+			t.Fatal("round trip changed index presence")
+		}
+	})
+}

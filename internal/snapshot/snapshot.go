@@ -1,0 +1,236 @@
+// Package snapshot persists prepared matching state — the unit-normalized
+// embedding tables the similarity stream scores with, the entity name
+// vocabularies, and optionally the IVF index slabs — in a versioned,
+// integrity-checked binary format, so a long-lived server (cmd/entserver) or
+// a repeated benchmark run loads in seconds what preparation recomputes in
+// minutes.
+//
+// # Format
+//
+// A snapshot file is, in order:
+//
+//	header   (24 B)  magic "ENTSNAP\x01", format version, section count
+//	payloads         one blob per section, each 8-byte aligned
+//	index            32 B per section: kind, offset, length, CRC32C
+//	footer   (32 B)  index offset/length, index CRC32C, version echo,
+//	                 tail magic "PANSTNE\x01"
+//
+// Every payload carries its own CRC32C (Castagnoli) in the index, the index
+// carries its own CRC in the footer, and the footer sits at the very end of
+// the file — so a truncated or torn file fails the tail-magic/extent check,
+// a bit flip anywhere fails a checksum, and a version skew fails the header
+// check, each with a distinct typed error. Loading never trusts a length or
+// offset it has not bounds-checked, and Write goes temp file → fsync →
+// atomic rename, so a crash mid-write can never leave a half-written
+// snapshot visible under the target path.
+//
+// The layout is mmap-friendly: numeric slabs are little-endian, 8-byte
+// aligned, and contiguous per section. The portable loader copies them into
+// Go slices; a platform mmap loader could alias them in place.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/matrix"
+)
+
+// Version is the current format version. A file with any other version is
+// rejected with ErrVersion: format evolution is explicit, never guessed.
+const Version = 1
+
+// DefaultMaxBytes bounds how large a file Load will read — an integrity
+// guard against serving a path that points at something absurd (or a
+// corrupted length field upstream), not a statement about real corpus size;
+// LoadLimit lifts it for genuinely bigger snapshots.
+const DefaultMaxBytes = 8 << 30
+
+var (
+	headMagic = [8]byte{'E', 'N', 'T', 'S', 'N', 'A', 'P', 1}
+	tailMagic = [8]byte{'P', 'A', 'N', 'S', 'T', 'N', 'E', 1}
+)
+
+// Typed load errors, for errors.Is dispatch. Every way a snapshot can be
+// bad maps to exactly one of these; Load never returns partially decoded
+// data alongside them.
+var (
+	// ErrNotSnapshot reports a file that does not begin with the snapshot
+	// magic — not ours, or overwritten.
+	ErrNotSnapshot = errors.New("snapshot: bad magic, not a snapshot file")
+	// ErrVersion reports a format version this build does not speak.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrTruncated reports a file that ends before its own structure does —
+	// a torn final write, a partial copy, or a crashed non-atomic writer.
+	ErrTruncated = errors.New("snapshot: truncated or torn snapshot")
+	// ErrChecksum reports a CRC32C mismatch: the bytes changed after they
+	// were written.
+	ErrChecksum = errors.New("snapshot: checksum mismatch, corrupt snapshot")
+	// ErrMalformed reports structure that checksums correctly but violates
+	// the format contract (overlapping sections, impossible dimensions,
+	// duplicate or unknown section kinds, inconsistent metadata).
+	ErrMalformed = errors.New("snapshot: malformed snapshot")
+	// ErrTooLarge reports a file or section larger than the loader's limit.
+	ErrTooLarge = errors.New("snapshot: exceeds size limit")
+	// ErrMismatch reports a structurally valid snapshot that does not match
+	// what the caller asked for — wrong dataset, wrong evaluation setting,
+	// wrong metric, or an ANN cluster count that contradicts the requested
+	// configuration. Callers reject instead of silently rebuilding.
+	ErrMismatch = errors.New("snapshot: snapshot does not match the requested configuration")
+)
+
+// SectionKind identifies one section of the file.
+type SectionKind uint32
+
+// The section kinds of format version 1.
+const (
+	SectionMeta     SectionKind = 1 // JSON metadata
+	SectionSrcTable SectionKind = 2 // prepared source embedding table
+	SectionTgtTable SectionKind = 3 // prepared target embedding table
+	SectionSrcVocab SectionKind = 4 // source entity names, one per table row
+	SectionTgtVocab SectionKind = 5 // target entity names, one per table row
+	SectionIVFFwd   SectionKind = 6 // forward IVF index (over the target table)
+	SectionIVFRev   SectionKind = 7 // reverse IVF index (over the source table)
+)
+
+// String names the kind for error messages.
+func (k SectionKind) String() string {
+	switch k {
+	case SectionMeta:
+		return "meta"
+	case SectionSrcTable:
+		return "src-table"
+	case SectionTgtTable:
+		return "tgt-table"
+	case SectionSrcVocab:
+		return "src-vocab"
+	case SectionTgtVocab:
+		return "tgt-vocab"
+	case SectionIVFFwd:
+		return "ivf-fwd"
+	case SectionIVFRev:
+		return "ivf-rev"
+	default:
+		return fmt.Sprintf("kind(%d)", uint32(k))
+	}
+}
+
+// SectionError locates a typed error in a specific section of the file.
+type SectionError struct {
+	Kind   SectionKind
+	Offset int64
+	Err    error
+}
+
+// Error formats the location and cause.
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("snapshot: section %v at offset %d: %v", e.Kind, e.Offset, e.Err)
+}
+
+// Unwrap exposes the typed cause to errors.Is.
+func (e *SectionError) Unwrap() error { return e.Err }
+
+// ANNMeta records the configuration the persisted IVF indexes were built
+// with, so a load can verify the caller's requested index parameters against
+// what the slabs actually embody.
+type ANNMeta struct {
+	Clusters   int   `json:"clusters"`
+	NProbe     int   `json:"nprobe"`
+	SampleSize int   `json:"sample_size"`
+	Iters      int   `json:"iters"`
+	Seed       int64 `json:"seed"`
+}
+
+// Meta is the snapshot's JSON metadata section: enough context to verify a
+// snapshot against the run that wants to use it, without re-deriving
+// anything from the payload sections.
+type Meta struct {
+	// Tool names the producer, e.g. "entmatcher".
+	Tool string `json:"tool"`
+	// Metric is the sim.Metric the tables are prepared for.
+	Metric uint32 `json:"metric"`
+	// Setting and Features echo the pipeline configuration whose task
+	// selected the table rows; a load under a different configuration is a
+	// mismatch, not a reinterpretation.
+	Setting  uint32 `json:"setting"`
+	Features uint32 `json:"features"`
+	// SrcRows, TgtRows, Dim mirror the table shapes; the loader cross-checks
+	// them against the decoded sections.
+	SrcRows int `json:"src_rows"`
+	TgtRows int `json:"tgt_rows"`
+	Dim     int `json:"dim"`
+	// ANN is non-nil exactly when IVF sections are present.
+	ANN *ANNMeta `json:"ann,omitempty"`
+	// CreatedUnix is the write time (seconds); informational only.
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// Snapshot is the in-memory form of a snapshot file.
+type Snapshot struct {
+	Meta     Meta
+	SrcTable *matrix.Dense // prepared rows (unit-normalized for cosine)
+	TgtTable *matrix.Dense
+	SrcVocab []string     // entity name per source table row
+	TgtVocab []string     // entity name per target table row
+	FwdIndex *ann.IVFData // nil when no index was persisted
+	RevIndex *ann.IVFData // nil when only the forward index was persisted
+}
+
+// Validate cross-checks the snapshot's internal consistency: table shapes
+// against metadata, vocabulary lengths against table rows, index slabs
+// against the tables they claim to cover (including the full structural
+// invariants ann.FromData enforces). Both the writer and the loader call it,
+// so neither a bad producer nor a checksum-passing-but-inconsistent file
+// gets through.
+func (s *Snapshot) Validate() error {
+	if s.SrcTable == nil || s.TgtTable == nil {
+		return fmt.Errorf("%w: missing embedding table", ErrMalformed)
+	}
+	if s.SrcTable.Cols() != s.TgtTable.Cols() {
+		return fmt.Errorf("%w: table dims differ: %d vs %d", ErrMalformed, s.SrcTable.Cols(), s.TgtTable.Cols())
+	}
+	if s.SrcTable.Rows() == 0 || s.TgtTable.Rows() == 0 || s.SrcTable.Cols() == 0 {
+		return fmt.Errorf("%w: empty embedding table (%d×%d source, %d×%d target)", ErrMalformed,
+			s.SrcTable.Rows(), s.SrcTable.Cols(), s.TgtTable.Rows(), s.TgtTable.Cols())
+	}
+	if s.Meta.SrcRows != s.SrcTable.Rows() || s.Meta.TgtRows != s.TgtTable.Rows() || s.Meta.Dim != s.SrcTable.Cols() {
+		return fmt.Errorf("%w: metadata says %d/%d rows × %d dims, tables are %d/%d × %d", ErrMalformed,
+			s.Meta.SrcRows, s.Meta.TgtRows, s.Meta.Dim, s.SrcTable.Rows(), s.TgtTable.Rows(), s.SrcTable.Cols())
+	}
+	if len(s.SrcVocab) != s.SrcTable.Rows() {
+		return fmt.Errorf("%w: %d source names for %d table rows", ErrMalformed, len(s.SrcVocab), s.SrcTable.Rows())
+	}
+	if len(s.TgtVocab) != s.TgtTable.Rows() {
+		return fmt.Errorf("%w: %d target names for %d table rows", ErrMalformed, len(s.TgtVocab), s.TgtTable.Rows())
+	}
+	if (s.FwdIndex != nil) != (s.Meta.ANN != nil) {
+		return fmt.Errorf("%w: index sections and ANN metadata disagree", ErrMalformed)
+	}
+	if s.RevIndex != nil && s.FwdIndex == nil {
+		return fmt.Errorf("%w: reverse index without a forward index", ErrMalformed)
+	}
+	if s.FwdIndex != nil {
+		if s.FwdIndex.N != s.TgtTable.Rows() || s.FwdIndex.Dim != s.TgtTable.Cols() {
+			return fmt.Errorf("%w: forward index covers %d×%d but target table is %d×%d", ErrMalformed,
+				s.FwdIndex.N, s.FwdIndex.Dim, s.TgtTable.Rows(), s.TgtTable.Cols())
+		}
+		if s.Meta.ANN.Clusters != s.FwdIndex.K {
+			return fmt.Errorf("%w: ANN metadata says %d clusters, forward index has %d", ErrMalformed,
+				s.Meta.ANN.Clusters, s.FwdIndex.K)
+		}
+		if _, err := ann.FromData(s.FwdIndex); err != nil {
+			return fmt.Errorf("%w: forward index: %v", ErrMalformed, err)
+		}
+	}
+	if s.RevIndex != nil {
+		if s.RevIndex.N != s.SrcTable.Rows() || s.RevIndex.Dim != s.SrcTable.Cols() {
+			return fmt.Errorf("%w: reverse index covers %d×%d but source table is %d×%d", ErrMalformed,
+				s.RevIndex.N, s.RevIndex.Dim, s.SrcTable.Rows(), s.SrcTable.Cols())
+		}
+		if _, err := ann.FromData(s.RevIndex); err != nil {
+			return fmt.Errorf("%w: reverse index: %v", ErrMalformed, err)
+		}
+	}
+	return nil
+}

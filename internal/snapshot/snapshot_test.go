@@ -1,0 +1,363 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entmatcher/internal/ann"
+	"entmatcher/internal/fault"
+	"entmatcher/internal/matrix"
+)
+
+// testSnapshot builds a small deterministic snapshot; withIndex adds forward
+// and reverse IVF sections built over the tables.
+func testSnapshot(t *testing.T, srcRows, tgtRows, dim int, withIndex bool) *Snapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	mk := func(rows int) *matrix.Dense {
+		m := matrix.New(rows, dim)
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			var s float64
+			for j := range row {
+				row[j] = rng.NormFloat64()
+				s += row[j] * row[j]
+			}
+			inv := 1 / math.Sqrt(s)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		return m
+	}
+	src, tgt := mk(srcRows), mk(tgtRows)
+	names := func(prefix string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("http://example.org/%s/é%d", prefix, i)
+		}
+		return out
+	}
+	snap := &Snapshot{
+		Meta: Meta{
+			Metric:  0, // cosine
+			SrcRows: srcRows, TgtRows: tgtRows, Dim: dim,
+			CreatedUnix: 1754000000,
+		},
+		SrcTable: src,
+		TgtTable: tgt,
+		SrcVocab: names("src", srcRows),
+		TgtVocab: names("tgt", tgtRows),
+	}
+	if withIndex {
+		cfg := ann.Config{Clusters: 3, Seed: 11}
+		fwd, err := ann.Build(context.Background(), tgt, cfg)
+		if err != nil {
+			t.Fatalf("building forward index: %v", err)
+		}
+		rev, err := ann.Build(context.Background(), src, cfg)
+		if err != nil {
+			t.Fatalf("building reverse index: %v", err)
+		}
+		snap.FwdIndex = fwd.Export()
+		snap.RevIndex = rev.Export()
+		snap.Meta.ANN = &ANNMeta{Clusters: 3, Seed: 11}
+	}
+	return snap
+}
+
+func encode(t *testing.T, snap *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := snap.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripBitIdentical(t *testing.T) {
+	for _, withIndex := range []bool{false, true} {
+		snap := testSnapshot(t, 13, 9, 4, withIndex)
+		got, err := Decode(encode(t, snap))
+		if err != nil {
+			t.Fatalf("withIndex=%v: Decode: %v", withIndex, err)
+		}
+		if !got.SrcTable.EqualBits(snap.SrcTable) || !got.TgtTable.EqualBits(snap.TgtTable) {
+			t.Fatalf("withIndex=%v: tables not bit-identical after round trip", withIndex)
+		}
+		for i, s := range snap.SrcVocab {
+			if got.SrcVocab[i] != s {
+				t.Fatalf("src vocab entry %d: %q != %q", i, got.SrcVocab[i], s)
+			}
+		}
+		for i, s := range snap.TgtVocab {
+			if got.TgtVocab[i] != s {
+				t.Fatalf("tgt vocab entry %d: %q != %q", i, got.TgtVocab[i], s)
+			}
+		}
+		if withIndex {
+			if got.FwdIndex == nil || got.RevIndex == nil {
+				t.Fatal("index sections missing after round trip")
+			}
+			for _, pair := range []struct {
+				name string
+				a, b *ann.IVFData
+			}{{"fwd", snap.FwdIndex, got.FwdIndex}, {"rev", snap.RevIndex, got.RevIndex}} {
+				if pair.a.Dim != pair.b.Dim || pair.a.N != pair.b.N || pair.a.K != pair.b.K {
+					t.Fatalf("%s index shape changed", pair.name)
+				}
+				for i := range pair.a.Centroids {
+					if math.Float64bits(pair.a.Centroids[i]) != math.Float64bits(pair.b.Centroids[i]) {
+						t.Fatalf("%s centroid %d not bit-identical", pair.name, i)
+					}
+				}
+				for i := range pair.a.ListPtr {
+					if pair.a.ListPtr[i] != pair.b.ListPtr[i] {
+						t.Fatalf("%s listPtr %d differs", pair.name, i)
+					}
+				}
+				for i := range pair.a.IDs {
+					if pair.a.IDs[i] != pair.b.IDs[i] {
+						t.Fatalf("%s id %d differs", pair.name, i)
+					}
+				}
+				for i := range pair.a.Vecs {
+					if math.Float64bits(pair.a.Vecs[i]) != math.Float64bits(pair.b.Vecs[i]) {
+						t.Fatalf("%s vec %d not bit-identical", pair.name, i)
+					}
+				}
+			}
+		} else if got.FwdIndex != nil || got.RevIndex != nil {
+			t.Fatal("unexpected index sections")
+		}
+	}
+}
+
+// TestRestoredIndexSearchIdentical pins that a snapshot-restored IVF answers
+// queries bit-identically to the index that was exported.
+func TestRestoredIndexSearchIdentical(t *testing.T) {
+	snap := testSnapshot(t, 20, 17, 6, true)
+	got, err := Decode(encode(t, snap))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	orig, err := ann.FromData(snap.FwdIndex)
+	if err != nil {
+		t.Fatalf("FromData(orig): %v", err)
+	}
+	restored, err := ann.FromData(got.FwdIndex)
+	if err != nil {
+		t.Fatalf("FromData(restored): %v", err)
+	}
+	a, err := orig.Search(context.Background(), snap.SrcTable, 5, orig.Clusters())
+	if err != nil {
+		t.Fatalf("orig search: %v", err)
+	}
+	b, err := restored.Search(context.Background(), got.SrcTable, 5, restored.Clusters())
+	if err != nil {
+		t.Fatalf("restored search: %v", err)
+	}
+	for qi := range a {
+		if len(a[qi].Indices) != len(b[qi].Indices) {
+			t.Fatalf("query %d: result sizes differ", qi)
+		}
+		for x := range a[qi].Indices {
+			if a[qi].Indices[x] != b[qi].Indices[x] ||
+				math.Float64bits(a[qi].Values[x]) != math.Float64bits(b[qi].Values[x]) {
+				t.Fatalf("query %d result %d differs after restore", qi, x)
+			}
+		}
+	}
+}
+
+func TestWriteAtomicPublish(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	snap := testSnapshot(t, 6, 5, 3, false)
+	if err := snap.Write(path); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("Load after Write: %v", err)
+	}
+	// Overwrite with a failing write: the published file must survive intact
+	// and no temp file may remain.
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failErr := errors.New("disk gone")
+	err = AtomicWriteFile(path, func(w io.Writer) error {
+		fw := fault.NewWriter(w, fault.IOInjection{FlipAt: -1, TruncateAt: -1, ErrAt: 100, Err: failErr})
+		_, werr := snap.WriteTo(fw)
+		return werr
+	})
+	if !errors.Is(err, failErr) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed write mutated the published file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("failed write left temp file %s behind", e.Name())
+		}
+	}
+}
+
+// TestWriteShortWrite proves a torn (short) write surfaces as an error from
+// the writer rather than producing a silently short snapshot.
+func TestWriteShortWrite(t *testing.T) {
+	snap := testSnapshot(t, 6, 5, 3, false)
+	var buf bytes.Buffer
+	fw := fault.NewWriter(&buf, fault.IOInjection{FlipAt: -1, ErrAt: -1, TruncateAt: 64})
+	if _, err := snap.WriteTo(fw); err == nil {
+		t.Fatal("short write not reported")
+	}
+}
+
+func TestCorruptionMatrix(t *testing.T) {
+	snap := testSnapshot(t, 7, 6, 4, true)
+	good := encode(t, snap)
+	if _, err := Decode(good); err != nil {
+		t.Fatalf("pristine decode: %v", err)
+	}
+
+	t.Run("bad-magic", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		b[0] ^= 0xFF
+		if _, err := Decode(b); !errors.Is(err, ErrNotSnapshot) {
+			t.Fatalf("got %v, want ErrNotSnapshot", err)
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		b := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(b[8:], Version+1)
+		if _, err := Decode(b); !errors.Is(err, ErrVersion) {
+			t.Fatalf("got %v, want ErrVersion", err)
+		}
+	})
+	t.Run("truncation-every-boundary", func(t *testing.T) {
+		// A torn final write can end the file at any byte; no prefix may load.
+		for n := 0; n < len(good); n++ {
+			if _, err := Decode(good[:n]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes loaded successfully", n, len(good))
+			}
+		}
+	})
+	t.Run("flip-every-byte", func(t *testing.T) {
+		// A single bit flip anywhere must be detected; nothing loads clean.
+		for i := 0; i < len(good); i++ {
+			b := append([]byte(nil), good...)
+			b[i] ^= 0x10
+			if _, err := Decode(b); err == nil {
+				t.Fatalf("bit flip at byte %d of %d loaded successfully", i, len(good))
+			}
+		}
+	})
+	t.Run("extension", func(t *testing.T) {
+		b := append(append([]byte(nil), good...), 0, 0, 0, 0)
+		if _, err := Decode(b); err == nil {
+			t.Fatal("extended file loaded successfully")
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "snap.bin")
+		if err := os.WriteFile(path, good, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadLimit(path, int64(len(good))-1); !errors.Is(err, ErrTooLarge) {
+			t.Fatalf("got %v, want ErrTooLarge", err)
+		}
+		if _, err := LoadLimit(path, int64(len(good))); err != nil {
+			t.Fatalf("at-limit load failed: %v", err)
+		}
+	})
+}
+
+// TestDecodeReaderFaults drives the loader through the fault-injecting
+// reader: flipped bytes and truncations on the read path are detected, and
+// injected I/O errors propagate.
+func TestDecodeReaderFaults(t *testing.T) {
+	snap := testSnapshot(t, 7, 6, 4, false)
+	good := encode(t, snap)
+
+	if _, err := DecodeReader(fault.NewReader(bytes.NewReader(good), fault.NoInjection()), int64(len(good))); err != nil {
+		t.Fatalf("clean read through injector: %v", err)
+	}
+	for _, off := range []int64{0, 9, headerLen + 3, int64(len(good) / 2), int64(len(good)) - 5} {
+		inj := fault.NoInjection()
+		inj.FlipAt = off
+		if _, err := DecodeReader(fault.NewReader(bytes.NewReader(good), inj), int64(len(good))); err == nil {
+			t.Fatalf("flip at %d not detected", off)
+		}
+	}
+	for _, off := range []int64{0, headerLen, int64(len(good)) - footerLen, int64(len(good)) - 1} {
+		inj := fault.NoInjection()
+		inj.TruncateAt = off
+		if _, err := DecodeReader(fault.NewReader(bytes.NewReader(good), inj), int64(len(good))); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d: got %v, want ErrTruncated", off, err)
+		}
+	}
+	diskErr := errors.New("injected disk error")
+	inj := fault.NoInjection()
+	inj.ErrAt, inj.Err = 42, diskErr
+	if _, err := DecodeReader(fault.NewReader(bytes.NewReader(good), inj), int64(len(good))); !errors.Is(err, diskErr) {
+		t.Fatalf("got %v, want injected disk error", err)
+	}
+	if _, err := DecodeReader(bytes.NewReader(good), int64(len(good))-1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestValidateRejectsInconsistency(t *testing.T) {
+	fresh := func() *Snapshot { return testSnapshot(t, 6, 5, 3, true) }
+	cases := []struct {
+		name   string
+		mutate func(*Snapshot)
+	}{
+		{"vocab-too-short", func(s *Snapshot) { s.SrcVocab = s.SrcVocab[:3] }},
+		{"meta-rows-skew", func(s *Snapshot) { s.Meta.SrcRows++ }},
+		{"meta-dim-skew", func(s *Snapshot) { s.Meta.Dim++ }},
+		{"ann-meta-missing", func(s *Snapshot) { s.Meta.ANN = nil }},
+		{"ann-clusters-skew", func(s *Snapshot) { s.Meta.ANN.Clusters++ }},
+		{"rev-without-fwd", func(s *Snapshot) { s.FwdIndex = nil; s.Meta.ANN = nil }},
+		{"index-id-out-of-range", func(s *Snapshot) { s.FwdIndex.IDs[0] = int32(s.FwdIndex.N) }},
+		{"listptr-regression", func(s *Snapshot) { s.FwdIndex.ListPtr[1] = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fresh()
+			tc.mutate(s)
+			if err := s.Validate(); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("got %v, want ErrMalformed", err)
+			}
+			if _, err := s.WriteTo(io.Discard); err == nil {
+				t.Fatal("WriteTo accepted an invalid snapshot")
+			}
+		})
+	}
+}

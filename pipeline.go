@@ -11,6 +11,7 @@ import (
 	"entmatcher/internal/embed"
 	"entmatcher/internal/eval"
 	"entmatcher/internal/sim"
+	"entmatcher/internal/snapshot"
 )
 
 // FeatureMode selects which entity features feed the similarity matrix,
@@ -116,6 +117,24 @@ type PipelineConfig struct {
 	// normalized tables). Abstention runs with virtual dummy columns
 	// automatically fall back to the exact build.
 	ANN *ANNConfig
+	// SaveSnapshot, when non-empty, persists the prepared state — the
+	// unit-normalized embedding tables, the entity-name vocabularies, and
+	// (with ANN set) the trained IVF index slabs — to this path after
+	// preparation, via internal/snapshot's atomic, checksummed writer.
+	// Requires a streaming preparation (Streaming or CandidateBudget > 0):
+	// only streaming runs carry the prepared tables a snapshot captures.
+	SaveSnapshot string
+	// LoadSnapshot, when non-empty, prepares the run from a previously
+	// saved snapshot instead of re-encoding embeddings: Prepare skips
+	// representation learning and similarity preparation entirely and
+	// reconstructs the streaming engine (and any persisted IVF indexes)
+	// from the snapshot's tables. The snapshot must match the requested
+	// configuration — same evaluation setting, feature mode, metric,
+	// dataset vocabulary, and (when ANN is set) cluster count — or Prepare
+	// fails with ErrSnapshotMismatch rather than silently rebuilding.
+	// Incompatible with SaveSnapshot, WithValidation (the validation
+	// matrix is not snapshotted) and externally supplied embeddings.
+	LoadSnapshot string
 }
 
 // ANNConfig tunes the IVF candidate generator; zero fields mean scale-aware
@@ -137,6 +156,13 @@ type ANNConfig struct {
 // internal/sim: unknown enum values, negative or non-finite fusion weights,
 // nil datasets.
 var ErrBadConfig = errors.New("entmatcher: invalid pipeline configuration")
+
+// ErrSnapshotMismatch is returned by Prepare when a loaded snapshot is
+// structurally sound but does not hold what the run asked for: a different
+// metric, setting, feature mode, dataset vocabulary, or index geometry.
+// It is internal/snapshot's ErrMismatch, re-exported so callers can test
+// for it without importing the internal package.
+var ErrSnapshotMismatch = snapshot.ErrMismatch
 
 // Validate checks the configuration up front and reports the first problem
 // with a clear, typed error (wrapped around ErrBadConfig).
@@ -190,6 +216,21 @@ func (c PipelineConfig) Validate() error {
 		}
 		if c.ANN.Clusters > 0 && c.ANN.NProbe > c.ANN.Clusters {
 			return fmt.Errorf("%w: ANN.NProbe %d exceeds ANN.Clusters %d", ErrBadConfig, c.ANN.NProbe, c.ANN.Clusters)
+		}
+	}
+	if c.SaveSnapshot != "" && c.LoadSnapshot != "" {
+		return fmt.Errorf("%w: SaveSnapshot and LoadSnapshot are mutually exclusive", ErrBadConfig)
+	}
+	streaming := c.Streaming || c.CandidateBudget > 0
+	if c.SaveSnapshot != "" && !streaming {
+		return fmt.Errorf("%w: SaveSnapshot requires a streaming preparation (set Streaming or CandidateBudget; only streaming runs carry the prepared tables a snapshot captures)", ErrBadConfig)
+	}
+	if c.LoadSnapshot != "" {
+		if !streaming {
+			return fmt.Errorf("%w: LoadSnapshot requires a streaming preparation (set Streaming or CandidateBudget)", ErrBadConfig)
+		}
+		if c.WithValidation {
+			return fmt.Errorf("%w: LoadSnapshot cannot serve WithValidation (the validation matrix is not snapshotted; prepare fresh for validation-dependent matchers)", ErrBadConfig)
 		}
 	}
 	return nil
@@ -246,6 +287,13 @@ func (p *Pipeline) PrepareContext(ctx context.Context, d *Dataset) (*Run, error)
 	if err := p.cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if p.cfg.LoadSnapshot != "" {
+		snap, err := snapshot.Load(p.cfg.LoadSnapshot)
+		if err != nil {
+			return nil, err
+		}
+		return p.prepareFromSnapshot(d, snap)
+	}
 	emb, err := p.embeddings(d)
 	if err != nil {
 		return nil, err
@@ -274,6 +322,9 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 	if err := p.cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if p.cfg.LoadSnapshot != "" {
+		return nil, fmt.Errorf("%w: LoadSnapshot is incompatible with externally supplied embeddings (the snapshot already holds the prepared tables)", ErrBadConfig)
+	}
 	task, err := p.task(d)
 	if err != nil {
 		return nil, err
@@ -300,6 +351,7 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
 		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
 	}
+	var annSrc *ann.Source
 	if stream != nil {
 		mctx.Stream = stream
 		if p.cfg.ANN != nil {
@@ -309,7 +361,7 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 			// keeps the plain engine, so the abstention path (virtual dummy
 			// columns) rebuilds from exact scores.
 			sTab, tTab := stream.PreparedTables()
-			annSrc, err := ann.NewSource(stream, sTab, tTab, ann.Config{
+			annSrc, err = ann.NewSource(stream, sTab, tTab, ann.Config{
 				Clusters:   p.cfg.ANN.Clusters,
 				NProbe:     p.cfg.ANN.NProbe,
 				SampleSize: p.cfg.ANN.SampleSize,
@@ -319,6 +371,11 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 				return nil, err
 			}
 			mctx.Stream = annSrc
+		}
+		if p.cfg.SaveSnapshot != "" {
+			if err := p.saveSnapshot(ctx, d, task, stream, annSrc); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if p.cfg.WithValidation {
@@ -372,6 +429,141 @@ func (p *Pipeline) embeddings(d *Dataset) (*Embeddings, error) {
 	default:
 		return nil, fmt.Errorf("entmatcher: unknown feature mode %v", p.cfg.Features)
 	}
+}
+
+// taskVocab resolves the entity names behind a task's row (or column) ids —
+// the vocabulary a snapshot stores so a later load can verify it is being
+// applied to the same dataset and task.
+func taskVocab(g *Graph, ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = g.EntityName(id)
+	}
+	return out
+}
+
+// saveSnapshot persists the prepared run at cfg.SaveSnapshot. With ANN
+// configured the indexes are trained eagerly here (forward and reverse), so
+// the snapshot amortizes quantizer training as well as table preparation.
+func (p *Pipeline) saveSnapshot(ctx context.Context, d *Dataset, task *Task, stream *SimilarityStream, annSrc *ann.Source) error {
+	sTab, tTab := stream.PreparedTables()
+	snap := &snapshot.Snapshot{
+		Meta: snapshot.Meta{
+			Tool:     "entmatcher",
+			Metric:   uint32(p.cfg.Metric),
+			Setting:  uint32(p.cfg.Setting),
+			Features: uint32(p.cfg.Features),
+			SrcRows:  sTab.Rows(),
+			TgtRows:  tTab.Rows(),
+			Dim:      sTab.Cols(),
+		},
+		SrcTable: sTab,
+		TgtTable: tTab,
+		SrcVocab: taskVocab(d.Source, task.SourceIDs),
+		TgtVocab: taskVocab(d.Target, task.TargetIDs),
+	}
+	if annSrc != nil {
+		fwd, rev, err := annSrc.ExportIndexes(ctx, true)
+		if err != nil {
+			return err
+		}
+		snap.FwdIndex, snap.RevIndex = fwd, rev
+		cfg := annSrc.Config()
+		snap.Meta.ANN = &snapshot.ANNMeta{
+			Clusters:   fwd.K,
+			NProbe:     cfg.NProbe,
+			SampleSize: cfg.SampleSize,
+			Iters:      cfg.Iters,
+			Seed:       cfg.Seed,
+		}
+	}
+	return snap.Write(p.cfg.SaveSnapshot)
+}
+
+// prepareFromSnapshot reconstructs a streaming run from a loaded snapshot,
+// verifying — never assuming — that the snapshot matches the dataset and
+// the requested configuration. Every divergence is an ErrSnapshotMismatch:
+// the caller asked for something this snapshot does not hold, and silently
+// rebuilding would hide exactly the staleness a production loader must
+// surface.
+func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Run, error) {
+	if got, want := snap.Meta.Metric, uint32(p.cfg.Metric); got != want {
+		return nil, fmt.Errorf("%w: snapshot was prepared for metric %v, run requests %v",
+			ErrSnapshotMismatch, sim.Metric(got), p.cfg.Metric)
+	}
+	if got, want := snap.Meta.Setting, uint32(p.cfg.Setting); got != want {
+		return nil, fmt.Errorf("%w: snapshot was prepared for setting %v, run requests %v",
+			ErrSnapshotMismatch, Setting(got), p.cfg.Setting)
+	}
+	if got, want := snap.Meta.Features, uint32(p.cfg.Features); got != want {
+		return nil, fmt.Errorf("%w: snapshot was prepared for features %v, run requests %v",
+			ErrSnapshotMismatch, FeatureMode(got), p.cfg.Features)
+	}
+	task, err := p.task(d)
+	if err != nil {
+		return nil, err
+	}
+	if len(task.SourceIDs) != snap.SrcTable.Rows() || len(task.TargetIDs) != snap.TgtTable.Rows() {
+		return nil, fmt.Errorf("%w: snapshot holds %d×%d task rows, dataset task is %d×%d",
+			ErrSnapshotMismatch, snap.SrcTable.Rows(), snap.TgtTable.Rows(), len(task.SourceIDs), len(task.TargetIDs))
+	}
+	for i, id := range task.SourceIDs {
+		if name := d.Source.EntityName(id); name != snap.SrcVocab[i] {
+			return nil, fmt.Errorf("%w: source row %d is %q in the snapshot but %q in the dataset",
+				ErrSnapshotMismatch, i, snap.SrcVocab[i], name)
+		}
+	}
+	for i, id := range task.TargetIDs {
+		if name := d.Target.EntityName(id); name != snap.TgtVocab[i] {
+			return nil, fmt.Errorf("%w: target row %d is %q in the snapshot but %q in the dataset",
+				ErrSnapshotMismatch, i, snap.TgtVocab[i], name)
+		}
+	}
+	stream, err := sim.NewStreamPrepared(snap.SrcTable, snap.TgtTable, p.cfg.Metric)
+	if err != nil {
+		return nil, err
+	}
+	mctx := &core.Context{
+		Stream:    stream,
+		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
+		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
+	}
+	if p.cfg.ANN != nil {
+		if snap.FwdIndex == nil {
+			return nil, fmt.Errorf("%w: run requests ANN candidates but the snapshot holds no index (re-save with ANN configured)", ErrSnapshotMismatch)
+		}
+		if p.cfg.ANN.Clusters > 0 && p.cfg.ANN.Clusters != snap.FwdIndex.K {
+			return nil, fmt.Errorf("%w: run requests %d IVF clusters but the snapshot index was built with %d (re-save, or drop the cluster override)",
+				ErrSnapshotMismatch, p.cfg.ANN.Clusters, snap.FwdIndex.K)
+		}
+		if p.cfg.ANN.NProbe > snap.FwdIndex.K {
+			return nil, fmt.Errorf("%w: NProbe %d exceeds the snapshot index's %d clusters",
+				ErrSnapshotMismatch, p.cfg.ANN.NProbe, snap.FwdIndex.K)
+		}
+		fwd, err := ann.FromData(snap.FwdIndex)
+		if err != nil {
+			return nil, err
+		}
+		var rev *ann.IVF
+		if snap.RevIndex != nil {
+			if rev, err = ann.FromData(snap.RevIndex); err != nil {
+				return nil, err
+			}
+		}
+		cfg := ann.Config{
+			Clusters:   snap.FwdIndex.K,
+			NProbe:     p.cfg.ANN.NProbe,
+			SampleSize: snap.Meta.ANN.SampleSize,
+			Iters:      snap.Meta.ANN.Iters,
+			Seed:       snap.Meta.ANN.Seed,
+		}
+		annSrc, err := ann.NewSourceWithIndexes(stream, snap.SrcTable, snap.TgtTable, cfg, fwd, rev)
+		if err != nil {
+			return nil, err
+		}
+		mctx.Stream = annSrc
+	}
+	return &Run{Task: task, Stream: stream, Ctx: mctx}, nil
 }
 
 // task builds the evaluation task for the configured setting.
