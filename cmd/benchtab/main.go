@@ -12,6 +12,9 @@
 //	benchtab -exp sparse -json BENCH_sparse.json   # machine-readable results
 //	benchtab -exp ann                # IVF nprobe→recall/speed sweep
 //	benchtab -exp ann -json BENCH_ann.json         # machine-readable sweep
+//	benchtab -exp ann -quant         # the same sweep on SQ8 quantized slabs
+//	benchtab -exp quant              # SQ8 rerank-factor sweep vs float64 scan
+//	benchtab -exp quant -json BENCH_quant.json     # machine-readable sweep
 //
 // Scales are relative to the paper's full dataset sizes; the defaults are
 // the ones recorded in EXPERIMENTS.md for a 1-CPU container.
@@ -68,6 +71,8 @@ func run() error {
 	flag.IntVar(&cfg.SparseCand, "cand", cfg.SparseCand, "restrict the 'sparse' experiment to a single candidate budget C (0 = sweep 16/32/64/128)")
 	flag.IntVar(&cfg.ANNClusters, "ann", cfg.ANNClusters, "IVF cluster count for the 'ann' experiment (0 = auto, ≈√targets)")
 	flag.IntVar(&cfg.ANNNProbe, "nprobe", cfg.ANNNProbe, "restrict the 'ann' experiment to a single probe count (0 = sweep up to the full cluster count)")
+	flag.BoolVar(&cfg.QuantANN, "quant", cfg.QuantANN, "run the 'ann' experiment's sweep on SQ8 quantized slab scans (exact float64 re-rank on; the full-coverage row stays bit-identical and is verified live)")
+	flag.IntVar(&cfg.QuantFactor, "rerank-factor", cfg.QuantFactor, "restrict the 'quant' experiment to a single rerank factor (0 = sweep 1/2/4/8); with -quant, also sets the ann sweep's factor")
 	flag.Parse()
 
 	if cfg.SparseCand < 0 {
@@ -78,6 +83,9 @@ func run() error {
 	}
 	if cfg.ANNNProbe < 0 {
 		return fmt.Errorf("-nprobe must be non-negative")
+	}
+	if cfg.QuantFactor < 0 {
+		return fmt.Errorf("-rerank-factor must be non-negative")
 	}
 	if cfg.ANNClusters > 0 && cfg.ANNNProbe > cfg.ANNClusters {
 		fmt.Fprintf(os.Stderr, "benchtab: warning: -nprobe %d exceeds -ann %d clusters; clamping to %d (exact coverage)\n",

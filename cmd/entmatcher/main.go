@@ -14,6 +14,8 @@
 //	entmatcher -data ./data/100k -cand 64             # sparse candidate graphs
 //	entmatcher -data ./data/100k -cand 64 -ann 316    # IVF approximate candidates
 //	entmatcher -data ./data/100k -cand 64 -ann 316 -nprobe 40  # higher recall
+//	entmatcher -data ./data/100k -cand 64 -quant              # SQ8 scan + exact re-rank
+//	entmatcher -data ./data/100k -cand 64 -quant -rerank-factor 0  # quantized-only
 //	entmatcher -data ./data/100k -cand 64 -save-snapshot p.snap  # persist prep
 //	entmatcher -data ./data/100k -cand 64 -load-snapshot p.snap  # skip prep
 //
@@ -32,6 +34,12 @@
 // instead of the exhaustive streaming pass, making candidate generation
 // sub-quadratic. -nprobe trades recall for speed; at -nprobe K the result is
 // bit-identical to the exact build.
+//
+// With -quant (requires -cand) every candidate scan — IVF slabs under -ann,
+// the exhaustive pass otherwise — ranks with int8 SQ8 codes ⅛ the size of
+// the float64 tables, then re-scores an over-fetched pool exactly so the
+// emitted graphs stay bit-identical at the default -rerank-factor 4.
+// -rerank-factor 0 disables the exact re-rank (quantized-only scores).
 package main
 
 import (
@@ -81,7 +89,9 @@ func run() error {
 		cand     = flag.Int("cand", 0, "sparse candidate budget C: stream the scores into top-C candidate graphs and run the sparse matcher twins (CSLS, RInf, Sink., Hun., SMat) on them (0 = dense/streaming as usual)")
 		annK     = flag.Int("ann", 0, "approximate candidate generation: build the top-C graphs through an IVF index with this many k-means clusters instead of the exhaustive streaming pass (requires -cand; 0 = exact build)")
 		nprobe   = flag.Int("nprobe", 0, "IVF cells scanned per query — the recall/speed knob (requires -ann; 0 = auto, clusters/16; equal to -ann reproduces the exact build bit-for-bit)")
-		saveSnap = flag.String("save-snapshot", "", "after preparation, persist the prepared tables (and the IVF indexes under -ann) to this path as a crash-safe snapshot (requires -stream or -cand; written atomically: temp file, fsync, rename)")
+		useQuant = flag.Bool("quant", false, "rank candidate scans with SQ8 int8 codes (8× smaller scan tables) and re-score an over-fetched pool with exact float64 products — bit-identical graphs at the default -rerank-factor (requires -cand; composes with -ann)")
+		rerankF  = flag.Int("rerank-factor", 4, "quantized-scan pool over-fetch multiplier: re-rank the quantized top factor×C exactly (requires -quant; 0 = no exact re-rank, serve the quantized approximations)")
+		saveSnap = flag.String("save-snapshot", "", "after preparation, persist the prepared tables (and the IVF indexes under -ann, the SQ8 tables under -quant) to this path as a crash-safe snapshot (requires -stream or -cand; written atomically: temp file, fsync, rename)")
 		loadSnap = flag.String("load-snapshot", "", "prepare from a previously saved snapshot instead of re-encoding embeddings (requires -stream or -cand; the snapshot must match -features, -setting and -ann, otherwise the run fails with a mismatch error rather than silently rebuilding)")
 	)
 	flag.Parse()
@@ -150,6 +160,18 @@ func run() error {
 			*nprobe = *annK
 		}
 		cfg.ANN = &entmatcher.ANNConfig{Clusters: *annK, NProbe: *nprobe}
+	}
+	if *rerankF < 0 {
+		return fmt.Errorf("-rerank-factor must be non-negative")
+	}
+	if *rerankF != 4 && !*useQuant {
+		return fmt.Errorf("-rerank-factor requires -quant (it sizes the quantized scan's re-rank pool)")
+	}
+	if *useQuant {
+		if *cand == 0 {
+			return fmt.Errorf("-quant requires -cand (quantized scans only accelerate candidate-graph construction)")
+		}
+		cfg.Quant = &entmatcher.QuantConfig{RerankFactor: *rerankF, NoRerank: *rerankF == 0}
 	}
 	if *saveSnap != "" && *loadSnap != "" {
 		return fmt.Errorf("-save-snapshot and -load-snapshot are mutually exclusive")

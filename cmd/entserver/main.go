@@ -12,6 +12,12 @@
 //	curl 'localhost:8080/match/topk?src=src/42&k=5'
 //	curl -X POST localhost:8080/align -d '{"matcher":"RInf","cand":32}'
 //	curl localhost:8080/readyz
+//	curl localhost:8080/statsz
+//
+// A snapshot saved with `entmatcher -quant -save-snapshot` carries SQ8
+// quantized tables; the server then serves both work endpoints from the int8
+// code slabs with exact float64 re-rank (served_by/matcher report the
+// "quant" tier), falling back to the float index and exact scan on failure.
 //
 // The server sheds load instead of queuing (429 + Retry-After past
 // -max-inflight), bounds every request with -timeout, surfaces degraded
@@ -106,6 +112,9 @@ func run() error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Println("entserver: drained, exiting")
+	st := srv.Stats()
+	fmt.Printf("entserver: drained, exiting (served quant=%d ann=%d exact=%d other=%d, cache hits=%d misses=%d, shed=%d)\n",
+		st.ServedQuant, st.ServedANN, st.ServedExact, st.ServedOther,
+		st.CacheHits, st.CacheMisses, st.GateRejections)
 	return nil
 }

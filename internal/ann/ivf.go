@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 // Config parameterizes the IVF index. The zero value means "auto": every
@@ -95,6 +96,18 @@ type IVF struct {
 	listPtr []int64   // len k+1; cell c spans listPtr[c]..listPtr[c+1]
 	ids     []int32   // len n, corpus row ids, ascending within a cell
 	vecs    []float64 // len n·dim, corpus rows in slab order
+
+	// Optional SQ8 side table (AttachQuant): the same corpus rows as int8
+	// codes in slab order, plus the quantized table for query folding.
+	// SearchQuant scans qvecs and re-ranks survivors against vecs.
+	qvecs []int8
+	qt    *quant.Table
+
+	// scratch pools each worker's per-query buffers (cell + candidate
+	// selectors, quantized-scan state) across queries AND across Search
+	// calls, so the query path allocates only its escaping results (see
+	// TestSearchAllocsPooled). Pooled per index — never copied.
+	scratch sync.Pool
 }
 
 // Clusters returns the number of cells the index was built with (after
@@ -173,11 +186,32 @@ func Build(ctx context.Context, data *matrix.Dense, cfg Config) (*IVF, error) {
 	return ivf, nil
 }
 
-// searchScratch is the per-worker state of a Search call: one selector for
-// ranking cells, one for the candidate top-c.
+// searchScratch is one worker's reusable query state: a selector for
+// ranking cells, one for the candidate top-c, and the quantized-scan
+// buffers (query codes, per-candidate int32 scores and their slab
+// positions, the pool-threshold heap, and the re-rank pool). The selectors
+// are re-sized per query via EnsureK and every slice grows to the largest
+// request served, so a warmed scratch handles any (c, nprobe) without
+// allocating.
 type searchScratch struct {
 	cells *matrix.BoundedTopK
 	sel   *matrix.BoundedTopK
+
+	codeQ   []int8
+	ints    []int32
+	pos     []int32
+	heapBuf []int32
+	poolIDs []int
+	poolPos []int32
+}
+
+// getScratch fetches a pooled scratch or builds an empty one; EnsureK and
+// the ensure* helpers size it for the query at hand.
+func (ivf *IVF) getScratch() *searchScratch {
+	if sc, ok := ivf.scratch.Get().(*searchScratch); ok {
+		return sc
+	}
+	return &searchScratch{cells: matrix.NewBoundedTopK(0), sel: matrix.NewBoundedTopK(0)}
 }
 
 // Search scores each query row against the nprobe nearest cells and returns
@@ -214,21 +248,11 @@ func (ivf *IVF) Search(ctx context.Context, queries *matrix.Dense, c, nprobe int
 	nq := queries.Rows()
 	out := make([]matrix.TopK, nq)
 	d := ivf.dim
-	pool := sync.Pool{New: func() any {
-		return &searchScratch{
-			cells: matrix.NewBoundedTopK(nprobe),
-			sel:   matrix.NewBoundedTopK(c),
-		}
-	}}
 	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
-		sc := pool.Get().(*searchScratch)
-		sc.cells.Reset()
-		sc.sel.Reset()
+		sc := ivf.getScratch()
+		sc.sel.EnsureK(c)
 		q := queries.Row(qi)
-		for cell := 0; cell < ivf.k; cell++ {
-			sc.cells.Offer(matrix.Dot4(q, ivf.centroids.Row(cell))-ivf.cnormHalf[cell], cell)
-		}
-		probes := sc.cells.Finalize()
+		probes := ivf.rankCells(sc, q, nprobe)
 		for _, cell := range probes.Indices {
 			lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
 			for p := lo; p < hi; p++ {
@@ -242,10 +266,184 @@ func (ivf *IVF) Search(ctx context.Context, queries *matrix.Dense, c, nprobe int
 			Values:  append([]float64(nil), tk.Values...),
 			Indices: append([]int(nil), tk.Indices...),
 		}
-		pool.Put(sc)
+		ivf.scratch.Put(sc)
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// rankCells selects the nprobe cells nearest to q by the fused distance
+// score ⟨q,centroid⟩ − ‖centroid‖²/2, ties by ascending cell id — the one
+// ranking both the float and the quantized scan share, so enabling
+// quantization never changes WHICH cells a query probes. The returned TopK
+// aliases sc.cells.
+func (ivf *IVF) rankCells(sc *searchScratch, q []float64, nprobe int) matrix.TopK {
+	sc.cells.EnsureK(nprobe)
+	for cell := 0; cell < ivf.k; cell++ {
+		sc.cells.Offer(matrix.Dot4(q, ivf.centroids.Row(cell))-ivf.cnormHalf[cell], cell)
+	}
+	return sc.cells.Finalize()
+}
+
+// AttachQuant installs an SQ8 side table for this index's corpus: t must be
+// the quantized form of the same prepared table the index was built over.
+// Codes are scattered into cell-slab order so a probe scans one contiguous
+// int8 run, exactly like the float slab. After attaching, SearchQuant
+// becomes available; Search is unaffected.
+func (ivf *IVF) AttachQuant(t *quant.Table) error {
+	if t == nil {
+		return fmt.Errorf("ann: nil quantized table")
+	}
+	if t.Rows() != ivf.n || t.Dim() != ivf.dim {
+		return fmt.Errorf("ann: quantized table covers %d×%d but index holds %d×%d",
+			t.Rows(), t.Dim(), ivf.n, ivf.dim)
+	}
+	qvecs := make([]int8, ivf.n*ivf.dim)
+	d := ivf.dim
+	for p := 0; p < ivf.n; p++ {
+		copy(qvecs[p*d:(p+1)*d], t.Row(int(ivf.ids[p])))
+	}
+	ivf.qvecs = qvecs
+	ivf.qt = t
+	return nil
+}
+
+// HasQuant reports whether an SQ8 side table is attached.
+func (ivf *IVF) HasQuant() bool { return ivf.qvecs != nil }
+
+// QuantBytes returns the footprint of the attached quantized slab (0 when
+// none): the int8 code slab plus the per-dimension scales.
+func (ivf *IVF) QuantBytes() int64 {
+	if ivf.qvecs == nil {
+		return 0
+	}
+	return int64(len(ivf.qvecs)) + int64(ivf.dim)*8
+}
+
+// ensureQuantScratch sizes the quantized-scan buffers for m candidates and
+// a pool bound of p.
+func (sc *searchScratch) ensureQuantScratch(dim, m, p int) {
+	if cap(sc.codeQ) < dim {
+		sc.codeQ = make([]int8, dim)
+	}
+	sc.codeQ = sc.codeQ[:dim]
+	if cap(sc.ints) < m {
+		sc.ints = make([]int32, m)
+		sc.pos = make([]int32, m)
+	}
+	sc.ints = sc.ints[:m]
+	sc.pos = sc.pos[:m]
+	if cap(sc.heapBuf) < p {
+		sc.heapBuf = make([]int32, 0, p)
+	}
+}
+
+// SearchQuant is Search with the candidate scan running on the attached SQ8
+// slab: cells are ranked by the float64 centroid scores (so the probed set
+// is identical to Search's), every candidate in a probed cell is scored
+// with the int8 kernel, and the top factor×c pool — plus every candidate
+// tied with the pool boundary — is re-scored against the float slab with
+// the exact kernel, from which the final top-c is selected under the
+// canonical (value desc, index asc) order. At the default factor the
+// results are bit-identical to Search's whenever the pool covers the true
+// top-c (conformance-pinned; the boundary-tie rule covers the degenerate
+// all-ties regimes exactly). rerank=false skips the float64 phase and
+// returns the approximate scores sq·DotI8 — the quantized-only escape
+// hatch.
+func (ivf *IVF) SearchQuant(ctx context.Context, queries *matrix.Dense, c, nprobe, factor int, rerank bool) ([]matrix.TopK, error) {
+	if ivf.qvecs == nil {
+		return nil, fmt.Errorf("ann: SearchQuant without an attached quantized table")
+	}
+	if queries == nil {
+		return nil, fmt.Errorf("ann: nil queries")
+	}
+	if queries.Cols() != ivf.dim {
+		return nil, fmt.Errorf("ann: query dim %d != index dim %d", queries.Cols(), ivf.dim)
+	}
+	if c < 1 {
+		return nil, fmt.Errorf("ann: candidate budget %d < 1", c)
+	}
+	if c > ivf.n {
+		c = ivf.n
+	}
+	if nprobe < 1 {
+		nprobe = 1
+	}
+	if nprobe > ivf.k {
+		nprobe = ivf.k
+	}
+	nq := queries.Rows()
+	out := make([]matrix.TopK, nq)
+	d := ivf.dim
+	var firstErr error
+	var errMu sync.Mutex
+	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
+		sc := ivf.getScratch()
+		defer ivf.scratch.Put(sc)
+		q := queries.Row(qi)
+		probes := ivf.rankCells(sc, q, nprobe)
+		// Upper-bound the scanned-candidate count for scratch sizing.
+		var m int
+		for _, cell := range probes.Indices {
+			m += int(ivf.listPtr[cell+1] - ivf.listPtr[cell])
+		}
+		p := quant.PoolSize(factor, c, m)
+		sc.ensureQuantScratch(d, m, p)
+		sq, err := ivf.qt.QuantizeQuery(q, sc.codeQ)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			return
+		}
+		cnt := 0
+		for _, cell := range probes.Indices {
+			lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
+			for pp := lo; pp < hi; pp++ {
+				sc.ints[cnt] = quant.DotI8(sc.codeQ, ivf.qvecs[int(pp)*d:(int(pp)+1)*d])
+				sc.pos[cnt] = int32(pp)
+				cnt++
+			}
+		}
+		if !rerank {
+			sc.sel.EnsureK(c)
+			for x := 0; x < cnt; x++ {
+				sc.sel.Offer(sq*float64(sc.ints[x]), int(ivf.ids[sc.pos[x]]))
+			}
+			tk := sc.sel.Finalize()
+			out[qi] = matrix.TopK{
+				Values:  append([]float64(nil), tk.Values...),
+				Indices: append([]int(nil), tk.Indices...),
+			}
+			return
+		}
+		th := quant.PoolThreshold(sc.ints[:cnt], p, sc.heapBuf)
+		sc.poolIDs = sc.poolIDs[:0]
+		sc.poolPos = sc.poolPos[:0]
+		for x := 0; x < cnt; x++ {
+			if sc.ints[x] >= th {
+				sc.poolIDs = append(sc.poolIDs, int(ivf.ids[sc.pos[x]]))
+				sc.poolPos = append(sc.poolPos, sc.pos[x])
+			}
+		}
+		tk := matrix.RerankTopK(sc.sel, sc.poolIDs, c, func(slot int) float64 {
+			pp := int(sc.poolPos[slot])
+			return matrix.Dot4(q, ivf.vecs[pp*d:(pp+1)*d])
+		})
+		out[qi] = matrix.TopK{
+			Values:  append([]float64(nil), tk.Values...),
+			Indices: append([]int(nil), tk.Indices...),
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

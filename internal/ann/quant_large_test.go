@@ -1,0 +1,96 @@
+package ann
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestSearchQuant100k is the large-scale acceptance test for the SQ8
+// quantized slab scan at the DWY100K geometry: a 100k-row corpus at d=32,
+// 100k queries, where the quantized IVF search must return selections
+// bit-identical to the float64 path at the default rerank factor, with the
+// code slab at least 4× smaller than the float slab it shadows and peak heap
+// inside the same 8 GiB budget as the other 100k tests. Gated like those:
+//
+//	ENTMATCHER_LARGE=1 go test -run TestSearchQuant100k -v ./internal/ann
+func TestSearchQuant100k(t *testing.T) {
+	if os.Getenv("ENTMATCHER_LARGE") == "" {
+		t.Skip("set ENTMATCHER_LARGE=1 to run the 100k quantized-scan test")
+	}
+	const n, d, c, nprobe = 100_000, 32, 16, 8
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(41))
+	corpus := randTable(rng, n, d, 400)
+	queries := randTable(rng, n, d, 400)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var peak uint64
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+
+	ivf, err := Build(ctx, corpus, Config{Seed: 11})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := ivf.AttachQuant(encodeTable(t, corpus)); err != nil {
+		t.Fatalf("AttachQuant: %v", err)
+	}
+	floatSlab := int64(n*d) * 8
+	if ratio := float64(floatSlab) / float64(ivf.QuantBytes()); ratio < 4 {
+		t.Fatalf("quantized slab only %.1fx smaller than the float slab", ratio)
+	}
+
+	start := time.Now()
+	want, err := ivf.Search(ctx, queries, c, nprobe)
+	if err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+	floatT := time.Since(start)
+	start = time.Now()
+	got, err := ivf.SearchQuant(ctx, queries, c, nprobe, 0, true)
+	if err != nil {
+		t.Fatalf("SearchQuant: %v", err)
+	}
+	quantT := time.Since(start)
+	close(stop)
+	<-done
+
+	for i := range want {
+		if !topKEqual(got[i], want[i]) {
+			t.Fatalf("query %d: quantized selection differs from the float scan\ngot  %+v\nwant %+v",
+				i, got[i], want[i])
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.Sys > peak {
+		peak = ms.Sys
+	}
+	const limit = 8 << 30
+	t.Logf("100k quantized scan (d=%d, C=%d, nprobe=%d, k=%d): float %v, quant %v (%.2fx), slab %d KiB vs %d KiB, peak %d MiB",
+		d, c, nprobe, ivf.Clusters(), floatT.Round(time.Millisecond), quantT.Round(time.Millisecond),
+		floatT.Seconds()/quantT.Seconds(), floatSlab>>10, ivf.QuantBytes()>>10, peak>>20)
+	if peak > limit {
+		t.Fatalf("peak memory %d MiB exceeds the 8 GiB budget", peak>>20)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package ann
+
+// raceEnabled mirrors race_on_test.go for regular builds.
+const raceEnabled = false

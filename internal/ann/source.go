@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 // Source wraps a streaming tile source (the similarity stream) and
@@ -33,10 +34,20 @@ type Source struct {
 	state          *sourceState
 }
 
-// sourceState holds the lazily built indexes, shared by WithNProbe views.
+// sourceState holds the lazily built indexes and the optional quantization
+// setup, shared by WithNProbe views.
 type sourceState struct {
 	mu       sync.Mutex
 	fwd, rev *IVF
+
+	// SQ8 scan configuration (EnableQuant): when qOn, slab scans run on the
+	// quantized side tables with float64 re-rank (unless !qRerank). srcQ
+	// attaches to the reverse index (corpus = source table), tgtQ to the
+	// forward one.
+	qOn        bool
+	srcQ, tgtQ *quant.Table
+	qFactor    int
+	qRerank    bool
 }
 
 // NewSource validates shapes and returns a producer over the prepared
@@ -137,6 +148,62 @@ func (s *Source) IndexBytes() int64 {
 	return b
 }
 
+// EnableQuant installs SQ8 side tables for both scan directions: srcQ must
+// encode the prepared source table, tgtQ the prepared target table. After
+// this call every candidate-graph request scans the quantized slabs and
+// re-ranks against the float slabs (factor <= 0 selects
+// quant.DefaultRerankFactor); rerank=false switches to quantized-only
+// scoring, the documented approximation escape hatch. Indexes already built
+// get their slabs attached now; lazily built ones attach at build time.
+// Call before creating WithNProbe views is not required — the configuration
+// lives in the shared state.
+func (s *Source) EnableQuant(srcQ, tgtQ *quant.Table, factor int, rerank bool) error {
+	if srcQ == nil || tgtQ == nil {
+		return fmt.Errorf("ann: nil quantized table")
+	}
+	if srcQ.Rows() != s.srcTab.Rows() || srcQ.Dim() != s.srcTab.Cols() {
+		return fmt.Errorf("ann: source codes cover %d×%d but table is %d×%d",
+			srcQ.Rows(), srcQ.Dim(), s.srcTab.Rows(), s.srcTab.Cols())
+	}
+	if tgtQ.Rows() != s.tgtTab.Rows() || tgtQ.Dim() != s.tgtTab.Cols() {
+		return fmt.Errorf("ann: target codes cover %d×%d but table is %d×%d",
+			tgtQ.Rows(), tgtQ.Dim(), s.tgtTab.Rows(), s.tgtTab.Cols())
+	}
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	if s.state.fwd != nil {
+		if err := s.state.fwd.AttachQuant(tgtQ); err != nil {
+			return err
+		}
+	}
+	if s.state.rev != nil {
+		if err := s.state.rev.AttachQuant(srcQ); err != nil {
+			return err
+		}
+	}
+	s.state.qOn = true
+	s.state.srcQ, s.state.tgtQ = srcQ, tgtQ
+	s.state.qFactor, s.state.qRerank = factor, rerank
+	return nil
+}
+
+// quantCfg snapshots the quantization switch for a query.
+func (s *Source) quantCfg() (on bool, factor int, rerank bool) {
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	return s.state.qOn, s.state.qFactor, s.state.qRerank
+}
+
+// search runs one index query, dispatching to the quantized scan when
+// enabled.
+func (s *Source) search(ctx context.Context, ivf *IVF, queries *matrix.Dense, c int) ([]matrix.TopK, error) {
+	np := s.nprobeFor(ivf)
+	if on, factor, rerank := s.quantCfg(); on {
+		return ivf.SearchQuant(ctx, queries, c, np, factor, rerank)
+	}
+	return ivf.Search(ctx, queries, c, np)
+}
+
 // fwdIndex returns the index over the target table, building it on first
 // use. A failed build (cancellation mid-training) is not cached, so a later
 // request retries.
@@ -147,6 +214,11 @@ func (s *Source) fwdIndex(ctx context.Context) (*IVF, error) {
 		ivf, err := Build(ctx, s.tgtTab, s.cfg)
 		if err != nil {
 			return nil, err
+		}
+		if s.state.qOn {
+			if err := ivf.AttachQuant(s.state.tgtQ); err != nil {
+				return nil, err
+			}
 		}
 		s.state.fwd = ivf
 	}
@@ -165,6 +237,11 @@ func (s *Source) revIndex(ctx context.Context) (*IVF, error) {
 		ivf, err := Build(ctx, s.srcTab, cfg)
 		if err != nil {
 			return nil, err
+		}
+		if s.state.qOn {
+			if err := ivf.AttachQuant(s.state.srcQ); err != nil {
+				return nil, err
+			}
 		}
 		s.state.rev = ivf
 	}
@@ -188,7 +265,7 @@ func (s *Source) ProduceCandGraph(ctx context.Context, c int) (*matrix.CandGraph
 	if err != nil {
 		return nil, err
 	}
-	tks, err := ivf.Search(ctx, s.srcTab, c, s.nprobeFor(ivf))
+	tks, err := s.search(ctx, ivf, s.srcTab, c)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +286,7 @@ func (s *Source) ProduceCandGraphs(ctx context.Context, c, cRev int) (fwd, rev *
 	if err != nil {
 		return nil, nil, err
 	}
-	tks, err := ivf.Search(ctx, s.tgtTab, cRev, s.nprobeFor(ivf))
+	tks, err := s.search(ctx, ivf, s.tgtTab, cRev)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -244,7 +321,7 @@ func (s *Source) ProduceCandGraphWithColMeans(ctx context.Context, c, kCol int) 
 	if err != nil {
 		return nil, nil, err
 	}
-	tks, err := ivf.Search(ctx, s.tgtTab, kCol, s.nprobeFor(ivf))
+	tks, err := s.search(ctx, ivf, s.tgtTab, kCol)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"entmatcher/internal/core"
 	"entmatcher/internal/datagen"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 	"entmatcher/internal/sim"
 )
 
@@ -97,6 +98,22 @@ func runANN(cfg *Config, env *Env) ([]*Table, error) {
 		return nil, err
 	}
 	k := fwdIdx.Clusters()
+	if cfg.QuantANN {
+		// Quantized slab scans: the nprobe sweep below then measures SQ8 +
+		// exact re-rank, and the full-coverage exactness check verifies it.
+		srcQ, qerr := quant.Encode(ctx, sTab)
+		if qerr != nil {
+			return nil, fmt.Errorf("ann: encoding SQ8 source table: %w", qerr)
+		}
+		tgtQ, qerr := quant.Encode(ctx, tTab)
+		if qerr != nil {
+			return nil, fmt.Errorf("ann: encoding SQ8 target table: %w", qerr)
+		}
+		if qerr := annSrc.EnableQuant(srcQ, tgtQ, cfg.QuantFactor, true); qerr != nil {
+			return nil, fmt.Errorf("ann: enabling quantized slabs: %w", qerr)
+		}
+		cfg.logf("  ann quant: SQ8 slabs enabled (%s GiB of codes)", gb(srcQ.SizeBytes()+tgtQ.SizeBytes()))
+	}
 	cfg.logf("  ann train: k=%d in %v (%s GiB of indexes)", k, train.Round(time.Millisecond), gb(annSrc.IndexBytes()))
 	env.Record(Record{
 		Name:       fmt.Sprintf("ANN/train/k=%d/n=%d", k, rows),

@@ -62,6 +62,15 @@ type Config struct {
 	// ANNNProbe, when positive, restricts the 'ann' experiment to a single
 	// probe count instead of its default sweep up to full coverage.
 	ANNNProbe int
+	// QuantANN runs the 'ann' experiment's sweep with SQ8 quantized slab
+	// scans (exact float64 re-rank on): the IVF candidate graphs then come
+	// from int8 codes 8× smaller than the float slabs, and the full-coverage
+	// exactness check verifies the quantized path live.
+	QuantANN bool
+	// QuantFactor, when positive, restricts the 'quant' experiment to a
+	// single rerank factor instead of its default {1, 2, 4, 8} sweep, and
+	// sets the factor used by QuantANN (0 = the library default).
+	QuantFactor int
 	// RunTimeout is the per-matcher wall-clock budget. When positive, each
 	// matcher run happens inside a degradation chain (matcher → RInf-pb →
 	// DInf) so an over-budget algorithm yields a cheaper tier's answer
@@ -248,6 +257,7 @@ func Experiments() []Experiment {
 		{ID: "streaming", Title: "Dense vs tiled-streaming similarity engine: F1, time, peak memory", Run: runStreaming},
 		{ID: "sparse", Title: "Sparse candidate-graph engine: Hits@1, time, peak memory vs dense across C", Run: runSparse},
 		{ID: "ann", Title: "IVF approximate candidate generation: nprobe → recall, Hits@1, build time vs exact", Run: runANN},
+		{ID: "quant", Title: "SQ8 quantized candidate scans: rerank factor → recall, build time, table bytes vs float64", Run: runQuant},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

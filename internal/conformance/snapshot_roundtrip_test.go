@@ -177,6 +177,42 @@ func TestSnapshotRoundTripWithoutANN(t *testing.T) {
 	}
 }
 
+// TestSnapshotRoundTripQuant pins the SQ8 sections end to end through the
+// public pipeline: a run served from a loaded quantized snapshot must match
+// a fresh quantized preparation bit for bit — with the scan riding the IVF
+// index and standalone over the exhaustive quantized source.
+func TestSnapshotRoundTripQuant(t *testing.T) {
+	d := roundTripDataset(t)
+	for name, cfg := range map[string]entmatcher.PipelineConfig{
+		"quant-only": {CandidateBudget: 16, Quant: &entmatcher.QuantConfig{}},
+		"quant+ann": {CandidateBudget: 16, Quant: &entmatcher.QuantConfig{},
+			ANN: &entmatcher.ANNConfig{Clusters: 8, NProbe: 8}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			fresh, loaded := prepareFreshAndLoaded(t, d, cfg)
+			fres, fmet, err := fresh.Match(entmatcher.NewRInfSparse(16))
+			if err != nil {
+				t.Fatalf("fresh match: %v", err)
+			}
+			lres, lmet, err := loaded.Match(entmatcher.NewRInfSparse(16))
+			if err != nil {
+				t.Fatalf("loaded match: %v", err)
+			}
+			if fmet != lmet {
+				t.Errorf("metrics differ: fresh %+v, loaded %+v", fmet, lmet)
+			}
+			if len(fres.Pairs) != len(lres.Pairs) {
+				t.Fatalf("fresh matched %d pairs, loaded %d", len(fres.Pairs), len(lres.Pairs))
+			}
+			for i := range fres.Pairs {
+				if fres.Pairs[i] != lres.Pairs[i] {
+					t.Fatalf("pair %d: fresh %+v, loaded %+v", i, fres.Pairs[i], lres.Pairs[i])
+				}
+			}
+		})
+	}
+}
+
 // TestSnapshotLoadRejectsMismatchedConfig is the flag-interaction contract
 // at the pipeline layer: a snapshot is never silently rebuilt or
 // reinterpreted for a configuration it was not prepared for.
@@ -195,6 +231,9 @@ func TestSnapshotLoadRejectsMismatchedConfig(t *testing.T) {
 		"different metric":       func(c *entmatcher.PipelineConfig) { c.ANN = nil; c.Metric = entmatcher.MetricEuclidean },
 		"mismatched ANN cluster": func(c *entmatcher.PipelineConfig) { c.ANN.Clusters = 13 },
 		"nprobe past clusters":   func(c *entmatcher.PipelineConfig) { c.ANN.Clusters = 0; c.ANN.NProbe = 99 },
+		// The snapshot was saved without -quant, so it holds no SQ8 tables;
+		// a quantized run must refuse it rather than silently re-encode.
+		"quant without SQ8 sections": func(c *entmatcher.PipelineConfig) { c.Quant = &entmatcher.QuantConfig{} },
 	} {
 		cfg := roundTripConfig()
 		cfg.ANN = &entmatcher.ANNConfig{Clusters: 8, NProbe: 8} // own copy per case

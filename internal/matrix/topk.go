@@ -183,6 +183,40 @@ func (b *BoundedTopK) Offer(v float64, j int) {
 // and do not Offer again before Reset.
 func (b *BoundedTopK) Finalize() TopK { return b.h.finalize() }
 
+// EnsureK reconfigures the selector to keep the k best candidates and
+// empties it, retaining backing storage when it is already large enough.
+// This is what lets pooled scratch selectors (the ANN and quantized query
+// paths) serve requests of varying k without reallocating per query.
+func (b *BoundedTopK) EnsureK(k int) {
+	if k < 0 {
+		k = 0
+	}
+	b.k = k
+	if cap(b.h.vals) < k || cap(b.h.idx) < k {
+		b.h.vals = make([]float64, 0, k)
+		b.h.idx = make([]int, 0, k)
+		return
+	}
+	b.h.vals = b.h.vals[:0]
+	b.h.idx = b.h.idx[:0]
+}
+
+// RerankTopK is the exact-re-rank consumer of a two-phase quantized scan
+// (internal/quant): phase 1 selects a candidate pool by approximate score;
+// this re-scores every pool slot with an exact scorer and selects the final
+// top-k under the canonical (value desc, index asc) order. ids[slot] is the
+// emitted index for pool slot `slot` (they must be distinct); score(slot)
+// returns its exact value; candidates may arrive in any order — selection
+// runs on the order-insensitive BoundedTopK. sel is reconfigured to k and
+// consumed; the returned TopK aliases its storage.
+func RerankTopK(sel *BoundedTopK, ids []int, k int, score func(slot int) float64) TopK {
+	sel.EnsureK(k)
+	for slot, id := range ids {
+		sel.Offer(score(slot), id)
+	}
+	return sel.Finalize()
+}
+
 // topKOfSlice returns the k largest entries of row in descending order.
 // If k >= len(row) it returns the fully sorted row.
 func topKOfSlice(row []float64, k int) TopK {

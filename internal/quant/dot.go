@@ -1,0 +1,24 @@
+package quant
+
+// DotI8 returns the int32 dot product Σ a[j]·b[j] of two equal-length int8
+// vectors. Integer addition is exact and associative, so unlike the float64
+// kernels the vectorized and scalar paths are EXACTLY equal (bit-pinned in
+// dot_i8_amd64_test.go), not merely ulp-close; the accumulator cannot
+// overflow for lengths up to 2^16 (enforced by Encode's maxDim guard).
+func DotI8(a, b []int8) int32 {
+	if hasFastDotI8 && len(a) >= 32 {
+		return dotI8AVX2(a, b)
+	}
+	return dotI8Scalar(a, b)
+}
+
+// dotI8Scalar is the portable reference kernel: one widening multiply-add
+// per element. It defines the kernel contract; the asm path must agree
+// exactly on every input.
+func dotI8Scalar(a, b []int8) int32 {
+	var s int32
+	for j := range a {
+		s += int32(a[j]) * int32(b[j])
+	}
+	return s
+}

@@ -1,0 +1,24 @@
+//go:build amd64 && !purego
+
+package quant
+
+// hasFastDotI8 reports whether the running CPU (and OS) support the AVX2
+// int8 dot kernel. Detected once at startup, mirroring matrix.hasFastDot:
+// a given machine uses one kernel for the whole process lifetime. The int8
+// kernel needs AVX2 but not FMA — it is integer-only — so the check drops
+// the FMA bit from the float kernel's gate.
+var hasFastDotI8 = cpuSupportsAVX2()
+
+// dotI8AVX2 is the vectorized int8 dot product: each iteration sign-extends
+// 32 bytes of each operand to int16 lanes (VPMOVSXBW), multiplies and
+// pair-sums them into int32 lanes (VPMADDWD), and accumulates into two YMM
+// registers, with the tail folded in scalar. All arithmetic is exact integer
+// math, so the result equals dotI8Scalar bit-for-bit. Implemented in
+// dot_i8_amd64.s.
+//
+//go:noescape
+func dotI8AVX2(a, b []int8) int32
+
+// cpuSupportsAVX2 checks CPUID for AVX2 and XGETBV for OS-enabled YMM
+// state. Implemented in dot_i8_amd64.s.
+func cpuSupportsAVX2() bool

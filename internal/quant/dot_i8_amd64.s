@@ -1,0 +1,99 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dotI8AVX2(a, b []int8) int32
+//
+// Two YMM int32 accumulators, 32 int8 elements per iteration:
+// VPMOVSXBW widens 16 bytes to 16 int16 lanes, VPMADDWD multiplies and
+// pair-sums into 8 int32 lanes (each product is at most 127·127 = 16129, so
+// a lane pair sums to at most 32258 — no int32 overflow per step), VPADDD
+// accumulates. The reduction and the scalar tail are exact integer adds, so
+// the result is identical to dotI8Scalar for every input (pinned in
+// dot_i8_amd64_test.go).
+TEXT ·dotI8AVX2(SB), NOSPLIT, $0-52
+	MOVQ a_base+0(FP), SI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), DI
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	CMPQ AX, DX
+	JGE  reduce
+
+loop32:
+	VPMOVSXBW (SI)(AX*1), Y4
+	VPMOVSXBW 16(SI)(AX*1), Y5
+	VPMOVSXBW (DI)(AX*1), Y6
+	VPMOVSXBW 16(DI)(AX*1), Y7
+	VPMADDWD  Y6, Y4, Y4
+	VPMADDWD  Y7, Y5, Y5
+	VPADDD    Y4, Y0, Y0
+	VPADDD    Y5, Y1, Y1
+	ADDQ      $32, AX
+	CMPQ      AX, DX
+	JLT       loop32
+
+reduce:
+	// Lanewise: Y0 += Y1; across lanes: fold 8 int32 down to 1.
+	VPADDD       Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1 // [2 3 0 1]
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1 // [1 0 3 2]
+	VPADDD       X1, X0, X0
+	MOVQ         X0, BX        // low 32 bits hold the sum
+
+scalar:
+	CMPQ AX, CX
+	JGE  done
+	MOVBLSX (SI)(AX*1), R8
+	MOVBLSX (DI)(AX*1), R9
+	IMULL   R9, R8
+	ADDL    R8, BX
+	INCQ    AX
+	JMP     scalar
+
+done:
+	MOVL BX, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func cpuSupportsAVX2() bool
+TEXT ·cpuSupportsAVX2(SB), NOSPLIT, $0-1
+	// Highest CPUID leaf must reach 7.
+	MOVL $0, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+	// Leaf 1 ECX: OSXSAVE (bit 27), AVX (bit 28). No FMA: integer kernel.
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<27 | 1<<28), DX
+	CMPL DX, $(1<<27 | 1<<28)
+	JNE  no
+	// Leaf 7 subleaf 0 EBX: AVX2 (bit 5).
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+	// XCR0 must have XMM (bit 1) and YMM (bit 2) state enabled by the OS.
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

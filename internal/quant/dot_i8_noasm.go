@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package quant
+
+// hasFastDotI8 is false without the amd64 assembly kernel; every int8 dot
+// comes from the portable dotI8Scalar.
+const hasFastDotI8 = false
+
+// dotI8AVX2 is never called when hasFastDotI8 is false; this stub keeps the
+// dispatch in dot.go portable.
+func dotI8AVX2(a, b []int8) int32 { panic("quant: dotI8AVX2 without asm") }

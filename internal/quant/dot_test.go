@@ -1,0 +1,129 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDotI8MatchesScalar pins the dispatched kernel against the scalar
+// reference on every length around the vector width boundaries and on
+// adversarial contents (all ±127, alternating signs, random). Integer
+// arithmetic is exact, so the requirement is EXACT equality — stronger than
+// the float kernel's ulp tolerance.
+func TestDotI8MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fill := map[string]func(a, b []int8){
+		"random": func(a, b []int8) {
+			for i := range a {
+				a[i] = int8(rng.Intn(255) - 127)
+				b[i] = int8(rng.Intn(255) - 127)
+			}
+		},
+		"max-magnitude": func(a, b []int8) {
+			for i := range a {
+				a[i], b[i] = 127, 127
+			}
+		},
+		"alternating": func(a, b []int8) {
+			for i := range a {
+				if i%2 == 0 {
+					a[i], b[i] = 127, -127
+				} else {
+					a[i], b[i] = -127, 127
+				}
+			}
+		},
+	}
+	lens := []int{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 65, 96, 100, 127, 128, 300, 1024, 65536}
+	for name, f := range fill {
+		for _, n := range lens {
+			a, b := make([]int8, n), make([]int8, n)
+			f(a, b)
+			want := dotI8Scalar(a, b)
+			if got := DotI8(a, b); got != want {
+				t.Fatalf("%s len=%d: DotI8=%d scalar=%d", name, n, got, want)
+			}
+			if hasFastDotI8 && n >= 32 {
+				if got := dotI8AVX2(a, b); got != want {
+					t.Fatalf("%s len=%d: dotI8AVX2=%d scalar=%d", name, n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestDotI8NoOverflowAtMaxDim exercises the documented accumulator bound:
+// 2^16 products of 127·127 must sum without wrapping.
+func TestDotI8NoOverflowAtMaxDim(t *testing.T) {
+	a := make([]int8, maxDim)
+	b := make([]int8, maxDim)
+	for i := range a {
+		a[i], b[i] = 127, 127
+	}
+	want := int32(127 * 127 * maxDim)
+	if want < 0 {
+		t.Fatal("bound itself overflows; shrink maxDim")
+	}
+	if got := DotI8(a, b); got != want {
+		t.Fatalf("DotI8 = %d, want %d", got, want)
+	}
+	for i := range b {
+		b[i] = -127
+	}
+	if got := DotI8(a, b); got != -want {
+		t.Fatalf("DotI8 = %d, want %d", got, -want)
+	}
+}
+
+// FuzzDotI8 cross-checks the dispatched kernel against the scalar reference
+// on arbitrary byte strings (reinterpreted as int8), the int8 analogue of
+// FuzzRowKernels' dot oracle.
+func FuzzDotI8(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6})
+	f.Add(make([]byte, 64), make([]byte, 64))
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		n := len(ab)
+		if len(bb) < n {
+			n = len(bb)
+		}
+		a := make([]int8, n)
+		b := make([]int8, n)
+		for i := 0; i < n; i++ {
+			a[i], b[i] = int8(ab[i]), int8(bb[i])
+		}
+		want := dotI8Scalar(a, b)
+		if got := DotI8(a, b); got != want {
+			t.Fatalf("DotI8=%d scalar=%d on len %d", got, want, n)
+		}
+	})
+}
+
+func BenchmarkDotI8(b *testing.B) {
+	const d = 256
+	x, y := make([]int8, d), make([]int8, d)
+	for i := range x {
+		x[i] = int8(i%255 - 127)
+		y[i] = int8((i*7)%255 - 127)
+	}
+	b.SetBytes(2 * d)
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += DotI8(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkDotI8Scalar(b *testing.B) {
+	const d = 256
+	x, y := make([]int8, d), make([]int8, d)
+	for i := range x {
+		x[i] = int8(i%255 - 127)
+		y[i] = int8((i*7)%255 - 127)
+	}
+	b.SetBytes(2 * d)
+	var sink int32
+	for i := 0; i < b.N; i++ {
+		sink += dotI8Scalar(x, y)
+	}
+	_ = sink
+}

@@ -1,0 +1,154 @@
+package quant
+
+import (
+	"math"
+
+	"entmatcher/internal/matrix"
+)
+
+// PoolThreshold returns the boundary of the re-rank pool: the p-th largest
+// value in scores. Candidates scoring >= the boundary form the pool, so
+// every candidate TIED with the boundary is included — the rule that makes
+// the two-phase scan exact in degenerate regimes: when quantization
+// collapses many scores to the same integer (all-constant tables, 1-ulp
+// near-ties), the tie set spans the whole collapse and the re-rank becomes
+// exhaustive over it. p >= len(scores) returns math.MinInt32 (everything
+// pools). heapBuf is scratch of capacity >= p, reused across calls.
+func PoolThreshold(scores []int32, p int, heapBuf []int32) int32 {
+	if p >= len(scores) {
+		return math.MinInt32
+	}
+	if p < 1 {
+		p = 1
+	}
+	// Values-only min-heap of the p largest: the root is the boundary.
+	h := heapBuf[:0]
+	for _, v := range scores {
+		if len(h) < p {
+			h = append(h, v)
+			if len(h) == p {
+				for i := p/2 - 1; i >= 0; i-- {
+					siftDownI32(h, i)
+				}
+			}
+			continue
+		}
+		if v > h[0] {
+			h[0] = v
+			siftDownI32(h, 0)
+		}
+	}
+	if len(h) < p {
+		// Unreachable (p < len(scores) fills the heap), kept as a guard.
+		for i := len(h)/2 - 1; i >= 0; i-- {
+			siftDownI32(h, i)
+		}
+	}
+	return h[0]
+}
+
+// siftDownI32 restores the min-heap property below node i.
+func siftDownI32(h []int32, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			j = r
+		}
+		if h[j] >= h[i] {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// scanScratch holds one worker's reusable buffers for the two-phase scan:
+// the quantized query, the int8 phase's per-candidate scores, the threshold
+// heap, the pool index list, and the final exact selector. Buffers grow to
+// the largest corpus scanned and are then reused allocation-free.
+type scanScratch struct {
+	codeQ   []int8
+	ints    []int32
+	heapBuf []int32
+	pool    []int
+	sel     *matrix.BoundedTopK
+}
+
+func newScanScratch() *scanScratch {
+	return &scanScratch{sel: matrix.NewBoundedTopK(0)}
+}
+
+// ensure sizes the buffers for a dim-dimensional query over n candidates
+// with a pool bound of p.
+func (sc *scanScratch) ensure(dim, n, p int) {
+	if cap(sc.codeQ) < dim {
+		sc.codeQ = make([]int8, dim)
+	}
+	sc.codeQ = sc.codeQ[:dim]
+	if cap(sc.ints) < n {
+		sc.ints = make([]int32, n)
+	}
+	sc.ints = sc.ints[:n]
+	if cap(sc.heapBuf) < p {
+		sc.heapBuf = make([]int32, 0, p)
+	}
+}
+
+// PoolSize resolves the phase-1 pool bound for a top-c request over an
+// n-candidate corpus: factor×c, clamped to n. factor <= 0 means the
+// default.
+func PoolSize(factor, c, n int) int {
+	if factor <= 0 {
+		factor = DefaultRerankFactor
+	}
+	p := factor * c
+	if p > n || p < 0 { // < 0: int overflow on huge factor×c
+		p = n
+	}
+	return p
+}
+
+// scanTopK runs the two-phase scan of one float64 query row against a
+// quantized table, re-ranking the pool against the float table ft with the
+// exact kernel, and returns the top-c under (value desc, index asc). The
+// returned TopK aliases sc.sel's storage; copy it out before reusing sc.
+// With rerank=false it returns the approximate scores sq·DotI8 directly
+// (the quantized-only escape hatch; selections may then differ from the
+// exact scan's).
+func scanTopK(sc *scanScratch, qf []float64, tq *Table, ft *matrix.Dense, c, factor int, rerank bool) (matrix.TopK, error) {
+	n := tq.Rows()
+	if c > n {
+		c = n
+	}
+	p := PoolSize(factor, c, n)
+	sc.ensure(tq.Dim(), n, p)
+	sq, err := tq.QuantizeQuery(qf, sc.codeQ)
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	for i := 0; i < n; i++ {
+		sc.ints[i] = DotI8(sc.codeQ, tq.Row(i))
+	}
+	if !rerank {
+		sc.sel.EnsureK(c)
+		for i, v := range sc.ints {
+			sc.sel.Offer(sq*float64(v), i)
+		}
+		return sc.sel.Finalize(), nil
+	}
+	th := PoolThreshold(sc.ints, p, sc.heapBuf)
+	sc.pool = sc.pool[:0]
+	for i, v := range sc.ints {
+		if v >= th {
+			sc.pool = append(sc.pool, i)
+		}
+	}
+	return matrix.RerankTopK(sc.sel, sc.pool, c, func(slot int) float64 {
+		return matrix.Dot4(qf, ft.Row(sc.pool[slot]))
+	}), nil
+}

@@ -1,0 +1,234 @@
+package quant
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"entmatcher/internal/matrix"
+)
+
+// Source wraps a streaming tile source and implements
+// matrix.CandGraphProducer on top of the two-phase quantized scan: the
+// exhaustive candidate-graph build ranks every candidate with the int8
+// kernel over the 8×-smaller code slabs, then re-scores the over-fetched
+// pool with the exact float64 kernel, so the emitted graphs match the
+// float64 exhaustive pass bit-for-bit at the default rerank factor
+// (conformance-pinned) while the hot loop reads one byte per value instead
+// of eight. matrix.TileSource is implemented by delegation, so consumers
+// that genuinely need tiles or blocks (Sinkhorn's mini-batches, degradation
+// fallbacks) keep exact scores; only candidate-graph construction is
+// intercepted.
+//
+// Deliberately NOT implemented: matrix.ColPadder — padding a Source for the
+// unmatchable setting goes through the generic wrapper, which hides the
+// producer interface, so dummy-column runs fall back to the exact streaming
+// build rather than scanning quantized codes around virtual columns. This
+// mirrors ann.Source.
+type Source struct {
+	inner          matrix.TileSource
+	srcTab, tgtTab *matrix.Dense
+	srcQ, tgtQ     *Table
+	factor         int  // pool over-fetch multiplier; <= 0 means default
+	rerank         bool // false = quantized-only escape hatch
+
+	scratch *sync.Pool // *scanScratch, persistent across queries and calls
+}
+
+// NewSource validates shapes and returns a quantized producer over the
+// prepared embedding tables and their SQ8 encodings. inner must cover
+// exactly srcTab.Rows()×tgtTab.Rows() scores, the float tables must be the
+// prepared rows the stream scores with, and each quantized table must
+// encode its float twin (srcQ over srcTab, tgtQ over tgtTab). factor <= 0
+// selects DefaultRerankFactor; rerank=false switches to quantized-only
+// scoring (approximate scores, no float64 pass — the speed escape hatch).
+func NewSource(inner matrix.TileSource, srcTab, tgtTab *matrix.Dense, srcQ, tgtQ *Table, factor int, rerank bool) (*Source, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("quant: nil tile source")
+	}
+	if srcTab == nil || tgtTab == nil {
+		return nil, fmt.Errorf("quant: nil embedding table")
+	}
+	if srcQ == nil || tgtQ == nil {
+		return nil, fmt.Errorf("quant: nil quantized table")
+	}
+	if srcTab.Cols() != tgtTab.Cols() {
+		return nil, fmt.Errorf("quant: table dims differ: %d vs %d", srcTab.Cols(), tgtTab.Cols())
+	}
+	rows, cols := inner.Dims()
+	if rows != srcTab.Rows() || cols != tgtTab.Rows() {
+		return nil, fmt.Errorf("quant: tile source covers %d×%d but tables are %d×%d",
+			rows, cols, srcTab.Rows(), tgtTab.Rows())
+	}
+	if srcQ.Rows() != srcTab.Rows() || srcQ.Dim() != srcTab.Cols() {
+		return nil, fmt.Errorf("quant: source codes cover %d×%d but table is %d×%d",
+			srcQ.Rows(), srcQ.Dim(), srcTab.Rows(), srcTab.Cols())
+	}
+	if tgtQ.Rows() != tgtTab.Rows() || tgtQ.Dim() != tgtTab.Cols() {
+		return nil, fmt.Errorf("quant: target codes cover %d×%d but table is %d×%d",
+			tgtQ.Rows(), tgtQ.Dim(), tgtTab.Rows(), tgtTab.Cols())
+	}
+	return &Source{
+		inner: inner, srcTab: srcTab, tgtTab: tgtTab, srcQ: srcQ, tgtQ: tgtQ,
+		factor: factor, rerank: rerank,
+		scratch: &sync.Pool{New: func() any { return newScanScratch() }},
+	}, nil
+}
+
+// RerankFactor returns the resolved pool over-fetch multiplier.
+func (s *Source) RerankFactor() int {
+	if s.factor <= 0 {
+		return DefaultRerankFactor
+	}
+	return s.factor
+}
+
+// Reranks reports whether the exact float64 re-rank phase is enabled.
+func (s *Source) Reranks() bool { return s.rerank }
+
+// TableBytes returns the combined footprint of the quantized scan tables.
+func (s *Source) TableBytes() int64 { return s.srcQ.SizeBytes() + s.tgtQ.SizeBytes() }
+
+// Dims implements matrix.TileSource by delegation.
+func (s *Source) Dims() (rows, cols int) { return s.inner.Dims() }
+
+// StreamTiles implements matrix.TileSource by delegation: consumers that
+// need the full score stream still get the exact tiles.
+func (s *Source) StreamTiles(ctx context.Context, consumers ...matrix.TileConsumer) error {
+	return s.inner.StreamTiles(ctx, consumers...)
+}
+
+// Block delegates mini-batch extraction to the inner source: blocked
+// matchers get exact on-demand scores regardless of the quantized slabs.
+func (s *Source) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense, error) {
+	return s.inner.Block(ctx, rowIDs, colIDs)
+}
+
+// searchAll scans every query row of qTab against the quantized corpus
+// cq/float corpus cf and returns per-query top-c selections.
+func (s *Source) searchAll(ctx context.Context, qTab *matrix.Dense, cq *Table, cf *matrix.Dense, c int) ([]matrix.TopK, error) {
+	nq := qTab.Rows()
+	out := make([]matrix.TopK, nq)
+	var firstErr error
+	var errMu sync.Mutex
+	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
+		sc := s.scratch.Get().(*scanScratch)
+		tk, err := scanTopK(sc, qTab.Row(qi), cq, cf, c, s.factor, s.rerank)
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			s.scratch.Put(sc)
+			return
+		}
+		// The TopK aliases pooled storage; copy out before releasing.
+		out[qi] = matrix.TopK{
+			Values:  append([]float64(nil), tk.Values...),
+			Indices: append([]int(nil), tk.Indices...),
+		}
+		s.scratch.Put(sc)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// SearchRow answers one forward point query — the top-k target columns for
+// source row, best first — through the same two-phase scan as the graph
+// build, so a point lookup served from the quantized slabs returns exactly
+// the bits a graph row would carry. The returned TopK owns its storage.
+func (s *Source) SearchRow(ctx context.Context, row, k int) (matrix.TopK, error) {
+	if err := ctx.Err(); err != nil {
+		return matrix.TopK{}, err
+	}
+	if row < 0 || row >= s.srcTab.Rows() {
+		return matrix.TopK{}, fmt.Errorf("quant: row %d out of range [0, %d)", row, s.srcTab.Rows())
+	}
+	if k < 1 {
+		return matrix.TopK{}, fmt.Errorf("quant: k %d < 1", k)
+	}
+	sc := s.scratch.Get().(*scanScratch)
+	defer s.scratch.Put(sc)
+	tk, err := scanTopK(sc, s.srcTab.Row(row), s.tgtQ, s.tgtTab, k, s.factor, s.rerank)
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	return matrix.TopK{
+		Values:  append([]float64(nil), tk.Values...),
+		Indices: append([]int(nil), tk.Indices...),
+	}, nil
+}
+
+// ProduceCandGraph implements matrix.CandGraphProducer: the forward
+// candidate graph from the quantized scan instead of the float64 tile pass.
+func (s *Source) ProduceCandGraph(ctx context.Context, c int) (*matrix.CandGraph, error) {
+	if c < 1 {
+		return nil, fmt.Errorf("quant: candidate budget %d < 1", c)
+	}
+	tks, err := s.searchAll(ctx, s.srcTab, s.tgtQ, s.tgtTab, c)
+	if err != nil {
+		return nil, err
+	}
+	return matrix.NewCandGraph(s.tgtTab.Rows(), tks)
+}
+
+// ProduceCandGraphs implements matrix.CandGraphProducer; the reverse graph
+// scans the source-side codes with each target row as the query.
+func (s *Source) ProduceCandGraphs(ctx context.Context, c, cRev int) (fwd, rev *matrix.CandGraph, err error) {
+	fwd, err = s.ProduceCandGraph(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cRev <= 0 {
+		return fwd, nil, nil
+	}
+	tks, err := s.searchAll(ctx, s.tgtTab, s.srcQ, s.srcTab, cRev)
+	if err != nil {
+		return nil, nil, err
+	}
+	rev, err = matrix.NewCandGraph(s.srcTab.Rows(), tks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fwd, rev, nil
+}
+
+// ProduceCandGraphWithColMeans implements matrix.CandGraphProducer. Like
+// ann.Source, the column statistic (CSLS's φ_t) is estimated by querying
+// each target row against the source-side codes for its kCol best scores;
+// the sum runs in descending-score order rather than the dense path's
+// heap-array order, so means can differ in the last ulps at kCol > 1
+// (kCol = 1 is pinned exact). kCol <= 0 yields all-zero means, mirroring
+// Dense.ColTopKMeans.
+func (s *Source) ProduceCandGraphWithColMeans(ctx context.Context, c, kCol int) (*matrix.CandGraph, []float64, error) {
+	fwd, err := s.ProduceCandGraph(ctx, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := s.tgtTab.Rows()
+	means := make([]float64, cols)
+	if kCol <= 0 {
+		return fwd, means, nil
+	}
+	tks, err := s.searchAll(ctx, s.tgtTab, s.srcQ, s.srcTab, kCol)
+	if err != nil {
+		return nil, nil, err
+	}
+	for j, tk := range tks {
+		if len(tk.Values) == 0 {
+			continue
+		}
+		var sum float64
+		for _, v := range tk.Values {
+			sum += v
+		}
+		means[j] = sum / float64(len(tk.Values))
+	}
+	return fwd, means, nil
+}

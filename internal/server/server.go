@@ -10,6 +10,15 @@
 //     through the Fallback degradation ladder (matcher@ann → matcher@exact).
 //   - GET  /healthz     — liveness: the process is up.
 //   - GET  /readyz      — readiness: snapshot loaded and not draining.
+//   - GET  /statsz      — observability counters: cache hits/misses,
+//     admission-gate rejections, per-tier served counts (quant/ann/exact).
+//
+// When the snapshot carries SQ8 sections (entmatcher -quant -save-snapshot),
+// both work endpoints gain a quantized top tier: /match/topk scans the int8
+// code slabs and re-ranks survivors with the exact float64 kernel (so the
+// responses carry the same bits the float tiers would), and /align runs the
+// matcher@quant tier above matcher@ann. The quant tier degrades like any
+// other — a failure falls through to the float index, then the exact scan.
 //
 // Robustness contract (see DESIGN.md § 13):
 //
@@ -35,12 +44,14 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/core"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 	"entmatcher/internal/sim"
 	"entmatcher/internal/snapshot"
 )
@@ -111,10 +122,11 @@ func WithAlignSource(src matrix.TileSource) Option {
 // fields are set at construction and immutable afterwards except the
 // draining flag and the cache, both safe for concurrent use.
 type Server struct {
-	cfg    Config
-	snap   *snapshot.Snapshot
-	stream *sim.Stream
-	annSrc matrix.TileSource // nil when the snapshot has no index
+	cfg      Config
+	snap     *snapshot.Snapshot
+	stream   *sim.Stream
+	annSrc   matrix.TileSource // nil when the snapshot has no index
+	quantSrc matrix.TileSource // nil when the snapshot has no SQ8 tables
 
 	searchers []TopKSearcher // walked in order; last is the exact scan
 	srcByName map[string]int
@@ -124,6 +136,61 @@ type Server struct {
 	gate     chan struct{}
 	draining atomic.Bool
 	inflight atomic.Int64
+
+	// Observability counters behind /statsz and the drain log line.
+	cacheHits, cacheMisses                           atomic.Int64
+	gateRejections                                   atomic.Int64
+	servedQuant, servedANN, servedExact, servedOther atomic.Int64
+}
+
+// Stats is a point-in-time copy of the server's observability counters,
+// served at /statsz and printed in entserver's graceful-drain log line.
+// Served* count answered requests by the tier that produced the answer —
+// "quant"/"ann"/"exact" searcher names on /match/topk, the @suffix of the
+// matcher name on /align; injected test searchers with other names land in
+// ServedOther. Cache hits are counted separately (no searcher ran).
+type Stats struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEntries   int   `json:"cache_entries"`
+	GateRejections int64 `json:"gate_rejections"`
+	ServedQuant    int64 `json:"served_quant"`
+	ServedANN      int64 `json:"served_ann"`
+	ServedExact    int64 `json:"served_exact"`
+	ServedOther    int64 `json:"served_other"`
+	InFlight       int64 `json:"in_flight"`
+	Draining       bool  `json:"draining"`
+}
+
+// Stats snapshots the counters. Safe for concurrent use; the fields are read
+// independently, so a snapshot taken under load is approximate, not torn.
+func (s *Server) Stats() Stats {
+	return Stats{
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheEntries:   s.cache.len(),
+		GateRejections: s.gateRejections.Load(),
+		ServedQuant:    s.servedQuant.Load(),
+		ServedANN:      s.servedANN.Load(),
+		ServedExact:    s.servedExact.Load(),
+		ServedOther:    s.servedOther.Load(),
+		InFlight:       s.inflight.Load(),
+		Draining:       s.draining.Load(),
+	}
+}
+
+// countServed attributes one answered request to its serving tier.
+func (s *Server) countServed(tier string) {
+	switch tier {
+	case "quant":
+		s.servedQuant.Add(1)
+	case "ann":
+		s.servedANN.Add(1)
+	case "exact":
+		s.servedExact.Add(1)
+	default:
+		s.servedOther.Add(1)
+	}
 }
 
 // New loads the snapshot at path and builds a ready-to-serve Server.
@@ -162,18 +229,18 @@ func NewFromSnapshot(snap *snapshot.Snapshot, cfg Config, opts ...Option) (*Serv
 		s.colIDs[j] = j
 	}
 	s.searchers = []TopKSearcher{nil, &exactSearcher{s: s}}
+	var fwd, rev *ann.IVF
+	var nprobe int
 	if snap.FwdIndex != nil {
-		fwd, err := ann.FromData(snap.FwdIndex)
-		if err != nil {
+		if fwd, err = ann.FromData(snap.FwdIndex); err != nil {
 			return nil, err
 		}
-		var rev *ann.IVF
 		if snap.RevIndex != nil {
 			if rev, err = ann.FromData(snap.RevIndex); err != nil {
 				return nil, err
 			}
 		}
-		nprobe := cfg.NProbe
+		nprobe = cfg.NProbe
 		if nprobe <= 0 {
 			nprobe = snap.Meta.ANN.NProbe
 		}
@@ -193,11 +260,70 @@ func NewFromSnapshot(snap *snapshot.Snapshot, cfg Config, opts ...Option) (*Serv
 		}
 		s.annSrc = src
 	}
+
+	// SQ8 sections: serve both work endpoints from the quantized slabs as the
+	// top tier. The float index/stream tiers stay below as the degradation
+	// floor, untouched — AttachQuant only adds a side slab.
+	var qs *quantSearcher
+	if snap.SrcQuant != nil {
+		if sim.Metric(snap.Meta.Metric) != sim.Cosine {
+			return nil, fmt.Errorf("server: snapshot carries SQ8 tables but metric %d is not cosine", snap.Meta.Metric)
+		}
+		srcQ, err := quant.FromData(snap.SrcQuant)
+		if err != nil {
+			return nil, err
+		}
+		tgtQ, err := quant.FromData(snap.TgtQuant)
+		if err != nil {
+			return nil, err
+		}
+		factor, rerank := quant.DefaultRerankFactor, true
+		if qm := snap.Meta.Quant; qm != nil {
+			factor, rerank = qm.RerankFactor, qm.Rerank
+		}
+		qs = &quantSearcher{s: s, factor: factor, rerank: rerank}
+		if fwd != nil {
+			if err := fwd.AttachQuant(tgtQ); err != nil {
+				return nil, err
+			}
+			qs.ivf, qs.nprobe = fwd, nprobe
+			// The /align quant tier: a second view over the shared indexes
+			// with the quantized scan switched on. The float annSrc is
+			// unaffected — each view dispatches on its own state.
+			qsrc, err := ann.NewSourceWithIndexes(stream, snap.SrcTable, snap.TgtTable, ann.Config{
+				Clusters:   snap.FwdIndex.K,
+				NProbe:     nprobe,
+				SampleSize: snap.Meta.ANN.SampleSize,
+				Iters:      snap.Meta.ANN.Iters,
+				Seed:       snap.Meta.ANN.Seed,
+			}, fwd, rev)
+			if err != nil {
+				return nil, err
+			}
+			if err := qsrc.EnableQuant(srcQ, tgtQ, factor, rerank); err != nil {
+				return nil, err
+			}
+			s.quantSrc = qsrc
+		} else {
+			// No index: exhaustive quantized scans for both endpoints.
+			qsrc, err := quant.NewSource(stream, snap.SrcTable, snap.TgtTable, srcQ, tgtQ, factor, rerank)
+			if err != nil {
+				return nil, err
+			}
+			qs.qsrc = qsrc
+			s.quantSrc = qsrc
+		}
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
 	if s.searchers[0] == nil {
 		s.searchers = s.searchers[1:] // no index, no injected primary: exact only
+	}
+	if qs != nil {
+		// Prepended after the options so WithPrimarySearcher keeps replacing
+		// the float index tier, not the quant tier above it.
+		s.searchers = append([]TopKSearcher{qs}, s.searchers...)
 	}
 	return s, nil
 }
@@ -224,6 +350,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.Handle("/match/topk", s.gated(http.HandlerFunc(s.handleTopK)))
 	mux.Handle("/align", s.gated(http.HandlerFunc(s.handleAlign)))
 	return s.recovered(mux)
@@ -252,6 +379,7 @@ func (s *Server) gated(next http.Handler) http.Handler {
 		select {
 		case s.gate <- struct{}{}:
 		default:
+			s.gateRejections.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
 			return
@@ -280,7 +408,15 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ready", "rows": rows, "cols": cols,
 		"index": s.snap.FwdIndex != nil,
+		"quant": s.quantSrc != nil,
 	})
+}
+
+// handleStatsz reports the observability counters. Like the health probes it
+// stays outside the admission gate: observability must answer during
+// overload, which is exactly when the counters are interesting.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // topKResponse is one /match/topk answer. DegradedFrom lists the searchers
@@ -326,11 +462,13 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 	key := strconv.Itoa(row) + "|" + strconv.Itoa(k)
 	if v, ok := s.cache.get(key); ok {
+		s.cacheHits.Add(1)
 		resp := v.(topKResponse)
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	s.cacheMisses.Add(1)
 
 	var degraded []string
 	for _, searcher := range s.searchers {
@@ -344,6 +482,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			for i, col := range top.Indices {
 				resp.Results[i] = topKEntry{Col: col, Name: s.snap.TgtVocab[col], Score: top.Values[i]}
 			}
+			s.countServed(searcher.Name())
 			s.cache.add(key, resp)
 			writeJSON(w, http.StatusOK, resp)
 			return
@@ -434,10 +573,14 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if req.BudgetMS > 0 {
 		budget = time.Duration(req.BudgetMS) * time.Millisecond
 	}
-	// The degradation ladder: the requested matcher on the ANN source,
-	// then the same matcher on the exact stream. The exact tier is the
-	// safety net — Fallback runs it under the request deadline only.
+	// The degradation ladder: the requested matcher on the quantized scans
+	// (when the snapshot holds SQ8 tables), then the float ANN source, then
+	// the same matcher on the exact stream. The exact tier is the safety
+	// net — Fallback runs it under the request deadline only.
 	var tiers []core.Matcher
+	if s.quantSrc != nil {
+		tiers = append(tiers, &sourced{m: m, src: s.quantSrc, suffix: "@quant"})
+	}
 	if s.annSrc != nil {
 		tiers = append(tiers, &sourced{m: m, src: s.annSrc, suffix: "@ann"})
 	}
@@ -454,6 +597,11 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	tier := res.Matcher
+	if i := strings.LastIndexByte(tier, '@'); i >= 0 {
+		tier = tier[i+1:]
+	}
+	s.countServed(tier)
 	resp := alignResponse{
 		Matcher:      res.Matcher,
 		DegradedFrom: res.DegradedFrom,
@@ -528,6 +676,37 @@ func (t *sourced) Match(ctx *core.Context) (*core.Result, error) {
 		res.Matcher = t.Name()
 	}
 	return res, err
+}
+
+// quantSearcher answers top-k from the SQ8 code slabs: the quantized IVF
+// slab scan when the snapshot carries an index, the exhaustive quantized
+// scan otherwise. Both rank with the int8 kernel and re-rank survivors with
+// the exact float64 kernel (unless the snapshot was saved quantized-only),
+// so a healthy quant tier returns the bits the float tiers would.
+type quantSearcher struct {
+	s      *Server
+	ivf    *ann.IVF // nil → exhaustive scan through qsrc
+	nprobe int
+	factor int
+	rerank bool
+	qsrc   *quant.Source
+}
+
+func (q *quantSearcher) Name() string { return "quant" }
+
+func (q *quantSearcher) Search(ctx context.Context, row, k int) (matrix.TopK, error) {
+	if q.ivf == nil {
+		return q.qsrc.SearchRow(ctx, row, k)
+	}
+	qm, err := matrix.NewFromData(1, q.s.snap.SrcTable.Cols(), q.s.snap.SrcTable.Row(row))
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	res, err := q.ivf.SearchQuant(ctx, qm, k, q.nprobe, q.factor, q.rerank)
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	return res[0], nil
 }
 
 // ivfSearcher answers top-k from the persisted IVF index.

@@ -10,12 +10,15 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 	"entmatcher/internal/snapshot"
 )
 
@@ -68,6 +71,27 @@ func testSnapshot(t *testing.T, srcRows, tgtRows, dim, clusters int) *snapshot.S
 	}
 	if err := snap.Validate(); err != nil {
 		t.Fatalf("test snapshot invalid: %v", err)
+	}
+	return snap
+}
+
+// quantize adds SQ8 sections to a test snapshot, the way the pipeline's
+// -quant -save-snapshot path would.
+func quantize(t *testing.T, snap *snapshot.Snapshot) *snapshot.Snapshot {
+	t.Helper()
+	ctx := context.Background()
+	srcQ, err := quant.Encode(ctx, snap.SrcTable)
+	if err != nil {
+		t.Fatalf("encoding source table: %v", err)
+	}
+	tgtQ, err := quant.Encode(ctx, snap.TgtTable)
+	if err != nil {
+		t.Fatalf("encoding target table: %v", err)
+	}
+	snap.SrcQuant, snap.TgtQuant = srcQ.Export(), tgtQ.Export()
+	snap.Meta.Quant = &snapshot.QuantMeta{RerankFactor: quant.DefaultRerankFactor, Rerank: true}
+	if err := snap.Validate(); err != nil {
+		t.Fatalf("quantized test snapshot invalid: %v", err)
 	}
 	return snap
 }
@@ -249,6 +273,10 @@ func TestOverloadShedsWith429(t *testing.T) {
 	// overload, or the orchestrator would kill a merely busy server.
 	getJSON(t, h, "/healthz", http.StatusOK)
 	getJSON(t, h, "/readyz", http.StatusOK)
+	// /statsz too, and it must have counted the shed request.
+	if st := getJSON(t, h, "/statsz", http.StatusOK); st["gate_rejections"].(float64) < 1 {
+		t.Fatalf("statsz gate_rejections = %v, want >= 1", st["gate_rejections"])
+	}
 	wg.Wait()
 	if got := srv.InFlight(); got != 0 {
 		t.Fatalf("in-flight count %d after drain, want 0", got)
@@ -367,6 +395,141 @@ func TestNoIndexServesExactOnly(t *testing.T) {
 	ready := getJSON(t, srv.Handler(), "/readyz", http.StatusOK)
 	if ready["index"] != false {
 		t.Fatal("readyz reports an index the snapshot does not hold")
+	}
+}
+
+// newQuantServer builds a server over a quantized copy of the deterministic
+// test snapshot (seed-pinned, so float twins over the same geometry compare
+// bit for bit).
+func newQuantServer(t *testing.T, clusters int) *Server {
+	t.Helper()
+	srv, err := NewFromSnapshot(quantize(t, testSnapshot(t, 40, 40, 8, clusters)), Config{})
+	if err != nil {
+		t.Fatalf("NewFromSnapshot(quantized): %v", err)
+	}
+	return srv
+}
+
+func TestTopKServedByQuantBitIdenticalToFloat(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		clusters int
+	}{{"ivf-slabs", 4}, {"exhaustive-scan", 0}} {
+		t.Run(tc.name, func(t *testing.T) {
+			qsrv := newQuantServer(t, tc.clusters)
+			fsrv, err := NewFromSnapshot(testSnapshot(t, 40, 40, 8, tc.clusters), Config{})
+			if err != nil {
+				t.Fatalf("NewFromSnapshot(float): %v", err)
+			}
+			for row := 0; row < 40; row += 7 {
+				url := fmt.Sprintf("/match/topk?row=%d&k=5", row)
+				viaQ := getJSON(t, qsrv.Handler(), url, http.StatusOK)
+				if viaQ["served_by"] != "quant" {
+					t.Fatalf("served_by = %v, want quant", viaQ["served_by"])
+				}
+				viaF := getJSON(t, fsrv.Handler(), url, http.StatusOK)
+				// JSON float64 encoding round-trips exactly, so deep equality
+				// here is bit-identity of scores and order of columns.
+				if !reflect.DeepEqual(viaQ["results"], viaF["results"]) {
+					t.Fatalf("row %d: quant tier answered differently:\n quant: %v\n float: %v",
+						row, viaQ["results"], viaF["results"])
+				}
+			}
+			ready := getJSON(t, qsrv.Handler(), "/readyz", http.StatusOK)
+			if ready["quant"] != true {
+				t.Fatal("readyz does not report the quant tier")
+			}
+		})
+	}
+}
+
+func TestServerServesQuantFromDiskSnapshot(t *testing.T) {
+	snap := quantize(t, testSnapshot(t, 20, 20, 8, 4))
+	path := filepath.Join(t.TempDir(), "q.snap")
+	if err := snap.Write(path); err != nil {
+		t.Fatalf("writing snapshot: %v", err)
+	}
+	srv, err := New(path, Config{})
+	if err != nil {
+		t.Fatalf("New from disk: %v", err)
+	}
+	resp := getJSON(t, srv.Handler(), "/match/topk?row=3&k=4", http.StatusOK)
+	if resp["served_by"] != "quant" {
+		t.Fatalf("served_by = %v, want quant", resp["served_by"])
+	}
+}
+
+func TestAlignServedByQuantTier(t *testing.T) {
+	qsrv := newQuantServer(t, 4)
+	resp := postAlign(t, qsrv.Handler(), `{"matcher":"RInf","cand":8}`, http.StatusOK)
+	if resp["matcher"] != "RInf-sparse@quant" {
+		t.Fatalf("matcher = %v, want RInf-sparse@quant", resp["matcher"])
+	}
+	if resp["degraded_from"] != nil {
+		t.Fatalf("healthy quant align degraded: %v", resp["degraded_from"])
+	}
+	// The quant tier's answer must equal the float server's: same matcher,
+	// same selections, reached through the quantized scan + exact re-rank.
+	fsrv := newTestServer(t, Config{})
+	healthy := postAlign(t, fsrv.Handler(), `{"matcher":"RInf","cand":8}`, http.StatusOK)
+	if healthy["pairs"] != resp["pairs"] {
+		t.Fatalf("quant tier found %v pairs, float tier %v", resp["pairs"], healthy["pairs"])
+	}
+}
+
+// namedFailSearcher fails every search under a configurable tier name.
+type namedFailSearcher struct {
+	name string
+	err  error
+}
+
+func (f *namedFailSearcher) Name() string { return f.name }
+func (f *namedFailSearcher) Search(context.Context, int, int) (matrix.TopK, error) {
+	return matrix.TopK{}, f.err
+}
+
+func TestTopKQuantDegradesToANN(t *testing.T) {
+	srv := newQuantServer(t, 4)
+	if srv.searchers[0].Name() != "quant" {
+		t.Fatalf("quantized server's top tier is %q, want quant", srv.searchers[0].Name())
+	}
+	srv.searchers[0] = &namedFailSearcher{name: "quant", err: errors.New("injected quant failure")}
+	resp := getJSON(t, srv.Handler(), "/match/topk?src=s/1&k=3", http.StatusOK)
+	if resp["served_by"] != "ann" {
+		t.Fatalf("served_by = %v, want ann", resp["served_by"])
+	}
+	deg := resp["degraded_from"].([]any)
+	if len(deg) != 1 || deg[0] != "quant" {
+		t.Fatalf("degraded_from = %v, want [quant]", deg)
+	}
+}
+
+func TestStatszCounters(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	h := srv.Handler()
+	getJSON(t, h, "/match/topk?row=1&k=3", http.StatusOK) // miss, served by ann
+	getJSON(t, h, "/match/topk?row=1&k=3", http.StatusOK) // cache hit
+	postAlign(t, h, `{"matcher":"RInf","cand":8}`, http.StatusOK) // @ann tier
+	st := getJSON(t, h, "/statsz", http.StatusOK)
+	want := map[string]float64{
+		"cache_hits": 1, "cache_misses": 1, "cache_entries": 1,
+		"gate_rejections": 0,
+		"served_quant":    0, "served_ann": 2, "served_exact": 0, "served_other": 0,
+		"in_flight": 0,
+	}
+	for key, v := range want {
+		if got := st[key]; got != v {
+			t.Errorf("statsz %s = %v, want %v", key, got, v)
+		}
+	}
+	if st["draining"] != false {
+		t.Errorf("statsz draining = %v, want false", st["draining"])
+	}
+	// The quant tier shows up under served_quant on a quantized server.
+	qsrv := newQuantServer(t, 4)
+	getJSON(t, qsrv.Handler(), "/match/topk?row=2&k=3", http.StatusOK)
+	if qst := getJSON(t, qsrv.Handler(), "/statsz", http.StatusOK); qst["served_quant"] != 1.0 {
+		t.Errorf("quantized server statsz served_quant = %v, want 1", qst["served_quant"])
 	}
 }
 

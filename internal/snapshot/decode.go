@@ -12,6 +12,7 @@ import (
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 // Load reads and strictly verifies the snapshot at path, with the
@@ -140,6 +141,18 @@ func (c *cursor) i32s(n int) ([]int32, error) {
 	return out, nil
 }
 
+func (c *cursor) i8s(n int) ([]int8, error) {
+	b, err := c.bytes(n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(b[i])
+	}
+	return out, nil
+}
+
 // done reports ErrMalformed when payload bytes remain unconsumed — a
 // section must account for every byte its checksum covers.
 func (c *cursor) done() error {
@@ -252,6 +265,34 @@ func decodeIVF(payload []byte) (*ann.IVFData, error) {
 	return d, c.done()
 }
 
+// decodeSQ8 decodes a quantized table's flat slabs.
+func decodeSQ8(payload []byte) (*quant.TableData, error) {
+	c := &cursor{b: payload}
+	rows, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	dim, err := c.dim()
+	if err != nil {
+		return nil, err
+	}
+	if rows <= 0 || dim <= 0 {
+		return nil, fmt.Errorf("%w: SQ8 table claims shape %d×%d", ErrMalformed, rows, dim)
+	}
+	want := int64(dim)*8 + int64(rows)*int64(dim)
+	if want != int64(c.remaining()) {
+		return nil, fmt.Errorf("%w: SQ8 table claims %d payload bytes, section holds %d", ErrMalformed, want, c.remaining())
+	}
+	d := &quant.TableData{Rows: rows, Dim: dim}
+	if d.Scales, err = c.f64s(dim); err != nil {
+		return nil, err
+	}
+	if d.Codes, err = c.i8s(rows * dim); err != nil {
+		return nil, err
+	}
+	return d, c.done()
+}
+
 // Decode strictly decodes a snapshot from its complete byte image.
 func Decode(data []byte) (*Snapshot, error) {
 	size := int64(len(data))
@@ -343,6 +384,10 @@ func Decode(data []byte) (*Snapshot, error) {
 			snap.FwdIndex, err = decodeIVF(payload)
 		case SectionIVFRev:
 			snap.RevIndex, err = decodeIVF(payload)
+		case SectionSQ8Src:
+			snap.SrcQuant, err = decodeSQ8(payload)
+		case SectionSQ8Tgt:
+			snap.TgtQuant, err = decodeSQ8(payload)
 		default:
 			err = fmt.Errorf("%w: unknown section kind", ErrMalformed)
 		}

@@ -14,6 +14,7 @@ import (
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 const (
@@ -141,6 +142,25 @@ func (e *encoder) i32s(vs []int32) error {
 	return nil
 }
 
+// i8s writes an int8 slice as raw bytes.
+func (e *encoder) i8s(vs []int8) error {
+	buf := e.scratch
+	for len(vs) > 0 {
+		n := len(buf)
+		if n > len(vs) {
+			n = len(vs)
+		}
+		for i := 0; i < n; i++ {
+			buf[i] = byte(vs[i])
+		}
+		if _, err := e.cw.Write(buf[:n:n]); err != nil {
+			return err
+		}
+		vs = vs[n:]
+	}
+	return nil
+}
+
 // section streams one payload, recording its extent and CRC in the index.
 func (e *encoder) section(kind SectionKind, payload func() error) error {
 	if err := e.cw.pad8(); err != nil {
@@ -214,6 +234,22 @@ func (e *encoder) ivf(d *ann.IVFData) error {
 	return e.f64s(d.Vecs)
 }
 
+// sq8 encodes a quantized table's flat slabs: rows, dim, per-dimension
+// scales, then the raw int8 codes (the scales come first so every f64 slab
+// in the payload stays 8-aligned; the code slab needs no alignment).
+func (e *encoder) sq8(d *quant.TableData) error {
+	if err := e.u64(uint64(d.Rows)); err != nil {
+		return err
+	}
+	if err := e.u64(uint64(d.Dim)); err != nil {
+		return err
+	}
+	if err := e.f64s(d.Scales); err != nil {
+		return err
+	}
+	return e.i8s(d.Codes)
+}
+
 // WriteTo streams the snapshot in format-version Version to w and returns
 // the byte count. The snapshot is validated first; an invalid snapshot is
 // never written. WriteTo writes sequentially, so tests can interpose a
@@ -233,6 +269,9 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 	}
 	if s.RevIndex != nil {
 		nsec++
+	}
+	if s.SrcQuant != nil {
+		nsec += 2
 	}
 	if err := e.u32(Version); err != nil {
 		return e.cw.off, err
@@ -276,6 +315,16 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 			kind SectionKind
 			fn   func() error
 		}{SectionIVFRev, func() error { return e.ivf(s.RevIndex) }})
+	}
+	if s.SrcQuant != nil {
+		steps = append(steps, struct {
+			kind SectionKind
+			fn   func() error
+		}{SectionSQ8Src, func() error { return e.sq8(s.SrcQuant) }})
+		steps = append(steps, struct {
+			kind SectionKind
+			fn   func() error
+		}{SectionSQ8Tgt, func() error { return e.sq8(s.TgtQuant) }})
 	}
 	for _, st := range steps {
 		if err := e.section(st.kind, st.fn); err != nil {

@@ -10,10 +10,11 @@ import (
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 // fuzzSeed builds a valid snapshot image for the fuzz corpus.
-func fuzzSeed(srcRows, tgtRows, dim int, withIndex bool, seed int64) ([]byte, error) {
+func fuzzSeed(srcRows, tgtRows, dim int, withIndex, withQuant bool, seed int64) ([]byte, error) {
 	rng := rand.New(rand.NewSource(seed))
 	mk := func(rows int) *matrix.Dense {
 		m := matrix.New(rows, dim)
@@ -52,6 +53,19 @@ func fuzzSeed(srcRows, tgtRows, dim int, withIndex bool, seed int64) ([]byte, er
 		snap.FwdIndex = ivf.Export()
 		snap.Meta.ANN = &ANNMeta{Clusters: 2, Seed: seed}
 	}
+	if withQuant {
+		sq, err := quant.Encode(context.Background(), src)
+		if err != nil {
+			return nil, err
+		}
+		tq, err := quant.Encode(context.Background(), tgt)
+		if err != nil {
+			return nil, err
+		}
+		snap.SrcQuant = sq.Export()
+		snap.TgtQuant = tq.Export()
+		snap.Meta.Quant = &QuantMeta{RerankFactor: quant.DefaultRerankFactor, Rerank: true}
+	}
 	var buf bytes.Buffer
 	if _, err := snap.WriteTo(&buf); err != nil {
 		return nil, err
@@ -70,14 +84,16 @@ func fuzzSeed(srcRows, tgtRows, dim int, withIndex bool, seed int64) ([]byte, er
 func FuzzSnapshotLoad(f *testing.F) {
 	for _, seed := range []struct {
 		srcRows, tgtRows, dim int
-		withIndex             bool
+		withIndex, withQuant  bool
 		seed                  int64
 	}{
-		{3, 2, 2, false, 1},
-		{5, 4, 3, true, 2},
-		{1, 1, 1, false, 3},
+		{3, 2, 2, false, false, 1},
+		{5, 4, 3, true, false, 2},
+		{1, 1, 1, false, false, 3},
+		{4, 3, 2, false, true, 4},
+		{5, 4, 3, true, true, 5},
 	} {
-		b, err := fuzzSeed(seed.srcRows, seed.tgtRows, seed.dim, seed.withIndex, seed.seed)
+		b, err := fuzzSeed(seed.srcRows, seed.tgtRows, seed.dim, seed.withIndex, seed.withQuant, seed.seed)
 		if err != nil {
 			f.Fatalf("building seed: %v", err)
 		}
@@ -123,6 +139,9 @@ func FuzzSnapshotLoad(f *testing.F) {
 		}
 		if (snap.FwdIndex == nil) != (again.FwdIndex == nil) || (snap.RevIndex == nil) != (again.RevIndex == nil) {
 			t.Fatal("round trip changed index presence")
+		}
+		if (snap.SrcQuant == nil) != (again.SrcQuant == nil) || (snap.TgtQuant == nil) != (again.TgtQuant == nil) {
+			t.Fatal("round trip changed SQ8 presence")
 		}
 	})
 }

@@ -35,6 +35,7 @@ import (
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 // Version is the current format version. A file with any other version is
@@ -92,6 +93,15 @@ const (
 	SectionTgtVocab SectionKind = 5 // target entity names, one per table row
 	SectionIVFFwd   SectionKind = 6 // forward IVF index (over the target table)
 	SectionIVFRev   SectionKind = 7 // reverse IVF index (over the source table)
+	SectionSQ8Src   SectionKind = 8 // SQ8 codes of the source table
+	SectionSQ8Tgt   SectionKind = 9 // SQ8 codes of the target table
+
+	// The SQ8 sections are OPTIONAL additions within format version 1: a
+	// version-1 file without them decodes exactly as before, so snapshots
+	// written by earlier builds keep loading. A file carrying them is only
+	// readable by builds that know kinds 8/9 — older loaders reject the
+	// unknown kind with ErrMalformed rather than silently dropping the
+	// quantized tables.
 )
 
 // String names the kind for error messages.
@@ -111,6 +121,10 @@ func (k SectionKind) String() string {
 		return "ivf-fwd"
 	case SectionIVFRev:
 		return "ivf-rev"
+	case SectionSQ8Src:
+		return "sq8-src"
+	case SectionSQ8Tgt:
+		return "sq8-tgt"
 	default:
 		return fmt.Sprintf("kind(%d)", uint32(k))
 	}
@@ -142,6 +156,19 @@ type ANNMeta struct {
 	Seed       int64 `json:"seed"`
 }
 
+// QuantMeta records the quantized-scan configuration the persisted SQ8
+// tables were written under, so a load can verify the caller's requested
+// quantization against what the snapshot carries.
+type QuantMeta struct {
+	// RerankFactor is the pool over-fetch multiplier recorded at save time
+	// (0 = the default); the server and a loading pipeline may override it
+	// per query — it parameterizes the scan, not the codes.
+	RerankFactor int `json:"rerank_factor"`
+	// Rerank records whether the saving run used the exact float64 re-rank
+	// (true) or the quantized-only escape hatch.
+	Rerank bool `json:"rerank"`
+}
+
 // Meta is the snapshot's JSON metadata section: enough context to verify a
 // snapshot against the run that wants to use it, without re-deriving
 // anything from the payload sections.
@@ -162,6 +189,8 @@ type Meta struct {
 	Dim     int `json:"dim"`
 	// ANN is non-nil exactly when IVF sections are present.
 	ANN *ANNMeta `json:"ann,omitempty"`
+	// Quant is non-nil exactly when SQ8 sections are present.
+	Quant *QuantMeta `json:"quant,omitempty"`
 	// CreatedUnix is the write time (seconds); informational only.
 	CreatedUnix int64 `json:"created_unix"`
 }
@@ -175,6 +204,8 @@ type Snapshot struct {
 	TgtVocab []string     // entity name per target table row
 	FwdIndex *ann.IVFData // nil when no index was persisted
 	RevIndex *ann.IVFData // nil when only the forward index was persisted
+	SrcQuant *quant.TableData // nil when no SQ8 tables were persisted
+	TgtQuant *quant.TableData // always present together with SrcQuant
 }
 
 // Validate cross-checks the snapshot's internal consistency: table shapes
@@ -230,6 +261,31 @@ func (s *Snapshot) Validate() error {
 		}
 		if _, err := ann.FromData(s.RevIndex); err != nil {
 			return fmt.Errorf("%w: reverse index: %v", ErrMalformed, err)
+		}
+	}
+	if (s.SrcQuant != nil) != (s.TgtQuant != nil) {
+		return fmt.Errorf("%w: SQ8 sections must cover both tables or neither", ErrMalformed)
+	}
+	if (s.SrcQuant != nil) != (s.Meta.Quant != nil) {
+		return fmt.Errorf("%w: SQ8 sections and quant metadata disagree", ErrMalformed)
+	}
+	if s.SrcQuant != nil {
+		if s.SrcQuant.Rows != s.SrcTable.Rows() || s.SrcQuant.Dim != s.SrcTable.Cols() {
+			return fmt.Errorf("%w: SQ8 source codes cover %d×%d but source table is %d×%d", ErrMalformed,
+				s.SrcQuant.Rows, s.SrcQuant.Dim, s.SrcTable.Rows(), s.SrcTable.Cols())
+		}
+		if _, err := quant.FromData(s.SrcQuant); err != nil {
+			return fmt.Errorf("%w: SQ8 source codes: %v", ErrMalformed, err)
+		}
+		if s.TgtQuant.Rows != s.TgtTable.Rows() || s.TgtQuant.Dim != s.TgtTable.Cols() {
+			return fmt.Errorf("%w: SQ8 target codes cover %d×%d but target table is %d×%d", ErrMalformed,
+				s.TgtQuant.Rows, s.TgtQuant.Dim, s.TgtTable.Rows(), s.TgtTable.Cols())
+		}
+		if _, err := quant.FromData(s.TgtQuant); err != nil {
+			return fmt.Errorf("%w: SQ8 target codes: %v", ErrMalformed, err)
+		}
+		if s.Meta.Quant.RerankFactor < 0 {
+			return fmt.Errorf("%w: negative rerank factor %d", ErrMalformed, s.Meta.Quant.RerankFactor)
 		}
 	}
 	return nil

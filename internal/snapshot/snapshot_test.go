@@ -17,6 +17,7 @@ import (
 	"entmatcher/internal/ann"
 	"entmatcher/internal/fault"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
 )
 
 // testSnapshot builds a small deterministic snapshot; withIndex adds forward
@@ -74,6 +75,23 @@ func testSnapshot(t *testing.T, srcRows, tgtRows, dim int, withIndex bool) *Snap
 		snap.Meta.ANN = &ANNMeta{Clusters: 3, Seed: 11}
 	}
 	return snap
+}
+
+// addQuant attaches SQ8 sections encoding both tables plus the matching
+// quant metadata.
+func addQuant(t *testing.T, snap *Snapshot) {
+	t.Helper()
+	sq, err := quant.Encode(context.Background(), snap.SrcTable)
+	if err != nil {
+		t.Fatalf("encoding source SQ8 table: %v", err)
+	}
+	tq, err := quant.Encode(context.Background(), snap.TgtTable)
+	if err != nil {
+		t.Fatalf("encoding target SQ8 table: %v", err)
+	}
+	snap.SrcQuant = sq.Export()
+	snap.TgtQuant = tq.Export()
+	snap.Meta.Quant = &QuantMeta{RerankFactor: quant.DefaultRerankFactor, Rerank: true}
 }
 
 func encode(t *testing.T, snap *Snapshot) []byte {
@@ -144,6 +162,56 @@ func TestRoundTripBitIdentical(t *testing.T) {
 		} else if got.FwdIndex != nil || got.RevIndex != nil {
 			t.Fatal("unexpected index sections")
 		}
+	}
+}
+
+// TestRoundTripQuantBitIdentical: SQ8 sections survive a round trip with
+// bit-identical scales and byte-identical codes, next to the index sections,
+// and a snapshot without them decodes to nil quant fields.
+func TestRoundTripQuantBitIdentical(t *testing.T) {
+	for _, withIndex := range []bool{false, true} {
+		snap := testSnapshot(t, 13, 9, 4, withIndex)
+		addQuant(t, snap)
+		got, err := Decode(encode(t, snap))
+		if err != nil {
+			t.Fatalf("withIndex=%v: Decode: %v", withIndex, err)
+		}
+		if got.SrcQuant == nil || got.TgtQuant == nil || got.Meta.Quant == nil {
+			t.Fatalf("withIndex=%v: SQ8 sections missing after round trip", withIndex)
+		}
+		if *got.Meta.Quant != *snap.Meta.Quant {
+			t.Fatalf("quant meta changed: %+v != %+v", got.Meta.Quant, snap.Meta.Quant)
+		}
+		for _, pair := range []struct {
+			name string
+			a, b *quant.TableData
+		}{{"src", snap.SrcQuant, got.SrcQuant}, {"tgt", snap.TgtQuant, got.TgtQuant}} {
+			if pair.a.Rows != pair.b.Rows || pair.a.Dim != pair.b.Dim {
+				t.Fatalf("%s SQ8 shape changed", pair.name)
+			}
+			for i := range pair.a.Scales {
+				if math.Float64bits(pair.a.Scales[i]) != math.Float64bits(pair.b.Scales[i]) {
+					t.Fatalf("%s SQ8 scale %d not bit-identical", pair.name, i)
+				}
+			}
+			for i := range pair.a.Codes {
+				if pair.a.Codes[i] != pair.b.Codes[i] {
+					t.Fatalf("%s SQ8 code %d differs", pair.name, i)
+				}
+			}
+		}
+		// The restored codes must be usable: FromData accepts them.
+		if _, err := quant.FromData(got.SrcQuant); err != nil {
+			t.Fatalf("restored source codes rejected: %v", err)
+		}
+	}
+	plain := testSnapshot(t, 6, 5, 3, false)
+	got, err := Decode(encode(t, plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcQuant != nil || got.TgtQuant != nil || got.Meta.Quant != nil {
+		t.Fatal("snapshot without SQ8 sections decoded with quant fields set")
 	}
 }
 
@@ -240,6 +308,7 @@ func TestWriteShortWrite(t *testing.T) {
 
 func TestCorruptionMatrix(t *testing.T) {
 	snap := testSnapshot(t, 7, 6, 4, true)
+	addQuant(t, snap) // the flip/truncation sweeps below cover the SQ8 sections too
 	good := encode(t, snap)
 	if _, err := Decode(good); err != nil {
 		t.Fatalf("pristine decode: %v", err)
@@ -334,7 +403,11 @@ func TestDecodeReaderFaults(t *testing.T) {
 }
 
 func TestValidateRejectsInconsistency(t *testing.T) {
-	fresh := func() *Snapshot { return testSnapshot(t, 6, 5, 3, true) }
+	fresh := func() *Snapshot {
+		s := testSnapshot(t, 6, 5, 3, true)
+		addQuant(t, s)
+		return s
+	}
 	cases := []struct {
 		name   string
 		mutate func(*Snapshot)
@@ -347,6 +420,13 @@ func TestValidateRejectsInconsistency(t *testing.T) {
 		{"rev-without-fwd", func(s *Snapshot) { s.FwdIndex = nil; s.Meta.ANN = nil }},
 		{"index-id-out-of-range", func(s *Snapshot) { s.FwdIndex.IDs[0] = int32(s.FwdIndex.N) }},
 		{"listptr-regression", func(s *Snapshot) { s.FwdIndex.ListPtr[1] = -1 }},
+		{"quant-src-without-tgt", func(s *Snapshot) { s.TgtQuant = nil }},
+		{"quant-meta-missing", func(s *Snapshot) { s.Meta.Quant = nil }},
+		{"quant-rows-skew", func(s *Snapshot) { s.SrcQuant.Rows++ }},
+		{"quant-dim-skew", func(s *Snapshot) { s.TgtQuant.Dim++ }},
+		{"quant-negative-scale", func(s *Snapshot) { s.SrcQuant.Scales[0] = -1 }},
+		{"quant-forbidden-code", func(s *Snapshot) { s.TgtQuant.Codes[0] = -128 }},
+		{"quant-negative-factor", func(s *Snapshot) { s.Meta.Quant.RerankFactor = -1 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"entmatcher/internal/core"
 	"entmatcher/internal/embed"
 	"entmatcher/internal/eval"
+	"entmatcher/internal/quant"
 	"entmatcher/internal/sim"
 	"entmatcher/internal/snapshot"
 )
@@ -117,6 +118,16 @@ type PipelineConfig struct {
 	// normalized tables). Abstention runs with virtual dummy columns
 	// automatically fall back to the exact build.
 	ANN *ANNConfig
+	// Quant, when non-nil, routes candidate-graph construction through SQ8
+	// scalar-quantized scan tables (internal/quant): every scan ranks with an
+	// int8 dot kernel over codes ⅛ the size of the float64 tables, then
+	// re-scores an over-fetched candidate pool with exact float64 products so
+	// the emitted graphs stay bit-identical to the float path at the default
+	// rerank factor. Composes with ANN (the IVF slabs themselves are scanned
+	// quantized) or runs standalone over the exhaustive streaming pass. Like
+	// ANN it requires CandidateBudget > 0 and the cosine metric. Tile and
+	// block consumers still stream exact float64 scores.
+	Quant *QuantConfig
 	// SaveSnapshot, when non-empty, persists the prepared state — the
 	// unit-normalized embedding tables, the entity-name vocabularies, and
 	// (with ANN set) the trained IVF index slabs — to this path after
@@ -149,6 +160,20 @@ type ANNConfig struct {
 	SampleSize int
 	// Seed drives sampling and seeding; a fixed seed makes runs identical.
 	Seed int64
+}
+
+// QuantConfig tunes the SQ8 quantized scan; the zero value means the exact
+// default: re-rank on, pool over-fetch at quant.DefaultRerankFactor.
+type QuantConfig struct {
+	// RerankFactor is the candidate-pool over-fetch multiplier: each scan
+	// collects the quantized top factor×C (plus boundary ties) and re-scores
+	// them exactly. 0 means quant.DefaultRerankFactor. Larger factors widen
+	// the safety margin; factor ≥ targets/C makes the pool exhaustive.
+	RerankFactor int
+	// NoRerank skips the exact re-scoring pass — the escape hatch that trades
+	// bit-identical selections for pure int8 speed. Emitted edge scores are
+	// then the quantized approximations.
+	NoRerank bool
 }
 
 // ErrBadConfig is returned by Pipeline.Prepare (via PipelineConfig.Validate)
@@ -216,6 +241,17 @@ func (c PipelineConfig) Validate() error {
 		}
 		if c.ANN.Clusters > 0 && c.ANN.NProbe > c.ANN.Clusters {
 			return fmt.Errorf("%w: ANN.NProbe %d exceeds ANN.Clusters %d", ErrBadConfig, c.ANN.NProbe, c.ANN.Clusters)
+		}
+	}
+	if c.Quant != nil {
+		if c.CandidateBudget <= 0 {
+			return fmt.Errorf("%w: Quant requires CandidateBudget > 0 (quantized scans only accelerate candidate-graph construction)", ErrBadConfig)
+		}
+		if c.Metric != MetricCosine {
+			return fmt.Errorf("%w: Quant requires the cosine metric (SQ8 codes approximate inner products over the stream's normalized tables), got %v", ErrBadConfig, c.Metric)
+		}
+		if c.Quant.RerankFactor < 0 {
+			return fmt.Errorf("%w: Quant.RerankFactor must be non-negative, got %d", ErrBadConfig, c.Quant.RerankFactor)
 		}
 	}
 	if c.SaveSnapshot != "" && c.LoadSnapshot != "" {
@@ -352,6 +388,7 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
 	}
 	var annSrc *ann.Source
+	var srcQ, tgtQ *quant.Table
 	if stream != nil {
 		mctx.Stream = stream
 		if p.cfg.ANN != nil {
@@ -372,8 +409,31 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 			}
 			mctx.Stream = annSrc
 		}
+		if p.cfg.Quant != nil {
+			sTab, tTab := stream.PreparedTables()
+			if srcQ, err = quant.Encode(ctx, sTab); err != nil {
+				return nil, err
+			}
+			if tgtQ, err = quant.Encode(ctx, tTab); err != nil {
+				return nil, err
+			}
+			if annSrc != nil {
+				// IVF slabs scan quantized; the producer dispatch is inside
+				// ann.Source, so mctx.Stream stays the ANN producer.
+				if err = annSrc.EnableQuant(srcQ, tgtQ, p.cfg.Quant.RerankFactor, !p.cfg.Quant.NoRerank); err != nil {
+					return nil, err
+				}
+			} else {
+				qs, qerr := quant.NewSource(stream, sTab, tTab, srcQ, tgtQ,
+					p.cfg.Quant.RerankFactor, !p.cfg.Quant.NoRerank)
+				if qerr != nil {
+					return nil, qerr
+				}
+				mctx.Stream = qs
+			}
+		}
 		if p.cfg.SaveSnapshot != "" {
-			if err := p.saveSnapshot(ctx, d, task, stream, annSrc); err != nil {
+			if err := p.saveSnapshot(ctx, d, task, stream, annSrc, srcQ, tgtQ); err != nil {
 				return nil, err
 			}
 		}
@@ -445,7 +505,7 @@ func taskVocab(g *Graph, ids []int) []string {
 // saveSnapshot persists the prepared run at cfg.SaveSnapshot. With ANN
 // configured the indexes are trained eagerly here (forward and reverse), so
 // the snapshot amortizes quantizer training as well as table preparation.
-func (p *Pipeline) saveSnapshot(ctx context.Context, d *Dataset, task *Task, stream *SimilarityStream, annSrc *ann.Source) error {
+func (p *Pipeline) saveSnapshot(ctx context.Context, d *Dataset, task *Task, stream *SimilarityStream, annSrc *ann.Source, srcQ, tgtQ *quant.Table) error {
 	sTab, tTab := stream.PreparedTables()
 	snap := &snapshot.Snapshot{
 		Meta: snapshot.Meta{
@@ -475,6 +535,13 @@ func (p *Pipeline) saveSnapshot(ctx context.Context, d *Dataset, task *Task, str
 			SampleSize: cfg.SampleSize,
 			Iters:      cfg.Iters,
 			Seed:       cfg.Seed,
+		}
+	}
+	if srcQ != nil {
+		snap.SrcQuant, snap.TgtQuant = srcQ.Export(), tgtQ.Export()
+		snap.Meta.Quant = &snapshot.QuantMeta{
+			RerankFactor: p.cfg.Quant.RerankFactor,
+			Rerank:       !p.cfg.Quant.NoRerank,
 		}
 	}
 	return snap.Write(p.cfg.SaveSnapshot)
@@ -528,6 +595,27 @@ func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Ru
 		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
 		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
 	}
+	var srcQ, tgtQ *quant.Table
+	if p.cfg.Quant != nil {
+		if snap.SrcQuant == nil {
+			return nil, fmt.Errorf("%w: run requests quantized scans but the snapshot holds no SQ8 tables (re-save with Quant configured)", ErrSnapshotMismatch)
+		}
+		if srcQ, err = quant.FromData(snap.SrcQuant); err != nil {
+			return nil, err
+		}
+		if tgtQ, err = quant.FromData(snap.TgtQuant); err != nil {
+			return nil, err
+		}
+		if p.cfg.ANN == nil {
+			sTab, tTab := stream.PreparedTables()
+			qs, qerr := quant.NewSource(stream, sTab, tTab, srcQ, tgtQ,
+				p.cfg.Quant.RerankFactor, !p.cfg.Quant.NoRerank)
+			if qerr != nil {
+				return nil, qerr
+			}
+			mctx.Stream = qs
+		}
+	}
 	if p.cfg.ANN != nil {
 		if snap.FwdIndex == nil {
 			return nil, fmt.Errorf("%w: run requests ANN candidates but the snapshot holds no index (re-save with ANN configured)", ErrSnapshotMismatch)
@@ -560,6 +648,11 @@ func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Ru
 		annSrc, err := ann.NewSourceWithIndexes(stream, snap.SrcTable, snap.TgtTable, cfg, fwd, rev)
 		if err != nil {
 			return nil, err
+		}
+		if srcQ != nil {
+			if err := annSrc.EnableQuant(srcQ, tgtQ, p.cfg.Quant.RerankFactor, !p.cfg.Quant.NoRerank); err != nil {
+				return nil, err
+			}
 		}
 		mctx.Stream = annSrc
 	}

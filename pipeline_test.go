@@ -244,6 +244,74 @@ func TestPipelineANNConfigValidation(t *testing.T) {
 	}
 }
 
+// TestPipelineQuantWiring pins the SQ8 candidate-generation seam: a Quant
+// config routes graph construction through the quantized scan + exact
+// re-rank, standalone or composed with ANN, and at the default rerank factor
+// the matcher results equal the exact sparse run's bit for bit. The
+// quantized-only escape hatch still runs and scores plausibly.
+func TestPipelineQuantWiring(t *testing.T) {
+	d := smallDataset(t)
+	const c = 16
+	exact, err := NewPipeline(PipelineConfig{Model: ModelRREA, CandidateBudget: c}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resExact, mExact, err := exact.Match(NewRInfSparse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cfg := range map[string]PipelineConfig{
+		"quant-only": {Model: ModelRREA, CandidateBudget: c, Quant: &QuantConfig{}},
+		"quant+ann": {Model: ModelRREA, CandidateBudget: c,
+			ANN: &ANNConfig{Clusters: 8, NProbe: 8}, Quant: &QuantConfig{}},
+	} {
+		run, err := NewPipeline(cfg).Prepare(d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		res, m, err := run.Match(NewRInfSparse(c))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Pairs) != len(resExact.Pairs) || m.F1 != mExact.F1 {
+			t.Fatalf("%s diverges from exact: %d/%v vs %d/%v",
+				name, len(res.Pairs), m.F1, len(resExact.Pairs), mExact.F1)
+		}
+		for i := range res.Pairs {
+			if res.Pairs[i] != resExact.Pairs[i] {
+				t.Fatalf("%s pair %d differs: %v vs %v", name, i, res.Pairs[i], resExact.Pairs[i])
+			}
+		}
+	}
+	// Quantized-only: approximate scores, still a plausible matching.
+	raw, err := NewPipeline(PipelineConfig{
+		Model: ModelRREA, CandidateBudget: c, Quant: &QuantConfig{NoRerank: true},
+	}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mRaw, err := raw.Match(NewRInfSparse(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mRaw.F1 < mExact.F1-0.1 {
+		t.Fatalf("quantized-only F1 %v implausibly far below exact %v", mRaw.F1, mExact.F1)
+	}
+}
+
+func TestPipelineQuantConfigValidation(t *testing.T) {
+	d := smallDataset(t)
+	if _, err := NewPipeline(PipelineConfig{Quant: &QuantConfig{}}).Prepare(d); err == nil {
+		t.Fatal("Quant without CandidateBudget accepted")
+	}
+	if _, err := NewPipeline(PipelineConfig{CandidateBudget: 8, Metric: MetricEuclidean, Quant: &QuantConfig{}}).Prepare(d); err == nil {
+		t.Fatal("Quant with non-cosine metric accepted")
+	}
+	if _, err := NewPipeline(PipelineConfig{CandidateBudget: 8, Quant: &QuantConfig{RerankFactor: -1}}).Prepare(d); err == nil {
+		t.Fatal("negative Quant.RerankFactor accepted")
+	}
+}
+
 func TestEnumStrings(t *testing.T) {
 	if FeatureStructure.String() != "structure" || FeatureName.String() != "name" || FeatureFused.String() != "name+structure" {
 		t.Fatal("feature mode names wrong")
