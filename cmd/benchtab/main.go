@@ -15,6 +15,9 @@
 //	benchtab -exp ann -quant         # the same sweep on SQ8 quantized slabs
 //	benchtab -exp quant              # SQ8 rerank-factor sweep vs float64 scan
 //	benchtab -exp quant -json BENCH_quant.json     # machine-readable sweep
+//	benchtab -auto                   # planner decisions + planner-vs-hand live run
+//	benchtab -auto -explain          # ... with every candidate plan and rejection
+//	benchtab -auto -target-recall 0.8  # let the planner consider approximate plans
 //
 // Scales are relative to the paper's full dataset sizes; the defaults are
 // the ones recorded in EXPERIMENTS.md for a 1-CPU container.
@@ -57,6 +60,8 @@ func run() error {
 		outFile  = flag.String("o", "", "also write results to this file")
 		jsonFile = flag.String("json", "", "write machine-readable measurements (JSON, BENCH_*.json schema) to this file; currently the 'sparse' and 'ann' experiments record them")
 		verbose  = flag.Bool("v", false, "log per-run progress to stderr")
+		auto     = flag.Bool("auto", false, "shorthand for -exp planner: print the cost-based planner's engine decisions across scales and run planner-chosen vs hand-tuned live")
+		explain  = flag.Bool("explain", false, "attach each planner decision's full explanation — every candidate plan with its estimate and rejection reason — to the 'planner' experiment's tables")
 	)
 	flag.Float64Var(&cfg.ScaleMedium, "scale-medium", cfg.ScaleMedium, "scale factor for DBP15K/SRPRS")
 	flag.Float64Var(&cfg.ScaleLarge, "scale-large", cfg.ScaleLarge, "scale factor for DWY100K")
@@ -73,7 +78,12 @@ func run() error {
 	flag.IntVar(&cfg.ANNNProbe, "nprobe", cfg.ANNNProbe, "restrict the 'ann' experiment to a single probe count (0 = sweep up to the full cluster count)")
 	flag.BoolVar(&cfg.QuantANN, "quant", cfg.QuantANN, "run the 'ann' experiment's sweep on SQ8 quantized slab scans (exact float64 re-rank on; the full-coverage row stays bit-identical and is verified live)")
 	flag.IntVar(&cfg.QuantFactor, "rerank-factor", cfg.QuantFactor, "restrict the 'quant' experiment to a single rerank factor (0 = sweep 1/2/4/8); with -quant, also sets the ann sweep's factor")
+	flag.Float64Var(&cfg.PlannerTargetRecall, "target-recall", cfg.PlannerTargetRecall, "candidate-recall floor for the 'planner' experiment: 0 keeps the planner on exact-coverage plans, lower values allow approximate IVF plans")
 	flag.Parse()
+	cfg.PlannerExplain = *explain
+	if *auto && *expList == "" {
+		*expList = "planner"
+	}
 
 	if cfg.SparseCand < 0 {
 		return fmt.Errorf("-cand must be non-negative")
@@ -86,6 +96,9 @@ func run() error {
 	}
 	if cfg.QuantFactor < 0 {
 		return fmt.Errorf("-rerank-factor must be non-negative")
+	}
+	if cfg.PlannerTargetRecall < 0 || cfg.PlannerTargetRecall > 1 {
+		return fmt.Errorf("-target-recall must be in [0, 1]")
 	}
 	if cfg.ANNClusters > 0 && cfg.ANNNProbe > cfg.ANNClusters {
 		fmt.Fprintf(os.Stderr, "benchtab: warning: -nprobe %d exceeds -ann %d clusters; clamping to %d (exact coverage)\n",

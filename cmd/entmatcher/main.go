@@ -18,6 +18,9 @@
 //	entmatcher -data ./data/100k -cand 64 -quant -rerank-factor 0  # quantized-only
 //	entmatcher -data ./data/100k -cand 64 -save-snapshot p.snap  # persist prep
 //	entmatcher -data ./data/100k -cand 64 -load-snapshot p.snap  # skip prep
+//	entmatcher -data ./data/100k -auto                 # planner picks the engine
+//	entmatcher -data ./data/100k -auto -explain        # ... and shows its work
+//	entmatcher -data ./data/100k -auto -target-recall 0.8  # allow approximate plans
 //
 // With -stream (or when -mem-budget forces it) the score matrix is computed
 // in cache-sized tiles and never materialized; the streaming-capable
@@ -40,6 +43,14 @@
 // the float64 tables, then re-scores an over-fetched pool exactly so the
 // emitted graphs stay bit-identical at the default -rerank-factor 4.
 // -rerank-factor 0 disables the exact re-rank (quantized-only scores).
+//
+// With -auto the cost-based planner (internal/plan, calibrated from the
+// checked-in BENCH_*.json measurements) picks the cheapest engine that fits
+// -mem-budget: dense, streaming tiles, sparse top-C graphs, IVF, or SQ8 —
+// with -target-recall it may trade candidate recall for speed through
+// approximate ANN plans. Explicit engine flags always win over the planner.
+// -explain prints every candidate plan with its estimated wall time, peak
+// memory, and the machine-readable reason it lost.
 package main
 
 import (
@@ -61,11 +72,23 @@ import (
 // with benchtab and documented in internal/exitcode.
 var errDegraded = errors.New("one or more matchers degraded under the time budget")
 
+// usageError marks a command line whose flags parsed individually but combine
+// illegally (e.g. -nprobe without -ann). main maps it to exit code 2 — the
+// flag package's own convention for a rejected command line — so scripts can
+// tell "you typed the command wrong" from "the run failed".
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "entmatcher:", err)
 		if errors.Is(err, errDegraded) {
 			os.Exit(exitcode.Degraded)
+		}
+		var ue usageError
+		if errors.As(err, &ue) {
+			os.Exit(exitcode.Usage)
 		}
 		os.Exit(exitcode.Failure)
 	}
@@ -93,8 +116,30 @@ func run() error {
 		rerankF  = flag.Int("rerank-factor", 4, "quantized-scan pool over-fetch multiplier: re-rank the quantized top factor×C exactly (requires -quant; 0 = no exact re-rank, serve the quantized approximations)")
 		saveSnap = flag.String("save-snapshot", "", "after preparation, persist the prepared tables (and the IVF indexes under -ann, the SQ8 tables under -quant) to this path as a crash-safe snapshot (requires -stream or -cand; written atomically: temp file, fsync, rename)")
 		loadSnap = flag.String("load-snapshot", "", "prepare from a previously saved snapshot instead of re-encoding embeddings (requires -stream or -cand; the snapshot must match -features, -setting and -ann, otherwise the run fails with a mismatch error rather than silently rebuilding)")
+		auto     = flag.Bool("auto", false, "let the cost-based planner pick the engine — dense, streaming, sparse candidates, IVF, SQ8 — from the task shape and -mem-budget; explicit engine flags (-stream, -cand, -ann, -quant) always override the planner")
+		recall   = flag.Float64("target-recall", 0, "minimum estimated candidate recall the planner must meet before it may choose an approximate (IVF) plan (requires -auto; 0 = exact-coverage plans only)")
+		explain  = flag.Bool("explain", false, "print the planner's full decision: every candidate plan with estimated wall time, peak memory, and the reason it was rejected (requires -auto)")
 	)
 	flag.Parse()
+	// Flags that only parameterize another flag's engine are rejected when
+	// set — at any value, including their defaults — without that engine.
+	// flag.Visit reports only flags the command line actually set, so
+	// "-rerank-factor 4" without -quant is caught even though 4 is the
+	// default value: the user typed a knob that cannot take effect.
+	explicitlySet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitlySet[f.Name] = true })
+	if explicitlySet["nprobe"] && *annK == 0 {
+		return usageError("-nprobe requires -ann (it is the IVF probe count; without an index it cannot take effect)")
+	}
+	if explicitlySet["rerank-factor"] && !*useQuant {
+		return usageError("-rerank-factor requires -quant (it sizes the quantized scan's re-rank pool; without -quant it cannot take effect)")
+	}
+	if *recall != 0 && !*auto {
+		return usageError("-target-recall requires -auto (only the planner can trade candidate recall for speed)")
+	}
+	if *explain && !*auto {
+		return usageError("-explain requires -auto (there is no plan to explain on an explicitly configured run)")
+	}
 	if *dataDir == "" {
 		return fmt.Errorf("-data is required")
 	}
@@ -148,9 +193,6 @@ func run() error {
 	if *nprobe < 0 {
 		return fmt.Errorf("-nprobe must be non-negative")
 	}
-	if *nprobe > 0 && *annK == 0 {
-		return fmt.Errorf("-nprobe requires -ann (it is the IVF probe count)")
-	}
 	if *annK > 0 {
 		if *cand == 0 {
 			return fmt.Errorf("-ann requires -cand (the index only accelerates candidate-graph construction)")
@@ -163,9 +205,6 @@ func run() error {
 	}
 	if *rerankF < 0 {
 		return fmt.Errorf("-rerank-factor must be non-negative")
-	}
-	if *rerankF != 4 && !*useQuant {
-		return fmt.Errorf("-rerank-factor requires -quant (it sizes the quantized scan's re-rank pool)")
 	}
 	if *useQuant {
 		if *cand == 0 {
@@ -184,6 +223,8 @@ func run() error {
 	}
 	cfg.SaveSnapshot = *saveSnap
 	cfg.LoadSnapshot = *loadSnap
+	cfg.Auto = *auto
+	cfg.TargetRecall = *recall
 	// The validation matrix is not snapshotted; a snapshot-served run skips
 	// it (MatchWithAbstention then reports a clear error if requested).
 	cfg.WithValidation = *loadSnap == ""
@@ -208,6 +249,22 @@ func run() error {
 		run, err = entmatcher.NewPipeline(cfg).Prepare(d)
 		if err != nil {
 			return err
+		}
+	}
+	if *auto {
+		if run.Plan == nil {
+			fmt.Println("planner: bypassed (explicit engine flags pin the configuration)")
+		} else {
+			if *explain {
+				fmt.Println(run.Plan.Explain())
+			} else {
+				fmt.Printf("planner: chose %s (est wall %v, est peak %.2f GiB)\n",
+					run.Plan.Chosen.Label(), run.Plan.Chosen.EstWall().Round(time.Millisecond),
+					float64(run.Plan.Chosen.EstPeakBytes)/(1<<30))
+			}
+			// The matcher tables below key off the engine flags; adopt the
+			// planner's candidate budget so the right twins are offered.
+			*cand = run.Plan.Chosen.Knobs.CandidateBudget
 		}
 	}
 	rows, cols := run.Dims()

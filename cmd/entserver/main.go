@@ -77,6 +77,13 @@ func run() error {
 		return err
 	}
 	rows, cols := srv.Dims()
+	// Startup self-configuration: what the cost-based planner picks for the
+	// served shape, for operators to compare against the snapshot's engine.
+	// Also exposed at /statsz as "plan".
+	if p := srv.Plan(); p != nil {
+		fmt.Printf("entserver: planner: %s for %d×%d (est wall %v)\n",
+			p.Chosen.Label(), rows, cols, p.Chosen.EstWall().Round(time.Millisecond))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -382,6 +382,71 @@ func TestCLIEntserverServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestCLIFlagInteractionsExitUsage: flags that modify an engine the run
+// never builds must be rejected at parse time with the usage exit code (2),
+// not silently ignored. Before the fix, `-nprobe 4` without `-ann` and
+// `-rerank-factor` without `-quant` both ran as if the flag had not been
+// typed.
+func TestCLIFlagInteractionsExitUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dataDir := filepath.Join(t.TempDir(), "dz-usage")
+	runTool(t, filepath.Join(bins, "datagen"), "-profile", "D-Z", "-scale", "0.02", "-out", dataDir)
+
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-data", dataDir, "-nprobe", "4", "-m", "DInf"}, "-nprobe requires -ann"},
+		{[]string{"-data", dataDir, "-cand", "8", "-rerank-factor", "4", "-m", "DInf"}, "-rerank-factor requires -quant"},
+		// The default value typed explicitly is still an ignored knob.
+		{[]string{"-data", dataDir, "-cand", "8", "-rerank-factor", "4", "-nprobe", "0", "-m", "DInf"}, "requires"},
+		{[]string{"-data", dataDir, "-target-recall", "0.9", "-m", "DInf"}, "-target-recall requires -auto"},
+		{[]string{"-data", dataDir, "-explain", "-m", "DInf"}, "-explain requires -auto"},
+	}
+	for _, tc := range cases {
+		cmd := exec.Command(filepath.Join(bins, "entmatcher"), tc.args...)
+		out, err := cmd.CombinedOutput()
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%v: want exit code 2, got err=%v\n%s", tc.args, err, out)
+		}
+		if ee.ExitCode() != 2 {
+			t.Fatalf("%v: exit code = %d, want 2 (usage)\n%s", tc.args, ee.ExitCode(), out)
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Fatalf("%v: error does not explain the conflict (want %q):\n%s", tc.args, tc.want, out)
+		}
+	}
+}
+
+// TestCLIAutoPlanner: -auto -explain must print the chosen plan with
+// per-candidate estimates and rejection reasons, then run on the
+// planner-chosen engine.
+func TestCLIAutoPlanner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test")
+	}
+	bins := buildTools(t)
+	dataDir := filepath.Join(t.TempDir(), "dz-auto")
+	runTool(t, filepath.Join(bins, "datagen"), "-profile", "D-Z", "-scale", "0.02", "-out", dataDir)
+
+	out := runTool(t, filepath.Join(bins, "entmatcher"), "-data", dataDir, "-auto", "-explain", "-m", "DInf")
+	for _, want := range []string{"planner: workload", "calibration:", "chosen", "rejected", "DInf"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-auto -explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Explicit engine flags pin the configuration; the planner must step
+	// aside rather than fight them.
+	out = runTool(t, filepath.Join(bins, "entmatcher"), "-data", dataDir, "-auto", "-cand", "8", "-m", "DInf")
+	if !strings.Contains(out, "planner: bypassed") {
+		t.Fatalf("-auto with explicit -cand did not report the bypass:\n%s", out)
+	}
+}
+
 // TestCLITimeoutDegrades: with a 1ms budget, the Hungarian run must degrade
 // to a cheaper tier, print the degradation note, and exit with code 3
 // (success-with-degradation) rather than hang or fail.

@@ -46,11 +46,27 @@ type Config struct {
 	Seed int64
 }
 
+// AutoClusters is the cluster count a zero Clusters resolves to for an
+// n-point corpus: round(√n), clamped to [1, n]. Exported so the pipeline
+// (and the cost planner) can validate explicit NProbe values against the
+// auto geometry before any training starts, instead of discovering a
+// silently clamped probe count deep inside a build.
+func AutoClusters(n int) int {
+	k := int(math.Round(math.Sqrt(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
 // withDefaults resolves the auto fields against an n-point corpus and clamps
 // everything to valid ranges.
 func (c Config) withDefaults(n int) Config {
 	if c.Clusters <= 0 {
-		c.Clusters = int(math.Round(math.Sqrt(float64(n))))
+		c.Clusters = AutoClusters(n)
 	}
 	if c.Clusters < 1 {
 		c.Clusters = 1

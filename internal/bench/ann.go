@@ -52,6 +52,7 @@ func runANN(cfg *Config, env *Env) ([]*Table, error) {
 	if c > cols {
 		c = cols
 	}
+	dim := env.dim(d, basePC)
 
 	// Exact baseline: one exhaustive streaming build of the forward top-C
 	// graph, plus the exact sparse RInf end-to-end result.
@@ -73,11 +74,13 @@ func runANN(cfg *Config, env *Env) ([]*Table, error) {
 		NsPerOp:    exactBuild.Nanoseconds(),
 		BytesPerOp: exactG.SizeBytes(),
 		Hits1:      1,
+		Features:   &RecordFeatures{SrcRows: rows, TgtRows: cols, Dim: dim, Engine: "sparse", Cand: c},
 	})
 	env.Record(Record{
-		Name:    fmt.Sprintf("ANN/exact/RInf/C=%d/n=%d", c, rows),
-		NsPerOp: exactRes.Elapsed.Nanoseconds(),
-		Hits1:   exactMetrics.Recall,
+		Name:     fmt.Sprintf("ANN/exact/RInf/C=%d/n=%d", c, rows),
+		NsPerOp:  exactRes.Elapsed.Nanoseconds(),
+		Hits1:    exactMetrics.Recall,
+		Features: &RecordFeatures{SrcRows: rows, TgtRows: cols, Dim: dim, Engine: "sparse", Cand: c},
 	})
 
 	// Train the quantizers once; every nprobe view shares them. The reverse
@@ -115,10 +118,20 @@ func runANN(cfg *Config, env *Env) ([]*Table, error) {
 		cfg.logf("  ann quant: SQ8 slabs enabled (%s GiB of codes)", gb(srcQ.SizeBytes()+tgtQ.SizeBytes()))
 	}
 	cfg.logf("  ann train: k=%d in %v (%s GiB of indexes)", k, train.Round(time.Millisecond), gb(annSrc.IndexBytes()))
+	annEngine := "ann+sparse"
+	rerankF := 0
+	if cfg.QuantANN {
+		annEngine = "ann+quant"
+		rerankF = cfg.QuantFactor
+		if rerankF == 0 {
+			rerankF = quant.DefaultRerankFactor
+		}
+	}
 	env.Record(Record{
 		Name:       fmt.Sprintf("ANN/train/k=%d/n=%d", k, rows),
 		NsPerOp:    train.Nanoseconds(),
 		BytesPerOp: annSrc.IndexBytes(),
+		Features:   &RecordFeatures{SrcRows: rows, TgtRows: cols, Dim: dim, Engine: annEngine, Cand: c, Clusters: k},
 	})
 
 	probes := []int{}
@@ -177,16 +190,20 @@ func runANN(cfg *Config, env *Env) ([]*Table, error) {
 		t.AddRow(fmt.Sprintf("nprobe=%d", np),
 			f3(recall), secs(total.Seconds()), fmt.Sprintf("%.1f×", speedup),
 			f3(metrics.Recall), pct(delta))
+		feats := &RecordFeatures{SrcRows: rows, TgtRows: cols, Dim: dim, Engine: annEngine,
+			Cand: c, Clusters: k, NProbe: np, RerankFactor: rerankF}
 		env.Record(Record{
 			Name:       fmt.Sprintf("ANN/graph/nprobe=%d/C=%d/n=%d", np, c, rows),
 			NsPerOp:    build.Nanoseconds(),
 			BytesPerOp: annSrc.IndexBytes() + g.SizeBytes(),
 			Hits1:      recall,
+			Features:   feats,
 		})
 		env.Record(Record{
-			Name:    fmt.Sprintf("ANN/RInf/nprobe=%d/C=%d/n=%d", np, c, rows),
-			NsPerOp: res.Elapsed.Nanoseconds(),
-			Hits1:   metrics.Recall,
+			Name:     fmt.Sprintf("ANN/RInf/nprobe=%d/C=%d/n=%d", np, c, rows),
+			NsPerOp:  res.Elapsed.Nanoseconds(),
+			Hits1:    metrics.Recall,
+			Features: feats,
 		})
 		cfg.logf("  ann nprobe=%d: recall=%.3f build=%v (+train=%v) RInf Hits@1=%.3f (%.1fx exact build)",
 			np, recall, build.Round(time.Millisecond), total.Round(time.Millisecond), metrics.Recall, speedup)
@@ -276,6 +293,7 @@ func runANNClustered(cfg *Config, env *Env, n, c int) (*Table, error) {
 		NsPerOp:    exactBuild.Nanoseconds(),
 		BytesPerOp: exactG.SizeBytes(),
 		Hits1:      1,
+		Features:   &RecordFeatures{SrcRows: n, TgtRows: n, Dim: dim, Engine: "sparse", Cand: c},
 	})
 	cfg.logf("  ann clustered exact: build %v, RInf Hits@1=%.3f", exactBuild.Round(time.Millisecond), exactHits)
 
@@ -299,6 +317,7 @@ func runANNClustered(cfg *Config, env *Env, n, c int) (*Table, error) {
 		Name:       fmt.Sprintf("ANN/clustered/train/k=%d/n=%d", k, n),
 		NsPerOp:    train.Nanoseconds(),
 		BytesPerOp: annSrc.IndexBytes(),
+		Features:   &RecordFeatures{SrcRows: n, TgtRows: n, Dim: dim, Engine: "ann+sparse", Cand: c, Clusters: k},
 	})
 
 	t := &Table{
@@ -335,15 +354,18 @@ func runANNClustered(cfg *Config, env *Env, n, c int) (*Table, error) {
 		delta := hits - exactHits
 		t.AddRow(fmt.Sprintf("nprobe=%d", np),
 			f3(recall), secs(total.Seconds()), fmt.Sprintf("%.1f×", speedup), f3(hits), pct(delta))
+		feats := &RecordFeatures{SrcRows: n, TgtRows: n, Dim: dim, Engine: "ann+sparse", Cand: c, Clusters: k, NProbe: np}
 		env.Record(Record{
 			Name:       fmt.Sprintf("ANN/clustered/graph/nprobe=%d/C=%d/n=%d", np, c, n),
 			NsPerOp:    build.Nanoseconds(),
 			BytesPerOp: annSrc.IndexBytes() + g.SizeBytes(),
 			Hits1:      recall,
+			Features:   feats,
 		})
 		env.Record(Record{
-			Name:  fmt.Sprintf("ANN/clustered/RInf/nprobe=%d/C=%d/n=%d", np, c, n),
-			Hits1: hits,
+			Name:     fmt.Sprintf("ANN/clustered/RInf/nprobe=%d/C=%d/n=%d", np, c, n),
+			Hits1:    hits,
+			Features: feats,
 		})
 		cfg.logf("  ann clustered nprobe=%d: recall=%.3f build=%v (+train=%v) RInf Hits@1=%.3f (%.1fx exact build)",
 			np, recall, build.Round(time.Millisecond), total.Round(time.Millisecond), hits, speedup)

@@ -71,6 +71,15 @@ type Config struct {
 	// single rerank factor instead of its default {1, 2, 4, 8} sweep, and
 	// sets the factor used by QuantANN (0 = the library default).
 	QuantFactor int
+	// PlannerTargetRecall is the candidate-recall floor handed to the
+	// 'planner' experiment's cost-based planner (and benchtab's
+	// -target-recall flag): 0 keeps the planner on exact-coverage plans,
+	// lower values let it consider approximate IVF plans.
+	PlannerTargetRecall float64
+	// PlannerExplain attaches each planner decision's full explanation —
+	// every candidate plan with its estimate and rejection reason — to the
+	// 'planner' experiment's rendered table (benchtab -explain).
+	PlannerExplain bool
 	// RunTimeout is the per-matcher wall-clock budget. When positive, each
 	// matcher run happens inside a degradation chain (matcher → RInf-pb →
 	// DInf) so an over-budget algorithm yields a cheaper tier's answer
@@ -182,7 +191,10 @@ func runKey(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) string {
 		// configured one.
 		annK = fmt.Sprintf("%d/%d/%d/%d", pc.ANN.Clusters, pc.ANN.NProbe, pc.ANN.SampleSize, pc.ANN.Seed)
 	}
-	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d|%s", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget, annK)
+	// Auto/TargetRecall are part of the identity too: an Auto-planned run
+	// may resolve to any engine, so it must never share a cache slot with an
+	// explicitly configured (all-zero-knob, dense) preparation.
+	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d|%s|%v|%g", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget, annK, pc.Auto, pc.TargetRecall)
 }
 
 // embKey identifies a cached embedding table, again per dataset instance.
@@ -213,6 +225,16 @@ func (e *Env) Run(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) (*entmatc
 	}
 	e.runs[rk] = run
 	return run, nil
+}
+
+// dim returns the embedding width cached for (d, pc), or 0 when those
+// embeddings have not been prepared yet. Used to stamp planner features onto
+// -json records without re-encoding.
+func (e *Env) dim(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) int {
+	if emb, ok := e.embeddings[embKey(d, pc)]; ok && emb.Source != nil {
+		return emb.Source.Cols()
+	}
+	return 0
 }
 
 // encode produces the feature embeddings for a pipeline configuration.
@@ -258,6 +280,7 @@ func Experiments() []Experiment {
 		{ID: "sparse", Title: "Sparse candidate-graph engine: Hits@1, time, peak memory vs dense across C", Run: runSparse},
 		{ID: "ann", Title: "IVF approximate candidate generation: nprobe → recall, Hits@1, build time vs exact", Run: runANN},
 		{ID: "quant", Title: "SQ8 quantized candidate scans: rerank factor → recall, build time, table bytes vs float64", Run: runQuant},
+		{ID: "planner", Title: "Cost-based engine planner: decisions across scales, and planner vs hand-tuned live", Run: runPlanner},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

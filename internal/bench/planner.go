@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"entmatcher"
+	"entmatcher/internal/datagen"
+	"entmatcher/internal/plan"
+)
+
+// runPlanner exercises the cost-based engine planner (internal/plan) two
+// ways. The decision table is pure arithmetic: the calibration fitted from
+// the checked-in BENCH_*.json files plans the paper's workload scales (1K /
+// 16K / 100K gold links at the fused d=128 width) under unconstrained and
+// constrained memory budgets, showing which engine wins where and what the
+// planner predicts it costs. The live table then puts -auto on trial on a
+// DWY100K-profile dataset: the planner-chosen run and the hand-tuned sparse
+// C=64 configuration (the best hand pick EXPERIMENTS.md records at this
+// scale) both execute end to end, comparing achieved Hits@1 and wall time —
+// and the planner's wall-time estimate against what actually happened.
+func runPlanner(cfg *Config, env *Env) ([]*Table, error) {
+	cal, err := entmatcher.DefaultCalibration()
+	if err != nil {
+		return nil, err
+	}
+
+	const dim = 128 // the fused encoder width the paper's tables run at
+	shapes := []struct {
+		label  string
+		n      int
+		budget int64
+	}{
+		{"1K", 1000, 0},
+		{"16K", 16000, 0},
+		{"100K", 100000, 0},
+		{"16K/64MiB", 16000, 64 << 20},
+		{"100K/1GiB", 100000, 1 << 30},
+	}
+	dt := &Table{
+		ID:      "planner",
+		Title:   fmt.Sprintf("Planner decisions across scales (d=%d, target recall %.2f, calibration: %s)", dim, cfg.PlannerTargetRecall, strings.Join(cal.Sources, " ")),
+		Columns: []string{"Engine", "Knobs", "Est T", "Est peak GiB", "Est recall"},
+	}
+	for _, sh := range shapes {
+		w := plan.Workload{
+			SrcRows: sh.n, TgtRows: sh.n, Dim: dim,
+			MemoryBudgetBytes: sh.budget,
+			TargetRecall:      cfg.PlannerTargetRecall,
+		}
+		p, err := cal.Choose(w)
+		if err != nil {
+			// Every workload must resolve (streaming is the always-fits
+			// fallback); an infeasible shape here is a cost-model regression.
+			return nil, fmt.Errorf("planner: %s: %w", sh.label, err)
+		}
+		ch := p.Chosen
+		dt.AddRow(sh.label, string(ch.Engine), knobsLabel(ch.Knobs),
+			ch.EstWall().Round(time.Millisecond).String(),
+			gb(ch.EstPeakBytes), f3(ch.EstRecall))
+		if cfg.PlannerExplain {
+			for _, line := range strings.Split(p.Explain(), "\n") {
+				dt.AddNote("%s | %s", sh.label, line)
+			}
+		}
+	}
+	dt.AddNote("estimates come from per-unit coefficients fitted to the checked-in BENCH_*.json measurements; budgets of 0 mean unbounded memory")
+
+	// Live comparison at the configured large scale.
+	prof := datagen.DWY100K()[0]
+	d, err := env.Dataset(prof, cfg.ScaleLarge)
+	if err != nil {
+		return nil, err
+	}
+	autoPC := entmatcher.PipelineConfig{
+		Model: entmatcher.ModelRREA, WithValidation: true,
+		Auto: true, TargetRecall: cfg.PlannerTargetRecall,
+	}
+	autoRun, err := env.Run(d, autoPC)
+	if err != nil {
+		return nil, err
+	}
+	if autoRun.Plan == nil {
+		return nil, fmt.Errorf("planner: Auto run carries no plan")
+	}
+	chosen := autoRun.Plan.Chosen
+	rows, cols := autoRun.Dims()
+	cfg.logf("  planner live: chose %s for %d×%d", chosen.Label(), rows, cols)
+
+	lt := &Table{
+		ID: "planner-live",
+		Title: fmt.Sprintf("Planner vs hand-tuned on %s (RREA, %d×%d): chosen %s",
+			prof.Name, rows, cols, chosen.Label()),
+		Columns: []string{"Hits@1", "T(s)", "Est T(s)", "Extra GiB"},
+	}
+
+	var autoM entmatcher.Matcher
+	switch {
+	case chosen.Knobs.CandidateBudget > 0:
+		autoM = entmatcher.NewRInfSparse(chosen.Knobs.CandidateBudget)
+	case autoRun.Stream != nil:
+		autoM = entmatcher.NewDInfStream()
+	default:
+		autoM = entmatcher.NewRInf()
+	}
+	runtime.GC()
+	ares, ametrics, err := matchBudgeted(cfg, env, autoRun, autoM)
+	if err != nil {
+		return nil, fmt.Errorf("planner: auto run: %w", err)
+	}
+	lt.AddRow("planner/"+string(chosen.Engine),
+		f3(ametrics.Recall), secs(ares.Elapsed.Seconds()),
+		secs(chosen.EstWall().Seconds()), gb(ares.ExtraBytes))
+	env.Record(Record{
+		Name:       fmt.Sprintf("Planner/auto/%s/n=%d", chosen.Engine, rows),
+		NsPerOp:    ares.Elapsed.Nanoseconds(),
+		BytesPerOp: ares.ExtraBytes,
+		Hits1:      ametrics.Recall,
+		Features: &RecordFeatures{
+			SrcRows: rows, TgtRows: cols, Dim: autoRun.Plan.Workload.Dim,
+			Engine: string(chosen.Engine), Cand: chosen.Knobs.CandidateBudget,
+			Clusters: chosen.Knobs.Clusters, NProbe: chosen.Knobs.NProbe,
+			RerankFactor: chosen.Knobs.RerankFactor,
+		},
+	})
+
+	handC := 64
+	if handC > cols {
+		handC = cols
+	}
+	handPC := entmatcher.PipelineConfig{
+		Model: entmatcher.ModelRREA, WithValidation: true, CandidateBudget: handC,
+	}
+	handRun, err := env.Run(d, handPC)
+	if err != nil {
+		return nil, err
+	}
+	runtime.GC()
+	hres, hmetrics, err := matchBudgeted(cfg, env, handRun, entmatcher.NewRInfSparse(handC))
+	if err != nil {
+		return nil, fmt.Errorf("planner: hand-tuned run: %w", err)
+	}
+	lt.AddRow(fmt.Sprintf("hand/sparse C=%d", handC),
+		f3(hmetrics.Recall), secs(hres.Elapsed.Seconds()), "—", gb(hres.ExtraBytes))
+	env.Record(Record{
+		Name:       fmt.Sprintf("Planner/hand/sparse/C=%d/n=%d", handC, rows),
+		NsPerOp:    hres.Elapsed.Nanoseconds(),
+		BytesPerOp: hres.ExtraBytes,
+		Hits1:      hmetrics.Recall,
+		Features: &RecordFeatures{
+			SrcRows: rows, TgtRows: cols, Dim: autoRun.Plan.Workload.Dim,
+			Engine: "sparse", Cand: handC,
+		},
+	})
+	env.Summarize(fmt.Sprintf("Planner_n%d", rows),
+		fmt.Sprintf("auto chose %s: Hits@1 %.3f in %v vs hand sparse C=%d Hits@1 %.3f in %v",
+			chosen.Label(), ametrics.Recall, ares.Elapsed.Round(time.Millisecond),
+			handC, hmetrics.Recall, hres.Elapsed.Round(time.Millisecond)))
+
+	lt.AddNote("each row runs its engine's collective matcher (sparse RInf on candidate graphs, dense/streaming RInf otherwise); T(s) is the matcher's timed run, Est T(s) the planner's end-to-end estimate for the chosen plan")
+	if cfg.PlannerExplain {
+		for _, line := range strings.Split(autoRun.Plan.Explain(), "\n") {
+			lt.AddNote("%s", line)
+		}
+	}
+	return []*Table{dt, lt}, nil
+}
+
+// knobsLabel compresses a plan's knobs for the decision table.
+func knobsLabel(k plan.Knobs) string {
+	var parts []string
+	if k.Streaming {
+		parts = append(parts, "stream")
+	}
+	if k.CandidateBudget > 0 {
+		parts = append(parts, fmt.Sprintf("C=%d", k.CandidateBudget))
+	}
+	if k.Clusters > 0 {
+		parts = append(parts, fmt.Sprintf("k=%d np=%d", k.Clusters, k.NProbe))
+	}
+	if k.Quant {
+		parts = append(parts, fmt.Sprintf("sq8 f=%d", k.RerankFactor))
+	}
+	if len(parts) == 0 {
+		return "—"
+	}
+	return strings.Join(parts, " ")
+}

@@ -87,6 +87,7 @@ func runQuant(cfg *Config, env *Env) ([]*Table, error) {
 		NsPerOp:    exactBuild.Nanoseconds(),
 		BytesPerOp: floatBytes,
 		Hits1:      1,
+		Features:   &RecordFeatures{SrcRows: n, TgtRows: n, Dim: dim, Engine: "sparse", Cand: c},
 	})
 
 	// Encode both tables to SQ8 once; every sweep point shares the codes.
@@ -111,6 +112,7 @@ func runQuant(cfg *Config, env *Env) ([]*Table, error) {
 		Name:       fmt.Sprintf("QUANT/encode/n=%d/d=%d", n, dim),
 		NsPerOp:    encode.Nanoseconds(),
 		BytesPerOp: qBytes,
+		Features:   &RecordFeatures{SrcRows: n, TgtRows: n, Dim: dim, Engine: "quant+sparse", Cand: c},
 	})
 
 	t := &Table{
@@ -156,11 +158,16 @@ func runQuant(cfg *Config, env *Env) ([]*Table, error) {
 			ident = "yes"
 		}
 		t.AddRow(label, f3(recall), secs(build.Seconds()), fmt.Sprintf("%.1f×", speedup), ident)
+		rf := factor
+		if !rerank {
+			rf = 0
+		}
 		env.Record(Record{
 			Name:       fmt.Sprintf("QUANT/graph/%s/C=%d/n=%d/d=%d", label, c, n, dim),
 			NsPerOp:    build.Nanoseconds(),
 			BytesPerOp: qBytes,
 			Hits1:      recall,
+			Features:   &RecordFeatures{SrcRows: n, TgtRows: n, Dim: dim, Engine: "quant+sparse", Cand: c, RerankFactor: rf},
 		})
 		cfg.logf("  quant %s: recall=%.3f build=%v (%.1fx float) identical=%v",
 			label, recall, build.Round(time.Millisecond), speedup, identical)

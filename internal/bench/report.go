@@ -19,6 +19,24 @@ type Record struct {
 	NsPerOp    int64   `json:"ns_per_op"`
 	BytesPerOp int64   `json:"bytes_per_op"`
 	Hits1      float64 `json:"hits1"`
+	// Features, when present, carries the planner input alongside the
+	// measurement so future cost-model calibrations (internal/plan) can be
+	// fitted from the record directly instead of re-deriving the workload
+	// shape from name tokens.
+	Features *RecordFeatures `json:"features,omitempty"`
+}
+
+// RecordFeatures is the workload/engine shape a measurement ran under — the
+// same features internal/plan's Workload and Knobs describe.
+type RecordFeatures struct {
+	SrcRows      int    `json:"src_rows"`
+	TgtRows      int    `json:"tgt_rows"`
+	Dim          int    `json:"dim"`
+	Engine       string `json:"engine"`
+	Cand         int    `json:"cand,omitempty"`
+	Clusters     int    `json:"clusters,omitempty"`
+	NProbe       int    `json:"nprobe,omitempty"`
+	RerankFactor int    `json:"rerank_factor,omitempty"`
 }
 
 // Host describes the benchmark machine, mirroring the host block of the

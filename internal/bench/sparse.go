@@ -34,6 +34,7 @@ func runSparse(cfg *Config, env *Env) ([]*Table, error) {
 		return nil, err
 	}
 	rows, cols := denseRun.Dims()
+	dim := env.dim(d, densePC)
 	cands := sparseCandSweep
 	if cfg.SparseCand > 0 {
 		cands = []int{cfg.SparseCand}
@@ -76,6 +77,7 @@ func runSparse(cfg *Config, env *Env) ([]*Table, error) {
 			NsPerOp:    denseTime.Nanoseconds(),
 			BytesPerOp: densePeak,
 			Hits1:      metrics.Recall,
+			Features:   &RecordFeatures{SrcRows: rows, TgtRows: cols, Dim: dim, Engine: "dense"},
 		})
 		cfg.logf("  sparse %s/dense: Hits@1=%.3f (%v, %s GiB peak)",
 			tw.name, metrics.Recall, denseTime.Round(time.Millisecond), gb(densePeak))
@@ -101,6 +103,7 @@ func runSparse(cfg *Config, env *Env) ([]*Table, error) {
 				NsPerOp:    sres.Elapsed.Nanoseconds(),
 				BytesPerOp: sres.ExtraBytes,
 				Hits1:      smetrics.Recall,
+				Features:   &RecordFeatures{SrcRows: rows, TgtRows: cols, Dim: dim, Engine: "sparse", Cand: c},
 			})
 			cfg.logf("  sparse %s/C=%d: Hits@1=%.3f (%v, %s GiB peak, %.1f× dense)",
 				tw.name, c, smetrics.Recall, sres.Elapsed.Round(time.Millisecond), gb(sres.ExtraBytes), speedup)

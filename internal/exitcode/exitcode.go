@@ -3,9 +3,10 @@
 //
 //	0 (OK)       — the run completed as requested.
 //	1 (Failure)  — the run failed: bad input, I/O error, matcher error.
-//	2 (Usage)    — flag parsing rejected the command line (the flag
-//	               package's own convention; listed here for completeness,
-//	               the CLIs never return it themselves).
+//	2 (Usage)    — the command line was rejected: flag parsing failed (the
+//	               flag package's own convention), or the flags parsed but
+//	               combine illegally (e.g. entmatcher -nprobe without -ann,
+//	               -rerank-factor without -quant).
 //	3 (Degraded) — the run completed and produced answers, but at least one
 //	               matcher degraded to a cheaper fallback tier under its
 //	               time budget. Scripted callers treating any non-zero exit

@@ -1,0 +1,486 @@
+// Calibration: the planner's per-unit cost coefficients and how they are
+// fitted from the checked-in BENCH_*.json measurement files.
+//
+// The fitter is deliberately schema-loose: it parses the report envelope the
+// bench writer emits ({"benchmarks": [{"name", "ns_per_op", ...}]}) and
+// recognizes record families by their slash-separated names — the same
+// convention every BENCH file in the repo uses. Records it does not
+// recognize are skipped, so new experiments never break old planners; a file
+// whose recognized records all vanish is reported as an error, so a schema
+// change that would silently un-calibrate the model fails loudly instead
+// (the CI calibration guard loads all four checked-in files).
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Calibration holds the fitted per-unit cost coefficients. All *NS fields
+// are nanoseconds per modeled unit of work on the calibrated host.
+type Calibration struct {
+	// DenseSimNS: per scanned cell·dim, dense similarity-matrix computation
+	// plus a fused selection pass (the StreamSim*/dense benchmarks).
+	DenseSimNS float64
+	// DenseMatchNS: per matrix cell, one representative collective matcher
+	// running on the materialized dense matrix (median of the Sparse/*/dense
+	// rows — RInf, Sinkhorn, Hungarian, SMat are all superlinear per cell,
+	// which is exactly why dense stops scaling).
+	DenseMatchNS float64
+	// StreamPassNS: per cell·dim, one fused streaming pass (tile production
+	// and consumption, StreamSim*/stream rows).
+	StreamPassNS float64
+	// SparseBuildNS: per cell·dim, the exhaustive one-pass top-C candidate
+	// graph build (ANN/exact/build and QUANT/float/build rows).
+	SparseBuildNS float64
+	// SparseEdgeNS: per retained candidate edge, a collective sparse matcher
+	// pass (median Sparse/*/C=* slope).
+	SparseEdgeNS float64
+	// ANNTrainNS: per corpusRow·cluster·dim, k-means quantizer training
+	// (ANN/train rows).
+	ANNTrainNS float64
+	// ANNCentroidNS: per query·cluster·dim, coarse cell ranking plus the
+	// per-query fixed costs of an IVF graph build (ANN/graph intercept).
+	ANNCentroidNS float64
+	// ANNScanNS: per probed cell·dim, the IVF inverted-list scan
+	// (ANN/graph slope in nprobe).
+	ANNScanNS float64
+	// QuantScanRatio and QuantRerankMult model the SQ8 scan relative to the
+	// float64 scan of the same geometry: time(quant)/time(float) ≈
+	// QuantScanRatio + QuantRerankMult·(pool/targets), fitted from the
+	// QUANT/graph/factor=* rows. The ratio form keeps quant-vs-float
+	// comparisons consistent even when absolute coefficients come from a
+	// different host.
+	QuantScanRatio  float64
+	QuantRerankMult float64
+	// QuantEncodeNS: per table value, SQ8 encoding (QUANT/encode rows).
+	QuantEncodeNS float64
+	// Recall maps probed-cluster fraction (nprobe/K) to candidate recall,
+	// fitted from the ANN/graph/nprobe=* sweep on the paper's structural
+	// embeddings — the conservative geometry (clustered corpora saturate
+	// far earlier; see BENCH_ann.json's clustered rows).
+	Recall RecallCurve
+	// Sources lists the BENCH files fitted into this calibration.
+	Sources []string
+}
+
+// Defaults returns the built-in coefficients — the values the checked-in
+// BENCH_streaming/sparse/ann/quant.json files fit to (2.70 GHz Xeon,
+// GOMAXPROCS=1), so planning without the files ranks engines the same way.
+func Defaults() Calibration {
+	return Calibration{
+		DenseSimNS:      1.75,
+		DenseMatchNS:    440,
+		StreamPassNS:    0.86,
+		SparseBuildNS:   0.25,
+		SparseEdgeNS:    580,
+		ANNTrainNS:      1.05,
+		ANNCentroidNS:   2.76,
+		ANNScanNS:       0.30,
+		QuantScanRatio:  0.49,
+		QuantRerankMult: 29.4,
+		QuantEncodeNS:   8.4,
+		Recall:          defaultRecallCurve(),
+	}
+}
+
+// RecallPoint is one fitted (probed fraction, candidate recall) sample.
+type RecallPoint struct {
+	Frac   float64 `json:"frac"`
+	Recall float64 `json:"recall"`
+}
+
+// RecallCurve is a piecewise-linear recall-vs-probed-fraction model,
+// monotone non-decreasing with an implicit (1, 1) endpoint (probing every
+// cell is the exhaustive scan).
+type RecallCurve struct {
+	Points []RecallPoint `json:"points"`
+}
+
+func defaultRecallCurve() RecallCurve {
+	// The BENCH_ann.json DWY100K structural sweep: nprobe {1,4,16,64,126}
+	// of K=126 clusters.
+	return RecallCurve{Points: []RecallPoint{
+		{0.0079, 0.268},
+		{0.0317, 0.423},
+		{0.1270, 0.646},
+		{0.5079, 0.923},
+		{1, 1},
+	}}
+}
+
+// Eval returns the fitted recall at probed fraction f (clamped to [0, 1]).
+func (rc RecallCurve) Eval(f float64) float64 {
+	pts := rc.Points
+	if len(pts) == 0 {
+		if f >= 1 {
+			return 1
+		}
+		return 0
+	}
+	if f <= pts[0].Frac {
+		// Below the first sample, scale down linearly from it: probing a
+		// vanishing fraction recalls a vanishing candidate set.
+		return pts[0].Recall * f / pts[0].Frac
+	}
+	for i := 1; i < len(pts); i++ {
+		if f <= pts[i].Frac {
+			a, b := pts[i-1], pts[i]
+			t := (f - a.Frac) / (b.Frac - a.Frac)
+			return a.Recall + t*(b.Recall-a.Recall)
+		}
+	}
+	return 1
+}
+
+// Invert returns the smallest probed fraction whose fitted recall meets
+// target, and whether the curve reaches it below full coverage. A target of
+// 1 (exact) always answers (1, true): probe everything.
+func (rc RecallCurve) Invert(target float64) (float64, bool) {
+	if target >= 1 {
+		return 1, true
+	}
+	pts := rc.Points
+	if len(pts) == 0 {
+		return 1, true
+	}
+	if target <= 0 {
+		return 0, true
+	}
+	if pts[0].Recall >= target {
+		return pts[0].Frac * target / pts[0].Recall, true
+	}
+	prev := pts[0]
+	for _, pt := range pts[1:] {
+		if pt.Recall >= target {
+			t := (target - prev.Recall) / (pt.Recall - prev.Recall)
+			return prev.Frac + t*(pt.Frac-prev.Frac), true
+		}
+		prev = pt
+	}
+	return 1, true // curve tops out at the implicit exact endpoint
+}
+
+// benchRecord mirrors the BENCH_*.json record schema. The planner keeps its
+// own copy of the struct rather than importing internal/bench (which imports
+// the root package, and the root package embeds the files for this planner —
+// an import cycle otherwise).
+type benchRecord struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	Hits1      float64 `json:"hits1"`
+}
+
+type benchFile struct {
+	Description string        `json:"description"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+}
+
+// FitFile folds one BENCH_*.json file into the calibration, recognizing
+// record families by name. defaultDim supplies the embedding width for
+// record families whose names omit a d= token (the streaming file's d=32
+// runs, the structural d=128 sparse/ANN sweeps). It returns an error when
+// the file parses but contributes no recognized measurement — the signature
+// of a schema change that would silently de-calibrate the planner.
+func (cal *Calibration) FitFile(name string, data []byte, defaultDim int) error {
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("plan: %s: %w", name, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("plan: %s: no benchmark records", name)
+	}
+	fitted := 0
+	fitted += cal.fitStreaming(f.Benchmarks, defaultDim)
+	fitted += cal.fitSparse(f.Benchmarks)
+	fitted += cal.fitANN(f.Benchmarks, defaultDim)
+	fitted += cal.fitQuant(f.Benchmarks)
+	if fitted == 0 {
+		return fmt.Errorf("plan: %s: no recognized cost-model records among %d benchmarks (schema change?)", name, len(f.Benchmarks))
+	}
+	cal.Sources = append(cal.Sources, name)
+	return nil
+}
+
+// nameInt extracts an integer "key=value" token from a slash-separated
+// benchmark name, returning ok=false when absent.
+func nameInt(name, key string) (int, bool) {
+	for _, seg := range strings.Split(name, "/") {
+		if v, found := strings.CutPrefix(seg, key+"="); found {
+			i, err := strconv.Atoi(v)
+			if err != nil {
+				return 0, false
+			}
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// fitStreaming fits DenseSimNS and StreamPassNS from the largest
+// StreamSimGreedy rows (the fused single-pass engine benchmark; CSLS rows
+// stream twice and are skipped).
+func (cal *Calibration) fitStreaming(recs []benchRecord, defaultDim int) int {
+	fitted := 0
+	bestN := map[string]int{}
+	bestNS := map[string]float64{}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "StreamSimGreedy/") {
+			continue
+		}
+		n, ok := nameInt(r.Name, "n")
+		if !ok || n <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		var kind string
+		switch {
+		case strings.Contains(r.Name, "/dense/"):
+			kind = "dense"
+		case strings.Contains(r.Name, "/stream/"):
+			kind = "stream"
+		default:
+			continue
+		}
+		if n > bestN[kind] {
+			bestN[kind] = n
+			d, ok := nameInt(r.Name, "d")
+			if !ok {
+				d = defaultDim
+			}
+			bestNS[kind] = r.NsPerOp / (float64(n) * float64(n) * float64(d))
+		}
+	}
+	if v := bestNS["dense"]; v > 0 {
+		cal.DenseSimNS = v
+		fitted++
+	}
+	if v := bestNS["stream"]; v > 0 {
+		cal.StreamPassNS = v
+		fitted++
+	}
+	return fitted
+}
+
+// fitSparse fits DenseMatchNS (median dense collective-matcher cost per
+// cell) and SparseEdgeNS (median per-edge slope across the C sweep) from
+// the Sparse/<matcher>/... rows.
+func (cal *Calibration) fitSparse(recs []benchRecord) int {
+	type sweep struct {
+		minC, maxC   int
+		minNS, maxNS float64
+		n            int
+	}
+	denseCosts := []float64{}
+	sweeps := map[string]*sweep{}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "Sparse/") || r.NsPerOp <= 0 {
+			continue
+		}
+		n, ok := nameInt(r.Name, "n")
+		if !ok || n <= 0 {
+			continue
+		}
+		matcher := strings.SplitN(r.Name, "/", 3)[1]
+		if strings.Contains(r.Name, "/dense/") {
+			denseCosts = append(denseCosts, r.NsPerOp/(float64(n)*float64(n)))
+			continue
+		}
+		c, ok := nameInt(r.Name, "C")
+		if !ok || c <= 0 {
+			continue
+		}
+		s := sweeps[matcher]
+		if s == nil {
+			s = &sweep{minC: c, maxC: c, minNS: r.NsPerOp, maxNS: r.NsPerOp, n: n}
+			sweeps[matcher] = s
+		}
+		if c < s.minC {
+			s.minC, s.minNS = c, r.NsPerOp
+		}
+		if c > s.maxC {
+			s.maxC, s.maxNS = c, r.NsPerOp
+		}
+	}
+	fitted := 0
+	if len(denseCosts) > 0 {
+		cal.DenseMatchNS = median(denseCosts)
+		fitted++
+	}
+	slopes := []float64{}
+	for _, s := range sweeps {
+		if s.maxC > s.minC && s.maxNS > s.minNS {
+			// Edges span both graph directions: (n+m)·ΔC with n=m here.
+			slopes = append(slopes, (s.maxNS-s.minNS)/(2*float64(s.n)*float64(s.maxC-s.minC)))
+		}
+	}
+	if len(slopes) > 0 {
+		cal.SparseEdgeNS = median(slopes)
+		fitted++
+	}
+	return fitted
+}
+
+// fitANN fits SparseBuildNS (exact build row), ANNTrainNS, the scan slope /
+// centroid intercept pair, and the recall curve from the non-clustered
+// ANN/... rows. The clustered capability-probe rows are skipped: the planner
+// calibrates on the conservative structural geometry.
+func (cal *Calibration) fitANN(recs []benchRecord, defaultDim int) int {
+	fitted := 0
+	k := 0
+	type probe struct {
+		frac float64
+		ns   float64 // ns per cell·dim: NsPerOp/(n·n·d)
+		n    int
+	}
+	var probes []probe
+	var curve []RecallPoint
+	for _, r := range recs {
+		if strings.Contains(r.Name, "/clustered/") {
+			continue
+		}
+		n, _ := nameInt(r.Name, "n")
+		d, ok := nameInt(r.Name, "d")
+		if !ok {
+			d = defaultDim
+		}
+		switch {
+		case strings.HasPrefix(r.Name, "ANN/exact/build/"):
+			if n > 0 && r.NsPerOp > 0 {
+				cal.SparseBuildNS = r.NsPerOp / (float64(n) * float64(n) * float64(d))
+				fitted++
+			}
+		case strings.HasPrefix(r.Name, "ANN/train/"):
+			kk, okk := nameInt(r.Name, "k")
+			if okk && n > 0 && r.NsPerOp > 0 {
+				k = kk
+				cal.ANNTrainNS = r.NsPerOp / (float64(n) * float64(kk) * float64(d))
+				fitted++
+			}
+		}
+	}
+	if k == 0 {
+		return fitted
+	}
+	for _, r := range recs {
+		if strings.Contains(r.Name, "/clustered/") || !strings.HasPrefix(r.Name, "ANN/graph/") {
+			continue
+		}
+		np, ok := nameInt(r.Name, "nprobe")
+		n, okn := nameInt(r.Name, "n")
+		if !ok || !okn || np <= 0 || n <= 0 {
+			continue
+		}
+		d, okd := nameInt(r.Name, "d")
+		if !okd {
+			d = defaultDim
+		}
+		frac := float64(np) / float64(k)
+		if r.NsPerOp > 0 {
+			probes = append(probes, probe{frac, r.NsPerOp / (float64(n) * float64(n) * float64(d)), n})
+		}
+		if r.Hits1 > 0 {
+			curve = append(curve, RecallPoint{frac, r.Hits1})
+		}
+	}
+	if len(probes) >= 2 {
+		sort.Slice(probes, func(i, j int) bool { return probes[i].frac < probes[j].frac })
+		lo, hi := probes[0], probes[len(probes)-1]
+		if hi.frac > lo.frac {
+			slope := (hi.ns - lo.ns) / (hi.frac - lo.frac)
+			intercept := lo.ns - slope*lo.frac
+			if slope > 0 {
+				cal.ANNScanNS = slope
+				fitted++
+			}
+			if intercept > 0 {
+				// The intercept is the per-query fixed cost. It was divided
+				// by n·m·d above but the model charges it per n·K·d, so
+				// convert by m/K (n = m on the fitted runs).
+				cal.ANNCentroidNS = intercept * float64(lo.n) / float64(k)
+				fitted++
+			}
+		}
+	}
+	if len(curve) >= 2 {
+		sort.Slice(curve, func(i, j int) bool { return curve[i].Frac < curve[j].Frac })
+		if curve[len(curve)-1].Frac < 1 {
+			curve = append(curve, RecallPoint{1, 1})
+		}
+		cal.Recall = RecallCurve{Points: curve}
+		fitted++
+	}
+	return fitted
+}
+
+// fitQuant fits QuantScanRatio, QuantRerankMult and QuantEncodeNS from the
+// QUANT/... rows: a least-squares line through time(factor)/time(float)
+// against pool/targets.
+func (cal *Calibration) fitQuant(recs []benchRecord) int {
+	var floatNS float64
+	var encodePerVal float64
+	type pt struct{ x, y float64 }
+	var pts []pt
+	for _, r := range recs {
+		switch {
+		case strings.HasPrefix(r.Name, "QUANT/float/build/"):
+			floatNS = r.NsPerOp
+		case strings.HasPrefix(r.Name, "QUANT/encode/"):
+			n, okn := nameInt(r.Name, "n")
+			d, okd := nameInt(r.Name, "d")
+			if okn && okd && n > 0 && d > 0 {
+				// The encode row covers both side tables.
+				encodePerVal = r.NsPerOp / (2 * float64(n) * float64(d))
+			}
+		}
+	}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "QUANT/graph/factor=") || floatNS <= 0 {
+			continue
+		}
+		factor, okf := nameInt(r.Name, "factor")
+		c, okc := nameInt(r.Name, "C")
+		n, okn := nameInt(r.Name, "n")
+		if !okf || !okc || !okn || n <= 0 {
+			continue
+		}
+		pts = append(pts, pt{x: float64(factor*c) / float64(n), y: r.NsPerOp / floatNS})
+	}
+	fitted := 0
+	if encodePerVal > 0 {
+		cal.QuantEncodeNS = encodePerVal
+		fitted++
+	}
+	if len(pts) >= 2 {
+		var sx, sy, sxx, sxy float64
+		for _, p := range pts {
+			sx += p.x
+			sy += p.y
+			sxx += p.x * p.x
+			sxy += p.x * p.y
+		}
+		nn := float64(len(pts))
+		den := nn*sxx - sx*sx
+		if den > 0 {
+			slope := (nn*sxy - sx*sy) / den
+			intercept := (sy - slope*sx) / nn
+			if slope > 0 && intercept > 0 {
+				cal.QuantRerankMult = slope
+				cal.QuantScanRatio = intercept
+				fitted++
+			}
+		}
+	}
+	return fitted
+}

@@ -48,9 +48,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"entmatcher"
 	"entmatcher/internal/ann"
 	"entmatcher/internal/core"
 	"entmatcher/internal/matrix"
+	"entmatcher/internal/plan"
 	"entmatcher/internal/quant"
 	"entmatcher/internal/sim"
 	"entmatcher/internal/snapshot"
@@ -132,6 +134,13 @@ type Server struct {
 	srcByName map[string]int
 	colIDs    []int // 0..cols-1, shared by the exact scans
 
+	// plan is the startup self-configuration: the cost-based planner's
+	// decision for the served workload shape, computed from the same
+	// calibration the CLIs use. Advisory except for defaultCand; nil when
+	// the calibration was unavailable.
+	plan        *plan.Plan
+	defaultCand int
+
 	cache    *lruCache
 	gate     chan struct{}
 	draining atomic.Bool
@@ -160,12 +169,21 @@ type Stats struct {
 	ServedOther    int64 `json:"served_other"`
 	InFlight       int64 `json:"in_flight"`
 	Draining       bool  `json:"draining"`
+	// Plan is the startup self-configuration plan's chosen engine in label
+	// form (e.g. "quant+sparse(C=64,f=4)"); empty when the planner
+	// calibration was unavailable at startup.
+	Plan string `json:"plan,omitempty"`
 }
 
 // Stats snapshots the counters. Safe for concurrent use; the fields are read
 // independently, so a snapshot taken under load is approximate, not torn.
 func (s *Server) Stats() Stats {
+	planLabel := ""
+	if s.plan != nil {
+		planLabel = s.plan.Chosen.Label()
+	}
 	return Stats{
+		Plan: planLabel,
 		CacheHits:      s.cacheHits.Load(),
 		CacheMisses:    s.cacheMisses.Load(),
 		CacheEntries:   s.cache.len(),
@@ -314,6 +332,29 @@ func NewFromSnapshot(snap *snapshot.Snapshot, cfg Config, opts ...Option) (*Serv
 			s.quantSrc = qsrc
 		}
 	}
+	// Self-configuration: plan the served workload with the same calibration
+	// the CLIs use. Best-effort — a calibration failure must never keep a
+	// valid snapshot from serving. The plan is advisory (logged by
+	// cmd/entserver, exposed at /statsz) except for the /align default
+	// candidate budget, which adopts the planner's choice for this shape.
+	s.defaultCand = 32
+	if cal, calErr := entmatcher.DefaultCalibration(); calErr == nil {
+		w := plan.Workload{
+			SrcRows: snap.SrcTable.Rows(),
+			TgtRows: snap.TgtTable.Rows(),
+			Dim:     snap.SrcTable.Cols(),
+		}
+		if p, perr := cal.Choose(w); perr == nil {
+			s.plan = p
+			if c := p.Chosen.Knobs.CandidateBudget; c > 0 {
+				s.defaultCand = c
+			}
+		} else {
+			log.Printf("entserver: planner: %v (serving with static defaults)", perr)
+		}
+	} else {
+		log.Printf("entserver: planner calibration: %v (serving with static defaults)", calErr)
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -332,6 +373,12 @@ func NewFromSnapshot(snap *snapshot.Snapshot, cfg Config, opts ...Option) (*Serv
 func (s *Server) Dims() (rows, cols int) {
 	return s.snap.SrcTable.Rows(), s.snap.TgtTable.Rows()
 }
+
+// Plan returns the startup self-configuration plan for the served workload,
+// or nil when the planner calibration was unavailable. Callers (cmd/entserver)
+// log it so operators can compare the snapshot's engine against what the
+// planner would pick for this shape today.
+func (s *Server) Plan() *plan.Plan { return s.plan }
 
 // StartDrain flips the server to draining: /readyz turns 503 so load
 // balancers stop routing here, while in-flight requests run to completion
@@ -626,7 +673,9 @@ func (s *Server) alignMatcher(req alignRequest) (core.Matcher, error) {
 	cand := req.Cand
 	cols := s.snap.TgtTable.Rows()
 	if cand <= 0 {
-		cand = 32
+		// The default budget is self-configured: the startup plan's chosen
+		// candidate budget for this workload shape, 32 when no plan exists.
+		cand = s.defaultCand
 	}
 	if cand > cols {
 		cand = cols

@@ -10,6 +10,7 @@ import (
 	"entmatcher/internal/core"
 	"entmatcher/internal/embed"
 	"entmatcher/internal/eval"
+	"entmatcher/internal/plan"
 	"entmatcher/internal/quant"
 	"entmatcher/internal/sim"
 	"entmatcher/internal/snapshot"
@@ -146,6 +147,21 @@ type PipelineConfig struct {
 	// Incompatible with SaveSnapshot, WithValidation (the validation
 	// matrix is not snapshotted) and externally supplied embeddings.
 	LoadSnapshot string
+	// Auto lets the cost-based planner (internal/plan) pick the engine:
+	// once the task shape is known, Prepare estimates wall time and peak
+	// bytes for every engine from the calibrated cost curves and configures
+	// the cheapest plan meeting TargetRecall within MemoryBudgetBytes. Any
+	// explicit engine knob (Streaming, CandidateBudget, ANN, Quant)
+	// overrides the planner entirely — Auto never second-guesses a pinned
+	// configuration. The chosen plan, with per-candidate estimates and
+	// rejection reasons, is returned on Run.Plan. Incompatible with
+	// LoadSnapshot (a snapshot already fixes the engine).
+	Auto bool
+	// TargetRecall relaxes the candidate-recall floor the planner must
+	// meet, in (0, 1]; 0 means exact (only plans whose candidate graphs
+	// provably cover the exhaustive top-C qualify). Requires Auto: without
+	// the planner there is nothing to trade recall against.
+	TargetRecall float64
 }
 
 // ANNConfig tunes the IVF candidate generator; zero fields mean scale-aware
@@ -254,6 +270,15 @@ func (c PipelineConfig) Validate() error {
 			return fmt.Errorf("%w: Quant.RerankFactor must be non-negative, got %d", ErrBadConfig, c.Quant.RerankFactor)
 		}
 	}
+	if c.TargetRecall < 0 || c.TargetRecall > 1 || math.IsNaN(c.TargetRecall) {
+		return fmt.Errorf("%w: TargetRecall must be in [0, 1], got %v", ErrBadConfig, c.TargetRecall)
+	}
+	if c.TargetRecall > 0 && !c.Auto {
+		return fmt.Errorf("%w: TargetRecall requires Auto (only the planner can trade candidate recall for speed)", ErrBadConfig)
+	}
+	if c.Auto && c.LoadSnapshot != "" {
+		return fmt.Errorf("%w: Auto cannot plan a snapshot-backed run (the snapshot already fixes the engine); drop Auto or prepare fresh", ErrBadConfig)
+	}
 	if c.SaveSnapshot != "" && c.LoadSnapshot != "" {
 		return fmt.Errorf("%w: SaveSnapshot and LoadSnapshot are mutually exclusive", ErrBadConfig)
 	}
@@ -296,6 +321,11 @@ type Run struct {
 	// Ctx is the context handed to matchers. Use MatchWithDummies for
 	// matchers that require equal side sizes under the unmatchable setting.
 	Ctx *MatchContext
+	// Plan is the cost-based planner's decision when the run was prepared
+	// with Auto and no explicit engine knob: the chosen candidate plus
+	// every rejected candidate with estimates and reasons. Nil when the
+	// engine was configured explicitly (the planner was bypassed).
+	Plan *plan.Plan
 }
 
 // Dims returns the score-matrix shape of the run — from the dense matrix or
@@ -324,11 +354,17 @@ func (p *Pipeline) PrepareContext(ctx context.Context, d *Dataset) (*Run, error)
 		return nil, err
 	}
 	if p.cfg.LoadSnapshot != "" {
+		// The snapshot path must honor ctx like the fresh path does: check
+		// before the (potentially large) load, and thread ctx through the
+		// reconstruction so IVF and quant rebuilds stay cancellable.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		snap, err := snapshot.Load(p.cfg.LoadSnapshot)
 		if err != nil {
 			return nil, err
 		}
-		return p.prepareFromSnapshot(d, snap)
+		return p.prepareFromSnapshot(ctx, d, snap)
 	}
 	emb, err := p.embeddings(d)
 	if err != nil {
@@ -367,13 +403,67 @@ func (p *Pipeline) PrepareWithEmbeddingsContext(ctx context.Context, d *Dataset,
 	}
 	srcSel := emb.Source.SelectRows(task.SourceIDs)
 	tgtSel := emb.Target.SelectRows(task.TargetIDs)
+
+	// Auto: once the task shape is known, let the cost-based planner pick
+	// the engine — unless an explicit engine knob already pins one, in
+	// which case the planner is bypassed wholesale (explicit always wins).
+	ep := p
+	var chosen *plan.Plan
+	if p.cfg.Auto && !p.cfg.explicitEngine() {
+		cal, err := DefaultCalibration()
+		if err != nil {
+			return nil, err
+		}
+		chosen, err = cal.Choose(p.cfg.planWorkload(srcSel.Rows(), tgtSel.Rows(), srcSel.Cols()))
+		if err != nil {
+			return nil, err
+		}
+		eff := p.cfg
+		eff.applyPlanKnobs(chosen.Chosen.Knobs)
+		ep = &Pipeline{cfg: eff}
+	}
+	run, err := ep.prepareEngines(ctx, d, emb, task, srcSel, tgtSel)
+	if err != nil {
+		return nil, err
+	}
+	run.Plan = chosen
+	return run, nil
+}
+
+// prepareEngines builds the similarity engine stack (dense matrix or
+// streaming tiles, optionally wrapped by the IVF and/or SQ8 candidate
+// producers) for an already-resolved configuration — p.cfg here is the
+// effective config: either the caller's, or the planner's chosen knobs.
+func (p *Pipeline) prepareEngines(ctx context.Context, d *Dataset, emb *Embeddings, task *Task, srcSel, tgtSel *Dense) (*Run, error) {
 	streaming := p.cfg.Streaming || p.cfg.CandidateBudget > 0
 	if !streaming && p.cfg.MemoryBudgetBytes > 0 {
+		// The pre-planner auto-switch, kept for configurations that cap
+		// memory without opting into Auto: if the dense matrix alone would
+		// blow the budget, stream instead.
 		need := int64(srcSel.Rows()) * int64(tgtSel.Rows()) * 8
 		streaming = need > p.cfg.MemoryBudgetBytes
 	}
+	if p.cfg.ANN != nil {
+		// Validate NProbe against the geometry the index will actually
+		// resolve — including the Clusters=0 auto default (≈ √corpus for
+		// each direction's index). Without this, an absurd explicit NProbe
+		// passes Validate (which cannot know the corpus sizes) and is then
+		// silently clamped deep inside internal/ann, violating the
+		// no-silently-ignored-knobs convention. Mirrors the snapshot-load
+		// check against the persisted index's cluster count.
+		kFwd, kRev := p.cfg.ANN.Clusters, p.cfg.ANN.Clusters
+		if kFwd <= 0 {
+			kFwd = ann.AutoClusters(tgtSel.Rows())
+			kRev = ann.AutoClusters(srcSel.Rows())
+		}
+		if k := min(kFwd, kRev); p.cfg.ANN.NProbe > k {
+			return nil, fmt.Errorf("%w: ANN.NProbe %d exceeds the %d clusters the auto geometry resolves to for %d×%d tables (set Clusters explicitly, or lower NProbe)",
+				ErrBadConfig, p.cfg.ANN.NProbe, k, srcSel.Rows(), tgtSel.Rows())
+		}
+	}
 	var s *Dense
 	var stream *SimilarityStream
+	var err error
 	if streaming {
 		stream, err = sim.NewStream(srcSel, tgtSel, p.cfg.Metric)
 	} else {
@@ -553,7 +643,7 @@ func (p *Pipeline) saveSnapshot(ctx context.Context, d *Dataset, task *Task, str
 // the caller asked for something this snapshot does not hold, and silently
 // rebuilding would hide exactly the staleness a production loader must
 // surface.
-func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Run, error) {
+func (p *Pipeline) prepareFromSnapshot(ctx context.Context, d *Dataset, snap *snapshot.Snapshot) (*Run, error) {
 	if got, want := snap.Meta.Metric, uint32(p.cfg.Metric); got != want {
 		return nil, fmt.Errorf("%w: snapshot was prepared for metric %v, run requests %v",
 			ErrSnapshotMismatch, sim.Metric(got), p.cfg.Metric)
@@ -586,6 +676,9 @@ func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Ru
 				ErrSnapshotMismatch, i, snap.TgtVocab[i], name)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	stream, err := sim.NewStreamPrepared(snap.SrcTable, snap.TgtTable, p.cfg.Metric)
 	if err != nil {
 		return nil, err
@@ -599,6 +692,11 @@ func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Ru
 	if p.cfg.Quant != nil {
 		if snap.SrcQuant == nil {
 			return nil, fmt.Errorf("%w: run requests quantized scans but the snapshot holds no SQ8 tables (re-save with Quant configured)", ErrSnapshotMismatch)
+		}
+		// Quant table rebuilds re-validate every code slab; stay cancellable
+		// between them.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		if srcQ, err = quant.FromData(snap.SrcQuant); err != nil {
 			return nil, err
@@ -627,6 +725,11 @@ func (p *Pipeline) prepareFromSnapshot(d *Dataset, snap *snapshot.Snapshot) (*Ru
 		if p.cfg.ANN.NProbe > snap.FwdIndex.K {
 			return nil, fmt.Errorf("%w: NProbe %d exceeds the snapshot index's %d clusters",
 				ErrSnapshotMismatch, p.cfg.ANN.NProbe, snap.FwdIndex.K)
+		}
+		// IVF reconstruction re-validates every slab invariant (O(n) per
+		// index); honor cancellation between the heavy steps.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		fwd, err := ann.FromData(snap.FwdIndex)
 		if err != nil {

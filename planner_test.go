@@ -1,0 +1,212 @@
+package entmatcher
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"entmatcher/internal/plan"
+)
+
+// TestDefaultCalibrationLoadsAllBenchFiles is the CI calibration guard: every
+// checked-in BENCH_*.json must parse and contribute to the fitted cost model.
+// If a benchmark rewrite changes the record naming scheme, this fails before
+// the planner silently falls back to built-in coefficients.
+func TestDefaultCalibrationLoadsAllBenchFiles(t *testing.T) {
+	cal, err := DefaultCalibration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Sources) != 4 {
+		t.Fatalf("calibration fitted from %d files %v, want all 4 BENCH files", len(cal.Sources), cal.Sources)
+	}
+	for _, want := range []string{"BENCH_streaming.json", "BENCH_sparse.json", "BENCH_ann.json", "BENCH_quant.json"} {
+		found := false
+		for _, s := range cal.Sources {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s did not contribute to the calibration (sources %v)", want, cal.Sources)
+		}
+	}
+	for name, v := range map[string]float64{
+		"DenseSimNS":    cal.DenseSimNS,
+		"DenseMatchNS":  cal.DenseMatchNS,
+		"StreamPassNS":  cal.StreamPassNS,
+		"SparseBuildNS": cal.SparseBuildNS,
+		"SparseEdgeNS":  cal.SparseEdgeNS,
+		"ANNTrainNS":    cal.ANNTrainNS,
+		"ANNScanNS":     cal.ANNScanNS,
+		"QuantScanRatio": cal.QuantScanRatio,
+		"QuantEncodeNS":  cal.QuantEncodeNS,
+	} {
+		if !(v > 0) {
+			t.Errorf("fitted coefficient %s = %v, want > 0", name, v)
+		}
+	}
+	if len(cal.Recall.Points) < 3 {
+		t.Errorf("fitted recall curve has %d points, want the nprobe sweep", len(cal.Recall.Points))
+	}
+}
+
+// TestAutoPlannerMatchesHandConfig pins the planner's reproducibility
+// contract: a run prepared under Auto must be bit-identical to a run whose
+// configuration spells out the chosen plan's knobs by hand. The planner may
+// only ever pick configurations a user could have written.
+func TestAutoPlannerMatchesHandConfig(t *testing.T) {
+	d := smallDataset(t)
+	auto, err := NewPipeline(PipelineConfig{Model: ModelRREA, Auto: true}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Plan == nil {
+		t.Fatal("Auto run carries no plan")
+	}
+	if auto.Plan.Chosen.Engine == "" || auto.Plan.Chosen.EstWallNS <= 0 {
+		t.Fatalf("chosen plan is degenerate: %+v", auto.Plan.Chosen)
+	}
+	knobs := auto.Plan.Chosen.Knobs
+
+	hand := PipelineConfig{Model: ModelRREA}
+	hand.applyPlanKnobs(knobs)
+	byHand, err := NewPipeline(hand).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byHand.Plan != nil {
+		t.Fatal("explicitly configured run carries a plan; planner should be bypassed")
+	}
+
+	var m Matcher = NewDInf()
+	if knobs.CandidateBudget > 0 {
+		m = NewRInfSparse(knobs.CandidateBudget)
+	}
+	resAuto, mAuto, err := auto.Match(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resHand, mHand, err := byHand.Match(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resAuto.Pairs) != len(resHand.Pairs) || mAuto.F1 != mHand.F1 {
+		t.Fatalf("auto run diverges from hand config: %d/%v vs %d/%v",
+			len(resAuto.Pairs), mAuto.F1, len(resHand.Pairs), mHand.F1)
+	}
+	for i := range resAuto.Pairs {
+		if resAuto.Pairs[i] != resHand.Pairs[i] {
+			t.Fatalf("pair %d differs: auto %v, hand %v", i, resAuto.Pairs[i], resHand.Pairs[i])
+		}
+	}
+}
+
+// TestAutoExplicitKnobsOverride: Auto with an explicit engine knob bypasses
+// the planner wholesale — the user's configuration runs untouched.
+func TestAutoExplicitKnobsOverride(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA, Auto: true, Streaming: true}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Plan != nil {
+		t.Fatal("explicit Streaming under Auto still consulted the planner")
+	}
+	if run.Stream == nil || run.S != nil {
+		t.Fatal("explicit Streaming knob was not honored")
+	}
+}
+
+func TestAutoConfigValidation(t *testing.T) {
+	d := smallDataset(t)
+	if _, err := NewPipeline(PipelineConfig{TargetRecall: 0.9}).Prepare(d); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("TargetRecall without Auto: %v, want ErrBadConfig", err)
+	}
+	if _, err := NewPipeline(PipelineConfig{Auto: true, TargetRecall: 1.5}).Prepare(d); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("TargetRecall out of range: %v, want ErrBadConfig", err)
+	}
+	if _, err := NewPipeline(PipelineConfig{Auto: true, LoadSnapshot: "x.snap"}).Prepare(d); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("Auto with LoadSnapshot: %v, want ErrBadConfig", err)
+	}
+}
+
+// TestPrepareContextCancelledBeforeSnapshotLoad is the regression test for
+// the dropped-context bug: PrepareContext on the snapshot path used to ignore
+// ctx entirely, so a cancelled context still loaded and prepared the run.
+func TestPrepareContextCancelledBeforeSnapshotLoad(t *testing.T) {
+	d := smallDataset(t)
+	path := filepath.Join(t.TempDir(), "prep.snap")
+	saveCfg := PipelineConfig{Model: ModelRREA, CandidateBudget: 16, SaveSnapshot: path}
+	if _, err := NewPipeline(saveCfg).Prepare(d); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	loadCfg := PipelineConfig{Model: ModelRREA, CandidateBudget: 16, LoadSnapshot: path}
+	run, err := NewPipeline(loadCfg).PrepareContext(ctx, d)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled snapshot prepare: run=%v err=%v, want context.Canceled", run != nil, err)
+	}
+
+	// Sanity: the same config with a live context still loads.
+	if _, err := NewPipeline(loadCfg).PrepareContext(context.Background(), d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAutoClustersNProbeRejected is the regression test for the silent-clamp
+// bug: Clusters = 0 resolves to ≈√rows clusters at build time, and an NProbe
+// far above that used to pass Validate (which only checks NProbe against an
+// explicit Clusters) and be silently clamped inside internal/ann. Prepare
+// must reject it with a typed error instead.
+func TestAutoClustersNProbeRejected(t *testing.T) {
+	d := smallDataset(t)
+	cfg := PipelineConfig{Model: ModelRREA, CandidateBudget: 8, ANN: &ANNConfig{Clusters: 0, NProbe: 10000}}
+	_, err := NewPipeline(cfg).Prepare(d)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("auto-clusters NProbe overflow: %v, want ErrBadConfig", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "auto geometry") {
+		t.Fatalf("error does not name the auto geometry: %v", err)
+	}
+
+	// An NProbe within the auto geometry still prepares.
+	ok := PipelineConfig{Model: ModelRREA, CandidateBudget: 8, ANN: &ANNConfig{Clusters: 0, NProbe: 2}}
+	if _, err := NewPipeline(ok).Prepare(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunPlanShape: the plan attached to an Auto run is self-describing —
+// rejected candidates carry reasons and the explanation renders.
+func TestRunPlanShape(t *testing.T) {
+	d := smallDataset(t)
+	run, err := NewPipeline(PipelineConfig{Model: ModelRREA, Auto: true}).Prepare(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := run.Plan
+	if len(p.Rejected) == 0 {
+		t.Fatal("plan lists no rejected candidates")
+	}
+	for _, c := range p.Rejected {
+		if c.Reason == "" {
+			t.Errorf("rejected %s has no reason", c.Label())
+		}
+	}
+	text := p.Explain()
+	if !strings.Contains(text, "chosen") || !strings.Contains(text, string(p.Chosen.Engine)) {
+		t.Fatalf("Explain() does not describe the chosen plan:\n%s", text)
+	}
+	if p.Workload.SrcRows != d.Split.Test.Len() {
+		t.Fatalf("plan workload rows %d, want test split %d", p.Workload.SrcRows, d.Split.Test.Len())
+	}
+	var _ = plan.EngineDense // keep the import honest: Engine values compare
+	if p.Chosen.Engine != plan.EngineDense && p.Chosen.Knobs.CandidateBudget == 0 && !p.Chosen.Knobs.Streaming {
+		t.Fatalf("non-dense plan %s carries no engine knobs: %+v", p.Chosen.Engine, p.Chosen.Knobs)
+	}
+}
