@@ -79,6 +79,8 @@ func run() error {
 	flag.BoolVar(&cfg.QuantANN, "quant", cfg.QuantANN, "run the 'ann' experiment's sweep on SQ8 quantized slab scans (exact float64 re-rank on; the full-coverage row stays bit-identical and is verified live)")
 	flag.IntVar(&cfg.QuantFactor, "rerank-factor", cfg.QuantFactor, "restrict the 'quant' experiment to a single rerank factor (0 = sweep 1/2/4/8); with -quant, also sets the ann sweep's factor")
 	flag.Float64Var(&cfg.PlannerTargetRecall, "target-recall", cfg.PlannerTargetRecall, "candidate-recall floor for the 'planner' experiment: 0 keeps the planner on exact-coverage plans, lower values allow approximate IVF plans")
+	flag.IntVar(&cfg.Shards, "shards", cfg.Shards, "restrict the 'shard' experiment to a single shard count (0 = sweep 1/4/16)")
+	flag.BoolVar(&cfg.OutOfCore, "out-of-core", cfg.OutOfCore, "serve the 'shard' experiment's sharded rows from a temporary snapshot file (mmap where available, chunked reads elsewhere) instead of resident embedding slabs")
 	flag.Parse()
 	cfg.PlannerExplain = *explain
 	if *auto && *expList == "" {

@@ -21,6 +21,8 @@
 //	entmatcher -data ./data/100k -auto                 # planner picks the engine
 //	entmatcher -data ./data/100k -auto -explain        # ... and shows its work
 //	entmatcher -data ./data/100k -auto -target-recall 0.8  # allow approximate plans
+//	entmatcher -data ./data/1m -cand 8 -shards 64      # co-clustered sharded matching
+//	entmatcher -data ./data/1m -cand 8 -shards 64 -load-snapshot p.snap -out-of-core
 //
 // With -stream (or when -mem-budget forces it) the score matrix is computed
 // in cache-sized tiles and never materialized; the streaming-capable
@@ -43,6 +45,17 @@
 // the float64 tables, then re-scores an over-fetched pool exactly so the
 // emitted graphs stay bit-identical at the default -rerank-factor 4.
 // -rerank-factor 0 disables the exact re-rank (quantized-only scores).
+//
+// With -shards S (requires -cand) both corpora are partitioned by an IVF
+// coarse quantizer into S co-clustered shards; candidate graphs are built per
+// shard on a bounded worker pool and reconciled into one global graph the
+// sparse matchers run on. -shards 1 is bit-identical to the exact build;
+// larger S divides scan work and per-shard memory at bounded recall cost.
+//
+// With -out-of-core (requires -load-snapshot) the embedding tables are served
+// from the snapshot file itself — mmapped where supported, chunked ReadAt
+// otherwise — so table-sized heap allocations never happen; combined with
+// -shards this is the 1M×1M-under-4GiB configuration.
 //
 // With -auto the cost-based planner (internal/plan, calibrated from the
 // checked-in BENCH_*.json measurements) picks the cheapest engine that fits
@@ -116,6 +129,8 @@ func run() error {
 		rerankF  = flag.Int("rerank-factor", 4, "quantized-scan pool over-fetch multiplier: re-rank the quantized top factor×C exactly (requires -quant; 0 = no exact re-rank, serve the quantized approximations)")
 		saveSnap = flag.String("save-snapshot", "", "after preparation, persist the prepared tables (and the IVF indexes under -ann, the SQ8 tables under -quant) to this path as a crash-safe snapshot (requires -stream or -cand; written atomically: temp file, fsync, rename)")
 		loadSnap = flag.String("load-snapshot", "", "prepare from a previously saved snapshot instead of re-encoding embeddings (requires -stream or -cand; the snapshot must match -features, -setting and -ann, otherwise the run fails with a mismatch error rather than silently rebuilding)")
+		shards   = flag.Int("shards", 0, "partition both corpora into this many co-clustered shards and build the candidate graphs per shard on a bounded worker pool, reconciling into one global graph (requires -cand; 1 = bit-identical degenerate build; 0 = unsharded)")
+		ooc      = flag.Bool("out-of-core", false, "serve the embedding tables from the snapshot file itself — mmapped where supported, chunked ReadAt otherwise — instead of materializing them on the heap (requires -load-snapshot)")
 		auto     = flag.Bool("auto", false, "let the cost-based planner pick the engine — dense, streaming, sparse candidates, IVF, SQ8 — from the task shape and -mem-budget; explicit engine flags (-stream, -cand, -ann, -quant) always override the planner")
 		recall   = flag.Float64("target-recall", 0, "minimum estimated candidate recall the planner must meet before it may choose an approximate (IVF) plan (requires -auto; 0 = exact-coverage plans only)")
 		explain  = flag.Bool("explain", false, "print the planner's full decision: every candidate plan with estimated wall time, peak memory, and the reason it was rejected (requires -auto)")
@@ -139,6 +154,9 @@ func run() error {
 	}
 	if *explain && !*auto {
 		return usageError("-explain requires -auto (there is no plan to explain on an explicitly configured run)")
+	}
+	if *ooc && *loadSnap == "" {
+		return usageError("-out-of-core requires -load-snapshot (only snapshot slabs can back an out-of-core run)")
 	}
 	if *dataDir == "" {
 		return fmt.Errorf("-data is required")
@@ -221,8 +239,30 @@ func run() error {
 	if *loadSnap != "" && (*embSrc != "" || *embTgt != "") {
 		return fmt.Errorf("-load-snapshot is incompatible with -emb-src/-emb-tgt (the snapshot already holds the prepared tables)")
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative")
+	}
+	if *shards > 0 && *cand == 0 {
+		return fmt.Errorf("-shards requires -cand (only candidate-graph construction is sharded)")
+	}
+	cfg.Shards = *shards
+	cfg.OutOfCore = *ooc
 	cfg.SaveSnapshot = *saveSnap
 	cfg.LoadSnapshot = *loadSnap
+	if *loadSnap != "" && *auto {
+		// A snapshot pins the engine shape — the planner has nothing left to
+		// decide. Flags that would make it decide anyway contradict the
+		// snapshot and are command-line errors; plain -auto is reported as a
+		// bypass instead of failing the run.
+		if *explain {
+			return usageError("-explain contradicts -load-snapshot: the snapshot pins the engine shape, so there is no plan to explain")
+		}
+		if *recall != 0 {
+			return usageError("-target-recall contradicts -load-snapshot: the snapshot pins the engine shape, so the planner cannot trade recall for speed")
+		}
+		fmt.Println("planner: bypassed (snapshot pins the engine shape)")
+		*auto = false
+	}
 	cfg.Auto = *auto
 	cfg.TargetRecall = *recall
 	// The validation matrix is not snapshotted; a snapshot-served run skips
@@ -250,6 +290,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
+	}
+	defer run.Close()
+	if run.OutOfCoreMode != "" {
+		fmt.Printf("out-of-core: tables served from %s via %s\n", *loadSnap, run.OutOfCoreMode)
 	}
 	if *auto {
 		if run.Plan == nil {

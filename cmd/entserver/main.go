@@ -1,8 +1,10 @@
 // Command entserver serves entity-alignment queries over HTTP from one
 // crash-safe snapshot (see internal/snapshot and `entmatcher
-// -save-snapshot`). The snapshot is loaded and verified once at startup;
-// requests are then served entirely from the prepared tables and the
-// persisted IVF index — no embedding model, no dataset directory.
+// -save-snapshot`). The snapshot is verified once at startup and the
+// embedding tables are memory-mapped from the file by default (-mmap=false
+// forces a full load), so a snapshot larger than RAM still serves; requests
+// are then answered entirely from the prepared tables and the persisted IVF
+// index — no embedding model, no dataset directory.
 //
 // Usage:
 //
@@ -60,22 +62,29 @@ func run() error {
 		maxK      = flag.Int("max-k", 128, "largest k a /match/topk request may ask for")
 		nprobe    = flag.Int("nprobe", 0, "IVF cells probed per /match/topk query (0 = the snapshot's recorded value)")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests before giving up")
+		useMmap   = flag.Bool("mmap", true, "serve the embedding tables from a memory mapping of the snapshot file (tables larger than RAM page in on demand); falls back to a full load when the platform cannot mmap")
 	)
 	flag.Parse()
 	if *snapPath == "" {
 		return fmt.Errorf("-snapshot is required")
 	}
 
-	srv, err := server.New(*snapPath, server.Config{
+	scfg := server.Config{
 		MaxInFlight:    *maxFlight,
 		RequestTimeout: *timeout,
 		CacheSize:      *cacheSize,
 		MaxK:           *maxK,
 		NProbe:         *nprobe,
-	})
+	}
+	newServer := server.New
+	if *useMmap {
+		newServer = server.NewMapped
+	}
+	srv, err := newServer(*snapPath, scfg)
 	if err != nil {
 		return err
 	}
+	defer srv.Close()
 	rows, cols := srv.Dims()
 	// Startup self-configuration: what the cost-based planner picks for the
 	// served shape, for operators to compare against the snapshot's engine.
@@ -96,8 +105,13 @@ func run() error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
-	// Printed after Listen succeeded, so scripts can poll for this line.
-	fmt.Printf("entserver: serving %d×%d task on %s\n", rows, cols, ln.Addr())
+	// Printed after Listen succeeded, so scripts can poll for this line;
+	// the address stays the final token after " on " for parsers.
+	tables := "resident tables"
+	if srv.Mapped() {
+		tables = "mmapped tables"
+	}
+	fmt.Printf("entserver: serving %d×%d task (%s) on %s\n", rows, cols, tables, ln.Addr())
 
 	select {
 	case err := <-errc:

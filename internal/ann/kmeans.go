@@ -144,6 +144,87 @@ func trainCentroids(ctx context.Context, data *matrix.Dense, k, sampleSize, iter
 	return cent, nil
 }
 
+// TrainCentroids exposes the IVF coarse-quantizer training — k-means++
+// seeding plus Lloyd refinement with bit-deterministic reductions — for
+// callers outside the index. The shard partitioner (internal/shard) trains
+// its co-clustering quantizer through this entry point so shard assignment
+// and IVF cell assignment share one code path and one determinism contract.
+// Arguments are clamped here: k to [1, n], sampleSize to [k, n], iters to
+// at least 1.
+func TrainCentroids(ctx context.Context, data *matrix.Dense, k, sampleSize, iters int, seed int64) (*matrix.Dense, error) {
+	n := data.Rows()
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if sampleSize < k {
+		sampleSize = k
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	return trainCentroids(ctx, data, k, sampleSize, iters, rand.New(rand.NewSource(seed)))
+}
+
+// CentroidNormsHalf precomputes ‖c‖²/2 per centroid — the constant NearestCell
+// folds into its fused-dot comparison.
+func CentroidNormsHalf(cent *matrix.Dense) []float64 {
+	out := make([]float64, cent.Rows())
+	for c := range out {
+		row := cent.Row(c)
+		out[c] = 0.5 * matrix.Dot4(row, row)
+	}
+	return out
+}
+
+// NearestCell returns the centroid nearest to x (smallest ‖x−c‖², ties to the
+// smallest cell id), given the CentroidNormsHalf precomputation.
+func NearestCell(x []float64, cent *matrix.Dense, cnormHalf []float64) int {
+	return nearestCell(x, cent, cnormHalf)
+}
+
+// NearestCells writes the ids of the p nearest centroids to x into dst (which
+// must hold p entries), ordered by ascending distance with ties to the
+// smallest cell id, and returns dst. It is the multi-probe generalization of
+// NearestCell used for shard replication: a source row near a cell boundary
+// is matched in its p nearest shards.
+func NearestCells(x []float64, cent *matrix.Dense, cnormHalf []float64, dst []int) []int {
+	p := len(dst)
+	k := cent.Rows()
+	if p > k {
+		p = k
+		dst = dst[:p]
+	}
+	// Scores are ⟨x,c⟩ − ‖c‖²/2 (maximize); selection sorts the tiny p-set.
+	scores := make([]float64, p)
+	count := 0
+	for c := 0; c < k; c++ {
+		sc := matrix.Dot4(x, cent.Row(c)) - cnormHalf[c]
+		// Insert into the descending-score prefix; strict > keeps the
+		// first-seen (smallest-id) cell ahead on ties.
+		pos := count
+		for pos > 0 && sc > scores[pos-1] {
+			pos--
+		}
+		if pos >= p {
+			continue
+		}
+		if count < p {
+			count++
+		}
+		copy(scores[pos+1:count], scores[pos:count-1])
+		copy(dst[pos+1:count], dst[pos:count-1])
+		scores[pos] = sc
+		dst[pos] = c
+	}
+	return dst[:count]
+}
+
 // sqDist returns ‖x−c‖² via the norm identity, clamped at zero (the identity
 // can go a few ulps negative when x == c).
 func sqDist(xnorm float64, x, c []float64, cnormHalf float64) float64 {

@@ -54,8 +54,16 @@ type Config struct {
 	StreamLarge bool
 	// SparseCand, when positive, restricts the 'sparse' experiment to a
 	// single candidate budget C instead of its default {16, 32, 64, 128}
-	// sweep.
+	// sweep, and sets the budget of the 'shard' experiment (0 = 16).
 	SparseCand int
+	// Shards, when positive, restricts the 'shard' experiment to a single
+	// shard count instead of its default {1, 4, 16} sweep.
+	Shards int
+	// OutOfCore makes the 'shard' experiment's sharded rows serve their
+	// embedding tables out-of-core from a temporary snapshot file (mmap
+	// where the platform supports it, chunked reads elsewhere) instead of
+	// resident slabs — the configuration the 1M×1M scaling run uses.
+	OutOfCore bool
 	// ANNClusters, when positive, pins the IVF cluster count of the 'ann'
 	// experiment (0 = auto, ≈ √targets).
 	ANNClusters int
@@ -193,8 +201,9 @@ func runKey(d *entmatcher.Dataset, pc entmatcher.PipelineConfig) string {
 	}
 	// Auto/TargetRecall are part of the identity too: an Auto-planned run
 	// may resolve to any engine, so it must never share a cache slot with an
-	// explicitly configured (all-zero-knob, dense) preparation.
-	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d|%s|%v|%g", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget, annK, pc.Auto, pc.TargetRecall)
+	// explicitly configured (all-zero-knob, dense) preparation. Shards
+	// likewise changes the candidate producer.
+	return fmt.Sprintf("%p|%v|%v|%v|%v|%v|%d|%s|%v|%g|%d", d, pc.Model, pc.Features, pc.Setting, pc.WithValidation, pc.Streaming, pc.CandidateBudget, annK, pc.Auto, pc.TargetRecall, pc.Shards)
 }
 
 // embKey identifies a cached embedding table, again per dataset instance.
@@ -281,6 +290,7 @@ func Experiments() []Experiment {
 		{ID: "ann", Title: "IVF approximate candidate generation: nprobe → recall, Hits@1, build time vs exact", Run: runANN},
 		{ID: "quant", Title: "SQ8 quantized candidate scans: rerank factor → recall, build time, table bytes vs float64", Run: runQuant},
 		{ID: "planner", Title: "Cost-based engine planner: decisions across scales, and planner vs hand-tuned live", Run: runPlanner},
+		{ID: "shard", Title: "IVF-sharded matching: shard count → Hits@1, time, peak memory vs unsharded sparse", Run: runShard},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

@@ -93,7 +93,7 @@ func runPlanner(cfg *Config, env *Env) ([]*Table, error) {
 		ID: "planner-live",
 		Title: fmt.Sprintf("Planner vs hand-tuned on %s (RREA, %d×%d): chosen %s",
 			prof.Name, rows, cols, chosen.Label()),
-		Columns: []string{"Hits@1", "T(s)", "Est T(s)", "Extra GiB"},
+		Columns: []string{"Hits@1", "T(s)", "Est T(s)", "Drift", "Extra GiB"},
 	}
 
 	var autoM entmatcher.Matcher
@@ -112,17 +112,20 @@ func runPlanner(cfg *Config, env *Env) ([]*Table, error) {
 	}
 	lt.AddRow("planner/"+string(chosen.Engine),
 		f3(ametrics.Recall), secs(ares.Elapsed.Seconds()),
-		secs(chosen.EstWall().Seconds()), gb(ares.ExtraBytes))
+		secs(chosen.EstWall().Seconds()),
+		driftLabel(ares.Elapsed.Nanoseconds(), chosen.EstWallNS),
+		gb(ares.ExtraBytes))
 	env.Record(Record{
 		Name:       fmt.Sprintf("Planner/auto/%s/n=%d", chosen.Engine, rows),
 		NsPerOp:    ares.Elapsed.Nanoseconds(),
 		BytesPerOp: ares.ExtraBytes,
 		Hits1:      ametrics.Recall,
+		EstNS:      chosen.EstWallNS,
 		Features: &RecordFeatures{
 			SrcRows: rows, TgtRows: cols, Dim: autoRun.Plan.Workload.Dim,
 			Engine: string(chosen.Engine), Cand: chosen.Knobs.CandidateBudget,
 			Clusters: chosen.Knobs.Clusters, NProbe: chosen.Knobs.NProbe,
-			RerankFactor: chosen.Knobs.RerankFactor,
+			RerankFactor: chosen.Knobs.RerankFactor, Shards: chosen.Knobs.Shards,
 		},
 	})
 
@@ -143,7 +146,7 @@ func runPlanner(cfg *Config, env *Env) ([]*Table, error) {
 		return nil, fmt.Errorf("planner: hand-tuned run: %w", err)
 	}
 	lt.AddRow(fmt.Sprintf("hand/sparse C=%d", handC),
-		f3(hmetrics.Recall), secs(hres.Elapsed.Seconds()), "—", gb(hres.ExtraBytes))
+		f3(hmetrics.Recall), secs(hres.Elapsed.Seconds()), "—", "—", gb(hres.ExtraBytes))
 	env.Record(Record{
 		Name:       fmt.Sprintf("Planner/hand/sparse/C=%d/n=%d", handC, rows),
 		NsPerOp:    hres.Elapsed.Nanoseconds(),
@@ -160,6 +163,7 @@ func runPlanner(cfg *Config, env *Env) ([]*Table, error) {
 			handC, hmetrics.Recall, hres.Elapsed.Round(time.Millisecond)))
 
 	lt.AddNote("each row runs its engine's collective matcher (sparse RInf on candidate graphs, dense/streaming RInf otherwise); T(s) is the matcher's timed run, Est T(s) the planner's end-to-end estimate for the chosen plan")
+	lt.AddNote("Drift is (measured − estimated) / estimated wall time: positive means the planner was optimistic; the estimate also travels on the JSON record (est_ns) so recalibration can target the worst rows")
 	if cfg.PlannerExplain {
 		for _, line := range strings.Split(autoRun.Plan.Explain(), "\n") {
 			lt.AddNote("%s", line)
@@ -183,8 +187,20 @@ func knobsLabel(k plan.Knobs) string {
 	if k.Quant {
 		parts = append(parts, fmt.Sprintf("sq8 f=%d", k.RerankFactor))
 	}
+	if k.Shards > 0 {
+		parts = append(parts, fmt.Sprintf("S=%d", k.Shards))
+	}
 	if len(parts) == 0 {
 		return "—"
 	}
 	return strings.Join(parts, " ")
+}
+
+// driftLabel renders estimate-vs-actual wall-time drift as a signed
+// percentage of the estimate.
+func driftLabel(measuredNS, estNS int64) string {
+	if estNS <= 0 {
+		return "—"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*float64(measuredNS-estNS)/float64(estNS))
 }

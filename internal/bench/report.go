@@ -19,6 +19,11 @@ type Record struct {
 	NsPerOp    int64   `json:"ns_per_op"`
 	BytesPerOp int64   `json:"bytes_per_op"`
 	Hits1      float64 `json:"hits1"`
+	// EstNS, when present, is the planner's wall-time estimate for the run
+	// recorded beside the measurement, so estimate-vs-actual drift can be
+	// audited from the record alone (and recalibration targets picked from
+	// the records with the worst drift).
+	EstNS int64 `json:"est_ns,omitempty"`
 	// Features, when present, carries the planner input alongside the
 	// measurement so future cost-model calibrations (internal/plan) can be
 	// fitted from the record directly instead of re-deriving the workload
@@ -37,6 +42,7 @@ type RecordFeatures struct {
 	Clusters     int    `json:"clusters,omitempty"`
 	NProbe       int    `json:"nprobe,omitempty"`
 	RerankFactor int    `json:"rerank_factor,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
 }
 
 // Host describes the benchmark machine, mirroring the host block of the
@@ -86,15 +92,22 @@ func (e *Env) Report(description, date string) *Report {
 	}
 	return &Report{
 		Description: description,
-		Host: Host{
-			GOOS:       runtime.GOOS,
-			GOARCH:     runtime.GOARCH,
-			CPU:        hostCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-		},
-		Date:       date,
-		Benchmarks: append([]Record(nil), e.records...),
-		Summary:    e.summary,
+		Host:        HostInfo(),
+		Date:        date,
+		Benchmarks:  append([]Record(nil), e.records...),
+		Summary:     e.summary,
+	}
+}
+
+// HostInfo describes the current machine in the Report's host schema. It is
+// exported for report producers outside benchtab — the ENTMATCHER_LARGE
+// gated benchmarks emit their records through the same envelope.
+func HostInfo() Host {
+	return Host{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        hostCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 }
 

@@ -1,0 +1,214 @@
+package conformance
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"entmatcher"
+	"entmatcher/internal/matrix"
+)
+
+// The sharding contract mirrors the sparse and ANN pins: Shards=1 is an
+// implementation detail (bit-identical to the unsharded sparse engine,
+// in-RAM and out-of-core alike), while Shards>1 trades bounded coverage for
+// bounded memory — its Hits@1 delta against the unsharded engine must stay
+// small, and every edge it does emit carries the exact exhaustive score.
+
+// prepareOutOfCore saves the configuration's snapshot and reopens it
+// out-of-core (mmap where the build supports it, chunked reads elsewhere).
+// The run's reader is closed with the test.
+func prepareOutOfCore(t *testing.T, d *entmatcher.Dataset, cfg entmatcher.PipelineConfig) *entmatcher.Run {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prep.snap")
+	saveCfg := cfg
+	saveCfg.SaveSnapshot = path
+	if _, err := entmatcher.NewPipeline(saveCfg).Prepare(d); err != nil {
+		t.Fatalf("prepare with save: %v", err)
+	}
+	loadCfg := cfg
+	loadCfg.LoadSnapshot = path
+	loadCfg.OutOfCore = true
+	run, err := entmatcher.NewPipeline(loadCfg).Prepare(d)
+	if err != nil {
+		t.Fatalf("prepare out-of-core: %v", err)
+	}
+	if run.OutOfCoreMode != "mmap" && run.OutOfCoreMode != "readat" {
+		t.Fatalf("OutOfCoreMode = %q, want mmap or readat", run.OutOfCoreMode)
+	}
+	t.Cleanup(func() {
+		if err := run.Close(); err != nil {
+			t.Errorf("closing out-of-core run: %v", err)
+		}
+	})
+	return run
+}
+
+func candGraphsIdentical(t *testing.T, label string, want, got *matrix.CandGraph) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() || want.NNZ() != got.NNZ() {
+		t.Fatalf("%s: graph shapes differ: want %d×%d/%d, got %d×%d/%d", label,
+			want.Rows(), want.Cols(), want.NNZ(), got.Rows(), got.Cols(), got.NNZ())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		wc, wv := want.Row(i)
+		gc, gv := got.Row(i)
+		if len(wc) != len(gc) {
+			t.Fatalf("%s: row %d: want %d candidates, got %d", label, i, len(wc), len(gc))
+		}
+		for j := range wc {
+			if wc[j] != gc[j] || wv[j] != gv[j] {
+				t.Fatalf("%s: row %d slot %d: want (%d, %v), got (%d, %v)",
+					label, i, j, wc[j], wv[j], gc[j], gv[j])
+			}
+		}
+	}
+}
+
+func producerGraph(t *testing.T, run *entmatcher.Run, c int) *matrix.CandGraph {
+	t.Helper()
+	// The same dispatch the sparse matchers use: the sharded source's
+	// producer hooks when present, the exhaustive streaming builder
+	// otherwise.
+	g, err := matrix.BuildCandGraph(context.Background(), run.Ctx.Stream, c)
+	if err != nil {
+		t.Fatalf("building candidate graph: %v", err)
+	}
+	return g
+}
+
+// TestShardsOnePipelineBitIdentical pins the Shards=1 contract through the
+// public pipeline: candidate graphs and matcher results from a Shards=1 run
+// are bit-identical to the unsharded sparse engine's.
+func TestShardsOnePipelineBitIdentical(t *testing.T) {
+	d := roundTripDataset(t)
+	plain, err := entmatcher.NewPipeline(entmatcher.PipelineConfig{CandidateBudget: 16}).Prepare(d)
+	if err != nil {
+		t.Fatalf("unsharded prepare: %v", err)
+	}
+	sharded, err := entmatcher.NewPipeline(entmatcher.PipelineConfig{CandidateBudget: 16, Shards: 1}).Prepare(d)
+	if err != nil {
+		t.Fatalf("Shards=1 prepare: %v", err)
+	}
+	candGraphsIdentical(t, "S=1", producerGraph(t, plain, 8), producerGraph(t, sharded, 8))
+
+	for _, mk := range []struct {
+		name string
+		make func() entmatcher.Matcher
+	}{
+		{"RInf", func() entmatcher.Matcher { return entmatcher.NewRInfSparse(16) }},
+		{"Hun.", func() entmatcher.Matcher { return entmatcher.NewHungarianSparse(16) }},
+	} {
+		pres, pmet, err := plain.Match(mk.make())
+		if err != nil {
+			t.Fatalf("%s unsharded: %v", mk.name, err)
+		}
+		sres, smet, err := sharded.Match(mk.make())
+		if err != nil {
+			t.Fatalf("%s Shards=1: %v", mk.name, err)
+		}
+		if pmet != smet {
+			t.Errorf("%s: metrics differ: unsharded %+v, Shards=1 %+v", mk.name, pmet, smet)
+		}
+		if len(pres.Pairs) != len(sres.Pairs) {
+			t.Fatalf("%s: unsharded matched %d pairs, Shards=1 %d", mk.name, len(pres.Pairs), len(sres.Pairs))
+		}
+		for i := range pres.Pairs {
+			if pres.Pairs[i] != sres.Pairs[i] {
+				t.Fatalf("%s pair %d: unsharded %+v, Shards=1 %+v", mk.name, i, pres.Pairs[i], sres.Pairs[i])
+			}
+		}
+	}
+}
+
+// TestOutOfCoreBitIdenticalToInRAM pins the slab-serving contract: a run
+// whose tables come from a snapshot file — mmapped on supporting builds,
+// chunked ReadAt elsewhere (the purego CI leg runs this same test through
+// that fallback) — produces bit-identical candidate graphs and matcher
+// results to the in-RAM preparation, with and without sharding.
+func TestOutOfCoreBitIdenticalToInRAM(t *testing.T) {
+	d := roundTripDataset(t)
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"unsharded", 0},
+		{"S=1", 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := entmatcher.PipelineConfig{CandidateBudget: 16, Shards: tc.shards}
+			inRAM, err := entmatcher.NewPipeline(cfg).Prepare(d)
+			if err != nil {
+				t.Fatalf("in-RAM prepare: %v", err)
+			}
+			ooc := prepareOutOfCore(t, d, cfg)
+			t.Logf("out-of-core mode: %s", ooc.OutOfCoreMode)
+			candGraphsIdentical(t, tc.name, producerGraph(t, inRAM, 8), producerGraph(t, ooc, 8))
+			rres, _, err := inRAM.Match(entmatcher.NewRInfSparse(16))
+			if err != nil {
+				t.Fatalf("in-RAM match: %v", err)
+			}
+			ores, _, err := ooc.Match(entmatcher.NewRInfSparse(16))
+			if err != nil {
+				t.Fatalf("out-of-core match: %v", err)
+			}
+			if len(rres.Pairs) != len(ores.Pairs) {
+				t.Fatalf("in-RAM matched %d pairs, out-of-core %d", len(rres.Pairs), len(ores.Pairs))
+			}
+			for i := range rres.Pairs {
+				if rres.Pairs[i] != ores.Pairs[i] {
+					t.Fatalf("pair %d: in-RAM %+v, out-of-core %+v", i, rres.Pairs[i], ores.Pairs[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShardedHitsDeltaBounded pins the Shards>1 contract: the sharded
+// engine's Hits@1 on real (structural-embedding) data stays within a small
+// delta of the unsharded sparse engine at the same budget, and rebuilding
+// with the same configuration reproduces the result exactly.
+func TestShardedHitsDeltaBounded(t *testing.T) {
+	d := roundTripDataset(t)
+	base, err := entmatcher.NewPipeline(entmatcher.PipelineConfig{CandidateBudget: 16}).Prepare(d)
+	if err != nil {
+		t.Fatalf("unsharded prepare: %v", err)
+	}
+	_, bmet, err := base.Match(entmatcher.NewRInfSparse(16))
+	if err != nil {
+		t.Fatalf("unsharded match: %v", err)
+	}
+	cfg := entmatcher.PipelineConfig{CandidateBudget: 16, Shards: 4}
+	sharded, err := entmatcher.NewPipeline(cfg).Prepare(d)
+	if err != nil {
+		t.Fatalf("sharded prepare: %v", err)
+	}
+	sres, smet, err := sharded.Match(entmatcher.NewRInfSparse(16))
+	if err != nil {
+		t.Fatalf("sharded match: %v", err)
+	}
+	if smet.Recall < bmet.Recall-0.12 {
+		t.Fatalf("sharded Hits@1 %.3f fell more than 0.12 below unsharded %.3f", smet.Recall, bmet.Recall)
+	}
+	if smet.Recall == 0 {
+		t.Fatal("sharded Hits@1 is zero — the co-clustering produced no useful candidates")
+	}
+
+	again, err := entmatcher.NewPipeline(cfg).Prepare(d)
+	if err != nil {
+		t.Fatalf("second sharded prepare: %v", err)
+	}
+	ares, amet, err := again.Match(entmatcher.NewRInfSparse(16))
+	if err != nil {
+		t.Fatalf("second sharded match: %v", err)
+	}
+	if amet != smet || len(ares.Pairs) != len(sres.Pairs) {
+		t.Fatalf("sharded run is not deterministic: %+v (%d pairs) vs %+v (%d pairs)",
+			smet, len(sres.Pairs), amet, len(ares.Pairs))
+	}
+	for i := range sres.Pairs {
+		if sres.Pairs[i] != ares.Pairs[i] {
+			t.Fatalf("pair %d differs across identical sharded runs: %+v vs %+v", i, sres.Pairs[i], ares.Pairs[i])
+		}
+	}
+}

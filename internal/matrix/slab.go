@@ -1,0 +1,146 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// RowsReader is random access to the rows of a row-major float64 table that
+// need not be resident in memory: a *Dense satisfies it trivially, and
+// SlabTable serves rows straight from a disk slab (a snapshot table section)
+// via ReadAt. The out-of-core tile source and the shard gatherer are written
+// against this interface so the same code path runs over in-RAM tables,
+// mmapped tables, and chunked file I/O.
+type RowsReader interface {
+	// Dims returns the table shape.
+	Dims() (rows, cols int)
+	// ReadRows copies rows [row0, row0+n) into dst, which must hold at
+	// least n*cols values. It returns a typed error — never a partial or
+	// silently wrong read — when the range is out of bounds or the backing
+	// store fails.
+	ReadRows(dst []float64, row0, n int) error
+}
+
+// ErrSlab tags failures of disk-backed table access: out-of-range row
+// requests, short reads, or I/O errors from the backing ReaderAt.
+var ErrSlab = errors.New("matrix: slab read failed")
+
+// Dims makes *Dense a RowsReader (rows, cols).
+func (m *Dense) Dims() (rows, cols int) { return m.rows, m.cols }
+
+// ReadRows copies rows [row0, row0+n) into dst, satisfying RowsReader over
+// an in-memory table.
+func (m *Dense) ReadRows(dst []float64, row0, n int) error {
+	if row0 < 0 || n < 0 || row0+n > m.rows {
+		return fmt.Errorf("%w: rows [%d, %d) outside table of %d rows", ErrSlab, row0, row0+n, m.rows)
+	}
+	if len(dst) < n*m.cols {
+		return fmt.Errorf("%w: destination holds %d values, need %d", ErrSlab, len(dst), n*m.cols)
+	}
+	copy(dst[:n*m.cols], m.data[row0*m.cols:(row0+n)*m.cols])
+	return nil
+}
+
+// SlabTable serves table rows from a little-endian float64 slab inside a
+// larger file via chunked ReadAt — the portable out-of-core path used when
+// mmap is unavailable (non-Linux hosts, the purego build). Offsets and
+// shapes are validated at construction; every read is bounds-checked against
+// them, so a corrupt section offset surfaces as ErrSlab, never as reading
+// another section's bytes as embeddings.
+//
+// A SlabTable is immutable and safe for concurrent use: ReadRows decodes
+// through pooled scratch buffers.
+type SlabTable struct {
+	r    io.ReaderAt
+	off  int64 // byte offset of element [0, 0] within r
+	rows int
+	cols int
+}
+
+// slabChunk bounds the bytes read per ReadAt call, keeping scratch memory
+// constant no matter how many rows one ReadRows requests.
+const slabChunk = 1 << 20
+
+var slabBufPool = sync.Pool{
+	New: func() interface{} { b := make([]byte, slabChunk); return &b },
+}
+
+// NewSlabTable validates the geometry and returns a disk-backed table view.
+func NewSlabTable(r io.ReaderAt, off int64, rows, cols int) (*SlabTable, error) {
+	if r == nil {
+		return nil, fmt.Errorf("%w: nil ReaderAt", ErrSlab)
+	}
+	if rows <= 0 || cols <= 0 || off < 0 {
+		return nil, fmt.Errorf("%w: invalid slab geometry %d×%d at offset %d", ErrSlab, rows, cols, off)
+	}
+	return &SlabTable{r: r, off: off, rows: rows, cols: cols}, nil
+}
+
+// Dims returns the table shape.
+func (t *SlabTable) Dims() (rows, cols int) { return t.rows, t.cols }
+
+// ReadRows reads rows [row0, row0+n) from the slab into dst, decoding
+// little-endian float64s through a bounded scratch buffer.
+func (t *SlabTable) ReadRows(dst []float64, row0, n int) error {
+	if row0 < 0 || n < 0 || row0+n > t.rows {
+		return fmt.Errorf("%w: rows [%d, %d) outside slab of %d rows", ErrSlab, row0, row0+n, t.rows)
+	}
+	need := n * t.cols
+	if len(dst) < need {
+		return fmt.Errorf("%w: destination holds %d values, need %d", ErrSlab, len(dst), need)
+	}
+	bufp := slabBufPool.Get().(*[]byte)
+	defer slabBufPool.Put(bufp)
+	buf := *bufp
+	byteOff := t.off + int64(row0)*int64(t.cols)*8
+	remaining := int64(need) * 8
+	outIdx := 0
+	for remaining > 0 {
+		chunk := int64(len(buf))
+		if chunk > remaining {
+			chunk = remaining
+		}
+		// Keep chunks multiples of 8 so every float64 decodes from one read.
+		chunk &^= 7
+		if _, err := t.r.ReadAt(buf[:chunk], byteOff); err != nil {
+			return fmt.Errorf("%w: %d bytes at offset %d: %v", ErrSlab, chunk, byteOff, err)
+		}
+		for i := int64(0); i < chunk; i += 8 {
+			dst[outIdx] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i:]))
+			outIdx++
+		}
+		byteOff += chunk
+		remaining -= chunk
+	}
+	return nil
+}
+
+// GatherRows materializes the listed rows of rr as a fresh Dense, coalescing
+// runs of consecutive IDs into single ReadRows calls — shard ID lists are
+// ascending, so a shard's sub-table gathers in long sequential reads. IDs
+// may repeat; out-of-range IDs return ErrSlab (wrapped by the reader).
+func GatherRows(rr RowsReader, ids []int) (*Dense, error) {
+	rows, cols := rr.Dims()
+	out := New(len(ids), cols)
+	data := out.data
+	for i := 0; i < len(ids); {
+		id := ids[i]
+		if id < 0 || id >= rows {
+			return nil, fmt.Errorf("%w: row %d outside table of %d rows", ErrSlab, id, rows)
+		}
+		// Extend the run of consecutive ids starting at i.
+		j := i + 1
+		for j < len(ids) && ids[j] == ids[j-1]+1 && ids[j] < rows {
+			j++
+		}
+		if err := rr.ReadRows(data[i*cols:j*cols], id, j-i); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return out, nil
+}

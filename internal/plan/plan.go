@@ -55,6 +55,12 @@ const (
 	// EngineANNQuant scans the IVF slabs quantized: ANN's sub-quadratic
 	// probing with quant's int8 kernel.
 	EngineANNQuant Engine = "ann+quant"
+	// EngineShard partitions both corpora by an IVF coarse quantizer into
+	// co-clustered shards and builds the candidate graphs per shard on a
+	// bounded worker pool — each source row only scans the targets sharing
+	// one of its nearest cells, so scan work drops by replicas/shards and
+	// peak working set is governed by the worker pool, not the corpus.
+	EngineShard Engine = "shard+sparse"
 )
 
 // Workload is the planning input: the problem shape plus the two budgets
@@ -76,6 +82,13 @@ type Workload struct {
 	// CandidateBudget fixes the top-C width of candidate-graph plans.
 	// 0 means the planner default: min(64, TgtRows).
 	CandidateBudget int `json:"candidate_budget,omitempty"`
+	// OutOfCore declares the embedding tables live in a snapshot served
+	// through disk-backed slabs rather than on the heap. Engines that only
+	// consume the tables through the tiled streaming pass (streaming,
+	// sparse, shard+sparse) then drop the resident-table term from their
+	// peak-byte estimates; engines that must materialize table-sized state
+	// (dense, the IVF slabs, SQ8 re-rank tables) keep it.
+	OutOfCore bool `json:"out_of_core,omitempty"`
 }
 
 // ErrBadWorkload wraps workload-validation failures.
@@ -110,6 +123,7 @@ type Knobs struct {
 	NProbe          int  `json:"nprobe,omitempty"`
 	Quant           bool `json:"quant,omitempty"`
 	RerankFactor    int  `json:"rerank_factor,omitempty"`
+	Shards          int  `json:"shards,omitempty"`
 }
 
 // Candidate is one costed plan: an engine, its knobs, the model's estimates,
@@ -154,6 +168,9 @@ func (c Candidate) Label() string {
 	}
 	if c.Knobs.Quant {
 		parts = append(parts, fmt.Sprintf("rerank=%d", c.Knobs.RerankFactor))
+	}
+	if c.Knobs.Shards > 0 {
+		parts = append(parts, fmt.Sprintf("shards=%d", c.Knobs.Shards))
 	}
 	if len(parts) == 0 {
 		return string(c.Engine)
@@ -326,6 +343,34 @@ func AutoClusters(n int) int {
 // at which the SQ8 scan is conformance-pinned bit-identical to float64.
 const defaultRerankFactor = 4
 
+// AutoShards is the planner's shard-count default for an m-row target
+// corpus: √m/8, clamped to [2, 4096] — cells an order of magnitude coarser
+// than IVF's √m probing cells, so each shard stays a substantial sub-problem
+// (k-means training cost is amortized) while per-shard tables shrink
+// quadratically. Below 4 targets per would-be shard, sharding is pure
+// overhead and AutoShards returns 1 (the degenerate exact build).
+func AutoShards(m int) int {
+	s := int(math.Round(math.Sqrt(float64(m)) / 8))
+	if s < 2 {
+		s = 2
+	}
+	if s > 4096 {
+		s = 4096
+	}
+	if m < 4*s {
+		return 1
+	}
+	return s
+}
+
+// shardReplicas mirrors internal/shard's default replication factor.
+const shardReplicas = 2
+
+// shardWorkers is the nominal worker-pool width the peak-byte model assumes;
+// the runtime pool is GOMAXPROCS-bound, but estimates must not depend on the
+// planning machine's core count.
+const shardWorkers = 8
+
 const (
 	// tileOverheadBytes bounds the streaming engine's pooled tile buffers
 	// and per-worker scratch.
@@ -355,6 +400,12 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 	cf := float64(c)
 
 	tables := int64(8 * (n + m) * d)
+	// Engines that touch the tables only through the tiled pass can serve
+	// them from disk-backed slabs when the workload says so.
+	tablesRes := tables
+	if w.OutOfCore {
+		tablesRes = 0
+	}
 	graphs := int64((n + m) * cf * graphBytesPerEdge)
 	// IVF slabs: corpus-row copies for both directions, centroids, ids.
 	kFwd := AutoClusters(w.TgtRows)
@@ -388,7 +439,7 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 		{
 			Engine:         EngineStreaming,
 			Knobs:          Knobs{Streaming: true},
-			EstPeakBytes:   tables + tileOverheadBytes,
+			EstPeakBytes:   tablesRes + tileOverheadBytes,
 			EstWallNS:      int64(cal.StreamPassNS * n * m * d),
 			EstRecall:      1,
 			FullCapability: false,
@@ -396,7 +447,7 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 		{
 			Engine:         EngineSparse,
 			Knobs:          Knobs{CandidateBudget: c},
-			EstPeakBytes:   tables + tileOverheadBytes + graphs,
+			EstPeakBytes:   tablesRes + tileOverheadBytes + graphs,
 			EstWallNS:      int64(scanNS + edgeNS),
 			EstRecall:      1,
 			FullCapability: true,
@@ -452,6 +503,39 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 	cands = append(cands, annAt(EngineANN, tuned, false), annAt(EngineANNQuant, tuned, true))
 	if fast := max(1, kFwd/16); fast != tuned {
 		cands = append(cands, annAt(EngineANN, fast, false))
+	}
+
+	// Sharded plan: co-cluster both corpora into S cells, scan each source
+	// row only against the targets in its R nearest cells. Scan work drops
+	// to R/S of the exhaustive pass; resident tables are replaced by the
+	// worker pool's gathered per-shard sub-tables (plus the full tables,
+	// unless the workload serves them out of core). Replicating into R of S
+	// cells is coarse probing, so candidate recall follows the same fitted
+	// curve as IVF at fraction R/S.
+	if s := AutoShards(w.TgtRows); s > 1 {
+		r := shardReplicas
+		if r > s {
+			r = s
+		}
+		frac := float64(r) / float64(s)
+		workers := shardWorkers
+		if workers > s {
+			workers = s
+		}
+		// Per-shard gathered tables: n·R/S source rows + m/S target rows,
+		// live on Workers shards at once.
+		shardTables := int64(8 * d * (n*frac + m/float64(s)) * float64(workers))
+		trainShardNS := cal.ANNTrainNS * 32768 * float64(s) * d
+		assignNS := cal.ANNCentroidNS * (n + m) * float64(s) * d
+		cands = append(cands, Candidate{
+			Engine: EngineShard,
+			Knobs:  Knobs{CandidateBudget: c, Shards: s},
+			EstPeakBytes: tablesRes + tileOverheadBytes + graphs +
+				shardTables,
+			EstWallNS:      int64(trainShardNS + assignNS + scanNS*frac + edgeNS*float64(r)),
+			EstRecall:      cal.Recall.Eval(frac),
+			FullCapability: true,
+		})
 	}
 	return cands
 }

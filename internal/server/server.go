@@ -40,6 +40,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -146,6 +147,11 @@ type Server struct {
 	draining atomic.Bool
 	inflight atomic.Int64
 
+	// closer releases the snapshot mapping when the server was built with
+	// NewMapped; nil for fully loaded snapshots. mapped reports the mode.
+	closer io.Closer
+	mapped bool
+
 	// Observability counters behind /statsz and the drain log line.
 	cacheHits, cacheMisses                           atomic.Int64
 	gateRejections                                   atomic.Int64
@@ -222,6 +228,95 @@ func New(path string, cfg Config, opts ...Option) (*Server, error) {
 		return nil, err
 	}
 	return NewFromSnapshot(snap, cfg, opts...)
+}
+
+// NewMapped loads the snapshot at path with its embedding tables served from
+// a memory mapping of the file instead of heap copies — the kernel pages
+// table bytes in on demand and can evict them under pressure, so a snapshot
+// far larger than RAM still serves. The vocabularies, indexes and SQ8 codes
+// (small next to the tables) load normally. When the platform has no mmap or
+// the mapping fails, it falls back to New's full load — same answers, just
+// resident — and Mapped reports which mode won. Close the returned server to
+// release the mapping.
+func NewMapped(path string, cfg Config, opts ...Option) (*Server, error) {
+	limit := cfg.MaxSnapshotBytes
+	if limit <= 0 {
+		limit = snapshot.DefaultMaxBytes
+	}
+	r, err := snapshot.OpenReaderLimit(path, limit)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := mappedSnapshot(r)
+	if err != nil {
+		cerr := r.Close()
+		if errors.Is(err, snapshot.ErrMalformed) || cerr != nil {
+			// A malformed section would fail the full load too; surface it
+			// rather than loading the same bad bytes twice.
+			return nil, errors.Join(err, cerr)
+		}
+		log.Printf("entserver: mmap unavailable (%v), loading snapshot into memory", err)
+		return New(path, cfg, opts...)
+	}
+	s, err := NewFromSnapshot(snap, cfg, opts...)
+	if err != nil {
+		return nil, errors.Join(err, r.Close())
+	}
+	s.closer, s.mapped = r, true
+	return s, nil
+}
+
+// mappedSnapshot assembles the in-memory snapshot view over a verified
+// reader: mmapped embedding tables, regularly loaded small sections.
+func mappedSnapshot(r *snapshot.Reader) (*snapshot.Snapshot, error) {
+	src, err := r.MapTable(snapshot.SectionSrcTable)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := r.MapTable(snapshot.SectionTgtTable)
+	if err != nil {
+		return nil, err
+	}
+	snap := &snapshot.Snapshot{Meta: r.Meta(), SrcTable: src, TgtTable: tgt}
+	snap.SrcVocab, snap.TgtVocab = r.Vocabs()
+	if r.Has(snapshot.SectionIVFFwd) {
+		if snap.FwdIndex, err = r.IVF(snapshot.SectionIVFFwd); err != nil {
+			return nil, err
+		}
+	}
+	if r.Has(snapshot.SectionIVFRev) {
+		if snap.RevIndex, err = r.IVF(snapshot.SectionIVFRev); err != nil {
+			return nil, err
+		}
+	}
+	if r.Has(snapshot.SectionSQ8Src) {
+		if snap.SrcQuant, err = r.SQ8(snapshot.SectionSQ8Src); err != nil {
+			return nil, err
+		}
+		if snap.TgtQuant, err = r.SQ8(snapshot.SectionSQ8Tgt); err != nil {
+			return nil, err
+		}
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// Mapped reports whether the embedding tables are served from a memory
+// mapping of the snapshot file rather than heap copies.
+func (s *Server) Mapped() bool { return s.mapped }
+
+// Close releases the snapshot mapping (NewMapped servers); a no-op
+// otherwise. Call it only after the HTTP server has shut down — in-flight
+// requests read the mapped pages.
+func (s *Server) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c.Close()
 }
 
 // NewFromSnapshot builds a Server over an already validated snapshot.
@@ -456,6 +551,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		"status": "ready", "rows": rows, "cols": cols,
 		"index": s.snap.FwdIndex != nil,
 		"quant": s.quantSrc != nil,
+		"mmap":  s.mapped,
 	})
 }
 

@@ -571,3 +571,56 @@ func TestConcurrentMixedLoad(t *testing.T) {
 	}
 	t.Logf("served %d, shed %d", served, shed)
 }
+
+// TestMappedServerMatchesLoaded pins the out-of-core serving mode: a server
+// whose embedding tables are memory-mapped from the snapshot file answers
+// /match/topk and /align bit-identically to one that loaded the same file
+// into the heap, and advertises the mode on /readyz. On builds without mmap
+// NewMapped must fall back to the full load and still serve the same bits.
+func TestMappedServerMatchesLoaded(t *testing.T) {
+	snap := quantize(t, testSnapshot(t, 40, 40, 8, 4))
+	path := filepath.Join(t.TempDir(), "tables.snap")
+	if err := snap.Write(path); err != nil {
+		t.Fatalf("writing snapshot: %v", err)
+	}
+	loaded, err := New(path, Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mapped, err := NewMapped(path, Config{})
+	if err != nil {
+		t.Fatalf("NewMapped: %v", err)
+	}
+	if mapped.Mapped() != snapshot.MmapSupported {
+		t.Fatalf("Mapped() = %v, MmapSupported = %v", mapped.Mapped(), snapshot.MmapSupported)
+	}
+
+	lh, mh := loaded.Handler(), mapped.Handler()
+	for _, url := range []string{"/match/topk?src=s%2F3&k=5", "/match/topk?row=7&k=3"} {
+		want := getJSON(t, lh, url, http.StatusOK)
+		got := getJSON(t, mh, url, http.StatusOK)
+		if !reflect.DeepEqual(want["results"], got["results"]) {
+			t.Fatalf("%s: mapped results %v differ from loaded %v", url, got["results"], want["results"])
+		}
+		if want["served_by"] != got["served_by"] {
+			t.Fatalf("%s: served_by %v vs %v", url, got["served_by"], want["served_by"])
+		}
+	}
+	const body = `{"matcher":"RInf","cand":8}`
+	want := postAlign(t, lh, body, http.StatusOK)
+	got := postAlign(t, mh, body, http.StatusOK)
+	if !reflect.DeepEqual(want["matches"], got["matches"]) {
+		t.Fatal("mapped /align matches differ from loaded")
+	}
+
+	ready := getJSON(t, mh, "/readyz", http.StatusOK)
+	if ready["mmap"] != mapped.Mapped() {
+		t.Fatalf("/readyz mmap = %v, want %v", ready["mmap"], mapped.Mapped())
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatalf("second Close must be a no-op, got %v", err)
+	}
+}

@@ -20,9 +20,13 @@ import (
 type Stream struct {
 	// src and tgt are the prepared tables: row-L2-normalized copies for
 	// cosine (so a tile is a plain block matmul), the original tables for
-	// the distance metrics.
+	// the distance metrics. Both are nil in out-of-core mode.
 	src, tgt *matrix.Dense
-	metric   Metric
+	// srcR and tgtR are the out-of-core table views (NewStreamOOC): tiles
+	// are computed from row windows gathered on demand, so resident memory
+	// stays O(tile) no matter the table size. Nil in the in-RAM mode.
+	srcR, tgtR matrix.RowsReader
+	metric     Metric
 
 	tileRows, tileCols int
 
@@ -130,6 +134,67 @@ func NewStreamPrepared(src, tgt *matrix.Dense, metric Metric, opts ...StreamOpti
 	return st, nil
 }
 
+// NewStreamOOC returns an out-of-core streaming engine over prepared tables
+// served through matrix.RowsReader views — typically snapshot slab sections
+// accessed via chunked ReadAt. Tiles are computed from row windows gathered
+// per block, through the same per-row-pair kernels the in-RAM engine uses,
+// so every tile is bit-identical to what NewStreamPrepared over the
+// materialized tables would produce; resident memory is O(tileRows·d +
+// tileCols·d + tile) regardless of table size.
+//
+// Unlike NewStream/NewStreamPrepared, no finiteness scan runs at
+// construction — the out-of-core entry point is the snapshot loader, whose
+// per-section CRCs already vouch for the bytes, and the tables were
+// validated finite when the saving run prepared them.
+func NewStreamOOC(src, tgt matrix.RowsReader, metric Metric, opts ...StreamOption) (*Stream, error) {
+	if src == nil || tgt == nil {
+		return nil, fmt.Errorf("sim: nil embedding table view")
+	}
+	srcRows, srcCols := src.Dims()
+	tgtRows, tgtCols := tgt.Dims()
+	if srcCols != tgtCols {
+		return nil, fmt.Errorf("sim: embedding dims differ: %d vs %d", srcCols, tgtCols)
+	}
+	if srcRows == 0 || tgtRows == 0 {
+		return nil, fmt.Errorf("%w: %d source rows, %d target rows", ErrEmptyEmbeddings, srcRows, tgtRows)
+	}
+	switch metric {
+	case Cosine, Euclidean, Manhattan:
+	default:
+		return nil, fmt.Errorf("sim: unknown metric %v", metric)
+	}
+	st := &Stream{
+		srcR:     src,
+		tgtR:     tgt,
+		metric:   metric,
+		tileRows: matrix.DefaultTileRows,
+		tileCols: matrix.DefaultTileCols,
+	}
+	for _, opt := range opts {
+		opt(st)
+	}
+	return st, nil
+}
+
+// OutOfCore reports whether the stream computes tiles from disk-backed row
+// windows instead of resident tables.
+func (s *Stream) OutOfCore() bool { return s.srcR != nil }
+
+// srcDims and tgtDims unify the resident and out-of-core table shapes.
+func (s *Stream) srcDims() (rows, cols int) {
+	if s.src != nil {
+		return s.src.Rows(), s.src.Cols()
+	}
+	return s.srcR.Dims()
+}
+
+func (s *Stream) tgtDims() (rows, cols int) {
+	if s.tgt != nil {
+		return s.tgt.Rows(), s.tgt.Cols()
+	}
+	return s.tgtR.Dims()
+}
+
 // WithDummies returns a view of the stream with n extra virtual columns of
 // constant score appended after the real targets — the streaming equivalent
 // of core.AddDummyColumns for the unmatchable setting. The prepared tables
@@ -153,11 +218,16 @@ func (s *Stream) PadCols(n int, score float64) matrix.TileSource {
 // Dims returns the score-matrix shape the stream covers, including any
 // virtual dummy columns.
 func (s *Stream) Dims() (rows, cols int) {
-	return s.src.Rows(), s.tgt.Rows() + s.dummyCols
+	srcRows, _ := s.srcDims()
+	tgtRows, _ := s.tgtDims()
+	return srcRows, tgtRows + s.dummyCols
 }
 
 // RealCols returns the number of non-dummy columns.
-func (s *Stream) RealCols() int { return s.tgt.Rows() }
+func (s *Stream) RealCols() int {
+	tgtRows, _ := s.tgtDims()
+	return tgtRows
+}
 
 // Metric returns the stream's similarity metric.
 func (s *Stream) Metric() Metric { return s.metric }
@@ -168,7 +238,22 @@ func (s *Stream) Metric() Metric { return s.metric }
 // come from the same bits and the same dot kernel as the streamed tiles,
 // which is what makes full-coverage ANN graphs bit-identical to the
 // exhaustive builders'. Callers must not mutate the returned matrices.
+// In out-of-core mode the tables are not resident and both returns are nil;
+// engines that need resident tables (ANN build, quant re-rank) must be
+// configured off the out-of-core fallback path.
 func (s *Stream) PreparedTables() (src, tgt *matrix.Dense) { return s.src, s.tgt }
+
+// TableViews exposes the out-of-core row readers (nil in resident mode) —
+// the shard partitioner gathers per-shard sub-tables through them.
+func (s *Stream) TableViews() (src, tgt matrix.RowsReader) {
+	if s.srcR != nil {
+		return s.srcR, s.tgtR
+	}
+	if s.src != nil {
+		return s.src, s.tgt
+	}
+	return nil, nil
+}
 
 // MatrixBytes returns the size the dense score matrix would occupy — the
 // allocation streaming avoids; reporting and memory-budget decisions use it.
@@ -182,13 +267,21 @@ func (s *Stream) TileBytes() int64 { return int64(s.tileRows) * int64(s.tileCols
 
 // kernel fills dst with the (rowOff, colOff)-offset block of real scores.
 func (s *Stream) kernel(dst *matrix.Dense, rowOff, colOff int) {
+	s.kernelTables(dst, s.src, s.tgt, rowOff, colOff)
+}
+
+// kernelTables is the metric dispatch over explicit tables; the out-of-core
+// path calls it with gathered row windows at offset 0, which computes the
+// same per-row-pair kernels over the same bits as the resident path at the
+// original offsets — the bit-identity argument for out-of-core tiles.
+func (s *Stream) kernelTables(dst, a, b *matrix.Dense, aOff, bOff int) {
 	switch s.metric {
 	case Cosine:
-		matrix.MulTransposedBlockInto(dst, s.src, s.tgt, rowOff, colOff)
+		matrix.MulTransposedBlockInto(dst, a, b, aOff, bOff)
 	case Euclidean:
-		matrix.NegEuclideanBlockInto(dst, s.src, s.tgt, rowOff, colOff)
+		matrix.NegEuclideanBlockInto(dst, a, b, aOff, bOff)
 	case Manhattan:
-		matrix.NegManhattanBlockInto(dst, s.src, s.tgt, rowOff, colOff)
+		matrix.NegManhattanBlockInto(dst, a, b, aOff, bOff)
 	}
 }
 
@@ -200,6 +293,9 @@ func (s *Stream) kernel(dst *matrix.Dense, rowOff, colOff int) {
 func (s *Stream) StreamTiles(ctx context.Context, consumers ...matrix.TileConsumer) error {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if s.OutOfCore() {
+		return s.streamTilesOOC(ctx, consumers...)
 	}
 	rows, cols := s.Dims()
 	realCols := s.RealCols()
@@ -219,6 +315,89 @@ func (s *Stream) StreamTiles(ctx context.Context, consumers ...matrix.TileConsum
 				return err
 			}
 			s.fillTile(tile, rb, cb, realCols)
+			for _, c := range consumers {
+				c.ConsumeTile(rb, cb, tile)
+			}
+		}
+	}
+	return nil
+}
+
+// streamTilesOOC is the out-of-core tile pass: the same row-major block
+// order and tile shapes as the resident pass, with each block's source and
+// target rows gathered into reusable windows first. Tile values are
+// bit-identical to the resident pass (same kernels over the same row bytes);
+// resident memory is two windows plus one tile, independent of table size.
+// The target window is re-gathered once per row block — sequential I/O that
+// the OS page cache absorbs across adjacent row blocks.
+func (s *Stream) streamTilesOOC(ctx context.Context, consumers ...matrix.TileConsumer) error {
+	rows, cols := s.Dims()
+	realCols := s.RealCols()
+	_, d := s.srcDims()
+	buf := matrix.GetTileBuf(s.tileRows * s.tileCols)
+	defer matrix.PutTileBuf(buf)
+	srcWinBuf := matrix.GetTileBuf(s.tileRows * d)
+	defer matrix.PutTileBuf(srcWinBuf)
+	tgtWinBuf := matrix.GetTileBuf(s.tileCols * d)
+	defer matrix.PutTileBuf(tgtWinBuf)
+	tile := new(matrix.Dense)
+	srcWin := new(matrix.Dense)
+	tgtWin := new(matrix.Dense)
+	for rb := 0; rb < rows; rb += s.tileRows {
+		rn := min(s.tileRows, rows-rb)
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		if err := s.srcR.ReadRows(srcWinBuf[:rn*d], rb, rn); err != nil {
+			return err
+		}
+		if err := srcWin.Reshape(rn, d, srcWinBuf[:rn*d]); err != nil {
+			return err
+		}
+		for cb := 0; cb < cols; cb += s.tileCols {
+			if err := ctxErr(ctx); err != nil {
+				return err
+			}
+			cn := min(s.tileCols, cols-cb)
+			if err := tile.Reshape(rn, cn, buf[:rn*cn]); err != nil {
+				return err
+			}
+			realN := realCols - cb
+			if realN > cn {
+				realN = cn
+			}
+			if realN > 0 {
+				if err := s.tgtR.ReadRows(tgtWinBuf[:realN*d], cb, realN); err != nil {
+					return err
+				}
+				if err := tgtWin.Reshape(realN, d, tgtWinBuf[:realN*d]); err != nil {
+					return err
+				}
+				if realN == cn {
+					s.kernelTables(tile, srcWin, tgtWin, 0, 0)
+				} else {
+					// Split tile at the dummy boundary: compute the real
+					// prefix into scratch, copy row-wise (same as fillTile).
+					real, _ := matrix.NewFromData(rn, realN, matrix.GetTileBuf(rn*realN))
+					s.kernelTables(real, srcWin, tgtWin, 0, 0)
+					for r := 0; r < rn; r++ {
+						copy(tile.Row(r)[:realN], real.Row(r))
+					}
+					matrix.PutTileBuf(real.Data())
+				}
+			}
+			if realN < cn {
+				start := realN
+				if start < 0 {
+					start = 0
+				}
+				for r := 0; r < rn; r++ {
+					row := tile.Row(r)
+					for c := start; c < cn; c++ {
+						row[c] = s.dummyScore
+					}
+				}
+			}
 			for _, c := range consumers {
 				c.ConsumeTile(rb, cb, tile)
 			}
@@ -273,7 +452,6 @@ func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense
 		return nil, err
 	}
 	rows, cols := s.Dims()
-	out := matrix.New(len(rowIDs), len(colIDs))
 	for _, i := range rowIDs {
 		if i < 0 || i >= rows {
 			return nil, fmt.Errorf("sim: block row %d outside %d source rows", i, rows)
@@ -284,6 +462,10 @@ func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense
 			return nil, fmt.Errorf("sim: block col %d outside %d target cols", j, cols)
 		}
 	}
+	if s.OutOfCore() {
+		return s.blockOOC(ctx, rowIDs, colIDs)
+	}
+	out := matrix.New(len(rowIDs), len(colIDs))
 	realCols := s.RealCols()
 	err := matrix.ParallelRowsCtx(ctx, len(rowIDs), func(x int) {
 		i := rowIDs[x]
@@ -295,6 +477,59 @@ func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense
 				continue
 			}
 			trow := s.tgt.Row(j)
+			switch s.metric {
+			case Cosine:
+				drow[y] = matrix.Dot4(srow, trow)
+			case Euclidean:
+				drow[y] = matrix.NegEuclidean(srow, trow)
+			case Manhattan:
+				drow[y] = matrix.NegManhattan(srow, trow)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// blockOOC materializes a block in out-of-core mode: the requested source
+// and (real) target rows are gathered once into small resident sub-tables,
+// then scored with the same per-element kernels as the resident Block —
+// identical values, O(|rowIDs|·d + |colIDs|·d + block) memory.
+func (s *Stream) blockOOC(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense, error) {
+	realCols := s.RealCols()
+	srcB, err := matrix.GatherRows(s.srcR, rowIDs)
+	if err != nil {
+		return nil, err
+	}
+	// Dummy columns have no backing rows; map each output column to its
+	// gathered target row, or -1 for the constant dummy score.
+	pos := make([]int, len(colIDs))
+	realIDs := make([]int, 0, len(colIDs))
+	for y, j := range colIDs {
+		if j < realCols {
+			pos[y] = len(realIDs)
+			realIDs = append(realIDs, j)
+		} else {
+			pos[y] = -1
+		}
+	}
+	tgtB, err := matrix.GatherRows(s.tgtR, realIDs)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(len(rowIDs), len(colIDs))
+	err = matrix.ParallelRowsCtx(ctx, len(rowIDs), func(x int) {
+		srow := srcB.Row(x)
+		drow := out.Row(x)
+		for y := range colIDs {
+			p := pos[y]
+			if p < 0 {
+				drow[y] = s.dummyScore
+				continue
+			}
+			trow := tgtB.Row(p)
 			switch s.metric {
 			case Cosine:
 				drow[y] = matrix.Dot4(srow, trow)

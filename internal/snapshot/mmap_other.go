@@ -1,0 +1,23 @@
+//go:build !linux || purego || !(amd64 || arm64)
+
+package snapshot
+
+import (
+	"fmt"
+
+	"entmatcher/internal/matrix"
+)
+
+// MmapSupported is false on this platform/build: non-Linux hosts, big-endian
+// architectures (the file's float64 slabs are little-endian, so aliasing
+// would read garbage), and the purego build (which deliberately exercises
+// the portable chunked-ReadAt fallback in CI).
+const MmapSupported = false
+
+// MapTable reports ErrMmapUnsupported; callers fall back to Table's
+// chunked-ReadAt view.
+func (r *Reader) MapTable(kind SectionKind) (*matrix.Dense, error) {
+	return nil, fmt.Errorf("%w: section %v", ErrMmapUnsupported, kind)
+}
+
+func munmap([]byte) error { return nil }

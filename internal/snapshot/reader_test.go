@@ -1,0 +1,233 @@
+package snapshot
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+// writeTemp writes a snapshot image to a fresh temp file and returns its path.
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.snap")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatalf("writing snapshot file: %v", err)
+	}
+	return path
+}
+
+// slabBits gathers every row of a slab-backed table for bit comparison.
+func slabBits(t *testing.T, slab *matrix.SlabTable) *matrix.Dense {
+	t.Helper()
+	rows, _ := slab.Dims()
+	ids := make([]int, rows)
+	for i := range ids {
+		ids[i] = i
+	}
+	d, err := matrix.GatherRows(slab, ids)
+	if err != nil {
+		t.Fatalf("gathering slab rows: %v", err)
+	}
+	return d
+}
+
+// TestOpenReaderParityWithDecode pins the streaming verifier to the strict
+// in-memory loader: on valid files both accept and agree on every section;
+// on corrupted files both reject. The reader must never be the laxer path.
+func TestOpenReaderParityWithDecode(t *testing.T) {
+	for _, tc := range []struct {
+		name                 string
+		withIndex, withQuant bool
+	}{
+		{"plain", false, false},
+		{"index", true, false},
+		{"quant", false, true},
+		{"index+quant", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := fuzzSeed(6, 5, 3, tc.withIndex, tc.withQuant, 21)
+			if err != nil {
+				t.Fatalf("building snapshot: %v", err)
+			}
+			snap, err := Decode(data)
+			if err != nil {
+				t.Fatalf("Decode rejected a valid snapshot: %v", err)
+			}
+			path := writeTemp(t, data)
+			r, err := OpenReader(path)
+			if err != nil {
+				t.Fatalf("OpenReader rejected what Decode accepts: %v", err)
+			}
+			defer r.Close()
+			if r.Meta().SrcRows != snap.Meta.SrcRows || r.Meta().TgtRows != snap.Meta.TgtRows || r.Meta().Dim != snap.Meta.Dim {
+				t.Fatalf("reader meta %+v differs from decoded %+v", r.Meta(), snap.Meta)
+			}
+			srcV, tgtV := r.Vocabs()
+			if len(srcV) != len(snap.SrcVocab) || len(tgtV) != len(snap.TgtVocab) {
+				t.Fatal("reader vocabularies differ from decoded")
+			}
+			for i := range srcV {
+				if srcV[i] != snap.SrcVocab[i] {
+					t.Fatalf("source name %d: reader %q, decoded %q", i, srcV[i], snap.SrcVocab[i])
+				}
+			}
+			for _, sec := range []struct {
+				kind SectionKind
+				want *matrix.Dense
+			}{{SectionSrcTable, snap.SrcTable}, {SectionTgtTable, snap.TgtTable}} {
+				slab, err := r.Table(sec.kind)
+				if err != nil {
+					t.Fatalf("reader table %v: %v", sec.kind, err)
+				}
+				if got := slabBits(t, slab); !got.EqualBits(sec.want) {
+					t.Fatalf("slab %v bits differ from decoded table", sec.kind)
+				}
+			}
+			if tc.withIndex != r.Has(SectionIVFFwd) {
+				t.Fatalf("Has(IVFFwd) = %v, want %v", r.Has(SectionIVFFwd), tc.withIndex)
+			}
+			if tc.withQuant != r.Has(SectionSQ8Src) {
+				t.Fatalf("Has(SQ8Src) = %v, want %v", r.Has(SectionSQ8Src), tc.withQuant)
+			}
+			if err := VerifyFile(path, DefaultMaxBytes); err != nil {
+				t.Fatalf("VerifyFile rejected a valid file: %v", err)
+			}
+
+			// Corruption parity: flipping any byte must make both loaders
+			// agree on rejection (or, for bytes outside every checksummed
+			// region, agree on acceptance).
+			step := len(data)/64 + 1
+			for off := 0; off < len(data); off += step {
+				mut := append([]byte(nil), data...)
+				mut[off] ^= 0xff
+				_, derr := Decode(mut)
+				rr, rerr := OpenReaderLimit(writeTemp(t, mut), DefaultMaxBytes)
+				if rerr == nil {
+					rr.Close()
+				}
+				if (derr == nil) != (rerr == nil) {
+					t.Fatalf("offset %d: Decode err=%v, OpenReader err=%v — loaders disagree", off, derr, rerr)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenReaderLimitRejectsHugeWithoutAllocation is the size-bounded
+// validation regression test: a multi-GiB file must be rejected with
+// ErrTooLarge from its Stat alone — before any read — so the refusal costs
+// no allocation proportional to the claimed size.
+func TestOpenReaderLimitRejectsHugeWithoutAllocation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "huge.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sparse 3 GiB file: no data blocks are written, so creating it is
+	// cheap — but its Stat size is what a hostile or runaway producer would
+	// present.
+	const huge = 3 << 30
+	if err := f.Truncate(huge); err != nil {
+		f.Close()
+		t.Skipf("filesystem does not support sparse truncate: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	_, rerr := OpenReaderLimit(path, 64<<20)
+	verr := VerifyFile(path, 64<<20)
+	runtime.ReadMemStats(&after)
+
+	if !errors.Is(rerr, ErrTooLarge) {
+		t.Fatalf("OpenReaderLimit: got %v, want ErrTooLarge", rerr)
+	}
+	if !errors.Is(verr, ErrTooLarge) {
+		t.Fatalf("VerifyFile: got %v, want ErrTooLarge", verr)
+	}
+	// The rejection must not have read or buffered the claimed bytes; allow
+	// generous slack for runtime noise, but nothing near the file size.
+	if grew := int64(after.TotalAlloc - before.TotalAlloc); grew > 16<<20 {
+		t.Fatalf("rejecting a %d-byte file allocated %d bytes — validation is not size-bounded", int64(huge), grew)
+	}
+}
+
+// FuzzSlabLoad is FuzzSnapshotLoad's twin for the streaming reader behind
+// the out-of-core slab loader: arbitrary bytes written to a file must never
+// panic OpenReader, acceptance must agree exactly with the strict in-memory
+// Decode, and on acceptance the slab-served table rows must be bit-identical
+// to the decoded tables.
+func FuzzSlabLoad(f *testing.F) {
+	for _, seed := range []struct {
+		srcRows, tgtRows, dim int
+		withIndex, withQuant  bool
+		seed                  int64
+	}{
+		{3, 2, 2, false, false, 1},
+		{5, 4, 3, true, false, 2},
+		{4, 3, 2, false, true, 4},
+		{5, 4, 3, true, true, 5},
+	} {
+		b, err := fuzzSeed(seed.srcRows, seed.tgtRows, seed.dim, seed.withIndex, seed.withQuant, seed.seed)
+		if err != nil {
+			f.Fatalf("building seed: %v", err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), headMagic[:]...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "s.snap")
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		snap, derr := Decode(data)
+		r, rerr := OpenReader(path)
+		if (derr == nil) != (rerr == nil) {
+			t.Fatalf("acceptance disagrees: Decode err=%v, OpenReader err=%v", derr, rerr)
+		}
+		if rerr != nil {
+			return // both rejected: the only acceptable outcome for bad bytes
+		}
+		defer func() {
+			if cerr := r.Close(); cerr != nil {
+				t.Fatalf("closing an accepted reader: %v", cerr)
+			}
+		}()
+		for _, sec := range []struct {
+			kind SectionKind
+			want *matrix.Dense
+		}{{SectionSrcTable, snap.SrcTable}, {SectionTgtTable, snap.TgtTable}} {
+			slab, err := r.Table(sec.kind)
+			if err != nil {
+				t.Fatalf("accepted reader cannot serve table %v: %v", sec.kind, err)
+			}
+			rows, cols := slab.Dims()
+			if rows != sec.want.Rows() || cols != sec.want.Cols() {
+				t.Fatalf("slab %v shape %dx%d, decoded %dx%d", sec.kind, rows, cols, sec.want.Rows(), sec.want.Cols())
+			}
+			ids := make([]int, rows)
+			for i := range ids {
+				ids[i] = i
+			}
+			got, err := matrix.GatherRows(slab, ids)
+			if err != nil {
+				t.Fatalf("gathering slab %v: %v", sec.kind, err)
+			}
+			if !got.EqualBits(sec.want) {
+				t.Fatalf("slab %v rows differ in bits from the decoded table", sec.kind)
+			}
+		}
+		if (snap.FwdIndex != nil) != r.Has(SectionIVFFwd) || (snap.SrcQuant != nil) != r.Has(SectionSQ8Src) {
+			t.Fatal("section presence disagrees between reader and decoder")
+		}
+	})
+}

@@ -79,6 +79,10 @@ var (
 	// wrong metric, or an ANN cluster count that contradicts the requested
 	// configuration. Callers reject instead of silently rebuilding.
 	ErrMismatch = errors.New("snapshot: snapshot does not match the requested configuration")
+	// ErrMmapUnsupported reports that this platform or build cannot alias
+	// table sections in place (see Reader.MapTable); callers fall back to
+	// the chunked-ReadAt slab view.
+	ErrMmapUnsupported = errors.New("snapshot: mmap table aliasing unsupported on this platform/build")
 )
 
 // SectionKind identifies one section of the file.

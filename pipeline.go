@@ -4,14 +4,17 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"entmatcher/internal/ann"
 	"entmatcher/internal/core"
 	"entmatcher/internal/embed"
 	"entmatcher/internal/eval"
+	"entmatcher/internal/matrix"
 	"entmatcher/internal/plan"
 	"entmatcher/internal/quant"
+	"entmatcher/internal/shard"
 	"entmatcher/internal/sim"
 	"entmatcher/internal/snapshot"
 )
@@ -129,6 +132,27 @@ type PipelineConfig struct {
 	// ANN it requires CandidateBudget > 0 and the cosine metric. Tile and
 	// block consumers still stream exact float64 scores.
 	Quant *QuantConfig
+	// Shards, when positive, partitions both corpora by an IVF-style coarse
+	// quantizer into co-clustered shards (internal/shard) and builds the
+	// candidate graphs per shard on a bounded worker pool: each source row
+	// is scanned only against the targets sharing one of its nearest cells,
+	// and a reconciliation merge re-resolves targets claimed from different
+	// shards through the global sparse matcher. Requires CandidateBudget > 0
+	// (only candidate-graph construction is sharded) and is mutually
+	// exclusive with ANN and Quant, which already replace the graph
+	// producer. Shards=1 is the degenerate exact build, bit-identical to
+	// the exhaustive engine; Shards>1 trades bounded candidate recall for
+	// scan work divided by Shards/replicas and per-shard working sets.
+	Shards int
+	// OutOfCore serves the embedding tables from the snapshot file itself
+	// instead of materializing them on the heap: sections are mmapped where
+	// the platform supports it (bit-identical, zero-copy) and otherwise
+	// read through bounded chunked-ReadAt slab windows. Requires
+	// LoadSnapshot; incompatible with ANN (reconstructing IVF slabs would
+	// materialize table-sized state and defeat the point). Quant composes
+	// only on the mmap path (the exact re-rank needs addressable tables)
+	// and then scans SQ8 sections an eighth the size of the float slabs.
+	OutOfCore bool
 	// SaveSnapshot, when non-empty, persists the prepared state — the
 	// unit-normalized embedding tables, the entity-name vocabularies, and
 	// (with ANN set) the trained IVF index slabs — to this path after
@@ -270,6 +294,28 @@ func (c PipelineConfig) Validate() error {
 			return fmt.Errorf("%w: Quant.RerankFactor must be non-negative, got %d", ErrBadConfig, c.Quant.RerankFactor)
 		}
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: Shards must be non-negative, got %d", ErrBadConfig, c.Shards)
+	}
+	if c.Shards > 0 {
+		if c.CandidateBudget <= 0 {
+			return fmt.Errorf("%w: Shards requires CandidateBudget > 0 (only candidate-graph construction is sharded)", ErrBadConfig)
+		}
+		if c.ANN != nil {
+			return fmt.Errorf("%w: Shards and ANN are mutually exclusive (both replace the candidate-graph producer)", ErrBadConfig)
+		}
+		if c.Quant != nil {
+			return fmt.Errorf("%w: Shards and Quant are mutually exclusive (per-shard quantized scans are not supported)", ErrBadConfig)
+		}
+	}
+	if c.OutOfCore {
+		if c.LoadSnapshot == "" {
+			return fmt.Errorf("%w: OutOfCore requires LoadSnapshot (only snapshot slabs can back an out-of-core run)", ErrBadConfig)
+		}
+		if c.ANN != nil {
+			return fmt.Errorf("%w: OutOfCore is incompatible with ANN (reconstructing the IVF index materializes table-sized slabs)", ErrBadConfig)
+		}
+	}
 	if c.TargetRecall < 0 || c.TargetRecall > 1 || math.IsNaN(c.TargetRecall) {
 		return fmt.Errorf("%w: TargetRecall must be in [0, 1], got %v", ErrBadConfig, c.TargetRecall)
 	}
@@ -326,6 +372,28 @@ type Run struct {
 	// every rejected candidate with estimates and reasons. Nil when the
 	// engine was configured explicitly (the planner was bypassed).
 	Plan *plan.Plan
+	// OutOfCoreMode names how an out-of-core run serves its tables: "mmap"
+	// (snapshot sections aliased into the address space) or "readat" (the
+	// portable chunked fallback). Empty for resident runs.
+	OutOfCoreMode string
+
+	// closer releases resources an out-of-core run holds open (the snapshot
+	// reader and its mappings). Nil for resident runs.
+	closer io.Closer
+}
+
+// Close releases the snapshot reader backing an out-of-core run. Safe on
+// any run (resident runs hold nothing) but required after out-of-core ones:
+// the run's engines read the snapshot file lazily, so it must stay open for
+// the run's lifetime and be closed exactly once afterwards. Copies made by
+// WithContext share the underlying reader — close once, via any of them.
+func (r *Run) Close() error {
+	if r.closer == nil {
+		return nil
+	}
+	c := r.closer
+	r.closer = nil
+	return c.Close()
 }
 
 // Dims returns the score-matrix shape of the run — from the dense matrix or
@@ -359,6 +427,9 @@ func (p *Pipeline) PrepareContext(ctx context.Context, d *Dataset) (*Run, error)
 		// reconstruction so IVF and quant rebuilds stay cancellable.
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if p.cfg.OutOfCore {
+			return p.prepareOutOfCore(ctx, d)
 		}
 		snap, err := snapshot.Load(p.cfg.LoadSnapshot)
 		if err != nil {
@@ -522,6 +593,17 @@ func (p *Pipeline) prepareEngines(ctx context.Context, d *Dataset, emb *Embeddin
 				mctx.Stream = qs
 			}
 		}
+		if p.cfg.Shards > 0 {
+			// Swap in the sharded producer: candidate-graph builders run the
+			// partitioned worker pool, while tile and block consumers still
+			// stream exact scores through the plain engine underneath.
+			sTab, tTab := stream.PreparedTables()
+			shSrc, err := shard.NewSource(stream, sTab, tTab, p.cfg.Metric, shard.Config{Shards: p.cfg.Shards})
+			if err != nil {
+				return nil, err
+			}
+			mctx.Stream = shSrc
+		}
 		if p.cfg.SaveSnapshot != "" {
 			if err := p.saveSnapshot(ctx, d, task, stream, annSrc, srcQ, tgtQ); err != nil {
 				return nil, err
@@ -644,37 +726,15 @@ func (p *Pipeline) saveSnapshot(ctx context.Context, d *Dataset, task *Task, str
 // rebuilding would hide exactly the staleness a production loader must
 // surface.
 func (p *Pipeline) prepareFromSnapshot(ctx context.Context, d *Dataset, snap *snapshot.Snapshot) (*Run, error) {
-	if got, want := snap.Meta.Metric, uint32(p.cfg.Metric); got != want {
-		return nil, fmt.Errorf("%w: snapshot was prepared for metric %v, run requests %v",
-			ErrSnapshotMismatch, sim.Metric(got), p.cfg.Metric)
-	}
-	if got, want := snap.Meta.Setting, uint32(p.cfg.Setting); got != want {
-		return nil, fmt.Errorf("%w: snapshot was prepared for setting %v, run requests %v",
-			ErrSnapshotMismatch, Setting(got), p.cfg.Setting)
-	}
-	if got, want := snap.Meta.Features, uint32(p.cfg.Features); got != want {
-		return nil, fmt.Errorf("%w: snapshot was prepared for features %v, run requests %v",
-			ErrSnapshotMismatch, FeatureMode(got), p.cfg.Features)
+	if err := p.checkSnapshotMeta(snap.Meta); err != nil {
+		return nil, err
 	}
 	task, err := p.task(d)
 	if err != nil {
 		return nil, err
 	}
-	if len(task.SourceIDs) != snap.SrcTable.Rows() || len(task.TargetIDs) != snap.TgtTable.Rows() {
-		return nil, fmt.Errorf("%w: snapshot holds %d×%d task rows, dataset task is %d×%d",
-			ErrSnapshotMismatch, snap.SrcTable.Rows(), snap.TgtTable.Rows(), len(task.SourceIDs), len(task.TargetIDs))
-	}
-	for i, id := range task.SourceIDs {
-		if name := d.Source.EntityName(id); name != snap.SrcVocab[i] {
-			return nil, fmt.Errorf("%w: source row %d is %q in the snapshot but %q in the dataset",
-				ErrSnapshotMismatch, i, snap.SrcVocab[i], name)
-		}
-	}
-	for i, id := range task.TargetIDs {
-		if name := d.Target.EntityName(id); name != snap.TgtVocab[i] {
-			return nil, fmt.Errorf("%w: target row %d is %q in the snapshot but %q in the dataset",
-				ErrSnapshotMismatch, i, snap.TgtVocab[i], name)
-		}
+	if err := checkSnapshotVocab(d, task, snap.SrcVocab, snap.TgtVocab); err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -759,7 +819,164 @@ func (p *Pipeline) prepareFromSnapshot(ctx context.Context, d *Dataset, snap *sn
 		}
 		mctx.Stream = annSrc
 	}
+	if p.cfg.Shards > 0 {
+		shSrc, err := shard.NewSource(stream, snap.SrcTable, snap.TgtTable, p.cfg.Metric, shard.Config{Shards: p.cfg.Shards})
+		if err != nil {
+			return nil, err
+		}
+		mctx.Stream = shSrc
+	}
 	return &Run{Task: task, Stream: stream, Ctx: mctx}, nil
+}
+
+// checkSnapshotMeta verifies a snapshot's recorded configuration against the
+// run's — shared by the materializing and out-of-core load paths so both
+// report identical ErrSnapshotMismatch diagnostics.
+func (p *Pipeline) checkSnapshotMeta(meta snapshot.Meta) error {
+	if got, want := meta.Metric, uint32(p.cfg.Metric); got != want {
+		return fmt.Errorf("%w: snapshot was prepared for metric %v, run requests %v",
+			ErrSnapshotMismatch, sim.Metric(got), p.cfg.Metric)
+	}
+	if got, want := meta.Setting, uint32(p.cfg.Setting); got != want {
+		return fmt.Errorf("%w: snapshot was prepared for setting %v, run requests %v",
+			ErrSnapshotMismatch, Setting(got), p.cfg.Setting)
+	}
+	if got, want := meta.Features, uint32(p.cfg.Features); got != want {
+		return fmt.Errorf("%w: snapshot was prepared for features %v, run requests %v",
+			ErrSnapshotMismatch, FeatureMode(got), p.cfg.Features)
+	}
+	return nil
+}
+
+// checkSnapshotVocab verifies a snapshot's entity vocabularies name exactly
+// the dataset task's rows — the identity check that catches a snapshot
+// applied to the wrong (or reshuffled) dataset.
+func checkSnapshotVocab(d *Dataset, task *Task, srcVocab, tgtVocab []string) error {
+	if len(task.SourceIDs) != len(srcVocab) || len(task.TargetIDs) != len(tgtVocab) {
+		return fmt.Errorf("%w: snapshot holds %d×%d task rows, dataset task is %d×%d",
+			ErrSnapshotMismatch, len(srcVocab), len(tgtVocab), len(task.SourceIDs), len(task.TargetIDs))
+	}
+	for i, id := range task.SourceIDs {
+		if name := d.Source.EntityName(id); name != srcVocab[i] {
+			return fmt.Errorf("%w: source row %d is %q in the snapshot but %q in the dataset",
+				ErrSnapshotMismatch, i, srcVocab[i], name)
+		}
+	}
+	for i, id := range task.TargetIDs {
+		if name := d.Target.EntityName(id); name != tgtVocab[i] {
+			return fmt.Errorf("%w: target row %d is %q in the snapshot but %q in the dataset",
+				ErrSnapshotMismatch, i, tgtVocab[i], name)
+		}
+	}
+	return nil
+}
+
+// prepareOutOfCore reconstructs a streaming run whose tables stay in the
+// snapshot file: validation happens section-streamed (bounded memory), the
+// tables are mmapped when the platform allows and served through chunked
+// ReadAt windows otherwise, and the returned run holds the reader open —
+// callers must Close it.
+func (p *Pipeline) prepareOutOfCore(ctx context.Context, d *Dataset) (*Run, error) {
+	r, err := snapshot.OpenReader(p.cfg.LoadSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	run, err := p.prepareFromReader(ctx, d, r)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	return run, nil
+}
+
+func (p *Pipeline) prepareFromReader(ctx context.Context, d *Dataset, r *snapshot.Reader) (*Run, error) {
+	if err := p.checkSnapshotMeta(r.Meta()); err != nil {
+		return nil, err
+	}
+	task, err := p.task(d)
+	if err != nil {
+		return nil, err
+	}
+	srcVocab, tgtVocab := r.Vocabs()
+	if err := checkSnapshotVocab(d, task, srcVocab, tgtVocab); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Prefer aliasing the table sections into the address space: the whole
+	// engine stack then runs unchanged (and bit-identically) over file-backed
+	// pages the kernel reclaims under pressure. Any mmap failure degrades to
+	// the portable chunked-ReadAt slab windows, which compute the same tiles
+	// bit-for-bit from gathered row windows.
+	mode := "mmap"
+	var stream *sim.Stream
+	srcMap, errSrc := r.MapTable(snapshot.SectionSrcTable)
+	tgtMap, errTgt := r.MapTable(snapshot.SectionTgtTable)
+	if errSrc == nil && errTgt == nil {
+		stream, err = sim.NewStreamPrepared(srcMap, tgtMap, p.cfg.Metric)
+	} else {
+		mode = "readat"
+		var srcSlab, tgtSlab *matrix.SlabTable
+		if srcSlab, err = r.Table(snapshot.SectionSrcTable); err != nil {
+			return nil, err
+		}
+		if tgtSlab, err = r.Table(snapshot.SectionTgtTable); err != nil {
+			return nil, err
+		}
+		stream, err = sim.NewStreamOOC(srcSlab, tgtSlab, p.cfg.Metric)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mctx := &core.Context{
+		Stream:    stream,
+		SourceAdj: eval.LocalAdjacency(d.Source, task.SourceIDs),
+		TargetAdj: eval.LocalAdjacency(d.Target, task.TargetIDs),
+	}
+	if p.cfg.Quant != nil {
+		if mode != "mmap" {
+			return nil, fmt.Errorf("%w: Quant out-of-core needs the exact re-rank's addressable tables", snapshot.ErrMmapUnsupported)
+		}
+		if !r.Has(snapshot.SectionSQ8Src) {
+			return nil, fmt.Errorf("%w: run requests quantized scans but the snapshot holds no SQ8 tables (re-save with Quant configured)", ErrSnapshotMismatch)
+		}
+		srcQD, err := r.SQ8(snapshot.SectionSQ8Src)
+		if err != nil {
+			return nil, err
+		}
+		tgtQD, err := r.SQ8(snapshot.SectionSQ8Tgt)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		srcQ, err := quant.FromData(srcQD)
+		if err != nil {
+			return nil, err
+		}
+		tgtQ, err := quant.FromData(tgtQD)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := quant.NewSource(stream, srcMap, tgtMap, srcQ, tgtQ,
+			p.cfg.Quant.RerankFactor, !p.cfg.Quant.NoRerank)
+		if err != nil {
+			return nil, err
+		}
+		mctx.Stream = qs
+	}
+	if p.cfg.Shards > 0 {
+		srcR, tgtR := stream.TableViews()
+		shSrc, err := shard.NewSource(stream, srcR, tgtR, p.cfg.Metric, shard.Config{Shards: p.cfg.Shards})
+		if err != nil {
+			return nil, err
+		}
+		mctx.Stream = shSrc
+	}
+	return &Run{Task: task, Stream: stream, Ctx: mctx, OutOfCoreMode: mode, closer: r}, nil
 }
 
 // task builds the evaluation task for the configured setting.
@@ -783,7 +1000,8 @@ func (p *Pipeline) task(d *Dataset) (*Task, error) {
 func (r *Run) WithContext(ctx context.Context) *Run {
 	mctx := *r.Ctx
 	mctx.Ctx = ctx
-	return &Run{Task: r.Task, S: r.S, Stream: r.Stream, Ctx: &mctx}
+	return &Run{Task: r.Task, S: r.S, Stream: r.Stream, Ctx: &mctx,
+		Plan: r.Plan, OutOfCoreMode: r.OutOfCoreMode, closer: r.closer}
 }
 
 // Match runs a matcher on the prepared run and scores it against the gold

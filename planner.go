@@ -67,7 +67,7 @@ func DefaultCalibration() (plan.Calibration, error) {
 // explicit engine knob takes precedence and the planner is bypassed
 // entirely, so existing configurations and conformance pins are untouched.
 func (c PipelineConfig) explicitEngine() bool {
-	return c.Streaming || c.CandidateBudget > 0 || c.ANN != nil || c.Quant != nil
+	return c.Streaming || c.CandidateBudget > 0 || c.ANN != nil || c.Quant != nil || c.Shards > 0
 }
 
 // applyPlanKnobs copies a chosen plan's knobs onto the configuration — the
@@ -81,6 +81,9 @@ func (c *PipelineConfig) applyPlanKnobs(k plan.Knobs) {
 	}
 	if k.Quant {
 		c.Quant = &QuantConfig{RerankFactor: k.RerankFactor}
+	}
+	if k.Shards > 0 {
+		c.Shards = k.Shards
 	}
 }
 
