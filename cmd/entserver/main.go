@@ -24,8 +24,11 @@
 // The server sheds load instead of queuing (429 + Retry-After past
 // -max-inflight), bounds every request with -timeout, surfaces degraded
 // answers in the response's "degraded_from" field, and drains in-flight
-// requests on SIGTERM/SIGINT before exiting 0. See internal/server for the
-// full robustness contract and internal/exitcode for the exit convention.
+// requests on SIGTERM/SIGINT before exiting 0. Under concurrent load,
+// /match/topk cache misses are coalesced into register-blocked batch scans
+// (-max-batch and -max-wait tune the window; batch counters show at
+// /statsz). See internal/server for the full robustness contract and
+// internal/exitcode for the exit convention.
 package main
 
 import (
@@ -61,6 +64,8 @@ func run() error {
 		cacheSize = flag.Int("cache", 1024, "LRU capacity (entries) for /match/topk results")
 		maxK      = flag.Int("max-k", 128, "largest k a /match/topk request may ask for")
 		nprobe    = flag.Int("nprobe", 0, "IVF cells probed per /match/topk query (0 = the snapshot's recorded value)")
+		maxBatch  = flag.Int("max-batch", 32, "largest coalesced /match/topk batch: concurrent cache misses are collected into one register-blocked batch scan (<= 1 disables coalescing)")
+		maxWait   = flag.Duration("max-wait", 500*time.Microsecond, "how long a coalescing window stays open for batchmates; only paid when at least two requests are in flight")
 		drainWait = flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits for in-flight requests before giving up")
 		useMmap   = flag.Bool("mmap", true, "serve the embedding tables from a memory mapping of the snapshot file (tables larger than RAM page in on demand); falls back to a full load when the platform cannot mmap")
 	)
@@ -75,6 +80,11 @@ func run() error {
 		CacheSize:      *cacheSize,
 		MaxK:           *maxK,
 		NProbe:         *nprobe,
+		MaxBatch:       *maxBatch,
+		MaxWait:        *maxWait,
+	}
+	if *maxBatch <= 1 {
+		scfg.MaxBatch = -1 // <= 1 disables; Config treats 0 as "default"
 	}
 	newServer := server.New
 	if *useMmap {
@@ -134,8 +144,9 @@ func run() error {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Printf("entserver: drained, exiting (served quant=%d ann=%d exact=%d other=%d, cache hits=%d misses=%d, shed=%d)\n",
+	fmt.Printf("entserver: drained, exiting (served quant=%d ann=%d exact=%d other=%d, cache hits=%d misses=%d, shed=%d, batches=%d coalesced=%d)\n",
 		st.ServedQuant, st.ServedANN, st.ServedExact, st.ServedOther,
-		st.CacheHits, st.CacheMisses, st.GateRejections)
+		st.CacheHits, st.CacheMisses, st.GateRejections,
+		st.Batches, st.CoalescedDup)
 	return nil
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sync"
 
 	"entmatcher/internal/matrix"
@@ -219,6 +220,12 @@ type searchScratch struct {
 	heapBuf []int32
 	poolIDs []int
 	poolPos []int32
+
+	// groupKeys is the blocked-search cell merge buffer: packed
+	// (cell<<width | queryBit) keys from every query in a group, sorted so
+	// one walk yields each probed cell with its membership mask. Owned by
+	// the group leader's scratch.
+	groupKeys []int64
 }
 
 // getScratch fetches a pooled scratch or builds an empty one; EnsureK and
@@ -263,31 +270,111 @@ func (ivf *IVF) Search(ctx context.Context, queries *matrix.Dense, c, nprobe int
 	}
 	nq := queries.Rows()
 	out := make([]matrix.TopK, nq)
-	d := ivf.dim
-	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
-		sc := ivf.getScratch()
-		sc.sel.EnsureK(c)
-		q := queries.Row(qi)
-		probes := ivf.rankCells(sc, q, nprobe)
-		for _, cell := range probes.Indices {
-			lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
-			for p := lo; p < hi; p++ {
-				v := matrix.Dot4(q, ivf.vecs[int(p)*d:(int(p)+1)*d])
-				sc.sel.Offer(v, int(ivf.ids[p]))
-			}
+	// Queries run in register-blocked groups of three sharing every probed
+	// cell's slab reads (matrix.DotBlock3); the ragged remainder takes the
+	// per-query path. Scores are bit-identical either way and the selector
+	// is order-insensitive, so grouping never changes a result.
+	groups := (nq + 2) / 3
+	err := matrix.ParallelRowsCtx(ctx, groups, func(g int) {
+		qi := g * 3
+		if qi+3 <= nq {
+			ivf.searchBlock3(queries, qi, c, nprobe, out)
+			return
 		}
-		tk := sc.sel.Finalize()
-		// Finalize aliases pooled storage; copy out before releasing.
-		out[qi] = matrix.TopK{
-			Values:  append([]float64(nil), tk.Values...),
-			Indices: append([]int(nil), tk.Indices...),
+		for ; qi < nq; qi++ {
+			out[qi] = ivf.searchOne(queries.Row(qi), c, nprobe)
 		}
-		ivf.scratch.Put(sc)
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// copyTopK copies a Finalize result out of pooled selector storage.
+func copyTopK(tk matrix.TopK) matrix.TopK {
+	return matrix.TopK{
+		Values:  append([]float64(nil), tk.Values...),
+		Indices: append([]int(nil), tk.Indices...),
+	}
+}
+
+// searchOne is the per-query float scan: rank cells, score every candidate
+// in the probed cells with the per-pair kernel, select top-c.
+func (ivf *IVF) searchOne(q []float64, c, nprobe int) matrix.TopK {
+	d := ivf.dim
+	sc := ivf.getScratch()
+	defer ivf.scratch.Put(sc)
+	sc.sel.EnsureK(c)
+	probes := ivf.rankCells(sc, q, nprobe)
+	for _, cell := range probes.Indices {
+		lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
+		for p := lo; p < hi; p++ {
+			sc.sel.Offer(matrix.Dot4(q, ivf.vecs[int(p)*d:(int(p)+1)*d]), int(ivf.ids[p]))
+		}
+	}
+	return copyTopK(sc.sel.Finalize())
+}
+
+// searchBlock3 serves queries qi..qi+2 as one blocked pass. Each query keeps
+// its own probe ranking (so WHICH cells are scanned per query is exactly the
+// per-query path's), but the scans are merged: probed cells are walked in
+// ascending id with a 3-bit membership mask, and a cell all three queries
+// probe is scanned once through matrix.DotBlock3 — one slab read for three
+// scores. Cells probed by a strict subset fall back to the per-pair kernel.
+// Values are bit-identical to searchOne's and BoundedTopK is
+// order-insensitive, so the changed candidate arrival order cannot change
+// any selection.
+func (ivf *IVF) searchBlock3(queries *matrix.Dense, qi, c, nprobe int, out []matrix.TopK) {
+	d := ivf.dim
+	var scs [3]*searchScratch
+	var qs [3][]float64
+	for j := 0; j < 3; j++ {
+		scs[j] = ivf.getScratch()
+		scs[j].sel.EnsureK(c)
+		qs[j] = queries.Row(qi + j)
+	}
+	lead := scs[0]
+	lead.groupKeys = lead.groupKeys[:0]
+	for j := 0; j < 3; j++ {
+		probes := ivf.rankCells(scs[j], qs[j], nprobe)
+		for _, cell := range probes.Indices {
+			lead.groupKeys = append(lead.groupKeys, int64(cell)<<3|int64(1)<<j)
+		}
+	}
+	slices.Sort(lead.groupKeys)
+	keys := lead.groupKeys
+	var blk [3]float64
+	for x := 0; x < len(keys); {
+		cell := keys[x] >> 3
+		mask := 0
+		for ; x < len(keys) && keys[x]>>3 == cell; x++ {
+			mask |= int(keys[x] & 7)
+		}
+		lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
+		if mask == 7 {
+			for p := lo; p < hi; p++ {
+				matrix.DotBlock3(qs[0], qs[1], qs[2], ivf.vecs[int(p)*d:(int(p)+1)*d], &blk)
+				id := int(ivf.ids[p])
+				scs[0].sel.Offer(blk[0], id)
+				scs[1].sel.Offer(blk[1], id)
+				scs[2].sel.Offer(blk[2], id)
+			}
+			continue
+		}
+		for j := 0; j < 3; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			for p := lo; p < hi; p++ {
+				scs[j].sel.Offer(matrix.Dot4(qs[j], ivf.vecs[int(p)*d:(int(p)+1)*d]), int(ivf.ids[p]))
+			}
+		}
+	}
+	for j := 0; j < 3; j++ {
+		out[qi+j] = copyTopK(scs[j].sel.Finalize())
+		ivf.scratch.Put(scs[j])
+	}
 }
 
 // rankCells selects the nprobe cells nearest to q by the fused distance
@@ -392,67 +479,35 @@ func (ivf *IVF) SearchQuant(ctx context.Context, queries *matrix.Dense, c, nprob
 	}
 	nq := queries.Rows()
 	out := make([]matrix.TopK, nq)
-	d := ivf.dim
 	var firstErr error
 	var errMu sync.Mutex
-	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
-		sc := ivf.getScratch()
-		defer ivf.scratch.Put(sc)
-		q := queries.Row(qi)
-		probes := ivf.rankCells(sc, q, nprobe)
-		// Upper-bound the scanned-candidate count for scratch sizing.
-		var m int
-		for _, cell := range probes.Indices {
-			m += int(ivf.listPtr[cell+1] - ivf.listPtr[cell])
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		p := quant.PoolSize(factor, c, m)
-		sc.ensureQuantScratch(d, m, p)
-		sq, err := ivf.qt.QuantizeQuery(q, sc.codeQ)
-		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
-			return
-		}
-		cnt := 0
-		for _, cell := range probes.Indices {
-			lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
-			for pp := lo; pp < hi; pp++ {
-				sc.ints[cnt] = quant.DotI8(sc.codeQ, ivf.qvecs[int(pp)*d:(int(pp)+1)*d])
-				sc.pos[cnt] = int32(pp)
-				cnt++
-			}
-		}
-		if !rerank {
-			sc.sel.EnsureK(c)
-			for x := 0; x < cnt; x++ {
-				sc.sel.Offer(sq*float64(sc.ints[x]), int(ivf.ids[sc.pos[x]]))
-			}
-			tk := sc.sel.Finalize()
-			out[qi] = matrix.TopK{
-				Values:  append([]float64(nil), tk.Values...),
-				Indices: append([]int(nil), tk.Indices...),
+		errMu.Unlock()
+	}
+	// Queries run in register-blocked groups of four sharing every probed
+	// cell's int8 slab reads (quant.DotI8Block4); the ragged remainder takes
+	// the per-query path. Integer scores are exact, so grouping never
+	// changes a candidate score, pool, or selection.
+	groups := (nq + 3) / 4
+	err := matrix.ParallelRowsCtx(ctx, groups, func(g int) {
+		qi := g * 4
+		if qi+4 <= nq {
+			if err := ivf.searchQuantBlock4(queries, qi, c, nprobe, factor, rerank, out); err != nil {
+				record(err)
 			}
 			return
 		}
-		th := quant.PoolThreshold(sc.ints[:cnt], p, sc.heapBuf)
-		sc.poolIDs = sc.poolIDs[:0]
-		sc.poolPos = sc.poolPos[:0]
-		for x := 0; x < cnt; x++ {
-			if sc.ints[x] >= th {
-				sc.poolIDs = append(sc.poolIDs, int(ivf.ids[sc.pos[x]]))
-				sc.poolPos = append(sc.poolPos, sc.pos[x])
+		for ; qi < nq; qi++ {
+			tk, err := ivf.searchQuantOne(queries.Row(qi), c, nprobe, factor, rerank)
+			if err != nil {
+				record(err)
+				return
 			}
-		}
-		tk := matrix.RerankTopK(sc.sel, sc.poolIDs, c, func(slot int) float64 {
-			pp := int(sc.poolPos[slot])
-			return matrix.Dot4(q, ivf.vecs[pp*d:(pp+1)*d])
-		})
-		out[qi] = matrix.TopK{
-			Values:  append([]float64(nil), tk.Values...),
-			Indices: append([]int(nil), tk.Indices...),
+			out[qi] = tk
 		}
 	})
 	if err != nil {
@@ -462,4 +517,139 @@ func (ivf *IVF) SearchQuant(ctx context.Context, queries *matrix.Dense, c, nprob
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// searchQuantOne is the per-query two-phase scan: rank cells by the float
+// centroid scores, score every probed candidate with the int8 kernel, then
+// re-rank the threshold pool against the float slab.
+func (ivf *IVF) searchQuantOne(q []float64, c, nprobe, factor int, rerank bool) (matrix.TopK, error) {
+	d := ivf.dim
+	sc := ivf.getScratch()
+	defer ivf.scratch.Put(sc)
+	probes := ivf.rankCells(sc, q, nprobe)
+	// Upper-bound the scanned-candidate count for scratch sizing.
+	var m int
+	for _, cell := range probes.Indices {
+		m += int(ivf.listPtr[cell+1] - ivf.listPtr[cell])
+	}
+	sc.ensureQuantScratch(d, m, quant.PoolSize(factor, c, m))
+	sq, err := ivf.qt.QuantizeQuery(q, sc.codeQ)
+	if err != nil {
+		return matrix.TopK{}, err
+	}
+	cnt := 0
+	for _, cell := range probes.Indices {
+		lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
+		for pp := lo; pp < hi; pp++ {
+			sc.ints[cnt] = quant.DotI8(sc.codeQ, ivf.qvecs[int(pp)*d:(int(pp)+1)*d])
+			sc.pos[cnt] = int32(pp)
+			cnt++
+		}
+	}
+	return ivf.finishQuant(sc, q, sq, c, factor, rerank, cnt), nil
+}
+
+// searchQuantBlock4 serves queries qi..qi+3 as one blocked two-phase pass:
+// per-query cell rankings (identical probe sets to the per-query path), a
+// merged ascending-cell walk with a 4-bit membership mask, and one
+// quant.DotI8Block4 slab read per fully-shared cell. Threshold, pool, and
+// re-rank then run per query exactly as in searchQuantOne.
+func (ivf *IVF) searchQuantBlock4(queries *matrix.Dense, qi, c, nprobe, factor int, rerank bool, out []matrix.TopK) error {
+	d := ivf.dim
+	var scs [4]*searchScratch
+	var qs [4][]float64
+	var sqs [4]float64
+	var ms [4]int
+	for j := 0; j < 4; j++ {
+		scs[j] = ivf.getScratch()
+		qs[j] = queries.Row(qi + j)
+	}
+	defer func() {
+		for j := 0; j < 4; j++ {
+			ivf.scratch.Put(scs[j])
+		}
+	}()
+	lead := scs[0]
+	lead.groupKeys = lead.groupKeys[:0]
+	for j := 0; j < 4; j++ {
+		probes := ivf.rankCells(scs[j], qs[j], nprobe)
+		for _, cell := range probes.Indices {
+			lead.groupKeys = append(lead.groupKeys, int64(cell)<<4|int64(1)<<j)
+			ms[j] += int(ivf.listPtr[cell+1] - ivf.listPtr[cell])
+		}
+	}
+	for j := 0; j < 4; j++ {
+		scs[j].ensureQuantScratch(d, ms[j], quant.PoolSize(factor, c, ms[j]))
+		sq, err := ivf.qt.QuantizeQuery(qs[j], scs[j].codeQ)
+		if err != nil {
+			return err
+		}
+		sqs[j] = sq
+	}
+	slices.Sort(lead.groupKeys)
+	keys := lead.groupKeys
+	var cnt [4]int
+	var blk [4]int32
+	for x := 0; x < len(keys); {
+		cell := keys[x] >> 4
+		mask := 0
+		for ; x < len(keys) && keys[x]>>4 == cell; x++ {
+			mask |= int(keys[x] & 15)
+		}
+		lo, hi := ivf.listPtr[cell], ivf.listPtr[cell+1]
+		if mask == 15 {
+			for pp := lo; pp < hi; pp++ {
+				quant.DotI8Block4(scs[0].codeQ, scs[1].codeQ, scs[2].codeQ, scs[3].codeQ,
+					ivf.qvecs[int(pp)*d:(int(pp)+1)*d], &blk)
+				for j := 0; j < 4; j++ {
+					scs[j].ints[cnt[j]] = blk[j]
+					scs[j].pos[cnt[j]] = int32(pp)
+					cnt[j]++
+				}
+			}
+			continue
+		}
+		for j := 0; j < 4; j++ {
+			if mask&(1<<j) == 0 {
+				continue
+			}
+			for pp := lo; pp < hi; pp++ {
+				scs[j].ints[cnt[j]] = quant.DotI8(scs[j].codeQ, ivf.qvecs[int(pp)*d:(int(pp)+1)*d])
+				scs[j].pos[cnt[j]] = int32(pp)
+				cnt[j]++
+			}
+		}
+	}
+	for j := 0; j < 4; j++ {
+		out[qi+j] = ivf.finishQuant(scs[j], qs[j], sqs[j], c, factor, rerank, cnt[j])
+	}
+	return nil
+}
+
+// finishQuant runs the selection tail of a quantized scan: either the
+// approximate top-c straight off the int8 scores (rerank=false) or the
+// boundary-tie-inclusive pool threshold plus exact float64 re-rank.
+func (ivf *IVF) finishQuant(sc *searchScratch, q []float64, sq float64, c, factor int, rerank bool, cnt int) matrix.TopK {
+	d := ivf.dim
+	if !rerank {
+		sc.sel.EnsureK(c)
+		for x := 0; x < cnt; x++ {
+			sc.sel.Offer(sq*float64(sc.ints[x]), int(ivf.ids[sc.pos[x]]))
+		}
+		return copyTopK(sc.sel.Finalize())
+	}
+	th := quant.PoolThreshold(sc.ints[:cnt], quant.PoolSize(factor, c, cnt), sc.heapBuf)
+	sc.poolIDs = sc.poolIDs[:0]
+	sc.poolPos = sc.poolPos[:0]
+	for x := 0; x < cnt; x++ {
+		if sc.ints[x] >= th {
+			sc.poolIDs = append(sc.poolIDs, int(ivf.ids[sc.pos[x]]))
+			sc.poolPos = append(sc.poolPos, sc.pos[x])
+		}
+	}
+	tk := matrix.RerankTopK(sc.sel, sc.poolIDs, c, func(slot int) float64 {
+		pp := int(sc.poolPos[slot])
+		return matrix.Dot4(q, ivf.vecs[pp*d:(pp+1)*d])
+	})
+	return copyTopK(tk)
 }

@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"time"
+
+	"entmatcher/internal/matrix"
+	"entmatcher/internal/quant"
+	"entmatcher/internal/server"
+	"entmatcher/internal/snapshot"
+)
+
+// The 'batch' experiment measures the two layers of the multi-query work
+// introduced for batched serving (DESIGN.md § 17):
+//
+//   - Kernel: single-thread scan throughput of the register-blocked
+//     multi-query kernels (matrix.DotBlockRows groups of three,
+//     quant.DotI8Block4 groups of four) against the per-pair Dot4/DotI8
+//     loops over the same corpus — the speedup every batched scan path
+//     (sim tiles, IVF lists, quantized slabs) inherits. The kernels are
+//     conformance-pinned bit-identical, so this ratio is pure throughput,
+//     not an accuracy trade.
+//   - Serving: closed-loop QPS of an in-process entserver answering a storm
+//     of distinct /match/topk cache misses, with request coalescing off
+//     (every miss walks the ladder alone) versus on (concurrent misses
+//     merge into one blocked batch scan per window).
+//
+// benchtab -exp batch -json BENCH_batch.json produces the checked-in
+// records; internal/plan fits its blocked-scan speedup coefficient from the
+// Batch/kernel/float rows.
+
+// batchSink defeats dead-code elimination of the measured kernels.
+var batchSink float64
+
+// batchKernelDim is the embedding width of the kernel throughput rows; the
+// d=128 structural geometry is where the scan paths spend their time.
+const batchKernelDim = 128
+
+// measureBest runs pass repeatedly until each trial exceeds minDur and
+// returns the best per-pass nanoseconds across trials — the standard
+// min-of-trials estimator for a single-thread throughput kernel.
+func measureBest(minDur time.Duration, trials int, pass func()) float64 {
+	pass() // warm caches and the dispatch path
+	best := math.MaxFloat64
+	for trial := 0; trial < trials; trial++ {
+		reps := 1
+		for {
+			start := time.Now()
+			for i := 0; i < reps; i++ {
+				pass()
+			}
+			elapsed := time.Since(start)
+			if elapsed >= minDur {
+				if per := float64(elapsed.Nanoseconds()) / float64(reps); per < best {
+					best = per
+				}
+				break
+			}
+			reps *= 2
+		}
+	}
+	return best
+}
+
+// runBatch is the 'batch' experiment.
+func runBatch(cfg *Config, env *Env) ([]*Table, error) {
+	// ScaleLarge positions the corpus exactly like the other engine
+	// experiments: the default 0.10 gives the 16384-target scan the
+	// acceptance ratio is quoted at; the quick scale shrinks it for smoke
+	// runs.
+	n := int(163840 * cfg.ScaleLarge)
+	if n < 1024 {
+		n = 1024
+	}
+	minDur := 80 * time.Millisecond
+
+	kernelTab, speedupFloat, err := runBatchKernels(cfg, env, n, minDur)
+	if err != nil {
+		return nil, err
+	}
+	serveTab, err := runBatchServe(cfg, env, n)
+	if err != nil {
+		return nil, err
+	}
+	env.Summarize("blocked_float_speedup", fmt.Sprintf("%.2f× per-pair at n=%d d=%d q=3 (single thread)", speedupFloat, n, batchKernelDim))
+	return []*Table{kernelTab, serveTab}, nil
+}
+
+// runBatchKernels measures the blocked kernels against their per-pair
+// twins over an n-row corpus and returns the float speedup (the planner's
+// blocked-scan coefficient).
+func runBatchKernels(cfg *Config, env *Env, n int, minDur time.Duration) (*Table, float64, error) {
+	d := batchKernelDim
+	rng := rand.New(rand.NewSource(41))
+	tgt := matrix.New(n, d)
+	for i := 0; i < n; i++ {
+		row := tgt.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	queries := make([][]float64, 3)
+	for q := range queries {
+		queries[q] = make([]float64, d)
+		for j := range queries[q] {
+			queries[q][j] = rng.NormFloat64()
+		}
+	}
+
+	// The per-pair baseline is the pre-blocked scan shape: one full corpus
+	// pass per query, the way every per-row Search and per-source tile loop
+	// used to stream the slab (so its memory traffic is q× the blocked
+	// pass's, not an interleaved loop that would already amortize row loads
+	// in L1).
+	cfg.logf("batch: float kernels, %d×%d corpus, 3 queries", n, d)
+	perPairF := measureBest(minDur, 3, func() {
+		var s float64
+		for _, q := range queries {
+			for j := 0; j < n; j++ {
+				s += matrix.Dot4(q, tgt.Row(j))
+			}
+		}
+		batchSink += s
+	})
+	out := make([]float64, 3)
+	blockedF := measureBest(minDur, 3, func() {
+		var s float64
+		for j := 0; j < n; j++ {
+			matrix.DotBlockRows(queries, tgt.Row(j), out)
+			s += out[0] + out[1] + out[2]
+		}
+		batchSink += s
+	})
+
+	codes := make([][]int8, n)
+	for i := range codes {
+		codes[i] = make([]int8, d)
+		for j := range codes[i] {
+			codes[i][j] = int8(rng.Intn(255) - 127)
+		}
+	}
+	var q8 [4][]int8
+	for q := range q8 {
+		q8[q] = make([]int8, d)
+		for j := range q8[q] {
+			q8[q][j] = int8(rng.Intn(255) - 127)
+		}
+	}
+
+	cfg.logf("batch: int8 kernels, %d×%d codes, 4 queries", n, d)
+	perPairI := measureBest(minDur, 3, func() {
+		var s int32
+		for _, q := range q8 {
+			for j := 0; j < n; j++ {
+				s += quant.DotI8(q, codes[j])
+			}
+		}
+		batchSink += float64(s)
+	})
+	var acc [4]int32
+	blockedI := measureBest(minDur, 3, func() {
+		var s int32
+		for j := 0; j < n; j++ {
+			quant.DotI8Block4(q8[0], q8[1], q8[2], q8[3], codes[j], &acc)
+			s += acc[0] + acc[1] + acc[2] + acc[3]
+		}
+		batchSink += float64(s)
+	})
+
+	record := func(kind, variant string, nq int, ns float64) {
+		env.Record(Record{
+			Name:    fmt.Sprintf("Batch/kernel/%s/%s/q=%d/n=%d/d=%d", kind, variant, nq, n, d),
+			NsPerOp: int64(ns),
+			Features: &RecordFeatures{
+				SrcRows: nq, TgtRows: n, Dim: d, Engine: variant,
+			},
+		})
+	}
+	record("float", "per-pair", 3, perPairF)
+	record("float", "blocked", 3, blockedF)
+	record("int8", "per-pair", 4, perPairI)
+	record("int8", "blocked", 4, blockedI)
+
+	// Throughput in scored cells (query·target pairs) per second.
+	cells := func(nq int, ns float64) float64 {
+		return float64(nq) * float64(n) / (ns / 1e9)
+	}
+	t := &Table{
+		ID:      "batch-kernel",
+		Title:   fmt.Sprintf("Register-blocked multi-query kernels vs per-pair loops (single thread, %d×%d corpus)", n, d),
+		Columns: []string{"per-pair Mpairs/s", "blocked Mpairs/s", "speedup"},
+	}
+	fspeed := perPairF / blockedF
+	ispeed := perPairI / blockedI
+	t.AddRow("float64 dot, q=3", f3(cells(3, perPairF)/1e6), f3(cells(3, blockedF)/1e6), fmt.Sprintf("%.2f×", fspeed))
+	t.AddRow("int8 dot, q=4", f3(cells(4, perPairI)/1e6), f3(cells(4, blockedI)/1e6), fmt.Sprintf("%.2f×", ispeed))
+	t.AddNote("Selections are conformance-pinned bit-identical to the per-pair kernels; the speedup is pure register reuse (one corpus-row load amortized across the query block).")
+	return t, fspeed, nil
+}
+
+// runBatchServe builds a quantized in-memory snapshot, serves it through
+// two in-process servers (coalescing off and on), and measures closed-loop
+// QPS of a storm of distinct cache misses.
+func runBatchServe(cfg *Config, env *Env, n int) (*Table, error) {
+	const (
+		dim     = 64
+		k       = 10
+		workers = 8
+	)
+	srcRows := n / 4
+	if srcRows < 256 {
+		srcRows = 256
+	}
+	cfg.logf("batch: serving storm, %d×%d quantized snapshot, %d misses, %d workers", srcRows, n, srcRows, workers)
+	snap, err := batchSnapshot(srcRows, n, dim)
+	if err != nil {
+		return nil, err
+	}
+
+	scfg := server.Config{MaxInFlight: 4 * workers, CacheSize: 64}
+	direct := scfg
+	direct.MaxBatch = -1
+	run := func(sc server.Config) (nsPerReq float64, stats server.Stats, err error) {
+		srv, err := server.NewFromSnapshot(snap, sc)
+		if err != nil {
+			return 0, server.Stats{}, err
+		}
+		defer srv.Close()
+		h := srv.Handler()
+		var (
+			wg      sync.WaitGroup
+			mu      sync.Mutex
+			httpErr error
+		)
+		start := time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for row := w; row < srcRows; row += workers {
+					req := httptest.NewRequest("GET", fmt.Sprintf("/match/topk?src=s/%d&k=%d", row, k), nil)
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						mu.Lock()
+						if httpErr == nil {
+							httpErr = fmt.Errorf("bench: /match/topk row %d: status %d: %s", row, rec.Code, rec.Body.String())
+						}
+						mu.Unlock()
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if httpErr != nil {
+			return 0, server.Stats{}, httpErr
+		}
+		return float64(elapsed.Nanoseconds()) / float64(srcRows), srv.Stats(), nil
+	}
+
+	directNS, directStats, err := run(direct)
+	if err != nil {
+		return nil, err
+	}
+	coalNS, coalStats, err := run(scfg)
+	if err != nil {
+		return nil, err
+	}
+
+	record := func(variant string, ns float64) {
+		env.Record(Record{
+			Name:    fmt.Sprintf("Batch/serve/%s/n=%d/d=%d/k=%d", variant, n, dim, k),
+			NsPerOp: int64(ns),
+			Features: &RecordFeatures{
+				SrcRows: srcRows, TgtRows: n, Dim: dim, Engine: variant,
+			},
+		})
+	}
+	record("direct", directNS)
+	record("coalesced", coalNS)
+
+	qps := func(ns float64) string { return fmt.Sprintf("%.0f", 1e9/ns) }
+	meanBatch := "—"
+	if coalStats.Batches > 0 {
+		meanBatch = fmt.Sprintf("%.1f", float64(coalStats.BatchedQueries)/float64(coalStats.Batches))
+	}
+	t := &Table{
+		ID: "batch-serve",
+		Title: fmt.Sprintf("Coalesced /match/topk serving: %d distinct cache misses, %d closed-loop workers, %d×%d quantized snapshot (GOMAXPROCS=%d)",
+			srcRows, workers, srcRows, n, runtime.GOMAXPROCS(0)),
+		Columns: []string{"QPS", "ns/req", "batches", "mean batch", "speedup"},
+	}
+	t.AddRow("direct (-max-batch 1)", qps(directNS), fmt.Sprintf("%.0f", directNS), "—", "—", "1.00×")
+	t.AddRow("coalesced (default)", qps(coalNS), fmt.Sprintf("%.0f", coalNS), fmt.Sprintf("%d", coalStats.Batches), meanBatch, fmt.Sprintf("%.2f×", directNS/coalNS))
+	t.AddNote("Every request is a distinct (row, k) cache miss; coalesced responses are byte-identical to direct ones (internal/server storm-identity test). served quant=%d/%d.", coalStats.ServedQuant, directStats.ServedQuant)
+	env.Summarize("coalesced_qps_speedup", fmt.Sprintf("%.2f× direct QPS at %d workers, mean batch %s", directNS/coalNS, workers, meanBatch))
+	return t, nil
+}
+
+// batchSnapshot builds an in-memory quantized snapshot (flat SQ8 tier, no
+// IVF) the way `entmatcher -quant -save-snapshot` would, sized for the
+// serving storm.
+func batchSnapshot(srcRows, tgtRows, dim int) (*snapshot.Snapshot, error) {
+	rng := rand.New(rand.NewSource(43))
+	mk := func(rows int) *matrix.Dense {
+		m := matrix.New(rows, dim)
+		for i := 0; i < rows; i++ {
+			row := m.Row(i)
+			var s float64
+			for j := range row {
+				row[j] = rng.NormFloat64()
+				s += row[j] * row[j]
+			}
+			inv := 1 / math.Sqrt(s)
+			for j := range row {
+				row[j] *= inv
+			}
+		}
+		return m
+	}
+	src, tgt := mk(srcRows), mk(tgtRows)
+	names := func(p string, n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s/%d", p, i)
+		}
+		return out
+	}
+	ctx := context.Background()
+	srcQ, err := quant.Encode(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	tgtQ, err := quant.Encode(ctx, tgt)
+	if err != nil {
+		return nil, err
+	}
+	snap := &snapshot.Snapshot{
+		Meta:     snapshot.Meta{Tool: "bench", SrcRows: srcRows, TgtRows: tgtRows, Dim: dim},
+		SrcTable: src, TgtTable: tgt,
+		SrcVocab: names("s", srcRows), TgtVocab: names("t", tgtRows),
+		SrcQuant: srcQ.Export(), TgtQuant: tgtQ.Export(),
+	}
+	snap.Meta.Quant = &snapshot.QuantMeta{RerankFactor: quant.DefaultRerankFactor, Rerank: true}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

@@ -291,6 +291,7 @@ func Experiments() []Experiment {
 		{ID: "quant", Title: "SQ8 quantized candidate scans: rerank factor → recall, build time, table bytes vs float64", Run: runQuant},
 		{ID: "planner", Title: "Cost-based engine planner: decisions across scales, and planner vs hand-tuned live", Run: runPlanner},
 		{ID: "shard", Title: "IVF-sharded matching: shard count → Hits@1, time, peak memory vs unsharded sparse", Run: runShard},
+		{ID: "batch", Title: "Register-blocked multi-query kernels: blocked vs per-pair scan throughput, coalesced serving QPS", Run: runBatch},
 		{ID: "table7", Title: "Table 7: unmatchable entities (DBP15K+)", Run: runTable7},
 		{ID: "table8", Title: "Table 8: non 1-to-1 alignment (FB_DBP_MUL)", Run: runTable8},
 		{ID: "figure4", Title: "Figure 4: STD of top-5 pairwise scores", Run: runFigure4},

@@ -1,0 +1,73 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+
+	"entmatcher/internal/matrix"
+)
+
+// oldScalarMulTransposed is the dense engine's historical inner loop — a
+// plain index-order sum — kept verbatim as the regression reference for the
+// satellite fix that routed MulTransposed/Dot through the shared vectorized
+// kernel.
+func oldScalarMulTransposed(a, b *matrix.Dense) *matrix.Dense {
+	out := matrix.New(a.Rows(), b.Rows())
+	for i := 0; i < a.Rows(); i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows(); j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TestMulTransposedKernelRegression pins the rerouted dense kernel on the
+// adversarial embedding suite (clustered, duplicate-row, 1-ulp near-tie,
+// constant, and short-vector tables):
+//
+//  1. Every product entry is BIT-IDENTICAL to Dot4 — the dense engine now
+//     shares the streaming kernel, so dense and streamed cosine scores
+//     carry the same bits (short vectors take the scalar path on every
+//     platform, long ones the vectorized one).
+//  2. Every entry stays within a tight relative tolerance of the OLD plain
+//     index-order scalar loop — the two kernels differ only in summation
+//     order, so any larger drift is a kernel bug, not rounding.
+//
+// matrix.Dot gets the same two checks.
+func TestMulTransposedKernelRegression(t *testing.T) {
+	for _, tc := range annCases(suiteSeed) {
+		got, err := matrix.MulTransposed(tc.Src, tc.Tgt)
+		if err != nil {
+			t.Fatalf("%s: MulTransposed: %v", tc.Name, err)
+		}
+		want := oldScalarMulTransposed(tc.Src, tc.Tgt)
+		for i := 0; i < got.Rows(); i++ {
+			for j := 0; j < got.Cols(); j++ {
+				g := got.At(i, j)
+				if kernel := matrix.Dot4(tc.Src.Row(i), tc.Tgt.Row(j)); g != kernel {
+					t.Fatalf("%s: (%d,%d): MulTransposed = %x, Dot4 = %x", tc.Name, i, j, g, kernel)
+				}
+				w := want.At(i, j)
+				if diff := math.Abs(g - w); diff > 1e-12*(1+math.Abs(w)) {
+					t.Fatalf("%s: (%d,%d): MulTransposed = %v, old scalar = %v (diff %g)",
+						tc.Name, i, j, g, w, diff)
+				}
+			}
+		}
+		for i := 0; i < min(3, tc.Src.Rows()); i++ {
+			for j := 0; j < min(3, tc.Tgt.Rows()); j++ {
+				a, b := tc.Src.Row(i), tc.Tgt.Row(j)
+				if g, kernel := matrix.Dot(a, b), matrix.Dot4(a, b); g != kernel {
+					t.Fatalf("%s: Dot(%d,%d) = %x, Dot4 = %x", tc.Name, i, j, g, kernel)
+				}
+			}
+		}
+	}
+}

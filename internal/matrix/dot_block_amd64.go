@@ -1,0 +1,14 @@
+//go:build amd64 && !purego
+
+package matrix
+
+// dotBlock3AVX2 computes out[j] = dot(aj, b) for three source rows sharing
+// one target row, loading each b chunk into a register once per step and
+// issuing one FMA per source row from it. Per-pair arithmetic — accumulator
+// layout, reduction tree, scalar tail — is exactly dotAVX2's, so each out[j]
+// is bit-identical to dotAVX2(aj, b); the blocking only changes which row's
+// memory traffic is amortized, never a rounding step. All four slices must
+// have equal length. Implemented in dot_block_amd64.s.
+//
+//go:noescape
+func dotBlock3AVX2(a0, a1, a2, b []float64, out *[3]float64)

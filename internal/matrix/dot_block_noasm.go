@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package matrix
+
+// dotBlock3AVX2 is never called when hasFastDot is false; this stub keeps
+// the blocked dispatch in dot_block.go portable.
+func dotBlock3AVX2(a0, a1, a2, b []float64, out *[3]float64) {
+	panic("matrix: dotBlock3AVX2 without asm")
+}

@@ -6,9 +6,9 @@ package matrix
 // loops: a dot product for cosine scores and the shared negated-distance
 // scalars for Euclidean/Manhattan. The distance scalars are also used by the
 // dense path in internal/sim, which makes streaming and dense distance
-// scores bit-identical. The dot product sums in a different order than the
-// dense MulTransposed kernel, so cosine scores may differ from the dense
-// path in the last few ulps; consumers compare with tolerance.
+// scores bit-identical. The dense MulTransposed kernel now routes through
+// the same dot kernel (matmul.go), so dense and streamed cosine scores are
+// bit-identical too; consumers that compared with tolerance still hold.
 //
 // On amd64 with AVX2+FMA the dot product dispatches to the vectorized
 // dotAVX2 (dot_amd64.s) for vectors of 16+ elements — the similarity pass is
@@ -87,17 +87,37 @@ func NegManhattan(a, b []float64) float64 {
 //
 // for r < dst.Rows(), c < dst.Cols(). The block must lie fully inside the
 // product's shape; dimensions are not re-checked here (the streaming driver
-// validates once). Rows of dst are computed in parallel on the worker pool.
-// The b block (dst.Cols() rows of b) is the reuse target: at tile sizes it
-// stays resident in cache while every a row streams across it.
+// validates once). Source rows are processed in register-blocked groups of
+// three sharing each b-row load (dotBlock3), computed in parallel on the
+// worker pool; the ragged last group falls back to the per-pair kernel.
+// Every element is bit-identical to the per-pair dot, so tile shape and
+// blocking never change a score. The b block (dst.Cols() rows of b) is the
+// reuse target: at tile sizes it stays resident in cache while every group
+// of a rows streams across it, and the blocking cuts its re-read traffic 3×.
 func MulTransposedBlockInto(dst, a, b *Dense, aOff, bOff int) {
 	d := a.cols
-	parallelRows(dst.rows, func(r int) {
-		arow := a.data[(aOff+r)*d : (aOff+r+1)*d]
-		orow := dst.Row(r)
-		for c := range orow {
-			brow := b.data[(bOff+c)*d : (bOff+c+1)*d]
-			orow[c] = dot(arow, brow)
+	groups := (dst.rows + 2) / 3
+	parallelRows(groups, func(g int) {
+		r := g * 3
+		if r+3 <= dst.rows {
+			a0 := a.data[(aOff+r)*d : (aOff+r+1)*d]
+			a1 := a.data[(aOff+r+1)*d : (aOff+r+2)*d]
+			a2 := a.data[(aOff+r+2)*d : (aOff+r+3)*d]
+			o0, o1, o2 := dst.Row(r), dst.Row(r+1), dst.Row(r+2)
+			var blk [3]float64
+			for c := range o0 {
+				brow := b.data[(bOff+c)*d : (bOff+c+1)*d]
+				dotBlock3(a0, a1, a2, brow, &blk)
+				o0[c], o1[c], o2[c] = blk[0], blk[1], blk[2]
+			}
+			return
+		}
+		for ; r < dst.rows; r++ {
+			arow := a.data[(aOff+r)*d : (aOff+r+1)*d]
+			orow := dst.Row(r)
+			for c := range orow {
+				orow[c] = dot(arow, b.data[(bOff+c)*d:(bOff+c+1)*d])
+			}
 		}
 	})
 }

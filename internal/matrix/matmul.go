@@ -49,23 +49,38 @@ func MulTransposed(a, b *Dense) (*Dense, error) {
 }
 
 // MulTransposedContext is MulTransposed with cooperative cancellation,
-// checked between row chunks of the output.
+// checked between row chunks of the output. The inner loop runs on the same
+// register-blocked dot kernel as the streaming tile pass (groups of three a
+// rows sharing each b-row read, per-pair dotAVX2/dotUnroll4 arithmetic), so
+// dense and streamed cosine scores are now bit-identical; historically the
+// dense path summed in plain index order and could differ in the last few
+// ulps (see TestMulTransposedKernelRegression for the pinned relationship to
+// the old scalar results).
 func MulTransposedContext(ctx context.Context, a, b *Dense) (*Dense, error) {
 	if a.cols != b.cols {
 		return nil, fmt.Errorf("%w: %d×%d · (%d×%d)ᵀ", ErrShape, a.rows, a.cols, b.rows, b.cols)
 	}
 	out := New(a.rows, b.rows)
 	d := a.cols
-	err := parallelRowsCtx(ctx, a.rows, func(i int) {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < b.rows; j++ {
-			brow := b.data[j*d : (j+1)*d]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	groups := (a.rows + 2) / 3
+	err := parallelRowsCtx(ctx, groups, func(g int) {
+		i := g * 3
+		if i+3 <= a.rows {
+			a0, a1, a2 := a.Row(i), a.Row(i+1), a.Row(i+2)
+			o0, o1, o2 := out.Row(i), out.Row(i+1), out.Row(i+2)
+			var blk [3]float64
+			for j := 0; j < b.rows; j++ {
+				dotBlock3(a0, a1, a2, b.data[j*d:(j+1)*d], &blk)
+				o0[j], o1[j], o2[j] = blk[0], blk[1], blk[2]
 			}
-			orow[j] = s
+			return
+		}
+		for ; i < a.rows; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.rows; j++ {
+				orow[j] = dot(arow, b.data[j*d:(j+1)*d])
+			}
 		}
 	})
 	if err != nil {
@@ -74,15 +89,13 @@ func MulTransposedContext(ctx context.Context, a, b *Dense) (*Dense, error) {
 	return out, nil
 }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors through the
+// shared streaming kernel (Dot4): vectorized on AVX2+FMA machines, the
+// unrolled scalar otherwise, identical bits to every streamed cosine score.
 // It panics if the lengths differ.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
+	return dot(a, b)
 }

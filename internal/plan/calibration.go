@@ -8,7 +8,7 @@
 // recognize are skipped, so new experiments never break old planners; a file
 // whose recognized records all vanish is reported as an error, so a schema
 // change that would silently un-calibrate the model fails loudly instead
-// (the CI calibration guard loads all four checked-in files).
+// (the CI calibration guard loads all six checked-in files).
 package plan
 
 import (
@@ -58,6 +58,24 @@ type Calibration struct {
 	QuantRerankMult float64
 	// QuantEncodeNS: per table value, SQ8 encoding (QUANT/encode rows).
 	QuantEncodeNS float64
+	// BlockedScanSpeedup and BlockedI8Speedup: single-thread throughput
+	// ratio of the per-pair scan to the register-blocked multi-query scan,
+	// for the float64 and int8 kernels respectively (the Batch/kernel rows
+	// of BENCH_batch.json). The streaming/sparse/ANN/quant files were fitted
+	// when every scan path streamed the corpus once per query, so their scan
+	// coefficients model the per-pair kernels; the planner divides each
+	// blocked scan term by the matching ratio to track the current kernels.
+	// Refitting those files on a blocked build folds the speedup into the
+	// coefficients themselves, and these ratios then refit toward 1.
+	BlockedScanSpeedup float64
+	BlockedI8Speedup   float64
+	// ShardCalibMult: measured/modeled wall ratio of the sharded engine,
+	// fitted end-to-end from the gated 1M×1M out-of-core run (the Shard/
+	// rows of BENCH_shard.json). It absorbs everything the component model
+	// misses at that scale — slab I/O, per-shard gathers, matcher passes
+	// over replicated edges — so EngineShard estimates stop being pure
+	// component extrapolation.
+	ShardCalibMult float64
 	// Recall maps probed-cluster fraction (nprobe/K) to candidate recall,
 	// fitted from the ANN/graph/nprobe=* sweep on the paper's structural
 	// embeddings — the conservative geometry (clustered corpora saturate
@@ -83,8 +101,38 @@ func Defaults() Calibration {
 		QuantScanRatio:  0.49,
 		QuantRerankMult: 29.4,
 		QuantEncodeNS:   8.4,
-		Recall:          defaultRecallCurve(),
+		// The blocked-kernel ratios and the sharded drift multiplier the
+		// checked-in BENCH_batch.json / BENCH_shard.json files fit to.
+		BlockedScanSpeedup: 2.40,
+		BlockedI8Speedup:   1.53,
+		ShardCalibMult:     7.2,
+		Recall:             defaultRecallCurve(),
 	}
+}
+
+// blockedSpeedup and blockedI8Speedup clamp the fitted ratios to >= 1: a
+// zero value (an old serialized calibration, or a file set without
+// BENCH_batch.json) must mean "no measured speedup", never a slowdown.
+func (cal *Calibration) blockedSpeedup() float64 {
+	if cal.BlockedScanSpeedup > 1 {
+		return cal.BlockedScanSpeedup
+	}
+	return 1
+}
+
+func (cal *Calibration) blockedI8Speedup() float64 {
+	if cal.BlockedI8Speedup > 1 {
+		return cal.BlockedI8Speedup
+	}
+	return 1
+}
+
+// shardMult treats an unfitted (zero) multiplier as 1.
+func (cal *Calibration) shardMult() float64 {
+	if cal.ShardCalibMult > 0 {
+		return cal.ShardCalibMult
+	}
+	return 1
 }
 
 // RecallPoint is one fitted (probed fraction, candidate recall) sample.
@@ -169,10 +217,22 @@ func (rc RecallCurve) Invert(target float64) (float64, bool) {
 // the root package, and the root package embeds the files for this planner —
 // an import cycle otherwise).
 type benchRecord struct {
-	Name       string  `json:"name"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp int64   `json:"bytes_per_op"`
-	Hits1      float64 `json:"hits1"`
+	Name       string         `json:"name"`
+	NsPerOp    float64        `json:"ns_per_op"`
+	BytesPerOp int64          `json:"bytes_per_op"`
+	Hits1      float64        `json:"hits1"`
+	Features   *benchFeatures `json:"features"`
+}
+
+// benchFeatures mirrors the optional workload-shape block some records
+// carry (bench.RecordFeatures); fitters prefer it over name tokens when
+// present.
+type benchFeatures struct {
+	SrcRows int `json:"src_rows"`
+	TgtRows int `json:"tgt_rows"`
+	Dim     int `json:"dim"`
+	Cand    int `json:"cand"`
+	Shards  int `json:"shards"`
 }
 
 type benchFile struct {
@@ -199,6 +259,8 @@ func (cal *Calibration) FitFile(name string, data []byte, defaultDim int) error 
 	fitted += cal.fitSparse(f.Benchmarks)
 	fitted += cal.fitANN(f.Benchmarks, defaultDim)
 	fitted += cal.fitQuant(f.Benchmarks)
+	fitted += cal.fitBatch(f.Benchmarks)
+	fitted += cal.fitShard(f.Benchmarks, defaultDim)
 	if fitted == 0 {
 		return fmt.Errorf("plan: %s: no recognized cost-model records among %d benchmarks (schema change?)", name, len(f.Benchmarks))
 	}
@@ -483,4 +545,104 @@ func (cal *Calibration) fitQuant(recs []benchRecord) int {
 		}
 	}
 	return fitted
+}
+
+// fitBatch fits the blocked-kernel speedup ratios from the Batch/kernel
+// rows: for each geometry measured both ways, the per-pair/blocked ns
+// ratio, medianed per kernel family. Ratios below 1 are clamped at use
+// time, not here, so a regressing measurement still shows in the fitted
+// value.
+func (cal *Calibration) fitBatch(recs []benchRecord) int {
+	type pair struct{ perPair, blocked float64 }
+	byGeom := map[string]map[string]*pair{"float": {}, "int8": {}}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "Batch/kernel/") || r.NsPerOp <= 0 {
+			continue
+		}
+		var kind string
+		switch {
+		case strings.HasPrefix(r.Name, "Batch/kernel/float/"):
+			kind = "float"
+		case strings.HasPrefix(r.Name, "Batch/kernel/int8/"):
+			kind = "int8"
+		default:
+			continue
+		}
+		q, okq := nameInt(r.Name, "q")
+		n, okn := nameInt(r.Name, "n")
+		d, okd := nameInt(r.Name, "d")
+		if !okq || !okn || !okd {
+			continue
+		}
+		geom := fmt.Sprintf("%d/%d/%d", q, n, d)
+		p := byGeom[kind][geom]
+		if p == nil {
+			p = &pair{}
+			byGeom[kind][geom] = p
+		}
+		switch {
+		case strings.Contains(r.Name, "/per-pair/"):
+			p.perPair = r.NsPerOp
+		case strings.Contains(r.Name, "/blocked/"):
+			p.blocked = r.NsPerOp
+		}
+	}
+	fitted := 0
+	fit := func(kind string, into *float64) {
+		ratios := []float64{}
+		for _, p := range byGeom[kind] {
+			if p.perPair > 0 && p.blocked > 0 {
+				ratios = append(ratios, p.perPair/p.blocked)
+			}
+		}
+		if len(ratios) > 0 {
+			*into = median(ratios)
+			fitted++
+		}
+	}
+	fit("float", &cal.BlockedScanSpeedup)
+	fit("int8", &cal.BlockedI8Speedup)
+	return fitted
+}
+
+// fitShard fits the sharded engine's end-to-end drift multiplier: for each
+// Shard/ row, the measured wall over what the component model (shardWallNS,
+// using the coefficients fitted so far — batch rows are fitted before shard
+// files in DefaultCalibration's order) predicts for that workload,
+// medianed. The workload shape comes from the record's features block when
+// present, name tokens otherwise.
+func (cal *Calibration) fitShard(recs []benchRecord, defaultDim int) int {
+	ratios := []float64{}
+	for _, r := range recs {
+		if !strings.HasPrefix(r.Name, "Shard/") || r.NsPerOp <= 0 {
+			continue
+		}
+		n, okn := nameInt(r.Name, "n")
+		c, okc := nameInt(r.Name, "C")
+		s, oks := nameInt(r.Name, "S")
+		if !okn || !okc || !oks || n <= 0 || c <= 0 || s <= 1 {
+			continue
+		}
+		m, d := n, defaultDim
+		if f := r.Features; f != nil {
+			if f.SrcRows > 0 {
+				n = f.SrcRows
+			}
+			if f.TgtRows > 0 {
+				m = f.TgtRows
+			}
+			if f.Dim > 0 {
+				d = f.Dim
+			}
+		}
+		model := cal.shardWallNS(float64(n), float64(m), float64(d), float64(c), s)
+		if model > 0 {
+			ratios = append(ratios, r.NsPerOp/model)
+		}
+	}
+	if len(ratios) == 0 {
+		return 0
+	}
+	cal.ShardCalibMult = median(ratios)
+	return 1
 }

@@ -10,7 +10,9 @@
 // The cost model is a handful of per-unit coefficients (ns per scanned
 // cell·dim, ns per retained candidate edge, bytes per graph edge, ...)
 // fitted from the checked-in BENCH_streaming/sparse/ann/quant.json
-// measurements — see calibration.go. Estimates are planning signals, not
+// measurements, bridged to the current register-blocked scan kernels by the
+// throughput ratios of BENCH_batch.json and drift-corrected for the sharded
+// engine by BENCH_shard.json — see calibration.go. Estimates are planning signals, not
 // predictions: they rank engines against each other on the calibrated
 // hardware profile and bound memory conservatively (the planner must never
 // pick a plan that cannot fit, so the byte model rounds up).
@@ -413,8 +415,16 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 	ivf := int64(8*(n+m)*d + 8*float64(kFwd+kRev)*d + 4*(n+m))
 	codes := int64((n+m)*d + 16*d) // SQ8 code slabs + per-dimension scales
 
+	// Every exhaustive and probed scan now runs the register-blocked
+	// multi-query kernels; the scan coefficients were fitted on per-pair
+	// builds, so the blocked throughput ratios bridge them to the current
+	// kernels (int8 scans block by four and have their own ratio).
+	blk := cal.blockedSpeedup()
+	blk8 := cal.blockedI8Speedup()
+
 	edgeNS := cal.SparseEdgeNS * (n + m) * cf
-	scanNS := cal.SparseBuildNS * n * m * d
+	scanRawNS := cal.SparseBuildNS * n * m * d
+	scanNS := scanRawNS / blk
 	// Quantized scans trade the float64 kernel for int8 + an exact re-rank
 	// pool of factor×C rows per query; the ratio model is fitted against
 	// the float scan of the same geometry. The fitted line is only valid
@@ -432,7 +442,7 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 			Engine:         EngineDense,
 			Knobs:          Knobs{},
 			EstPeakBytes:   tables + int64(16*n*m), // matrix + one matcher-held transform copy
-			EstWallNS:      int64(cal.DenseSimNS*n*m*d + cal.DenseMatchNS*n*m),
+			EstWallNS:      int64(cal.DenseSimNS*n*m*d/blk + cal.DenseMatchNS*n*m),
 			EstRecall:      1,
 			FullCapability: true,
 		},
@@ -440,7 +450,7 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 			Engine:         EngineStreaming,
 			Knobs:          Knobs{Streaming: true},
 			EstPeakBytes:   tablesRes + tileOverheadBytes,
-			EstWallNS:      int64(cal.StreamPassNS * n * m * d),
+			EstWallNS:      int64(cal.StreamPassNS * n * m * d / blk),
 			EstRecall:      1,
 			FullCapability: false,
 		},
@@ -456,7 +466,7 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 			Engine:         EngineQuant,
 			Knobs:          Knobs{CandidateBudget: c, Quant: true, RerankFactor: defaultRerankFactor},
 			EstPeakBytes:   tables + tileOverheadBytes + graphs + codes,
-			EstWallNS:      int64(encodeNS + scanNS*quantRatio + edgeNS),
+			EstWallNS:      int64(encodeNS + scanRawNS*quantRatio/blk8 + edgeNS),
 			EstRecall:      1, // exact float64 re-rank at the default factor is bit-identical
 			FullCapability: true,
 		},
@@ -471,12 +481,12 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 	centNS := cal.ANNCentroidNS * n * float64(kFwd) * d
 	annAt := func(engine Engine, np int, quantized bool) Candidate {
 		frac := float64(np) / float64(kFwd)
-		scan := cal.ANNScanNS * frac * n * m * d
-		wall := trainNS + centNS + scan + edgeNS
+		scanRaw := cal.ANNScanNS * frac * n * m * d
+		wall := trainNS + centNS + scanRaw/blk + edgeNS
 		peak := tables + tileOverheadBytes + graphs + ivf
 		knobs := Knobs{CandidateBudget: c, Clusters: kFwd, NProbe: np}
 		if quantized {
-			wall = trainNS + centNS + scan*quantRatio + encodeNS + edgeNS
+			wall = trainNS + centNS + scanRaw*quantRatio/blk8 + encodeNS + edgeNS
 			peak += codes
 			knobs.Quant = true
 			knobs.RerankFactor = defaultRerankFactor
@@ -525,19 +535,36 @@ func (cal *Calibration) enumerate(w Workload, target float64) []Candidate {
 		// Per-shard gathered tables: n·R/S source rows + m/S target rows,
 		// live on Workers shards at once.
 		shardTables := int64(8 * d * (n*frac + m/float64(s)) * float64(workers))
-		trainShardNS := cal.ANNTrainNS * 32768 * float64(s) * d
-		assignNS := cal.ANNCentroidNS * (n + m) * float64(s) * d
 		cands = append(cands, Candidate{
 			Engine: EngineShard,
 			Knobs:  Knobs{CandidateBudget: c, Shards: s},
 			EstPeakBytes: tablesRes + tileOverheadBytes + graphs +
 				shardTables,
-			EstWallNS:      int64(trainShardNS + assignNS + scanNS*frac + edgeNS*float64(r)),
+			EstWallNS:      int64(cal.shardWallNS(n, m, d, cf, s) * cal.shardMult()),
 			EstRecall:      cal.Recall.Eval(frac),
 			FullCapability: true,
 		})
 	}
 	return cands
+}
+
+// shardWallNS is the component model of the sharded engine's wall time —
+// k-means co-clustering into s cells, assigning both corpora, the
+// replicated fraction of the (blocked-kernel) exhaustive scan, and the
+// sparse matcher pass over the replicas' edges — before ShardCalibMult's
+// end-to-end drift correction. fitShard divides measured Shard/ records by
+// this same model, so the correction and its application stay consistent.
+func (cal *Calibration) shardWallNS(n, m, d, cf float64, s int) float64 {
+	r := shardReplicas
+	if r > s {
+		r = s
+	}
+	frac := float64(r) / float64(s)
+	trainShardNS := cal.ANNTrainNS * 32768 * float64(s) * d
+	assignNS := cal.ANNCentroidNS * (n + m) * float64(s) * d
+	scanNS := cal.SparseBuildNS * n * m * d / cal.blockedSpeedup()
+	edgeNS := cal.SparseEdgeNS * (n + m) * cf
+	return trainShardNS + assignNS + scanNS*frac + edgeNS*float64(r)
 }
 
 func max(a, b int) int {

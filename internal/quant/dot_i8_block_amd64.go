@@ -1,0 +1,12 @@
+//go:build amd64 && !purego
+
+package quant
+
+// dotI8Block4AVX2 computes out[j] = Σ qj[i]·b[i] for four query rows sharing
+// one corpus row, widening each corpus chunk once per step. Exact integer
+// math throughout, so each out[j] equals dotI8Scalar(qj, b) bit-for-bit.
+// All five slices must have equal length. Implemented in
+// dot_i8_block_amd64.s.
+//
+//go:noescape
+func dotI8Block4AVX2(q0, q1, q2, q3, b []int8, out *[4]int32)

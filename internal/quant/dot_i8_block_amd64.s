@@ -1,0 +1,144 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func dotI8Block4AVX2(q0, q1, q2, q3, b []int8, out *[4]int32)
+//
+// Register-blocked int8 dot product: four quantized query rows against one
+// shared corpus row per pass. Each iteration sign-extends 32 bytes of the
+// corpus row into two YMM int16 registers once (Y8/Y9) and feeds four
+// VPMADDWD/VPADDD chains — one per query — so the corpus slab's memory
+// traffic drops 4× versus four independent dotI8AVX2 calls. All arithmetic
+// is exact integer math (products bounded by 127·127, pair sums by 32258,
+// no overflow for lengths up to 2^16 — Encode's maxDim guard), so each
+// out[j] equals dotI8Scalar(qj, b) bit-for-bit regardless of blocking or
+// summation order; see dot_i8_block_amd64_test.go for the pin.
+TEXT ·dotI8Block4AVX2(SB), NOSPLIT, $0-128
+	MOVQ q0_base+0(FP), SI
+	MOVQ q1_base+24(FP), R8
+	MOVQ q2_base+48(FP), R9
+	MOVQ q3_base+72(FP), R10
+	MOVQ b_base+96(FP), DI
+	MOVQ b_len+104(FP), CX
+	MOVQ out+120(FP), BX
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+	VPXOR Y4, Y4, Y4
+	VPXOR Y5, Y5, Y5
+	VPXOR Y6, Y6, Y6
+	VPXOR Y7, Y7, Y7
+
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-32, DX
+	CMPQ AX, DX
+	JGE  reduce
+
+loop32:
+	// One widening of each corpus chunk serves all four queries.
+	VPMOVSXBW (DI)(AX*1), Y8
+	VPMOVSXBW 16(DI)(AX*1), Y9
+
+	VPMOVSXBW (SI)(AX*1), Y10
+	VPMOVSXBW 16(SI)(AX*1), Y11
+	VPMADDWD  Y8, Y10, Y10
+	VPMADDWD  Y9, Y11, Y11
+	VPADDD    Y10, Y0, Y0
+	VPADDD    Y11, Y1, Y1
+
+	VPMOVSXBW (R8)(AX*1), Y10
+	VPMOVSXBW 16(R8)(AX*1), Y11
+	VPMADDWD  Y8, Y10, Y10
+	VPMADDWD  Y9, Y11, Y11
+	VPADDD    Y10, Y2, Y2
+	VPADDD    Y11, Y3, Y3
+
+	VPMOVSXBW (R9)(AX*1), Y10
+	VPMOVSXBW 16(R9)(AX*1), Y11
+	VPMADDWD  Y8, Y10, Y10
+	VPMADDWD  Y9, Y11, Y11
+	VPADDD    Y10, Y4, Y4
+	VPADDD    Y11, Y5, Y5
+
+	VPMOVSXBW (R10)(AX*1), Y10
+	VPMOVSXBW 16(R10)(AX*1), Y11
+	VPMADDWD  Y8, Y10, Y10
+	VPMADDWD  Y9, Y11, Y11
+	VPADDD    Y10, Y6, Y6
+	VPADDD    Y11, Y7, Y7
+
+	ADDQ $32, AX
+	CMPQ AX, DX
+	JLT  loop32
+
+reduce:
+	// Per-query folds, each the exact reduction from dot_i8_amd64.s.
+	// Query 0 -> R11.
+	VPADDD       Y1, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1 // [2 3 0 1]
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1 // [1 0 3 2]
+	VPADDD       X1, X0, X0
+	MOVQ         X0, R11
+
+	// Query 1 -> R12.
+	VPADDD       Y3, Y2, Y2
+	VEXTRACTI128 $1, Y2, X3
+	VPADDD       X3, X2, X2
+	VPSHUFD      $0x4E, X2, X3
+	VPADDD       X3, X2, X2
+	VPSHUFD      $0xB1, X2, X3
+	VPADDD       X3, X2, X2
+	MOVQ         X2, R12
+
+	// Query 2 -> R13.
+	VPADDD       Y5, Y4, Y4
+	VEXTRACTI128 $1, Y4, X5
+	VPADDD       X5, X4, X4
+	VPSHUFD      $0x4E, X4, X5
+	VPADDD       X5, X4, X4
+	VPSHUFD      $0xB1, X4, X5
+	VPADDD       X5, X4, X4
+	MOVQ         X4, R13
+
+	// Query 3 -> R14.
+	VPADDD       Y7, Y6, Y6
+	VEXTRACTI128 $1, Y6, X7
+	VPADDD       X7, X6, X6
+	VPSHUFD      $0x4E, X6, X7
+	VPADDD       X7, X6, X6
+	VPSHUFD      $0xB1, X6, X7
+	VPADDD       X7, X6, X6
+	MOVQ         X6, R14
+
+scalar:
+	CMPQ AX, CX
+	JGE  done
+	MOVBLSX (DI)(AX*1), R15
+	MOVBLSX (SI)(AX*1), DX
+	IMULL   R15, DX
+	ADDL    DX, R11
+	MOVBLSX (R8)(AX*1), DX
+	IMULL   R15, DX
+	ADDL    DX, R12
+	MOVBLSX (R9)(AX*1), DX
+	IMULL   R15, DX
+	ADDL    DX, R13
+	MOVBLSX (R10)(AX*1), DX
+	IMULL   R15, DX
+	ADDL    DX, R14
+	INCQ    AX
+	JMP     scalar
+
+done:
+	MOVL R11, (BX)
+	MOVL R12, 4(BX)
+	MOVL R13, 8(BX)
+	MOVL R14, 12(BX)
+	VZEROUPPER
+	RET

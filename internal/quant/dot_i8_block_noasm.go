@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package quant
+
+// dotI8Block4AVX2 is never called when hasFastDotI8 is false; this stub
+// keeps the blocked dispatch in dot.go portable.
+func dotI8Block4AVX2(q0, q1, q2, q3, b []int8, out *[4]int32) {
+	panic("quant: dotI8Block4AVX2 without asm")
+}

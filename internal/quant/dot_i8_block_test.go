@@ -1,0 +1,86 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDotI8Block4MatchesScalar pins the blocked int8 kernel to the scalar
+// contract on lengths around every dispatch and unroll boundary, including
+// adversarial extreme codes (±127 runs) that maximize the partial sums.
+// Runs on both the asm and purego legs: on purego the blocked dispatch is
+// the scalar loop itself, on amd64 it exercises dotI8Block4AVX2.
+func TestDotI8Block4MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{0, 1, 7, 31, 32, 33, 63, 64, 65, 96, 100, 128, 257} {
+		for rep := 0; rep < 8; rep++ {
+			qs := make([][]int8, 4)
+			for j := range qs {
+				qs[j] = make([]int8, n)
+				for i := range qs[j] {
+					qs[j][i] = int8(rng.Intn(255) - 127)
+				}
+			}
+			b := make([]int8, n)
+			for i := range b {
+				b[i] = int8(rng.Intn(255) - 127)
+			}
+			if rep == 7 { // extreme-code run: all ±127
+				for j := range qs {
+					for i := range qs[j] {
+						qs[j][i] = 127
+					}
+				}
+				for i := range b {
+					b[i] = -127
+				}
+			}
+			var out [4]int32
+			DotI8Block4(qs[0], qs[1], qs[2], qs[3], b, &out)
+			for j := 0; j < 4; j++ {
+				if want := dotI8Scalar(qs[j], b); out[j] != want {
+					t.Fatalf("n=%d rep=%d query=%d: DotI8Block4 = %d, scalar = %d", n, rep, j, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkDotI8BlockKernels(b *testing.B) {
+	// Four queries against a 512-row corpus slab of dimension 128: the inner
+	// loop of a grouped two-phase scan.
+	const d, nRows = 128, 512
+	rng := rand.New(rand.NewSource(47))
+	qs := make([][]int8, 4)
+	for j := range qs {
+		qs[j] = make([]int8, d)
+		for i := range qs[j] {
+			qs[j][i] = int8(rng.Intn(255) - 127)
+		}
+	}
+	corpus := make([]int8, nRows*d)
+	for i := range corpus {
+		corpus[i] = int8(rng.Intn(255) - 127)
+	}
+	b.Run("per-pair", func(b *testing.B) {
+		b.SetBytes(int64(4 * nRows * d))
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < nRows; r++ {
+				row := corpus[r*d : (r+1)*d]
+				sinkI32 = DotI8(qs[0], row) + DotI8(qs[1], row) + DotI8(qs[2], row) + DotI8(qs[3], row)
+			}
+		}
+	})
+	b.Run("blocked", func(b *testing.B) {
+		b.SetBytes(int64(4 * nRows * d))
+		var out [4]int32
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < nRows; r++ {
+				DotI8Block4(qs[0], qs[1], qs[2], qs[3], corpus[r*d:(r+1)*d], &out)
+			}
+		}
+		sinkI32 = out[0]
+	})
+}
+
+var sinkI32 int32

@@ -134,12 +134,20 @@ func scanTopK(sc *scanScratch, qf []float64, tq *Table, ft *matrix.Dense, c, fac
 	for i := 0; i < n; i++ {
 		sc.ints[i] = DotI8(sc.codeQ, tq.Row(i))
 	}
+	return scanFinish(sc, qf, sq, ft, c, p, rerank), nil
+}
+
+// scanFinish completes one query's two-phase scan once sc.ints holds the
+// int8 scores of every candidate: either the approximate top-c straight off
+// the integer scores (rerank=false) or the boundary-tie-inclusive pool plus
+// exact float64 re-rank. The returned TopK aliases sc.sel's storage.
+func scanFinish(sc *scanScratch, qf []float64, sq float64, ft *matrix.Dense, c, p int, rerank bool) matrix.TopK {
 	if !rerank {
 		sc.sel.EnsureK(c)
 		for i, v := range sc.ints {
 			sc.sel.Offer(sq*float64(v), i)
 		}
-		return sc.sel.Finalize(), nil
+		return sc.sel.Finalize()
 	}
 	th := PoolThreshold(sc.ints, p, sc.heapBuf)
 	sc.pool = sc.pool[:0]
@@ -150,5 +158,40 @@ func scanTopK(sc *scanScratch, qf []float64, tq *Table, ft *matrix.Dense, c, fac
 	}
 	return matrix.RerankTopK(sc.sel, sc.pool, c, func(slot int) float64 {
 		return matrix.Dot4(qf, ft.Row(sc.pool[slot]))
-	}), nil
+	})
+}
+
+// scanTopK4 is scanTopK for four queries sharing one register-blocked pass
+// over the code slab: each corpus row is read once and scored for all four
+// queries through DotI8Block4 (exact integer math, so every score equals the
+// per-query scan's bit-for-bit), then threshold, pool, and re-rank run per
+// query. Each returned TopK aliases the matching scratch's storage.
+func scanTopK4(scs *[4]*scanScratch, qfs *[4][]float64, tq *Table, ft *matrix.Dense, c, factor int, rerank bool) ([4]matrix.TopK, error) {
+	n := tq.Rows()
+	if c > n {
+		c = n
+	}
+	p := PoolSize(factor, c, n)
+	var sqs [4]float64
+	for j := 0; j < 4; j++ {
+		scs[j].ensure(tq.Dim(), n, p)
+		sq, err := tq.QuantizeQuery(qfs[j], scs[j].codeQ)
+		if err != nil {
+			return [4]matrix.TopK{}, err
+		}
+		sqs[j] = sq
+	}
+	var blk [4]int32
+	for i := 0; i < n; i++ {
+		DotI8Block4(scs[0].codeQ, scs[1].codeQ, scs[2].codeQ, scs[3].codeQ, tq.Row(i), &blk)
+		scs[0].ints[i] = blk[0]
+		scs[1].ints[i] = blk[1]
+		scs[2].ints[i] = blk[2]
+		scs[3].ints[i] = blk[3]
+	}
+	var out [4]matrix.TopK
+	for j := 0; j < 4; j++ {
+		out[j] = scanFinish(scs[j], qfs[j], sqs[j], ft, c, p, rerank)
+	}
+	return out, nil
 }

@@ -111,24 +111,57 @@ func (s *Source) searchAll(ctx context.Context, qTab *matrix.Dense, cq *Table, c
 	out := make([]matrix.TopK, nq)
 	var firstErr error
 	var errMu sync.Mutex
-	err := matrix.ParallelRowsCtx(ctx, nq, func(qi int) {
-		sc := s.scratch.Get().(*scanScratch)
-		tk, err := scanTopK(sc, qTab.Row(qi), cq, cf, c, s.factor, s.rerank)
-		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
+	record := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	// Queries run in register-blocked groups of four sharing each pass over
+	// the code slab (scanTopK4); the ragged remainder takes the per-query
+	// scan. Integer scores are exact, so grouping never changes a result.
+	groups := (nq + 3) / 4
+	err := matrix.ParallelRowsCtx(ctx, groups, func(g int) {
+		qi := g * 4
+		if qi+4 <= nq {
+			var scs [4]*scanScratch
+			var qfs [4][]float64
+			for j := 0; j < 4; j++ {
+				scs[j] = s.scratch.Get().(*scanScratch)
+				qfs[j] = qTab.Row(qi + j)
 			}
-			errMu.Unlock()
-			s.scratch.Put(sc)
+			tks, err := scanTopK4(&scs, &qfs, cq, cf, c, s.factor, s.rerank)
+			if err != nil {
+				record(err)
+			} else {
+				// Each TopK aliases pooled storage; copy out before releasing.
+				for j := 0; j < 4; j++ {
+					out[qi+j] = matrix.TopK{
+						Values:  append([]float64(nil), tks[j].Values...),
+						Indices: append([]int(nil), tks[j].Indices...),
+					}
+				}
+			}
+			for j := 0; j < 4; j++ {
+				s.scratch.Put(scs[j])
+			}
 			return
 		}
-		// The TopK aliases pooled storage; copy out before releasing.
-		out[qi] = matrix.TopK{
-			Values:  append([]float64(nil), tk.Values...),
-			Indices: append([]int(nil), tk.Indices...),
+		for ; qi < nq; qi++ {
+			sc := s.scratch.Get().(*scanScratch)
+			tk, err := scanTopK(sc, qTab.Row(qi), cq, cf, c, s.factor, s.rerank)
+			if err != nil {
+				record(err)
+				s.scratch.Put(sc)
+				return
+			}
+			out[qi] = matrix.TopK{
+				Values:  append([]float64(nil), tk.Values...),
+				Indices: append([]int(nil), tk.Indices...),
+			}
+			s.scratch.Put(sc)
 		}
-		s.scratch.Put(sc)
 	})
 	if err != nil {
 		return nil, err
@@ -163,6 +196,31 @@ func (s *Source) SearchRow(ctx context.Context, row, k int) (matrix.TopK, error)
 		Values:  append([]float64(nil), tk.Values...),
 		Indices: append([]int(nil), tk.Indices...),
 	}, nil
+}
+
+// SearchRows answers several forward point queries in one register-blocked
+// pass: the selected source rows are gathered into a query table and served
+// through the same grouped two-phase scan as the graph build, so each
+// returned TopK is bit-identical to SearchRow(row, k) — one corpus-slab
+// read now serves up to four queries instead of one. Every TopK owns its
+// storage.
+func (s *Source) SearchRows(ctx context.Context, rows []int, k int) ([]matrix.TopK, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("quant: k %d < 1", k)
+	}
+	for _, row := range rows {
+		if row < 0 || row >= s.srcTab.Rows() {
+			return nil, fmt.Errorf("quant: row %d out of range [0, %d)", row, s.srcTab.Rows())
+		}
+	}
+	qTab := matrix.New(len(rows), s.srcTab.Cols())
+	for i, row := range rows {
+		copy(qTab.Row(i), s.srcTab.Row(row))
+	}
+	return s.searchAll(ctx, qTab, s.tgtQ, s.tgtTab, k)
 }
 
 // ProduceCandGraph implements matrix.CandGraphProducer: the forward

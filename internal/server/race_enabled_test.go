@@ -1,0 +1,7 @@
+//go:build race
+
+package server
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count pins are meaningless then.
+const raceEnabled = true

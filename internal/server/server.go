@@ -76,6 +76,19 @@ type Config struct {
 	// MaxSnapshotBytes bounds the snapshot file size accepted at load
 	// (0 = snapshot.DefaultMaxBytes).
 	MaxSnapshotBytes int64
+	// MaxBatch bounds how many /match/topk cache misses one coalesced
+	// batch may carry. Under concurrent load, misses are collected into a
+	// bounded window and served through one register-blocked batch scan
+	// per distinct k; identical (row, k) requests are deduplicated
+	// singleflight-style. 0 means the default 32; a value <= 1 (after
+	// defaulting: pass a negative) disables coalescing entirely and every
+	// request walks the searcher ladder alone.
+	MaxBatch int
+	// MaxWait is how long a batch leader holds its window open for
+	// batchmates before executing. Only paid when at least two requests
+	// are in flight — a lone request always takes the direct path at zero
+	// added latency. Default 500µs.
+	MaxWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +103,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxK <= 0 {
 		c.MaxK = 128
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 500 * time.Microsecond
 	}
 	return c
 }
@@ -144,6 +163,7 @@ type Server struct {
 
 	cache    *lruCache
 	gate     chan struct{}
+	coal     *coalescer // nil when request coalescing is disabled
 	draining atomic.Bool
 	inflight atomic.Int64
 
@@ -156,6 +176,8 @@ type Server struct {
 	cacheHits, cacheMisses                           atomic.Int64
 	gateRejections                                   atomic.Int64
 	servedQuant, servedANN, servedExact, servedOther atomic.Int64
+	batches, batchedQueries, coalescedDup            atomic.Int64
+	maxBatchSeen                                     atomic.Int64
 }
 
 // Stats is a point-in-time copy of the server's observability counters,
@@ -175,6 +197,14 @@ type Stats struct {
 	ServedOther    int64 `json:"served_other"`
 	InFlight       int64 `json:"in_flight"`
 	Draining       bool  `json:"draining"`
+	// Coalescing counters: Batches is executed windows, BatchedQueries the
+	// unique (row, k) queries they carried (avg batch size is the ratio),
+	// CoalescedDup the extra requests answered by an existing window entry
+	// without a scan of their own, MaxBatchSize the largest window executed.
+	Batches        int64 `json:"batches"`
+	BatchedQueries int64 `json:"batched_queries"`
+	CoalescedDup   int64 `json:"coalesced_dup"`
+	MaxBatchSize   int64 `json:"max_batch_size"`
 	// Plan is the startup self-configuration plan's chosen engine in label
 	// form (e.g. "quant+sparse(C=64,f=4)"); empty when the planner
 	// calibration was unavailable at startup.
@@ -189,7 +219,7 @@ func (s *Server) Stats() Stats {
 		planLabel = s.plan.Chosen.Label()
 	}
 	return Stats{
-		Plan: planLabel,
+		Plan:           planLabel,
 		CacheHits:      s.cacheHits.Load(),
 		CacheMisses:    s.cacheMisses.Load(),
 		CacheEntries:   s.cache.len(),
@@ -200,6 +230,10 @@ func (s *Server) Stats() Stats {
 		ServedOther:    s.servedOther.Load(),
 		InFlight:       s.inflight.Load(),
 		Draining:       s.draining.Load(),
+		Batches:        s.batches.Load(),
+		BatchedQueries: s.batchedQueries.Load(),
+		CoalescedDup:   s.coalescedDup.Load(),
+		MaxBatchSize:   s.maxBatchSeen.Load(),
 	}
 }
 
@@ -461,6 +495,9 @@ func NewFromSnapshot(snap *snapshot.Snapshot, cfg Config, opts ...Option) (*Serv
 		// the float index tier, not the quant tier above it.
 		s.searchers = append([]TopKSearcher{qs}, s.searchers...)
 	}
+	if cfg.MaxBatch > 1 {
+		s.coal = newCoalescer(s)
+	}
 	return s, nil
 }
 
@@ -612,6 +649,39 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cacheMisses.Add(1)
+
+	// Under concurrent load, route the miss through the coalescer: misses
+	// arriving within one MaxWait window are served by a single
+	// register-blocked batch scan, and identical (row, k) requests share one
+	// entry. A lone request (inflight <= 1) skips the window — no batchmates
+	// can arrive, so it takes the direct ladder at zero added latency.
+	if s.coal != nil && s.inflight.Load() > 1 {
+		res, err := s.coal.do(r.Context(), row, k)
+		if err != nil {
+			// The request's own deadline fired while waiting on the batch.
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+			return
+		}
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) || r.Context().Err() != nil {
+				writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+				return
+			}
+			writeError(w, http.StatusInternalServerError, res.err.Error())
+			return
+		}
+		resp := topKResponse{
+			Query: name, Row: row, K: k,
+			ServedBy: res.servedBy, DegradedFrom: res.degraded,
+			Results: make([]topKEntry, len(res.top.Indices)),
+		}
+		for i, col := range res.top.Indices {
+			resp.Results[i] = topKEntry{Col: col, Name: s.snap.TgtVocab[col], Score: res.top.Values[i]}
+		}
+		s.cache.add(key, resp)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 
 	var degraded []string
 	for _, searcher := range s.searchers {
@@ -854,6 +924,18 @@ func (q *quantSearcher) Search(ctx context.Context, row, k int) (matrix.TopK, er
 	return res[0], nil
 }
 
+// SearchBatch implements BatchSearcher: all rows share each pass over the
+// quantized code slabs (the int8 register-blocked kernel scores four queries
+// per corpus read), so results are bit-identical to per-row Search at the
+// same k — only the slab traffic shrinks.
+func (q *quantSearcher) SearchBatch(ctx context.Context, rows []int, k int) ([]matrix.TopK, error) {
+	if q.ivf == nil {
+		return q.qsrc.SearchRows(ctx, rows, k)
+	}
+	qm := q.s.gatherSrcRows(rows)
+	return q.ivf.SearchQuant(ctx, qm, k, q.nprobe, q.factor, q.rerank)
+}
+
 // ivfSearcher answers top-k from the persisted IVF index.
 type ivfSearcher struct {
 	s      *Server
@@ -873,6 +955,13 @@ func (i *ivfSearcher) Search(ctx context.Context, row, k int) (matrix.TopK, erro
 		return matrix.TopK{}, err
 	}
 	return res[0], nil
+}
+
+// SearchBatch implements BatchSearcher: the IVF slab scan groups the rows
+// three per pass through the float register-blocked kernel; each query still
+// probes its own cells, so every TopK matches per-row Search bit-for-bit.
+func (i *ivfSearcher) SearchBatch(ctx context.Context, rows []int, k int) ([]matrix.TopK, error) {
+	return i.ivf.Search(ctx, i.s.gatherSrcRows(rows), k, i.nprobe)
 }
 
 // exactSearcher answers top-k from a full streaming score row — the
@@ -895,6 +984,37 @@ func (e *exactSearcher) Search(ctx context.Context, row, k int) (matrix.TopK, er
 		sel.Offer(v, j)
 	}
 	return sel.Finalize(), nil
+}
+
+// SearchBatch implements BatchSearcher: one multi-row Block extraction scores
+// all queries (cosine rows run three per pass through the blocked kernel),
+// then each row selects its own top-k. Scores are bit-identical to the
+// single-row path, and BoundedTopK's total order (value desc, index asc) is
+// scan-order-insensitive, so so are the selections.
+func (e *exactSearcher) SearchBatch(ctx context.Context, rows []int, k int) ([]matrix.TopK, error) {
+	block, err := e.s.stream.Block(ctx, rows, e.s.colIDs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]matrix.TopK, len(rows))
+	for i := range rows {
+		sel := matrix.NewBoundedTopK(k)
+		for j, v := range block.Row(i) {
+			sel.Offer(v, j)
+		}
+		out[i] = sel.Finalize()
+	}
+	return out, nil
+}
+
+// gatherSrcRows copies the selected source rows into a contiguous query
+// matrix for the multi-row index search entry points.
+func (s *Server) gatherSrcRows(rows []int) *matrix.Dense {
+	qm := matrix.New(len(rows), s.snap.SrcTable.Cols())
+	for i, row := range rows {
+		copy(qm.Row(i), s.snap.SrcTable.Row(row))
+	}
+	return qm
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -507,8 +507,8 @@ func TestTopKQuantDegradesToANN(t *testing.T) {
 func TestStatszCounters(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	h := srv.Handler()
-	getJSON(t, h, "/match/topk?row=1&k=3", http.StatusOK) // miss, served by ann
-	getJSON(t, h, "/match/topk?row=1&k=3", http.StatusOK) // cache hit
+	getJSON(t, h, "/match/topk?row=1&k=3", http.StatusOK)         // miss, served by ann
+	getJSON(t, h, "/match/topk?row=1&k=3", http.StatusOK)         // cache hit
 	postAlign(t, h, `{"matcher":"RInf","cand":8}`, http.StatusOK) // @ann tier
 	st := getJSON(t, h, "/statsz", http.StatusOK)
 	want := map[string]float64{

@@ -467,6 +467,20 @@ func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense
 	}
 	out := matrix.New(len(rowIDs), len(colIDs))
 	realCols := s.RealCols()
+	if s.metric == Cosine {
+		err := s.blockCosine(ctx, out,
+			func(x int) []float64 { return s.src.Row(rowIDs[x]) },
+			func(y int) []float64 {
+				if j := colIDs[y]; j < realCols {
+					return s.tgt.Row(j)
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	err := matrix.ParallelRowsCtx(ctx, len(rowIDs), func(x int) {
 		i := rowIDs[x]
 		srow := s.src.Row(i)
@@ -478,8 +492,6 @@ func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense
 			}
 			trow := s.tgt.Row(j)
 			switch s.metric {
-			case Cosine:
-				drow[y] = matrix.Dot4(srow, trow)
 			case Euclidean:
 				drow[y] = matrix.NegEuclidean(srow, trow)
 			case Manhattan:
@@ -491,6 +503,47 @@ func (s *Stream) Block(ctx context.Context, rowIDs, colIDs []int) (*matrix.Dense
 		return nil, err
 	}
 	return out, nil
+}
+
+// blockCosine fills out[x][y] = Dot4(srcRow(x), tgtRow(y)), with a nil
+// tgtRow(y) standing for a dummy column (constant dummyScore). Source rows
+// are processed in register-blocked groups of three sharing each target-row
+// read (matrix.DotBlock3); the ragged last group falls back to the per-pair
+// kernel. Every score is bit-identical to the per-pair Dot4 path, so Block
+// results do not depend on the grouping.
+func (s *Stream) blockCosine(ctx context.Context, out *matrix.Dense, srcRow, tgtRow func(int) []float64) error {
+	rows, cols := out.Rows(), out.Cols()
+	groups := (rows + 2) / 3
+	return matrix.ParallelRowsCtx(ctx, groups, func(g int) {
+		x := g * 3
+		if x+3 <= rows {
+			s0, s1, s2 := srcRow(x), srcRow(x+1), srcRow(x+2)
+			d0, d1, d2 := out.Row(x), out.Row(x+1), out.Row(x+2)
+			var blk [3]float64
+			for y := 0; y < cols; y++ {
+				trow := tgtRow(y)
+				if trow == nil {
+					d0[y], d1[y], d2[y] = s.dummyScore, s.dummyScore, s.dummyScore
+					continue
+				}
+				matrix.DotBlock3(s0, s1, s2, trow, &blk)
+				d0[y], d1[y], d2[y] = blk[0], blk[1], blk[2]
+			}
+			return
+		}
+		for ; x < rows; x++ {
+			srow := srcRow(x)
+			drow := out.Row(x)
+			for y := 0; y < cols; y++ {
+				trow := tgtRow(y)
+				if trow == nil {
+					drow[y] = s.dummyScore
+					continue
+				}
+				drow[y] = matrix.Dot4(srow, trow)
+			}
+		}
+	})
 }
 
 // blockOOC materializes a block in out-of-core mode: the requested source
@@ -520,6 +573,20 @@ func (s *Stream) blockOOC(ctx context.Context, rowIDs, colIDs []int) (*matrix.De
 		return nil, err
 	}
 	out := matrix.New(len(rowIDs), len(colIDs))
+	if s.metric == Cosine {
+		err := s.blockCosine(ctx, out,
+			func(x int) []float64 { return srcB.Row(x) },
+			func(y int) []float64 {
+				if p := pos[y]; p >= 0 {
+					return tgtB.Row(p)
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	err = matrix.ParallelRowsCtx(ctx, len(rowIDs), func(x int) {
 		srow := srcB.Row(x)
 		drow := out.Row(x)
@@ -531,8 +598,6 @@ func (s *Stream) blockOOC(ctx context.Context, rowIDs, colIDs []int) (*matrix.De
 			}
 			trow := tgtB.Row(p)
 			switch s.metric {
-			case Cosine:
-				drow[y] = matrix.Dot4(srow, trow)
 			case Euclidean:
 				drow[y] = matrix.NegEuclidean(srow, trow)
 			case Manhattan:

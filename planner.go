@@ -21,6 +21,10 @@ var (
 	benchANNJSON []byte
 	//go:embed BENCH_quant.json
 	benchQuantJSON []byte
+	//go:embed BENCH_batch.json
+	benchBatchJSON []byte
+	//go:embed BENCH_shard.json
+	benchShardJSON []byte
 )
 
 var (
@@ -29,7 +33,7 @@ var (
 	calErr  error
 )
 
-// DefaultCalibration returns the planner calibration fitted from the four
+// DefaultCalibration returns the planner calibration fitted from the six
 // checked-in BENCH_*.json files (starting from plan.Defaults, so any record
 // family a file stops carrying keeps its built-in coefficient). The fit is
 // computed once and shared; the returned value is safe for concurrent use.
@@ -38,7 +42,11 @@ var (
 // so the known defaults are pinned here: the streaming benchmarks ran at
 // d=32 (see BENCH_streaming.json's description), the sparse and ANN sweeps
 // on the structural d=128 tables (embed.DefaultConfig's Dim=64 doubled by
-// the RawMix concatenation), and the quant records carry d= tokens.
+// the RawMix concatenation), and the quant records carry d= tokens. Order
+// matters for the two derived files: the batch file's blocked-kernel ratios
+// and the component coefficients must be in place before the shard file's
+// end-to-end drift multiplier is fitted against them (its records carry
+// their own dims in the features block; 16 is the fallback pin).
 func DefaultCalibration() (plan.Calibration, error) {
 	calOnce.Do(func() {
 		cal := plan.Defaults()
@@ -51,6 +59,8 @@ func DefaultCalibration() (plan.Calibration, error) {
 			{"BENCH_sparse.json", benchSparseJSON, 128},
 			{"BENCH_ann.json", benchANNJSON, 128},
 			{"BENCH_quant.json", benchQuantJSON, 64},
+			{"BENCH_batch.json", benchBatchJSON, 128},
+			{"BENCH_shard.json", benchShardJSON, 16},
 		} {
 			if err := cal.FitFile(f.name, f.data, f.dim); err != nil {
 				calErr = fmt.Errorf("entmatcher: calibration: %w", err)
